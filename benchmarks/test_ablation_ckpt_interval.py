@@ -1,0 +1,59 @@
+"""Ablation: checkpoint interval vs total time under failure.
+
+The paper fixes the stride at 10 iterations (§V-B). This sweep shows the
+classic checkpoint-interval trade-off the choice sits on: frequent
+checkpoints cost write time, sparse checkpoints cost re-executed work
+after a failure.
+"""
+
+import pytest
+
+from repro.apps import APP_REGISTRY
+from repro.cluster import Cluster
+from repro.core.designs import ReinitFti
+from repro.faults import FaultEvent, FaultPlan
+from repro.fti import FtiConfig
+
+from conftest import write_series
+
+NPROCS = 16
+NITERS = 40
+KILL_AT = 33  # late failure maximises visible rework differences
+
+
+def total_time_for_stride(stride: int) -> tuple:
+    app = APP_REGISTRY["hpccg"].from_input(NPROCS, "small")
+    app.niters = NITERS
+    design = ReinitFti(Cluster(nnodes=8))
+    plan = FaultPlan(events=(FaultEvent(rank=3, iteration=KILL_AT),))
+    result = design.run_job(app, FtiConfig(ckpt_stride=stride), plan,
+                            label="stride-%d" % stride)
+    assert result.verified
+    return (result.breakdown.total_seconds,
+            result.breakdown.ckpt_write_seconds)
+
+
+def test_ablation_ckpt_interval(benchmark):
+    strides = (1, 5, 10, 20, 50)
+
+    def sweep():
+        return {s: total_time_for_stride(s) for s in strides}
+
+    outcome = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Checkpoint-interval ablation (hpccg, 16 ranks, failure at "
+             "iteration %d of %d)" % (KILL_AT, NITERS),
+             "%-8s %12s %16s" % ("Stride", "Total (s)", "Ckpt write (s)")]
+    for stride in strides:
+        total, ckpt = outcome[stride]
+        lines.append("%-8d %12.2f %16.2f" % (stride, total, ckpt))
+    write_series("ablation_ckpt_interval.txt", "\n".join(lines))
+
+    # more frequent checkpoints -> more write time
+    ckpt_times = [outcome[s][1] for s in strides]
+    assert ckpt_times == sorted(ckpt_times, reverse=True)
+    # stride 50 never checkpoints before the late failure: it pays the
+    # full rerun, costing more than the paper's stride 10
+    assert outcome[50][0] > outcome[10][0]
+    # stride 1 writes ~40 checkpoints: the write cost alone exceeds the
+    # sparse strides' entire checkpoint budget
+    assert outcome[1][1] > 4 * outcome[10][1]

@@ -1,0 +1,92 @@
+"""Ablation: FTI level L1-L4 write cost vs survivability.
+
+Beyond the paper's evaluated L1 mode (it defers L2-L4 comparisons to the
+FTI paper), this sweep regenerates the classic multi-level trade-off on
+our substrate: higher levels cost more per checkpoint but survive
+stronger failures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.fti import CheckpointRegistry, Fti, FtiConfig
+from repro.simmpi import Runtime
+
+from conftest import write_series
+
+NPROCS = 16
+
+
+def ckpt_time_for_level(level: int) -> float:
+    cluster = Cluster(nnodes=8)
+    registry = CheckpointRegistry()
+    config = FtiConfig(level=level, ckpt_stride=1, group_size=4)
+
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry, config)
+        yield from fti.init()
+        fti.protect(0, np.zeros(4096))
+        fti.set_nominal_bytes(10**9)
+        yield from fti.checkpoint(1)
+        return fti.stats.ckpt_seconds
+
+    results = Runtime(cluster, NPROCS, entry).run()
+    return max(results.values())
+
+
+def survives_node_loss(level: int, nodes_lost: int) -> bool:
+    from repro.errors import CheckpointError
+
+    cluster = Cluster(nnodes=8)
+    registry = CheckpointRegistry()
+    config = FtiConfig(level=level, ckpt_stride=1, group_size=4)
+
+    def writer(mpi):
+        fti = Fti(mpi, cluster, registry, config)
+        yield from fti.init()
+        fti.protect(0, np.full(64, 1.0 + mpi.rank))
+        yield from fti.checkpoint(1)
+        return None
+
+    Runtime(cluster, NPROCS, writer).run()
+    for node in range(nodes_lost):
+        cluster.node_storage[2 * node].wipe()  # spread losses out
+
+    def reader(mpi):
+        fti = Fti(mpi, cluster, registry, config)
+        yield from fti.init()
+        x = np.zeros(64)
+        fti.protect(0, x)
+        try:
+            yield from fti.recover()
+            return bool(x[0] == 1.0 + mpi.rank)
+        except CheckpointError:
+            return False
+
+    results = Runtime(cluster, NPROCS, reader).run()
+    return all(results.values())
+
+
+def test_ablation_fti_levels(benchmark):
+    def sweep():
+        return {level: ckpt_time_for_level(level) for level in (1, 2, 3, 4)}
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    survive1 = {level: survives_node_loss(level, 1) for level in (1, 2, 3, 4)}
+
+    lines = ["FTI level ablation (16 ranks, 1 GB nominal checkpoint)",
+             "%-6s %14s %22s" % ("Level", "Write time (s)",
+                                 "Survives 1-node loss")]
+    for level in (1, 2, 3, 4):
+        lines.append("L%-5d %14.3f %22s"
+                     % (level, times[level], survive1[level]))
+    write_series("ablation_fti_levels.txt", "\n".join(lines))
+
+    # cost ordering: redundancy is never free
+    assert times[1] <= times[2]
+    assert times[1] <= times[3]
+    assert times[1] <= times[4]
+    # survivability: L1 dies with its node, everything else survives
+    assert not survive1[1]
+    assert survive1[2] and survive1[3] and survive1[4]

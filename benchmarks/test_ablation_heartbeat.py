@@ -1,0 +1,35 @@
+"""Ablation: ULFM heartbeat period — detector overhead vs latency.
+
+ULFM's failure detector trades steady-state overhead (fast beats tax
+every operation) against detection latency (slow beats delay recovery).
+The paper's observations about ULFM's background cost (§V-C) sit at the
+100 ms operating point.
+"""
+
+from repro.recovery import heartbeat_tradeoff
+
+from conftest import write_series
+
+PERIODS = (0.025, 0.05, 0.1, 0.2, 0.4)
+NPROCS = 512
+
+
+def test_ablation_heartbeat(benchmark):
+    def sweep():
+        return {p: heartbeat_tradeoff(p, NPROCS) for p in PERIODS}
+
+    points = benchmark(sweep)
+    lines = ["Heartbeat-period ablation (%d processes)" % NPROCS,
+             "%-12s %20s %24s" % ("Period (s)", "Detection latency (s)",
+                                  "Compute overhead factor")]
+    for period in PERIODS:
+        point = points[period]
+        lines.append("%-12g %20.3f %24.3f"
+                     % (period, point.detection_latency,
+                        point.compute_overhead_factor))
+    write_series("ablation_heartbeat.txt", "\n".join(lines))
+
+    latencies = [points[p].detection_latency for p in PERIODS]
+    overheads = [points[p].compute_overhead_factor for p in PERIODS]
+    assert latencies == sorted(latencies)              # slower beats detect later
+    assert overheads == sorted(overheads, reverse=True)  # and tax less

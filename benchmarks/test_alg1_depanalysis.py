@@ -1,0 +1,33 @@
+"""Algorithm 1: checkpoint-object detection on dynamic traces.
+
+Benchmarks the dependency-analysis tool on the instrumented reference
+programs and checks it recovers the known ground truth — the tool the
+paper offers programmers in §III/§V-E.
+"""
+
+import pytest
+
+from repro.depanalysis import (
+    REFERENCE_PROGRAMS,
+    find_checkpoint_objects,
+    format_report,
+)
+
+from conftest import write_series
+
+
+@pytest.mark.parametrize("program", sorted(REFERENCE_PROGRAMS))
+def test_alg1(benchmark, program):
+    trace, expected = REFERENCE_PROGRAMS[program](niters=12)
+
+    result = benchmark(find_checkpoint_objects, trace)
+    assert set(result.locations) == expected
+    write_series("alg1_%s.txt" % program, format_report(result, program))
+
+
+def test_alg1_scales_linearly_with_trace_length(benchmark):
+    from repro.depanalysis.tracer import traced_cg_loop
+
+    trace, expected = traced_cg_loop(niters=40)
+    result = benchmark(find_checkpoint_objects, trace)
+    assert set(result.locations) == expected

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Compare the three fault-tolerance designs across scaling sizes.
+
+A miniature of the paper's Figures 6 and 7 for one chosen application:
+sweeps the Table I process counts with fault injection, printing the
+breakdown and recovery series.
+
+Usage::
+
+    python examples/compare_designs.py [app] [--reps N]
+
+    python examples/compare_designs.py minivite
+    python examples/compare_designs.py amg --reps 5
+"""
+
+import argparse
+
+from repro.core.configs import (
+    DESIGN_NAMES,
+    ExperimentConfig,
+    valid_proc_counts,
+)
+from repro.core.harness import run_experiment_averaged
+from repro.core.report import (
+    format_breakdown_series,
+    format_recovery_series,
+    summarize_ratios,
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("app", nargs="?", default="minivite")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="fault repetitions (paper uses 5)")
+    args = parser.parse_args()
+
+    rows, recovery = [], {}
+    for nprocs in valid_proc_counts(args.app):
+        for design in DESIGN_NAMES:
+            config = ExperimentConfig(app=args.app, design=design,
+                                      nprocs=nprocs, inject_fault=True)
+            result = run_experiment_averaged(config, repetitions=args.reps)
+            rows.append((nprocs, design, result.breakdown))
+            recovery.setdefault(design, []).append(
+                result.breakdown.recovery_seconds)
+
+    print(format_breakdown_series(
+        "Execution breakdown with one failure (%s)" % args.app, rows))
+    print()
+    print(format_recovery_series(
+        "Recovery time (%s)" % args.app,
+        [(n, d, b.recovery_seconds) for n, d, b in rows]))
+    print()
+    print(summarize_ratios(recovery))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Algorithm 1: find the data objects an application must checkpoint.
+
+Runs the paper's data-dependency analysis on the three instrumented
+reference programs and on a custom user loop, printing the tool's
+report: which objects must be checkpointed, and why the rest were
+excluded (constant across iterations, or loop-local).
+
+Usage::
+
+    python examples/dependency_analysis.py
+"""
+
+import numpy as np
+
+from repro.depanalysis import (
+    REFERENCE_PROGRAMS,
+    Tracer,
+    find_checkpoint_objects,
+    format_report,
+)
+
+
+def custom_program():
+    """A little time-stepping loop a user might instrument themselves."""
+    tracer = Tracer()
+    dt = tracer.alloc("dt", 0.1)                       # constant
+    temperature = tracer.alloc("temperature", np.full(8, 300.0))
+    history = tracer.alloc("history", 0.0)             # accumulator
+    for step in range(6):
+        tracer.enter_loop_iteration(step)
+        flux = tracer.store("flux", -0.5 * tracer.load(
+            "temperature", temperature))               # loop-local
+        temperature = tracer.store(
+            "temperature",
+            temperature + tracer.load("dt", dt) * flux)
+        history = tracer.store("history",
+                               history + float(temperature.mean()))
+    tracer.exit_loop()
+    return tracer.trace
+
+
+def main():
+    for name, program in sorted(REFERENCE_PROGRAMS.items()):
+        trace, expected = program()
+        result = find_checkpoint_objects(trace)
+        print(format_report(result, name))
+        marker = "matches" if set(result.locations) == expected \
+            else "DIFFERS FROM"
+        print("-> %s the known ground truth %s\n"
+              % (marker, sorted(expected)))
+
+    print(format_report(find_checkpoint_objects(custom_program()),
+                        "custom heat loop"))
+    print("\nOnly 'temperature' and 'history' need FTI_Protect calls —")
+    print("'dt' never changes and 'flux' is recomputed every iteration.")
+
+
+if __name__ == "__main__":
+    main()

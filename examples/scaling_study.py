@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Scaling study: how checkpoint and application time move with scale.
+
+A miniature of Figure 5 for one app without failures: sweeps the Table I
+process counts, printing the stacked-bar series and the checkpoint share
+of total time (the paper reports ~13% on average).
+
+Usage::
+
+    python examples/scaling_study.py [app]
+"""
+
+import argparse
+
+from repro.core.configs import (
+    DESIGN_NAMES,
+    ExperimentConfig,
+    valid_proc_counts,
+)
+from repro.core.harness import run_experiment
+from repro.core.report import format_breakdown_series
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("app", nargs="?", default="hpccg")
+    args = parser.parse_args()
+
+    rows = []
+    for nprocs in valid_proc_counts(args.app):
+        for design in DESIGN_NAMES:
+            config = ExperimentConfig(app=args.app, design=design,
+                                      nprocs=nprocs)
+            rows.append((nprocs, design, run_experiment(config).breakdown))
+
+    print(format_breakdown_series(
+        "Scaling study (%s, small input, no failures)" % args.app, rows))
+
+    print("\nCheckpoint share of total execution (RESTART-FTI):")
+    for nprocs, design, breakdown in rows:
+        if design == "restart-fti":
+            share = breakdown.ckpt_write_seconds / breakdown.total_seconds
+            print("  %4d processes: %5.1f%%" % (nprocs, 100 * share))
+
+
+if __name__ == "__main__":
+    main()

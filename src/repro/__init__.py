@@ -1,0 +1,50 @@
+"""MATCH: an MPI fault tolerance benchmark suite — Python reproduction.
+
+Reproduces Guo et al., *MATCH: An MPI Fault Tolerance Benchmark Suite*
+(IISWC 2020) on a fully simulated HPC substrate: a deterministic MPI
+runtime, an FTI-style multi-level checkpoint library, ULFM / Reinit /
+Restart recovery, six proxy applications and the paper's complete
+evaluation harness.
+
+Quickstart::
+
+    from repro import run_experiment, ExperimentConfig
+
+    cfg = ExperimentConfig(app="hpccg", design="reinit-fti", nprocs=64,
+                           input_size="small", inject_fault=True)
+    result = run_experiment(cfg)
+    print(result.breakdown)
+
+Top-level convenience names are loaded lazily (PEP 562) so that low-level
+subpackages (``repro.simmpi``, ``repro.fti``, ...) can be imported without
+pulling in the whole application stack.
+"""
+
+__version__ = "1.0.0"
+
+_LAZY = {
+    "ExperimentConfig": ("repro.core.configs", "ExperimentConfig"),
+    "TABLE1": ("repro.core.configs", "TABLE1"),
+    "DESIGNS": ("repro.core.designs", "DESIGNS"),
+    "run_experiment": ("repro.core.harness", "run_experiment"),
+    "run_experiment_averaged": ("repro.core.harness",
+                                "run_experiment_averaged"),
+}
+
+__all__ = sorted(_LAZY) + ["__version__"]
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError("module %r has no attribute %r"
+                             % (__name__, name)) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)
+
+
+def __dir__():
+    return __all__

@@ -1,0 +1,46 @@
+"""The six MATCH proxy applications (paper §II-B)."""
+
+from .amg import AMG_INPUTS, Amg, AmgParams
+from .base import AppState, ProxyApp, deterministic_rng, halo_exchange_1d
+from .comd import COMD_INPUTS, Comd, ComdParams
+from .hpccg import HPCCG_INPUTS, Hpccg, HpccgParams
+from .lulesh import LULESH_INPUTS, LULESH_PROC_COUNTS, Lulesh, LuleshParams
+from .minife import MINIFE_INPUTS, Minife, MinifeParams
+from .minivite import MINIVITE_INPUTS, Minivite, MiniviteParams
+
+#: registry used by the experiment harness
+APP_REGISTRY = {
+    "amg": Amg,
+    "comd": Comd,
+    "hpccg": Hpccg,
+    "lulesh": Lulesh,
+    "minife": Minife,
+    "minivite": Minivite,
+}
+
+__all__ = [
+    "AMG_INPUTS",
+    "APP_REGISTRY",
+    "Amg",
+    "AmgParams",
+    "AppState",
+    "COMD_INPUTS",
+    "Comd",
+    "ComdParams",
+    "HPCCG_INPUTS",
+    "Hpccg",
+    "HpccgParams",
+    "LULESH_INPUTS",
+    "LULESH_PROC_COUNTS",
+    "Lulesh",
+    "LuleshParams",
+    "MINIFE_INPUTS",
+    "Minife",
+    "MinifeParams",
+    "MINIVITE_INPUTS",
+    "Minivite",
+    "MiniviteParams",
+    "ProxyApp",
+    "deterministic_rng",
+    "halo_exchange_1d",
+]

@@ -1,0 +1,148 @@
+"""Common machinery for the six MATCH proxy applications.
+
+Each proxy app is an SPMD program against :class:`repro.simmpi.MpiApi`:
+``make_state`` allocates the rank-local data, ``iterate`` runs one
+main-loop iteration (communication + numerics), ``verify`` checks the
+physics/maths stayed sane.
+
+**Capped execution, nominal charging** (DESIGN.md substitution #4): apps
+run real numerics on local arrays capped at a modest size so 512-rank
+experiments stay fast, while the *virtual* time they charge reflects the
+nominal Table I problem size. The per-cell work constants are calibration
+values chosen so the 64-process small-input execution times land in the
+same magnitude band as the paper's figures; they absorb everything the
+real apps do per "iteration" (inner sweeps, setup amortisation) that the
+capped kernels do not.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..fti.serializer import ScalarRef
+
+
+@dataclass
+class AppState:
+    """One rank's mutable application state."""
+
+    rank: int
+    nprocs: int
+    #: the main-loop counter, checkpointed so recovery resumes correctly
+    iteration: ScalarRef = field(default_factory=lambda: ScalarRef(0))
+    #: named numpy arrays restored in place by FTI recovery
+    arrays: dict = field(default_factory=dict)
+    #: named checkpointed scalars
+    scalars: dict = field(default_factory=dict)
+    #: transient (not checkpointed) helpers
+    extras: dict = field(default_factory=dict)
+    #: bytes one nominal-size checkpoint of this rank would occupy
+    nominal_ckpt_bytes: int = 0
+    #: record of per-iteration diagnostics for verification
+    history: list = field(default_factory=list)
+
+    def protect_with(self, fti) -> None:
+        """Register the checkpointable state with an FTI instance.
+
+        Ids are assigned deterministically (iteration first, then arrays
+        and scalars in name order) so a recovering rank registers the
+        exact same layout it checkpointed.
+        """
+        fti.protect(0, self.iteration, "iteration")
+        var_id = 1
+        for name in sorted(self.arrays):
+            fti.protect(var_id, self.arrays[name], name)
+            var_id += 1
+        for name in sorted(self.scalars):
+            fti.protect(var_id, self.scalars[name], name)
+            var_id += 1
+
+
+class ProxyApp(abc.ABC):
+    """Base class for the six MATCH workloads."""
+
+    #: short identifier used in configs and reports
+    name: str = "app"
+    #: "weak" (per-rank problem) or "strong" (global problem) scaling
+    scaling: str = "weak"
+
+    def __init__(self, nprocs: int, niters: int):
+        if nprocs < 1:
+            raise ConfigurationError("need at least one process")
+        if niters < 2:
+            raise ConfigurationError("need at least two iterations")
+        self.nprocs = nprocs
+        self.niters = niters
+
+    # -- mandatory hooks -----------------------------------------------------
+    @abc.abstractmethod
+    def make_state(self, mpi) -> AppState:
+        """Allocate rank-local state (generator: may charge setup time)."""
+
+    @abc.abstractmethod
+    def iterate(self, mpi, state: AppState, i: int):
+        """Run main-loop iteration ``i`` (generator)."""
+
+    @abc.abstractmethod
+    def verify(self, state: AppState) -> bool:
+        """Cheap internal-consistency check of the final state."""
+
+    # -- shared helpers -----------------------------------------------------------
+    @staticmethod
+    def capped(nominal: int, cap: int) -> int:
+        """Actual allocation size for a nominal element count."""
+        if nominal < 1 or cap < 1:
+            raise ConfigurationError("sizes must be positive")
+        return min(nominal, cap)
+
+    @staticmethod
+    def cube_root(n: int) -> int:
+        root = round(n ** (1.0 / 3.0))
+        return max(1, root)
+
+    def neighbors_1d(self, rank: int) -> tuple:
+        """Left/right neighbours of a 1-D (slab) domain decomposition;
+        ``None`` at the boundary."""
+        left = rank - 1 if rank > 0 else None
+        right = rank + 1 if rank < self.nprocs - 1 else None
+        return left, right
+
+
+def halo_exchange_1d(mpi, left, right, send_left, send_right,
+                     nominal_nbytes: int, tag: int = 1):
+    """Exchange slab faces with 1-D neighbours (generator).
+
+    Payloads are the real (capped) face arrays; the wire size charged is
+    the nominal face size. Returns ``(from_left, from_right)`` with
+    ``None`` at physical boundaries. The protocol is deadlock-free under
+    the runtime's eager sends: everyone sends both faces first, then
+    receives.
+    """
+    if left is not None:
+        yield from mpi.send(left, send_left, tag=tag, nbytes=nominal_nbytes)
+    if right is not None:
+        yield from mpi.send(right, send_right, tag=tag + 1,
+                            nbytes=nominal_nbytes)
+    from_left = from_right = None
+    if left is not None:
+        from_left, _ = yield from mpi.recv(left, tag=tag + 1)
+    if right is not None:
+        from_right, _ = yield from mpi.recv(right, tag=tag)
+    return from_left, from_right
+
+
+def deterministic_rng(app_name: str, rank: int, salt: int = 0):
+    """Seeded per-rank RNG so every repetition sees identical numerics.
+
+    Seeds derive from CRC32 (not ``hash()``, which is salted per
+    interpreter run) so results are stable across processes too.
+    """
+    import zlib
+
+    key = ("%s/%d/%d" % (app_name, rank, salt)).encode("ascii")
+    seed = (zlib.crc32(key) & 0x7FFFFFFF) or 1
+    return np.random.default_rng(seed)

@@ -1,0 +1,140 @@
+"""CoMD: Lennard-Jones molecular dynamics (strong scaling).
+
+Table I: global lattice ``-nx/-ny/-nz`` of 128/256/512 cubed unit cells
+(4 atoms each, fcc), divided among the ranks. One main-loop iteration is
+a velocity-Verlet step: position halo exchange with slab neighbours,
+the pairwise force computation, and the global kinetic/potential energy
+reduction CoMD prints each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import AppState, ProxyApp, deterministic_rng, halo_exchange_1d
+from .kernels.lennard_jones import (
+    init_fcc_lattice,
+    kinetic_energy,
+    lj_forces,
+    velocity_verlet,
+)
+from ..errors import ConfigurationError
+from ..simmpi import ops
+
+
+@dataclass(frozen=True)
+class ComdParams:
+    """``-nx nx -ny ny -nz nz`` — global lattice dimensions."""
+
+    nx: int
+    ny: int
+    nz: int
+
+    @property
+    def global_atoms(self) -> int:
+        return 4 * self.nx * self.ny * self.nz  # fcc: 4 atoms per cell
+
+
+COMD_INPUTS = {
+    "small": ComdParams(128, 128, 128),
+    "medium": ComdParams(256, 256, 256),
+    "large": ComdParams(512, 512, 512),
+}
+
+
+class Comd(ProxyApp):
+    """The CoMD proxy: LJ molecular dynamics."""
+
+    name = "comd"
+    scaling = "strong"
+    CAP_ATOMS = 64
+    FLOPS_PER_ATOM = 17000.0
+    BYTES_PER_ATOM = 600.0
+    INPUT_EXPONENT = 1.1
+    CKPT_BYTES_PER_RANK_SMALL = int(5.2e9)
+    DT = 0.002
+
+    def __init__(self, nprocs: int, params: ComdParams | None = None,
+                 niters: int = 50):
+        super().__init__(nprocs, niters)
+        self.params = params or COMD_INPUTS["small"]
+
+    @classmethod
+    def from_input(cls, nprocs: int, input_size: str) -> "Comd":
+        if input_size not in COMD_INPUTS:
+            raise ConfigurationError("unknown CoMD input %r" % input_size)
+        return cls(nprocs, COMD_INPUTS[input_size])
+
+    # -- nominal work ------------------------------------------------------
+    def nominal_local_atoms(self) -> float:
+        return self.params.global_atoms / self.nprocs
+
+    def _input_ratio(self) -> float:
+        small = COMD_INPUTS["small"].global_atoms
+        return (self.params.global_atoms / small) ** self.INPUT_EXPONENT
+
+    def work_per_iter(self) -> tuple:
+        atoms = (COMD_INPUTS["small"].global_atoms / self.nprocs
+                 * self._input_ratio())
+        return atoms * self.FLOPS_PER_ATOM, atoms * self.BYTES_PER_ATOM
+
+    def nominal_ckpt_bytes(self) -> int:
+        per_rank = self.CKPT_BYTES_PER_RANK_SMALL * 64.0 / self.nprocs
+        return int(per_rank * self._input_ratio())
+
+    def halo_nbytes(self) -> int:
+        # skin atoms of one slab face: atoms in a one-cell-thick slice
+        atoms_per_slice = 4 * self.params.ny * self.params.nz
+        return int(atoms_per_slice * 3 * 8)
+
+    # -- state ------------------------------------------------------------------
+    def make_state(self, mpi):
+        natoms = self.capped(int(self.nominal_local_atoms()), self.CAP_ATOMS)
+        natoms = max(natoms, 8)
+        rng = deterministic_rng(self.name, mpi.rank)
+        positions, velocities = init_fcc_lattice(natoms, rng)
+        forces, _ = lj_forces(positions)
+        state = AppState(rank=mpi.rank, nprocs=self.nprocs)
+        state.arrays["md_pos"] = positions
+        state.arrays["md_vel"] = velocities
+        state.arrays["md_force"] = forces
+        state.extras["energies"] = []
+        state.nominal_ckpt_bytes = self.nominal_ckpt_bytes()
+        yield from mpi.compute(bytes_moved=self.nominal_local_atoms() * 48.0)
+        return state
+
+    def rebind(self, state: AppState) -> None:
+        """Arrays are protected in place; nothing to re-point."""
+
+    # -- one velocity-Verlet step --------------------------------------------------
+    def iterate(self, mpi, state: AppState, i: int):
+        left, right = self.neighbors_1d(mpi.rank)
+        pos = state.arrays["md_pos"]
+        yield from halo_exchange_1d(
+            mpi, left, right,
+            send_left=pos[:8].copy(), send_right=pos[-8:].copy(),
+            nominal_nbytes=self.halo_nbytes(), tag=30)
+        flops, bytes_moved = self.work_per_iter()
+        yield from mpi.compute(flops=flops, bytes_moved=bytes_moved)
+        new_pos, new_vel, new_force, pe = velocity_verlet(
+            pos, state.arrays["md_vel"], state.arrays["md_force"], self.DT)
+        state.arrays["md_pos"][...] = new_pos
+        state.arrays["md_vel"][...] = new_vel
+        state.arrays["md_force"][...] = new_force
+        local_e = pe + kinetic_energy(new_vel)
+        total_e = yield from mpi.allreduce(local_e, op=ops.SUM)
+        state.extras["energies"].append(total_e)
+        state.history.append(total_e)
+
+    def verify(self, state: AppState) -> bool:
+        """Total energy must stay finite and roughly conserved."""
+        energies = state.extras["energies"]
+        if len(energies) < 2:
+            return False
+        if not all(np.isfinite(e) for e in energies):
+            return False
+        spread = abs(energies[-1] - energies[0])
+        scale = max(1.0, abs(energies[0]))
+        return spread / scale < 0.6  # loose: capped systems drift more

@@ -1,0 +1,130 @@
+"""HPCCG: preconditioned conjugate-gradient solver on a 3-D chimney domain.
+
+Table I: local grid ``nx ny nz`` per process (weak scaling) of
+64/128/192 cubed for small/medium/large. The main loop is one CG
+iteration: a face halo exchange with the z-neighbours (HPCCG's 1-D slab
+decomposition), the 27-point matvec, and two global dot products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import AppState, ProxyApp, deterministic_rng, halo_exchange_1d
+from .kernels.cg import CgWorkspace, cg_step
+from .kernels.stencil import apply_27pt
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HpccgParams:
+    """``nx ny nz`` — the per-process grid dimensions."""
+
+    nx: int
+    ny: int
+    nz: int
+
+    @property
+    def local_cells(self) -> int:
+        return self.nx * self.ny * self.nz
+
+
+#: Table I inputs
+HPCCG_INPUTS = {
+    "small": HpccgParams(64, 64, 64),
+    "medium": HpccgParams(128, 128, 128),
+    "large": HpccgParams(192, 192, 192),
+}
+
+
+class Hpccg(ProxyApp):
+    """The HPCCG proxy: CG on the 27-point operator."""
+
+    name = "hpccg"
+    scaling = "weak"
+    #: actual per-axis cap on local execution (real numerics stay fast)
+    CAP_EDGE = 10
+    #: calibrated work constants (see DESIGN.md substitution #4)
+    FLOPS_PER_CELL = 2100.0
+    BYTES_PER_CELL = 240.0
+    INPUT_EXPONENT = 0.5
+    CKPT_BYTES_PER_RANK_SMALL = int(0.6e9)
+
+    def __init__(self, nprocs: int, params: HpccgParams | None = None,
+                 niters: int = 60):
+        super().__init__(nprocs, niters)
+        self.params = params or HPCCG_INPUTS["small"]
+
+    @classmethod
+    def from_input(cls, nprocs: int, input_size: str) -> "Hpccg":
+        if input_size not in HPCCG_INPUTS:
+            raise ConfigurationError("unknown HPCCG input %r" % input_size)
+        return cls(nprocs, HPCCG_INPUTS[input_size])
+
+    # -- nominal work -----------------------------------------------------
+    def nominal_local_cells(self) -> int:
+        return self.params.local_cells  # weak scaling: independent of P
+
+    def _input_ratio(self) -> float:
+        small = HPCCG_INPUTS["small"].local_cells
+        return (self.params.local_cells / small) ** self.INPUT_EXPONENT
+
+    def work_per_iter(self) -> tuple:
+        cells = HPCCG_INPUTS["small"].local_cells * self._input_ratio()
+        return cells * self.FLOPS_PER_CELL, cells * self.BYTES_PER_CELL
+
+    def nominal_ckpt_bytes(self) -> int:
+        return int(self.CKPT_BYTES_PER_RANK_SMALL * self._input_ratio())
+
+    def halo_nbytes(self) -> int:
+        return self.params.nx * self.params.ny * 8  # one z-face of doubles
+
+    # -- state ---------------------------------------------------------------
+    def make_state(self, mpi):
+        edge = self.capped(self.params.nx, self.CAP_EDGE)
+        rng = deterministic_rng(self.name, mpi.rank)
+        b = rng.random((edge, edge, edge))
+        ws = CgWorkspace(b, apply_27pt)
+        state = AppState(rank=mpi.rank, nprocs=self.nprocs)
+        state.arrays.update(ws.arrays())
+        state.arrays["cg_b"] = b
+        state.extras["ws"] = ws
+        state.extras["residuals"] = []
+        state.nominal_ckpt_bytes = self.nominal_ckpt_bytes()
+        # setup cost: generating the problem touches the grid once
+        yield from mpi.compute(bytes_moved=self.nominal_local_cells() * 8.0)
+        return state
+
+    def rebind(self, state: AppState) -> None:
+        """Re-point the workspace at the (recovered) protected arrays."""
+        ws = state.extras["ws"]
+        ws.x = state.arrays["cg_x"]
+        ws.r = state.arrays["cg_r"]
+        ws.p = state.arrays["cg_p"]
+        ws.rho = float(np.dot(ws.r.ravel(), ws.r.ravel()))
+
+    # -- one CG iteration -------------------------------------------------------
+    def iterate(self, mpi, state: AppState, i: int):
+        ws = state.extras["ws"]
+        left, right = self.neighbors_1d(mpi.rank)
+        nominal = self.halo_nbytes()
+        yield from halo_exchange_1d(
+            mpi, left, right,
+            send_left=ws.p[0, :, :].copy(), send_right=ws.p[-1, :, :].copy(),
+            nominal_nbytes=nominal, tag=10)
+        flops, bytes_moved = self.work_per_iter()
+        yield from mpi.compute(flops=flops, bytes_moved=bytes_moved)
+        rho = yield from cg_step(mpi, ws)
+        state.extras["residuals"].append(rho)
+        state.history.append(rho)
+
+    def verify(self, state: AppState) -> bool:
+        """CG on an SPD operator must reduce the residual overall."""
+        residuals = state.extras["residuals"]
+        if len(residuals) < 2:
+            return False
+        if not np.isfinite(residuals[-1]):
+            return False
+        return residuals[-1] < residuals[0] or residuals[-1] == 0.0

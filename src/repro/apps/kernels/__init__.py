@@ -1,0 +1,46 @@
+"""Shared numerical kernels behind the six proxy applications."""
+
+from .cg import CgWorkspace, cg_step
+from .graph import louvain_sweep, modularity, planted_partition
+from .hydro import init_sedov, lagrange_step, stable_dt
+from .lennard_jones import (
+    init_fcc_lattice,
+    kinetic_energy,
+    lj_forces,
+    velocity_verlet,
+)
+from .multigrid import hierarchy_depth, v_cycle
+from .sparse import assemble_poisson_27pt, rhs_for
+from .stencil import (
+    apply_7pt,
+    apply_27pt,
+    jacobi_smooth,
+    prolong_inject,
+    residual_norm,
+    restrict_full_weight,
+)
+
+__all__ = [
+    "CgWorkspace",
+    "apply_27pt",
+    "apply_7pt",
+    "assemble_poisson_27pt",
+    "cg_step",
+    "hierarchy_depth",
+    "init_fcc_lattice",
+    "init_sedov",
+    "jacobi_smooth",
+    "kinetic_energy",
+    "lagrange_step",
+    "lj_forces",
+    "louvain_sweep",
+    "modularity",
+    "planted_partition",
+    "prolong_inject",
+    "residual_norm",
+    "restrict_full_weight",
+    "rhs_for",
+    "stable_dt",
+    "v_cycle",
+    "velocity_verlet",
+]

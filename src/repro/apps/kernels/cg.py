@@ -1,0 +1,61 @@
+"""Distributed conjugate-gradient iteration, shared by HPCCG and miniFE.
+
+One CG step has the communication signature the paper's apps exhibit:
+a halo exchange feeding the matvec plus two global dot products
+(allreduce), which is where fault-tolerance overheads bite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ...simmpi import ops
+
+
+class CgWorkspace:
+    """Rank-local CG vectors for ``A x = b`` with a callable operator."""
+
+    def __init__(self, b: np.ndarray, matvec):
+        self.matvec = matvec
+        self.x = np.zeros_like(b)
+        self.r = b.copy()
+        self.p = b.copy()
+        self.rho = float(np.dot(b.ravel(), b.ravel()))
+
+    def arrays(self) -> dict:
+        return {"cg_x": self.x, "cg_r": self.r, "cg_p": self.p}
+
+
+def cg_step(mpi, ws: CgWorkspace, comm=None):
+    """One distributed CG iteration (generator); returns the new
+    global residual norm squared.
+
+    Local reductions are combined across ranks with allreduce, exactly
+    two per iteration as in HPCCG.
+    """
+    q = ws.matvec(ws.p)
+    local_pq = float(np.dot(ws.p.ravel(), q.ravel()))
+    global_pq = yield from mpi.allreduce(local_pq, op=ops.SUM, comm=comm)
+    if global_pq == 0.0:
+        # p = 0 on every rank (SPD makes each term non-negative). If the
+        # residual is globally zero too, the system is exactly solved —
+        # small capped systems reach this — and further iterations are
+        # consistent no-ops; otherwise it is a genuine breakdown. The
+        # check is collective so all ranks branch identically.
+        global_rho = yield from mpi.allreduce(ws.rho, op=ops.SUM, comm=comm)
+        if global_rho == 0.0:
+            return 0.0
+        raise ConfigurationError("CG breakdown: p.A.p == 0 with r != 0")
+    global_rho = yield from mpi.allreduce(ws.rho, op=ops.SUM, comm=comm)
+    alpha = global_rho / global_pq
+    ws.x += alpha * ws.p
+    ws.r -= alpha * q
+    new_rho = float(np.dot(ws.r.ravel(), ws.r.ravel()))
+    new_global_rho = yield from mpi.allreduce(new_rho, op=ops.SUM, comm=comm)
+    beta = new_global_rho / global_rho if global_rho else 0.0
+    # in-place so FTI's protected registration keeps pointing at p
+    ws.p *= beta
+    ws.p += ws.r
+    ws.rho = new_rho
+    return new_global_rho

@@ -1,0 +1,66 @@
+"""Lennard-Jones molecular dynamics kernels (CoMD's physics).
+
+Real pairwise LJ forces with a cutoff plus velocity-Verlet integration
+on the rank-local atom set. Sizes are small (capped), so an O(N^2)
+vectorised distance computation is both simple and fast; CoMD's cell
+lists exist to make this scale, which the cap makes unnecessary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigurationError
+
+#: LJ parameters in reduced units (CoMD defaults are eps=sigma=1 reduced)
+EPSILON = 1.0
+SIGMA = 1.0
+CUTOFF = 2.5 * SIGMA
+
+
+def init_fcc_lattice(natoms: int, rng, box: float = 10.0) -> tuple:
+    """Positions on a jittered cubic lattice and Maxwellian velocities."""
+    if natoms < 2:
+        raise ConfigurationError("need at least two atoms")
+    side = int(np.ceil(natoms ** (1.0 / 3.0)))
+    spacing = box / side
+    grid = np.stack(np.meshgrid(*[np.arange(side)] * 3, indexing="ij"),
+                    axis=-1).reshape(-1, 3)[:natoms]
+    positions = (grid + 0.5) * spacing
+    positions += rng.normal(scale=0.05 * spacing, size=positions.shape)
+    velocities = rng.normal(scale=0.5, size=(natoms, 3))
+    velocities -= velocities.mean(axis=0)  # zero net momentum
+    return positions.astype(np.float64), velocities.astype(np.float64)
+
+
+def lj_forces(positions: np.ndarray, box: float = 10.0) -> tuple:
+    """Pairwise LJ forces with minimum-image convention.
+
+    Returns ``(forces, potential_energy)``.
+    """
+    delta = positions[:, None, :] - positions[None, :, :]
+    delta -= box * np.round(delta / box)
+    r2 = np.sum(delta * delta, axis=-1)
+    np.fill_diagonal(r2, np.inf)
+    mask = r2 < CUTOFF * CUTOFF
+    inv_r2 = np.where(mask, 1.0 / np.maximum(r2, 1e-12), 0.0)
+    inv_r6 = inv_r2 ** 3
+    # F = 24 eps (2 (s/r)^12 - (s/r)^6) / r^2 * dr
+    coeff = 24.0 * EPSILON * (2.0 * inv_r6 * inv_r6 - inv_r6) * inv_r2
+    forces = np.sum(coeff[:, :, None] * delta, axis=1)
+    energy = 2.0 * EPSILON * np.sum(inv_r6 * inv_r6 - inv_r6)  # 4eps/2 pairs
+    return forces, float(energy)
+
+
+def velocity_verlet(positions, velocities, forces, dt: float,
+                    box: float = 10.0) -> tuple:
+    """One velocity-Verlet step; returns updated (pos, vel, forces, pe)."""
+    velocities = velocities + 0.5 * dt * forces
+    positions = (positions + dt * velocities) % box
+    new_forces, pe = lj_forces(positions, box)
+    velocities = velocities + 0.5 * dt * new_forces
+    return positions, velocities, new_forces, pe
+
+
+def kinetic_energy(velocities: np.ndarray) -> float:
+    return float(0.5 * np.sum(velocities * velocities))

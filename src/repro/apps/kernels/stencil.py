@@ -1,0 +1,87 @@
+"""Structured-grid stencil kernels shared by HPCCG, miniFE and AMG.
+
+The 27-point stencil is the operator both HPCCG and miniFE assemble
+(a hexahedral tri-linear FE discretisation of -Laplace(u) = f): diagonal
+26, every neighbour -1, which is symmetric positive definite on the
+interior problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigurationError
+
+
+def apply_27pt(u: np.ndarray) -> np.ndarray:
+    """27-point stencil matvec on a 3-D grid with zero (Dirichlet) halo.
+
+    ``out[i] = 26*u[i] - sum(neighbours of i)`` — equivalent to the
+    HPCCG/miniFE operator rows for interior points.
+    """
+    if u.ndim != 3:
+        raise ConfigurationError("apply_27pt expects a 3-D array")
+    padded = np.zeros((u.shape[0] + 2, u.shape[1] + 2, u.shape[2] + 2),
+                      dtype=u.dtype)
+    padded[1:-1, 1:-1, 1:-1] = u
+    out = 27.0 * u.copy()
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            for dk in (-1, 0, 1):
+                out -= padded[1 + di:u.shape[0] + 1 + di,
+                              1 + dj:u.shape[1] + 1 + dj,
+                              1 + dk:u.shape[2] + 1 + dk]
+    return out
+
+
+def apply_7pt(u: np.ndarray) -> np.ndarray:
+    """7-point Laplacian (AMG's fine-grid operator): 6*u - neighbours."""
+    if u.ndim != 3:
+        raise ConfigurationError("apply_7pt expects a 3-D array")
+    padded = np.zeros((u.shape[0] + 2, u.shape[1] + 2, u.shape[2] + 2),
+                      dtype=u.dtype)
+    padded[1:-1, 1:-1, 1:-1] = u
+    out = 6.0 * u
+    for axis in range(3):
+        for shift in (-1, 1):
+            sl = [slice(1, -1)] * 3
+            sl[axis] = slice(1 + shift, u.shape[axis] + 1 + shift)
+            out = out - padded[tuple(sl)]
+    return out
+
+
+def jacobi_smooth(u: np.ndarray, f: np.ndarray, sweeps: int = 2,
+                  weight: float = 0.8) -> np.ndarray:
+    """Weighted-Jacobi smoothing for the 7-point operator."""
+    out = u
+    for _ in range(sweeps):
+        residual = f - apply_7pt(out)
+        out = out + weight * residual / 6.0
+    return out
+
+
+def restrict_full_weight(fine: np.ndarray) -> np.ndarray:
+    """Full-weighting restriction by factor-2 cell averaging."""
+    nx, ny, nz = (max(1, s // 2) for s in fine.shape)
+    trimmed = fine[:nx * 2, :ny * 2, :nz * 2]
+    return 0.125 * (
+        trimmed[0::2, 0::2, 0::2] + trimmed[1::2, 0::2, 0::2]
+        + trimmed[0::2, 1::2, 0::2] + trimmed[0::2, 0::2, 1::2]
+        + trimmed[1::2, 1::2, 0::2] + trimmed[1::2, 0::2, 1::2]
+        + trimmed[0::2, 1::2, 1::2] + trimmed[1::2, 1::2, 1::2])
+
+
+def prolong_inject(coarse: np.ndarray, fine_shape: tuple) -> np.ndarray:
+    """Piecewise-constant prolongation back to the fine grid."""
+    fine = np.repeat(np.repeat(np.repeat(coarse, 2, 0), 2, 1), 2, 2)
+    out = np.zeros(fine_shape, dtype=coarse.dtype)
+    sx = min(fine.shape[0], fine_shape[0])
+    sy = min(fine.shape[1], fine_shape[1])
+    sz = min(fine.shape[2], fine_shape[2])
+    out[:sx, :sy, :sz] = fine[:sx, :sy, :sz]
+    return out
+
+
+def residual_norm(u: np.ndarray, f: np.ndarray) -> float:
+    """L2 norm of the 7-point residual (AMG's convergence monitor)."""
+    return float(np.linalg.norm(f - apply_7pt(u)))

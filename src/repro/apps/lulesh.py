@@ -1,0 +1,140 @@
+"""LULESH: Sedov blast hydrodynamics on an unstructured hex mesh.
+
+Table I: per-domain edge ``-s 30/40/50`` (weak scaling); LULESH requires
+a cube number of domains, so the paper runs it only at 64 and 512
+processes. One main-loop iteration is a Lagrangian timestep: the global
+CFL reduction (``MPI_Allreduce(MIN)``, LULESH's signature collective),
+face halo exchange, and the stress/hourglass/EOS update sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import AppState, ProxyApp, halo_exchange_1d
+from .kernels.hydro import init_sedov, lagrange_step, stable_dt
+from ..errors import ConfigurationError
+from ..simmpi import ops
+
+
+@dataclass(frozen=True)
+class LuleshParams:
+    """``-s edge -p`` — per-domain element edge."""
+
+    edge: int
+
+    @property
+    def local_cells(self) -> int:
+        return self.edge ** 3
+
+
+LULESH_INPUTS = {
+    "small": LuleshParams(30),
+    "medium": LuleshParams(40),
+    "large": LuleshParams(50),
+}
+
+#: process counts LULESH accepts (cubes), per Table I
+LULESH_PROC_COUNTS = (64, 512)
+
+
+def is_cube(n: int) -> bool:
+    root = round(n ** (1.0 / 3.0))
+    return root ** 3 == n
+
+
+class Lulesh(ProxyApp):
+    """The LULESH proxy: Lagrangian shock hydrodynamics."""
+
+    name = "lulesh"
+    scaling = "weak"
+    CAP_EDGE = 10
+    FLOPS_PER_CELL = 4.67e6
+    BYTES_PER_CELL = 3.2e4
+    INPUT_EXPONENT = 1.1
+    CKPT_BYTES_PER_RANK_SMALL = int(80e9)
+
+    def __init__(self, nprocs: int, params: LuleshParams | None = None,
+                 niters: int = 40):
+        if not is_cube(nprocs):
+            raise ConfigurationError(
+                "LULESH needs a cube number of processes, got %d" % nprocs)
+        super().__init__(nprocs, niters)
+        self.params = params or LULESH_INPUTS["small"]
+
+    @classmethod
+    def from_input(cls, nprocs: int, input_size: str) -> "Lulesh":
+        if input_size not in LULESH_INPUTS:
+            raise ConfigurationError("unknown LULESH input %r" % input_size)
+        return cls(nprocs, LULESH_INPUTS[input_size])
+
+    # -- nominal work ----------------------------------------------------------
+    def nominal_local_cells(self) -> int:
+        return self.params.local_cells
+
+    def _input_ratio(self) -> float:
+        small = LULESH_INPUTS["small"].local_cells
+        return (self.params.local_cells / small) ** self.INPUT_EXPONENT
+
+    def work_per_iter(self) -> tuple:
+        cells = LULESH_INPUTS["small"].local_cells * self._input_ratio()
+        return cells * self.FLOPS_PER_CELL, cells * self.BYTES_PER_CELL
+
+    def nominal_ckpt_bytes(self) -> int:
+        return int(self.CKPT_BYTES_PER_RANK_SMALL * self._input_ratio())
+
+    def halo_nbytes(self) -> int:
+        # 6 face fields x edge^2 doubles
+        return 6 * self.params.edge * self.params.edge * 8
+
+    # -- state ---------------------------------------------------------------------
+    def make_state(self, mpi):
+        edge = self.capped(self.params.edge, self.CAP_EDGE)
+        # the blast deposits energy in domain 0's origin corner
+        fields = init_sedov(edge, deposit_energy=(mpi.rank == 0))
+        state = AppState(rank=mpi.rank, nprocs=self.nprocs)
+        for key, value in fields.items():
+            state.arrays["hy_" + key] = value
+        state.extras["energies"] = []
+        state.extras["dts"] = []
+        state.nominal_ckpt_bytes = self.nominal_ckpt_bytes()
+        yield from mpi.compute(bytes_moved=self.nominal_local_cells() * 64.0)
+        return state
+
+    def rebind(self, state: AppState) -> None:
+        """Arrays are protected in place; nothing to re-point."""
+
+    def _fields(self, state: AppState) -> dict:
+        return {key[3:]: arr for key, arr in state.arrays.items()
+                if key.startswith("hy_")}
+
+    # -- one Lagrangian step -----------------------------------------------------------
+    def iterate(self, mpi, state: AppState, i: int):
+        fields = self._fields(state)
+        local_dt = stable_dt(fields)
+        dt = yield from mpi.allreduce(local_dt, op=ops.MIN)
+        left, right = self.neighbors_1d(mpi.rank)
+        pressure_face = fields["energy"][0, :, :].copy()
+        yield from halo_exchange_1d(
+            mpi, left, right,
+            send_left=pressure_face,
+            send_right=fields["energy"][-1, :, :].copy(),
+            nominal_nbytes=self.halo_nbytes(), tag=40)
+        flops, bytes_moved = self.work_per_iter()
+        yield from mpi.compute(flops=flops, bytes_moved=bytes_moved)
+        local_e = lagrange_step(fields, dt)
+        total_e = yield from mpi.allreduce(local_e, op=ops.SUM)
+        state.extras["energies"].append(total_e)
+        state.extras["dts"].append(dt)
+        state.history.append(total_e)
+
+    def verify(self, state: AppState) -> bool:
+        """Energy finite/positive and every global dt positive."""
+        energies = state.extras["energies"]
+        dts = state.extras["dts"]
+        if len(energies) < 2:
+            return False
+        return (all(np.isfinite(e) and e > 0 for e in energies)
+                and all(d > 0 for d in dts))

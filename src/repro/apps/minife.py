@@ -1,0 +1,133 @@
+"""miniFE: implicit unstructured finite-element solver (strong scaling).
+
+Table I: global mesh ``-nx/-ny/-nz`` of 20/40/60 cubed. The app
+assembles the FE stiffness matrix (a real CSR matrix here) and runs CG
+on it. One main-loop iteration is one CG step: row-partitioned sparse
+matvec, boundary-row exchange with slab neighbours, and the usual two
+global dot products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import AppState, ProxyApp, halo_exchange_1d
+from .kernels.cg import CgWorkspace, cg_step
+from .kernels.sparse import assemble_poisson_27pt, rhs_for
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MinifeParams:
+    """``-nx nx -ny ny -nz nz`` — global FE mesh dimensions."""
+
+    nx: int
+    ny: int
+    nz: int
+
+    @property
+    def global_rows(self) -> int:
+        return self.nx * self.ny * self.nz
+
+
+MINIFE_INPUTS = {
+    "small": MinifeParams(20, 20, 20),
+    "medium": MinifeParams(40, 40, 40),
+    "large": MinifeParams(60, 60, 60),
+}
+
+
+class Minife(ProxyApp):
+    """The miniFE proxy: FE assembly + CG solve."""
+
+    name = "minife"
+    scaling = "strong"
+    CAP_ROWS = 1000
+    FLOPS_PER_ROW = 5.1e6
+    BYTES_PER_ROW = 5.0e4
+    INPUT_EXPONENT = 0.3
+    CKPT_BYTES_PER_RANK_SMALL = int(1.2e9)
+
+    def __init__(self, nprocs: int, params: MinifeParams | None = None,
+                 niters: int = 60):
+        super().__init__(nprocs, niters)
+        self.params = params or MINIFE_INPUTS["small"]
+
+    @classmethod
+    def from_input(cls, nprocs: int, input_size: str) -> "Minife":
+        if input_size not in MINIFE_INPUTS:
+            raise ConfigurationError("unknown miniFE input %r" % input_size)
+        return cls(nprocs, MINIFE_INPUTS[input_size])
+
+    # -- nominal work --------------------------------------------------------
+    def nominal_local_rows(self) -> float:
+        return self.params.global_rows / self.nprocs
+
+    def _input_ratio(self) -> float:
+        small = MINIFE_INPUTS["small"].global_rows
+        return (self.params.global_rows / small) ** self.INPUT_EXPONENT
+
+    def work_per_iter(self) -> tuple:
+        rows = (MINIFE_INPUTS["small"].global_rows / self.nprocs
+                * self._input_ratio())
+        return rows * self.FLOPS_PER_ROW, rows * self.BYTES_PER_ROW
+
+    def nominal_ckpt_bytes(self) -> int:
+        per_rank = self.CKPT_BYTES_PER_RANK_SMALL * 64.0 / self.nprocs
+        return int(per_rank * self._input_ratio())
+
+    def halo_nbytes(self) -> int:
+        # one plane of boundary rows
+        return self.params.ny * self.params.nz * 8
+
+    # -- state ------------------------------------------------------------------
+    def make_state(self, mpi):
+        rows = self.capped(max(8, int(self.nominal_local_rows())),
+                           self.CAP_ROWS)
+        edge = max(2, self.cube_root(rows))
+        matrix = assemble_poisson_27pt(edge, edge, edge)
+        b = rhs_for(edge, edge, edge)
+        ws = CgWorkspace(b, lambda v: matrix.dot(v))
+        state = AppState(rank=mpi.rank, nprocs=self.nprocs)
+        state.arrays.update(ws.arrays())
+        state.extras["ws"] = ws
+        state.extras["matrix"] = matrix
+        state.extras["residuals"] = []
+        state.nominal_ckpt_bytes = self.nominal_ckpt_bytes()
+        # assembly cost: ~27 nonzeros per row, several passes
+        yield from mpi.compute(
+            bytes_moved=self.nominal_local_rows() * 27 * 16.0)
+        return state
+
+    def rebind(self, state: AppState) -> None:
+        ws = state.extras["ws"]
+        ws.x = state.arrays["cg_x"]
+        ws.r = state.arrays["cg_r"]
+        ws.p = state.arrays["cg_p"]
+        ws.rho = float(np.dot(ws.r, ws.r))
+
+    # -- one CG iteration ------------------------------------------------------------
+    def iterate(self, mpi, state: AppState, i: int):
+        ws = state.extras["ws"]
+        left, right = self.neighbors_1d(mpi.rank)
+        boundary = ws.p[: max(1, ws.p.size // 10)].copy()
+        yield from halo_exchange_1d(
+            mpi, left, right, send_left=boundary, send_right=boundary,
+            nominal_nbytes=self.halo_nbytes(), tag=50)
+        flops, bytes_moved = self.work_per_iter()
+        yield from mpi.compute(flops=flops, bytes_moved=bytes_moved)
+        rho = yield from cg_step(mpi, ws)
+        state.extras["residuals"].append(rho)
+        state.history.append(rho)
+
+    def verify(self, state: AppState) -> bool:
+        residuals = state.extras["residuals"]
+        if len(residuals) < 2:
+            return False
+        if not np.isfinite(residuals[-1]):
+            return False
+        # tiny capped systems may converge *exactly* (residual == 0)
+        # within the very first iteration
+        return residuals[-1] < residuals[0] or residuals[-1] == 0.0

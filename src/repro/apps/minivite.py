@@ -1,0 +1,126 @@
+"""miniVite: distributed Louvain community detection (strong scaling).
+
+Table I: ``-p 3 -l -n`` 128000/256000/512000 vertices. Each rank owns a
+slice of a planted-partition graph; one main-loop iteration is a Louvain
+local-move sweep over the owned vertices, an alltoall exchanging
+community updates for ghost vertices, and the global modularity
+reduction that decides convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import AppState, ProxyApp, deterministic_rng
+from .kernels.graph import louvain_sweep, modularity, planted_partition
+from ..errors import ConfigurationError
+from ..simmpi import ops
+
+
+@dataclass(frozen=True)
+class MiniviteParams:
+    """``-p 3 -l -n nvertices`` — a generated graph of ``nvertices``."""
+
+    nvertices: int
+    percent: int = 3
+
+
+MINIVITE_INPUTS = {
+    "small": MiniviteParams(128000),
+    "medium": MiniviteParams(256000),
+    "large": MiniviteParams(512000),
+}
+
+
+class Minivite(ProxyApp):
+    """The miniVite proxy: first-phase Louvain."""
+
+    name = "minivite"
+    scaling = "strong"
+    CAP_VERTICES = 160
+    FLOPS_PER_VERTEX = 56000.0
+    BYTES_PER_VERTEX = 2000.0
+    INPUT_EXPONENT = 0.8
+    CKPT_BYTES_PER_RANK_SMALL = int(300e6)
+
+    def __init__(self, nprocs: int, params: MiniviteParams | None = None,
+                 niters: int = 20):
+        super().__init__(nprocs, niters)
+        self.params = params or MINIVITE_INPUTS["small"]
+
+    @classmethod
+    def from_input(cls, nprocs: int, input_size: str) -> "Minivite":
+        if input_size not in MINIVITE_INPUTS:
+            raise ConfigurationError("unknown miniVite input %r" % input_size)
+        return cls(nprocs, MINIVITE_INPUTS[input_size])
+
+    # -- nominal work --------------------------------------------------------
+    def nominal_local_vertices(self) -> float:
+        return self.params.nvertices / self.nprocs
+
+    def _input_ratio(self) -> float:
+        small = MINIVITE_INPUTS["small"].nvertices
+        return (self.params.nvertices / small) ** self.INPUT_EXPONENT
+
+    def work_per_iter(self) -> tuple:
+        vertices = (MINIVITE_INPUTS["small"].nvertices / self.nprocs
+                    * self._input_ratio())
+        return (vertices * self.FLOPS_PER_VERTEX,
+                vertices * self.BYTES_PER_VERTEX)
+
+    def nominal_ckpt_bytes(self) -> int:
+        per_rank = self.CKPT_BYTES_PER_RANK_SMALL * 64.0 / self.nprocs
+        return int(per_rank * self._input_ratio())
+
+    def ghost_block_nbytes(self) -> int:
+        # per-peer community updates for ghost vertices
+        per_peer = self.nominal_local_vertices() * 0.05
+        return int(max(64, per_peer * 12))
+
+    # -- state ---------------------------------------------------------------------
+    def make_state(self, mpi):
+        nverts = self.capped(max(16, int(self.nominal_local_vertices())),
+                             self.CAP_VERTICES)
+        rng = deterministic_rng(self.name, mpi.rank)
+        graph = planted_partition(nverts, ncommunities=max(2, nverts // 20),
+                                  rng=rng)
+        communities = np.arange(nverts, dtype=np.int64)  # singleton start
+        state = AppState(rank=mpi.rank, nprocs=self.nprocs)
+        state.arrays["lv_comm"] = communities
+        state.extras["graph"] = graph["adjacency"]
+        state.extras["modularity"] = []
+        state.nominal_ckpt_bytes = self.nominal_ckpt_bytes()
+        yield from mpi.compute(
+            bytes_moved=self.nominal_local_vertices() * 100.0)
+        return state
+
+    def rebind(self, state: AppState) -> None:
+        """Communities live in a protected array; nothing to re-point."""
+
+    # -- one Louvain sweep -------------------------------------------------------------
+    def iterate(self, mpi, state: AppState, i: int):
+        adjacency = state.extras["graph"]
+        communities = state.arrays["lv_comm"]
+        flops, bytes_moved = self.work_per_iter()
+        yield from mpi.compute(flops=flops, bytes_moved=bytes_moved)
+        moves = louvain_sweep(adjacency, communities)
+        # ghost community updates to every peer (miniVite's alltoallv)
+        block = int(moves)
+        blocks = [block] * mpi.size
+        total_moves_list = yield from mpi.alltoall(
+            blocks, nbytes=self.ghost_block_nbytes())
+        local_q = modularity(adjacency, communities)
+        global_q = yield from mpi.allreduce(local_q, op=ops.SUM)
+        mean_q = global_q / mpi.size
+        state.extras["modularity"].append(mean_q)
+        state.history.append(mean_q)
+        state.extras["last_moves"] = sum(total_moves_list)
+
+    def verify(self, state: AppState) -> bool:
+        """Louvain's invariant: modularity never decreases over sweeps."""
+        series = state.extras["modularity"]
+        if len(series) < 2:
+            return False
+        return all(b >= a - 1e-9 for a, b in zip(series, series[1:]))

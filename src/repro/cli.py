@@ -1,0 +1,168 @@
+"""Command-line entry point: run MATCH experiments from a shell.
+
+Examples::
+
+    match-bench table1
+    match-bench run --app hpccg --design reinit-fti --nprocs 64 --fault
+    match-bench figure --id 7 --app hpccg
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.configs import (
+    DESIGN_NAMES,
+    INPUT_SIZES,
+    ExperimentConfig,
+    valid_proc_counts,
+)
+from .core.harness import run_experiment_averaged
+from .core.report import (
+    format_breakdown_series,
+    format_recovery_series,
+    format_table1,
+)
+
+
+def _cmd_table1(_args) -> int:
+    print(format_table1())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = ExperimentConfig(
+        app=args.app, design=args.design, nprocs=args.nprocs,
+        input_size=args.input, inject_fault=args.fault, seed=args.seed)
+    result = run_experiment_averaged(config, repetitions=args.reps)
+    print(config.label())
+    print("  " + str(result.breakdown))
+    print("  verified: %s over %d repetition(s)"
+          % (result.verified, result.repetitions))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    fig = args.id
+    app = args.app
+    if fig in (5, 6, 7):
+        xs = valid_proc_counts(app)
+        rows = []
+        for nprocs in xs:
+            for design in DESIGN_NAMES:
+                config = ExperimentConfig(
+                    app=app, design=design, nprocs=nprocs,
+                    inject_fault=fig in (6, 7))
+                res = run_experiment_averaged(config, repetitions=args.reps)
+                rows.append((nprocs, design,
+                             res.breakdown.recovery_seconds if fig == 7
+                             else res.breakdown))
+        if fig == 7:
+            print(format_recovery_series("Figure 7 (%s)" % app, rows))
+        else:
+            print(format_breakdown_series("Figure %d (%s)" % (fig, app),
+                                          rows))
+    elif fig in (8, 9, 10):
+        rows = []
+        for input_size in INPUT_SIZES:
+            for design in DESIGN_NAMES:
+                config = ExperimentConfig(
+                    app=app, design=design, nprocs=64,
+                    input_size=input_size, inject_fault=fig in (9, 10))
+                res = run_experiment_averaged(config, repetitions=args.reps)
+                rows.append((input_size, design,
+                             res.breakdown.recovery_seconds if fig == 10
+                             else res.breakdown))
+        if fig == 10:
+            print(format_recovery_series("Figure 10 (%s)" % app, rows,
+                                         x_label="Input"))
+        else:
+            print(format_breakdown_series("Figure %d (%s)" % (fig, app),
+                                          rows, x_label="Input"))
+    else:
+        print("unknown figure id %d (have 5-10)" % fig, file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .core.campaign import run_campaign
+
+    config = ExperimentConfig(
+        app=args.app, design=args.design, nprocs=args.nprocs,
+        input_size=args.input, inject_fault=True, seed=args.seed)
+    campaign = run_campaign(config, runs=args.runs)
+    print(campaign.report())
+    return 0
+
+
+def _cmd_chart(args) -> int:
+    from .core.charts import figure_chart
+
+    cells = []
+    for nprocs in valid_proc_counts(args.app):
+        for design in DESIGN_NAMES:
+            config = ExperimentConfig(app=args.app, design=design,
+                                      nprocs=nprocs,
+                                      inject_fault=args.fault)
+            res = run_experiment_averaged(config, repetitions=args.reps)
+            cells.append((nprocs, design, res.breakdown))
+    print(figure_chart("%s: breakdown by scaling size%s"
+                       % (args.app, " (with failure)" if args.fault else ""),
+                       cells))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="match-bench",
+        description="MATCH MPI fault-tolerance benchmark suite "
+                    "(IISWC 2020 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table I").set_defaults(
+        func=_cmd_table1)
+
+    run_p = sub.add_parser("run", help="run one configuration")
+    run_p.add_argument("--app", required=True)
+    run_p.add_argument("--design", required=True, choices=DESIGN_NAMES)
+    run_p.add_argument("--nprocs", type=int, default=64)
+    run_p.add_argument("--input", default="small", choices=INPUT_SIZES)
+    run_p.add_argument("--fault", action="store_true")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--reps", type=int, default=None)
+    run_p.set_defaults(func=_cmd_run)
+
+    fig_p = sub.add_parser("figure", help="regenerate one figure's series")
+    fig_p.add_argument("--id", type=int, required=True)
+    fig_p.add_argument("--app", default="hpccg")
+    fig_p.add_argument("--reps", type=int, default=None)
+    fig_p.set_defaults(func=_cmd_figure)
+
+    camp_p = sub.add_parser("campaign",
+                            help="fault-injection campaign statistics")
+    camp_p.add_argument("--app", required=True)
+    camp_p.add_argument("--design", required=True, choices=DESIGN_NAMES)
+    camp_p.add_argument("--nprocs", type=int, default=64)
+    camp_p.add_argument("--input", default="small", choices=INPUT_SIZES)
+    camp_p.add_argument("--runs", type=int, default=10)
+    camp_p.add_argument("--seed", type=int, default=0)
+    camp_p.set_defaults(func=_cmd_campaign)
+
+    chart_p = sub.add_parser("chart",
+                             help="ASCII stacked-bar chart of a figure")
+    chart_p.add_argument("--app", default="hpccg")
+    chart_p.add_argument("--fault", action="store_true")
+    chart_p.add_argument("--reps", type=int, default=None)
+    chart_p.set_defaults(func=_cmd_chart)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Simulated HPC cluster substrate: nodes, network, storage, launcher."""
+
+from .launcher import JobLauncher, LauncherSpec
+from .machine import Cluster
+from .network import Network, NetworkSpec
+from .node import Node, NodeSpec
+from .simclock import SimClock
+from .storage import ByteStore, NodeStorage, ParallelFileSystem
+
+__all__ = [
+    "ByteStore",
+    "Cluster",
+    "JobLauncher",
+    "LauncherSpec",
+    "Network",
+    "NetworkSpec",
+    "Node",
+    "NodeSpec",
+    "NodeStorage",
+    "ParallelFileSystem",
+    "SimClock",
+]

@@ -1,0 +1,100 @@
+"""The whole simulated machine: nodes + network + storage + launcher.
+
+A :class:`Cluster` is the substrate a job runs on. It owns rank placement
+(block mapping of ranks onto nodes, as mpirun does by default), per-node
+storage tiers, the shared PFS and the interconnect model.
+"""
+
+from __future__ import annotations
+
+from .launcher import JobLauncher, LauncherSpec
+from .network import Network, NetworkSpec
+from .node import Node, NodeSpec
+from .storage import NodeStorage, ParallelFileSystem
+from ..errors import ConfigurationError
+
+
+class Cluster:
+    """A fixed pool of nodes plus interconnect and storage.
+
+    The paper's testbed is 32 nodes for every scaling size (64-512 procs),
+    so oversubscription of cores never happens (512/32 = 16 <= 28 cores).
+    """
+
+    def __init__(self, nnodes: int = 32, node_spec: NodeSpec | None = None,
+                 network_spec: NetworkSpec | None = None,
+                 launcher_spec: LauncherSpec | None = None):
+        if nnodes <= 0:
+            raise ConfigurationError("cluster needs at least one node")
+        self.node_spec = node_spec or NodeSpec()
+        self.nodes = [Node(i, self.node_spec) for i in range(nnodes)]
+        self.network = Network(network_spec)
+        self.launcher = JobLauncher(launcher_spec)
+        self.pfs = ParallelFileSystem()
+        self.node_storage = [
+            NodeStorage.for_node(i, self.node_spec.ramfs_bandwidth,
+                                 self.node_spec.ssd_bandwidth)
+            for i in range(nnodes)
+        ]
+        self._rank_to_node: dict[int, int] = {}
+
+    @property
+    def nnodes(self) -> int:
+        return len(self.nodes)
+
+    # -- placement ---------------------------------------------------------
+    def place_job(self, nprocs: int) -> dict:
+        """Block-map ``nprocs`` ranks onto the nodes; returns rank->node."""
+        if nprocs <= 0:
+            raise ConfigurationError("job needs at least one process")
+        per_node = -(-nprocs // self.nnodes)  # ceil division
+        if per_node > self.node_spec.cores:
+            raise ConfigurationError(
+                "placement oversubscribes cores: %d ranks/node on %d cores"
+                % (per_node, self.node_spec.cores)
+            )
+        for node in self.nodes:
+            node.ranks.clear()
+        self._rank_to_node.clear()
+        for rank in range(nprocs):
+            node_id = rank // per_node
+            self.nodes[node_id].place(rank)
+            self._rank_to_node[rank] = node_id
+        return dict(self._rank_to_node)
+
+    def node_of(self, rank: int) -> int:
+        return self._rank_to_node[rank]
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        return self._rank_to_node[rank_a] == self._rank_to_node[rank_b]
+
+    def ranks_on_node(self, node_id: int) -> list:
+        return list(self.nodes[node_id].ranks)
+
+    def partner_node(self, node_id: int) -> int:
+        """Buddy node used by FTI L2 partner copies (ring neighbour)."""
+        return (node_id + 1) % self.nnodes
+
+    # -- storage access ----------------------------------------------------
+    def ramfs_of(self, rank: int):
+        return self.node_storage[self.node_of(rank)].ramfs
+
+    def ssd_of(self, rank: int):
+        return self.node_storage[self.node_of(rank)].ssd
+
+    def ramfs_of_node(self, node_id: int):
+        return self.node_storage[node_id].ramfs
+
+    # -- failures ----------------------------------------------------------
+    def fail_node(self, node_id: int) -> list:
+        """Fail-stop a node: volatile storage is lost, its ranks die.
+
+        Returns the list of ranks that were running there.
+        """
+        node = self.nodes[node_id]
+        node.fail()
+        self.node_storage[node_id].wipe()
+        return list(node.ranks)
+
+    def alive_nodes(self) -> list:
+        return [n.node_id for n in self.nodes if n.alive]

@@ -1,0 +1,82 @@
+"""Compute-node model.
+
+Mirrors the paper's testbed (§V-A): each node has two Intel Haswell CPUs,
+28 cores, 128 GB of shared memory and 8 TB of local storage. The defaults
+below encode that machine; all parameters are overridable so other clusters
+can be modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static hardware description of one compute node."""
+
+    cores: int = 28
+    #: sustained per-core floating point rate, flop/s (Haswell-ish, with
+    #: realistic efficiency for memory-bound proxy apps rather than peak)
+    flops_per_core: float = 8.0e9
+    #: per-node memory capacity in bytes (128 GB)
+    memory_bytes: int = 128 * 1024**3
+    #: sustained memory bandwidth per node, bytes/s (~60 GB/s per socket)
+    memory_bandwidth: float = 1.1e11
+    #: local storage capacity in bytes (8 TB)
+    local_storage_bytes: int = 8 * 1024**4
+    #: RAMFS (/dev/shm) write bandwidth, bytes/s — FTI L1 target
+    ramfs_bandwidth: float = 4.0e9
+    #: local SSD write bandwidth, bytes/s
+    ssd_bandwidth: float = 1.0e9
+
+    def __post_init__(self):
+        if self.cores <= 0:
+            raise ConfigurationError("a node needs at least one core")
+        if self.flops_per_core <= 0 or self.memory_bandwidth <= 0:
+            raise ConfigurationError("node rates must be positive")
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate flop rate of the whole node."""
+        return self.cores * self.flops_per_core
+
+
+@dataclass
+class Node:
+    """A live node instance: spec plus mutable occupancy/health state."""
+
+    node_id: int
+    spec: NodeSpec = field(default_factory=NodeSpec)
+    alive: bool = True
+    #: ranks currently placed on this node
+    ranks: list = field(default_factory=list)
+
+    def place(self, rank: int) -> None:
+        if len(self.ranks) >= self.spec.cores:
+            raise ConfigurationError(
+                "node %d oversubscribed: %d ranks on %d cores"
+                % (self.node_id, len(self.ranks) + 1, self.spec.cores)
+            )
+        self.ranks.append(rank)
+
+    def evict(self, rank: int) -> None:
+        self.ranks.remove(rank)
+
+    def fail(self) -> None:
+        """Fail-stop the whole node (kills every rank placed here)."""
+        self.alive = False
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.ranks)
+
+    def flops_share(self) -> float:
+        """Flop rate available to one rank given current occupancy.
+
+        Each rank gets one core; memory bandwidth contention is handled by
+        the work model, not here.
+        """
+        return self.spec.flops_per_core

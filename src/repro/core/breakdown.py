@@ -1,0 +1,72 @@
+"""Execution-time breakdown, matching the paper's stacked bars.
+
+Figures 5/6/8/9 split total execution into *Application*, *Write
+Checkpoints* and (with failures) *Recovery*; checkpoint *reads* are
+measured but excluded from the bars because they are tiny (§V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimeBreakdown:
+    """Virtual-second totals for one experiment run."""
+
+    total_seconds: float = 0.0
+    ckpt_write_seconds: float = 0.0
+    recovery_seconds: float = 0.0
+    ckpt_read_seconds: float = 0.0
+
+    @property
+    def application_seconds(self) -> float:
+        """Everything that is not checkpointing or MPI recovery."""
+        return max(0.0, self.total_seconds - self.ckpt_write_seconds
+                   - self.recovery_seconds - self.ckpt_read_seconds)
+
+    def as_dict(self) -> dict:
+        return {
+            "application": self.application_seconds,
+            "write_checkpoints": self.ckpt_write_seconds,
+            "recovery": self.recovery_seconds,
+            "read_checkpoints": self.ckpt_read_seconds,
+            "total": self.total_seconds,
+        }
+
+    def __str__(self):
+        return ("total=%.2fs app=%.2fs ckpt=%.2fs recovery=%.2fs "
+                "(read=%.3fs)" % (self.total_seconds,
+                                  self.application_seconds,
+                                  self.ckpt_write_seconds,
+                                  self.recovery_seconds,
+                                  self.ckpt_read_seconds))
+
+
+@dataclass
+class RunResult:
+    """Outcome of one experiment run (one repetition)."""
+
+    config_label: str
+    breakdown: TimeBreakdown
+    verified: bool
+    ckpt_count: int = 0
+    recovery_episodes: int = 0
+    relaunches: int = 0
+    fault_events: tuple = ()
+    details: dict = field(default_factory=dict)
+
+
+def average_breakdowns(breakdowns) -> TimeBreakdown:
+    """Mean of several repetitions (the paper averages five runs)."""
+    breakdowns = list(breakdowns)
+    n = len(breakdowns)
+    if n == 0:
+        raise ValueError("cannot average zero runs")
+    return TimeBreakdown(
+        total_seconds=sum(b.total_seconds for b in breakdowns) / n,
+        ckpt_write_seconds=sum(b.ckpt_write_seconds
+                               for b in breakdowns) / n,
+        recovery_seconds=sum(b.recovery_seconds for b in breakdowns) / n,
+        ckpt_read_seconds=sum(b.ckpt_read_seconds for b in breakdowns) / n,
+    )

@@ -1,0 +1,105 @@
+"""Fault-injection campaigns: distributions, not just averages.
+
+The paper reports five-run averages; a campaign runs many seeded
+repetitions of one configuration and summarises the distribution of
+recovery time and total time — useful for studying how sensitive a
+design is to *where* the failure lands (early vs late in the checkpoint
+stride, victim rank placement).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .configs import ExperimentConfig
+from .harness import build_cluster, make_fault_plan
+from .designs import DESIGNS
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-ish summary of one metric across a campaign."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def of(cls, values) -> "DistributionSummary":
+        values = list(values)
+        if not values:
+            raise ConfigurationError("cannot summarise zero samples")
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        return cls(mean=mean, std=math.sqrt(var), minimum=min(values),
+                   maximum=max(values), count=len(values))
+
+    def __str__(self):
+        return ("mean %.2f +- %.2f (min %.2f, max %.2f, n=%d)"
+                % (self.mean, self.std, self.minimum, self.maximum,
+                   self.count))
+
+
+@dataclass
+class CampaignResult:
+    """All runs of one campaign plus derived summaries."""
+
+    config_label: str
+    runs: list = field(default_factory=list)
+
+    def _metric(self, getter) -> DistributionSummary:
+        return DistributionSummary.of(getter(r) for r in self.runs)
+
+    @property
+    def recovery(self) -> DistributionSummary:
+        return self._metric(lambda r: r.breakdown.recovery_seconds)
+
+    @property
+    def total(self) -> DistributionSummary:
+        return self._metric(lambda r: r.breakdown.total_seconds)
+
+    @property
+    def rework(self) -> DistributionSummary:
+        """Application-time variation: dominated by re-executed work."""
+        return self._metric(lambda r: r.breakdown.application_seconds)
+
+    @property
+    def all_verified(self) -> bool:
+        return all(r.verified for r in self.runs)
+
+    def victims(self) -> list:
+        """(rank, iteration) of every injected failure, in run order."""
+        return [(e.rank, e.iteration)
+                for r in self.runs for e in r.fault_events]
+
+    def report(self) -> str:
+        lines = ["Campaign: %s (%d runs)" % (self.config_label,
+                                             len(self.runs)),
+                 "  recovery: %s" % self.recovery,
+                 "  total:    %s" % self.total,
+                 "  app+rework: %s" % self.rework,
+                 "  verified: %s" % self.all_verified]
+        return "\n".join(lines)
+
+
+def run_campaign(config: ExperimentConfig, runs: int = 20) -> CampaignResult:
+    """Run ``runs`` seeded repetitions of a fault-injected configuration."""
+    if not config.inject_fault:
+        raise ConfigurationError(
+            "campaigns need inject_fault=True (clean runs are "
+            "deterministic; one run suffices)")
+    if runs < 2:
+        raise ConfigurationError("a campaign needs at least two runs")
+    result = CampaignResult(config_label=config.label())
+    for rep in range(runs):
+        cluster = build_cluster(config)
+        design = DESIGNS[config.design](cluster)
+        app = config.make_app()
+        plan = make_fault_plan(config, app, rep)
+        result.runs.append(design.run_job(app, config.fti, plan,
+                                          label=config.label()))
+    return result

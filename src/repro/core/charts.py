@@ -1,0 +1,89 @@
+"""ASCII stacked-bar charts: render the paper's figures in a terminal.
+
+The paper's Figures 5/6/8/9 are stacked bars (Application / Write
+Checkpoints / Recovery) grouped by scaling size or input size; Figures
+7/10 are plain bars. These renderers draw the same charts with unicode
+block characters so the benchmark output is visually comparable to the
+paper without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from .breakdown import TimeBreakdown
+
+#: glyphs per stacked segment, in draw order
+SEGMENT_GLYPHS = (
+    ("application", "#"),
+    ("write_checkpoints", "="),
+    ("recovery", "%"),
+)
+
+LEGEND = "legend: '#' application   '=' write checkpoints   '%' recovery"
+
+
+def _bar(parts: list, width: int, scale: float) -> str:
+    """Render one stacked bar of (glyph, seconds) parts."""
+    chunks = []
+    for glyph, seconds in parts:
+        cells = int(round(seconds * scale))
+        chunks.append(glyph * cells)
+    bar = "".join(chunks)
+    return bar[:width]
+
+
+def stacked_bar_chart(title: str, rows: list, width: int = 60) -> str:
+    """Rows: (label, TimeBreakdown). One stacked bar per row."""
+    if not rows:
+        return title + "\n(no data)"
+    peak = max(b.total_seconds for _, b in rows)
+    scale = (width / peak) if peak > 0 else 0.0
+    label_width = max(len(str(label)) for label, _ in rows)
+    lines = [title, "-" * len(title)]
+    for label, breakdown in rows:
+        d = breakdown.as_dict()
+        parts = [(glyph, d[key]) for key, glyph in SEGMENT_GLYPHS]
+        lines.append("%-*s |%s %.1fs"
+                     % (label_width, label, _bar(parts, width, scale),
+                        breakdown.total_seconds))
+    lines.append(LEGEND)
+    return "\n".join(lines)
+
+
+def bar_chart(title: str, rows: list, width: int = 60,
+              unit: str = "s") -> str:
+    """Rows: (label, value). Plain horizontal bars (Figures 7/10)."""
+    if not rows:
+        return title + "\n(no data)"
+    peak = max(value for _, value in rows)
+    scale = (width / peak) if peak > 0 else 0.0
+    label_width = max(len(str(label)) for label, _ in rows)
+    lines = [title, "-" * len(title)]
+    for label, value in rows:
+        cells = int(round(value * scale))
+        lines.append("%-*s |%s %.2f%s"
+                     % (label_width, label, "#" * cells, value, unit))
+    return "\n".join(lines)
+
+
+def figure_chart(title: str, cells: list, width: int = 48) -> str:
+    """Render a full figure: cells are (group, design, TimeBreakdown),
+    grouped the way the paper groups bars under each x-axis value."""
+    lines = [title, "=" * len(title)]
+    groups: dict = {}
+    for group, design, breakdown in cells:
+        groups.setdefault(group, []).append((design.upper(), breakdown))
+    peak = max(b.total_seconds for _, _, b in cells) or 1.0
+    scale = width / peak
+    for group, bars in groups.items():
+        lines.append("")
+        lines.append("%s:" % (group,))
+        label_width = max(len(name) for name, _ in bars)
+        for name, breakdown in bars:
+            d = breakdown.as_dict()
+            parts = [(glyph, d[key]) for key, glyph in SEGMENT_GLYPHS]
+            lines.append("  %-*s |%s %.1fs"
+                         % (label_width, name, _bar(parts, width, scale),
+                            breakdown.total_seconds))
+    lines.append("")
+    lines.append(LEGEND)
+    return "\n".join(lines)

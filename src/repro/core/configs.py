@@ -1,0 +1,135 @@
+"""Experiment configurations — the paper's Table I, §V-B defaults.
+
+Default scaling size: 64 processes. Default input problem: small.
+Checkpoints every ten iterations, FTI L1 to RAMFS, five repetitions
+averaged. LULESH only runs on cube process counts (64, 512).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..apps import APP_REGISTRY, LULESH_PROC_COUNTS
+from ..errors import ConfigurationError
+from ..fti.config import FtiConfig
+
+#: the evaluated designs (§V-B)
+DESIGN_NAMES = ("restart-fti", "reinit-fti", "ulfm-fti")
+
+#: the evaluated scaling sizes, all on 32 nodes (§V-B)
+SCALING_SIZES = (64, 128, 256, 512)
+
+#: the evaluated input problem sizes
+INPUT_SIZES = ("small", "medium", "large")
+
+#: nodes in every experiment (§V-B: "on 32 nodes")
+NNODES = 32
+
+#: repetitions per configuration (§V-B: "five times ... average")
+DEFAULT_REPETITIONS = 5
+
+
+@dataclass(frozen=True)
+class AppConfigRow:
+    """One row of Table I."""
+
+    app: str
+    small: str
+    medium: str
+    large: str
+    nprocs: tuple
+
+    def cmdline(self, input_size: str) -> str:
+        return {"small": self.small, "medium": self.medium,
+                "large": self.large}[input_size]
+
+
+#: Table I verbatim
+TABLE1 = (
+    AppConfigRow("amg", "-problem 2 -n 20 20 20", "-problem 2 -n 40 40 40",
+                 "-problem 2 -n 60 60 60", (64, 128, 256, 512)),
+    AppConfigRow("comd", "-nx 128 -ny 128 -nz 128", "-nx 256 -ny 256 -nz 256",
+                 "-nx 512 -ny 512 -nz 512", (64, 128, 256, 512)),
+    AppConfigRow("hpccg", "64 64 64", "128 128 128", "192 192 192",
+                 (64, 128, 256, 512)),
+    AppConfigRow("lulesh", "-s 30 -p", "-s 40 -p", "-s 50 -p", (64, 512)),
+    AppConfigRow("minife", "-nx 20 -ny 20 -nz 20", "-nx 40 -ny 40 -nz 40",
+                 "-nx 60 -ny 60 -nz 60", (64, 128, 256, 512)),
+    AppConfigRow("minivite", "-p 3 -l -n 128000", "-p 3 -l -n 256000",
+                 "-p 3 -l -n 512000", (64, 128, 256, 512)),
+)
+
+TABLE1_BY_APP = {row.app: row for row in TABLE1}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One cell of the paper's evaluation matrix."""
+
+    app: str
+    design: str
+    nprocs: int = 64
+    input_size: str = "small"
+    inject_fault: bool = False
+    seed: int = 0
+    fti: FtiConfig = field(default_factory=FtiConfig)
+    nnodes: int = NNODES
+
+    def __post_init__(self):
+        if self.app not in APP_REGISTRY:
+            raise ConfigurationError(
+                "unknown app %r (have %s)" % (self.app,
+                                              sorted(APP_REGISTRY)))
+        if self.design not in DESIGN_NAMES:
+            raise ConfigurationError(
+                "unknown design %r (have %s)" % (self.design, DESIGN_NAMES))
+        if self.input_size not in INPUT_SIZES:
+            raise ConfigurationError("unknown input size %r"
+                                     % (self.input_size,))
+        if self.nprocs < 2:
+            raise ConfigurationError("need at least two processes")
+        if self.app == "lulesh" and self.nprocs not in LULESH_PROC_COUNTS:
+            raise ConfigurationError(
+                "LULESH runs only on cube process counts %s"
+                % (LULESH_PROC_COUNTS,))
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        return replace(self, seed=seed)
+
+    def make_app(self):
+        return APP_REGISTRY[self.app].from_input(self.nprocs,
+                                                 self.input_size)
+
+    def label(self) -> str:
+        return "%s/%s/p%d/%s%s" % (
+            self.app, self.design.upper(), self.nprocs, self.input_size,
+            "/fault" if self.inject_fault else "")
+
+
+def valid_proc_counts(app: str) -> tuple:
+    """The scaling sizes Table I runs this app at."""
+    return TABLE1_BY_APP[app].nprocs
+
+
+def scaling_matrix(designs=DESIGN_NAMES, inject_fault: bool = False):
+    """Every (app, design, nprocs) cell of Figures 5-7 (small input)."""
+    cells = []
+    for row in TABLE1:
+        for nprocs in row.nprocs:
+            for design in designs:
+                cells.append(ExperimentConfig(
+                    app=row.app, design=design, nprocs=nprocs,
+                    input_size="small", inject_fault=inject_fault))
+    return cells
+
+
+def input_matrix(designs=DESIGN_NAMES, inject_fault: bool = False):
+    """Every (app, design, input) cell of Figures 8-10 (64 processes)."""
+    cells = []
+    for row in TABLE1:
+        for input_size in INPUT_SIZES:
+            for design in designs:
+                cells.append(ExperimentConfig(
+                    app=row.app, design=design, nprocs=64,
+                    input_size=input_size, inject_fault=inject_fault))
+    return cells

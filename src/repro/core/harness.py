@@ -1,0 +1,84 @@
+"""The experiment harness: run configurations, average repetitions.
+
+The paper runs each configuration five times with a fresh random fault
+location per run and reports the average (§V-B). Repetitions without
+fault injection are deterministic in this simulator, so a single run is
+exact; with faults, each repetition draws its (rank, iteration) from a
+distinct seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .breakdown import RunResult, TimeBreakdown, average_breakdowns
+from .configs import DEFAULT_REPETITIONS, ExperimentConfig
+from .designs import DESIGNS
+from ..cluster.machine import Cluster
+from ..faults.plans import FaultPlan
+
+
+def build_cluster(config: ExperimentConfig) -> Cluster:
+    """A fresh 32-node cluster (the paper's fixed node pool)."""
+    return Cluster(nnodes=config.nnodes)
+
+
+def make_fault_plan(config: ExperimentConfig, app, rep: int) -> FaultPlan:
+    """The paper's injection: one SIGTERM at a random (rank, iteration)."""
+    if not config.inject_fault:
+        return FaultPlan.none()
+    return FaultPlan.single_random(
+        nprocs=config.nprocs, niters=app.niters,
+        seed=(config.seed * 1000003 + rep * 101 + 17))
+
+
+def run_experiment(config: ExperimentConfig) -> RunResult:
+    """Run one repetition of one configuration."""
+    cluster = build_cluster(config)
+    design = DESIGNS[config.design](cluster)
+    app = config.make_app()
+    plan = make_fault_plan(config, app, rep=config.seed)
+    return design.run_job(app, config.fti, plan, label=config.label())
+
+
+@dataclass
+class AveragedResult:
+    """Mean breakdown over repetitions plus per-rep detail."""
+
+    config_label: str
+    breakdown: TimeBreakdown
+    repetitions: int
+    runs: list = field(default_factory=list)
+
+    @property
+    def verified(self) -> bool:
+        return all(r.verified for r in self.runs)
+
+    @property
+    def recovery_seconds(self) -> float:
+        return self.breakdown.recovery_seconds
+
+
+def run_experiment_averaged(config: ExperimentConfig,
+                            repetitions: int | None = None) -> AveragedResult:
+    """Run a configuration the paper's five times and average.
+
+    Deterministic (no-fault) configurations collapse to one run since
+    every repetition would be bit-identical.
+    """
+    if repetitions is None:
+        repetitions = DEFAULT_REPETITIONS if config.inject_fault else 1
+    runs = []
+    for rep in range(repetitions):
+        cluster = build_cluster(config)
+        design = DESIGNS[config.design](cluster)
+        app = config.make_app()
+        plan = make_fault_plan(config, app, rep)
+        runs.append(design.run_job(app, config.fti, plan,
+                                   label=config.label()))
+    return AveragedResult(
+        config_label=config.label(),
+        breakdown=average_breakdowns(r.breakdown for r in runs),
+        repetitions=repetitions,
+        runs=runs,
+    )

@@ -1,0 +1,73 @@
+"""Render experiment results as the rows/series the paper reports.
+
+Each figure becomes a text table with one row per (scale-or-input,
+design) and stacked-bar columns (Application / Write Checkpoints /
+Recovery), which is exactly the data behind the paper's bar charts.
+"""
+
+from __future__ import annotations
+
+from .breakdown import TimeBreakdown
+from .configs import TABLE1
+
+
+def format_breakdown_series(title: str, rows: list,
+                            x_label: str = "#Processes") -> str:
+    """``rows``: list of (x_value, design_name, TimeBreakdown)."""
+    lines = [title, "-" * len(title),
+             "%-12s %-14s %12s %12s %12s %12s"
+             % (x_label, "Design", "App(s)", "Ckpt(s)", "Recovery(s)",
+                "Total(s)")]
+    for x_value, design, breakdown in rows:
+        lines.append("%-12s %-14s %12.2f %12.2f %12.2f %12.2f"
+                     % (x_value, design.upper(),
+                        breakdown.application_seconds,
+                        breakdown.ckpt_write_seconds,
+                        breakdown.recovery_seconds,
+                        breakdown.total_seconds))
+    return "\n".join(lines)
+
+
+def format_recovery_series(title: str, rows: list,
+                           x_label: str = "#Processes") -> str:
+    """``rows``: list of (x_value, design_name, recovery_seconds)."""
+    lines = [title, "-" * len(title),
+             "%-12s %-14s %14s" % (x_label, "Design", "Recovery(s)")]
+    for x_value, design, seconds in rows:
+        lines.append("%-12s %-14s %14.2f" % (x_value, design.upper(),
+                                             seconds))
+    return "\n".join(lines)
+
+
+def format_table1() -> str:
+    """Render Table I as the paper prints it."""
+    header = ("%-10s %-26s %-26s %-26s %s"
+              % ("App", "Small Input", "Medium Input", "Large Input",
+                 "Processes"))
+    lines = ["TABLE I: Experimentation configuration for proxy applications",
+             header, "-" * len(header)]
+    for row in TABLE1:
+        lines.append("%-10s %-26s %-26s %-26s %s"
+                     % (row.app, row.small, row.medium, row.large,
+                        ", ".join(str(p) for p in row.nprocs)))
+    return "\n".join(lines)
+
+
+def summarize_ratios(recovery: dict) -> str:
+    """Headline ratios (§I contribution 3) from a {design: [seconds]} map."""
+    def mean(xs):
+        xs = list(xs)
+        return sum(xs) / len(xs) if xs else float("nan")
+
+    reinit = mean(recovery.get("reinit-fti", []))
+    ulfm = mean(recovery.get("ulfm-fti", []))
+    restart = mean(recovery.get("restart-fti", []))
+    lines = ["Headline recovery ratios (cf. paper: ULFM/Reinit ~4x, "
+             "Restart/Reinit ~16x, Restart/ULFM 2-3x):"]
+    if reinit and ulfm:
+        lines.append("  ULFM    / Reinit : %5.1fx" % (ulfm / reinit))
+    if reinit and restart:
+        lines.append("  Restart / Reinit : %5.1fx" % (restart / reinit))
+    if ulfm and restart:
+        lines.append("  Restart / ULFM   : %5.1fx" % (restart / ulfm))
+    return "\n".join(lines)

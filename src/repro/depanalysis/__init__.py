@@ -1,0 +1,41 @@
+"""Data-dependency analysis for checkpoint-object detection (paper §III)."""
+
+from .algorithm import (
+    AnalysisResult,
+    CheckpointObject,
+    find_checkpoint_objects,
+    values_vary,
+)
+from .autoprotect import (
+    ProtectionPlan,
+    apply_protection,
+    build_protection_plan,
+)
+from .report import format_report
+from .trace import InstructionTrace, TraceOp, TraceRecord
+from .tracer import (
+    REFERENCE_PROGRAMS,
+    Tracer,
+    traced_cg_loop,
+    traced_md_loop,
+    traced_stencil_loop,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "CheckpointObject",
+    "InstructionTrace",
+    "ProtectionPlan",
+    "REFERENCE_PROGRAMS",
+    "apply_protection",
+    "build_protection_plan",
+    "TraceOp",
+    "TraceRecord",
+    "Tracer",
+    "find_checkpoint_objects",
+    "format_report",
+    "traced_cg_loop",
+    "traced_md_loop",
+    "traced_stencil_loop",
+    "values_vary",
+]

@@ -1,0 +1,117 @@
+"""Algorithm 1: find data objects for checkpointing (paper §III-A).
+
+The three principles:
+
+1. checkpointable objects are *defined before* the main computation loop
+   (objects local to the loop body are excluded);
+2. they are *used* (read or written) across iterations of the loop;
+3. their *values vary* across iterations.
+
+The implementation follows the paper's pseudo-code exactly: filter
+in-loop locations by value variation, remove repetitions from both sets,
+then intersect in-loop locations with before-loop allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .trace import InstructionTrace
+
+
+@dataclass
+class CheckpointObject:
+    """One detected data object, with the evidence behind its selection."""
+
+    location: str
+    source_line: int
+    distinct_values: int
+    iterations_used: int
+
+
+@dataclass
+class AnalysisResult:
+    """Output of Algorithm 1 plus per-location diagnostics."""
+
+    cpk_locs: list = field(default_factory=list)
+    #: in-loop locations rejected because their value never varies
+    constant_locs: list = field(default_factory=list)
+    #: in-loop locations rejected because they are loop-local
+    loop_local_locs: list = field(default_factory=list)
+
+    @property
+    def locations(self) -> list:
+        return [obj.location for obj in self.cpk_locs]
+
+
+def values_vary(values: list) -> bool:
+    """Principle 3: the invocation values must not all be the same.
+
+    Mirrors the paper's check "the invocation values of l are not the
+    same". Arrays compare by content; a single observation counts as
+    non-varying (nothing changed across iterations).
+    """
+    if len(values) < 2:
+        return False
+    first = values[0]
+    for value in values[1:]:
+        if not _equal(first, value):
+            return True
+    return False
+
+
+def _equal(a, b) -> bool:
+    try:
+        import numpy as np
+
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return bool(np.array_equal(a, b))
+    except ImportError:  # pragma: no cover - numpy is a hard dep anyway
+        pass
+    return a == b
+
+
+def find_checkpoint_objects(trace: InstructionTrace) -> AnalysisResult:
+    """Run Algorithm 1 on a dynamic trace."""
+    locs_in_loop = trace.locations_in_loop()
+    locs_before_loop = trace.locations_before_loop()
+
+    # Step 1: check values of locations in Locs_in_loop (principle 3)
+    varying, constant = [], []
+    for location in locs_in_loop:
+        if values_vary(trace.invocation_values(location)):
+            varying.append(location)
+        else:
+            constant.append(location)
+
+    # Step 2: remove repetition in both sets (order-preserving)
+    varying = list(dict.fromkeys(varying))
+    constant = list(dict.fromkeys(constant))
+    before = list(dict.fromkeys(locs_before_loop))
+    before_set = set(before)
+
+    # Step 3: match in-loop locations against before-loop allocations
+    # (principles 1 + 2)
+    result = AnalysisResult()
+    for location in varying:
+        if location in before_set:
+            result.cpk_locs.append(CheckpointObject(
+                location=location,
+                source_line=trace.line_of(location) or -1,
+                distinct_values=_distinct_count(
+                    trace.invocation_values(location)),
+                iterations_used=len(trace.iterations_touching(location)),
+            ))
+        else:
+            result.loop_local_locs.append(location)
+    result.constant_locs = [loc for loc in constant
+                            if loc not in set(result.locations)]
+    return result
+
+
+def _distinct_count(values: list) -> int:
+    distinct: list = []
+    for value in values:
+        if not any(_equal(value, seen) for seen in distinct):
+            distinct.append(value)
+    return len(distinct)

@@ -1,0 +1,27 @@
+"""Human-readable reporting for the dependency-analysis tool (§V-E)."""
+
+from __future__ import annotations
+
+from .algorithm import AnalysisResult
+
+
+def format_report(result: AnalysisResult, program: str = "program") -> str:
+    """Render the tool's output the way a programmer would consume it."""
+    lines = ["Checkpoint-object analysis for %s" % program,
+             "=" * (31 + len(program))]
+    if result.cpk_locs:
+        lines.append("Data objects to checkpoint (CPK_Locs):")
+        for obj in result.cpk_locs:
+            lines.append(
+                "  %-12s line %-4d  %d distinct values over %d iterations"
+                % (obj.location, obj.source_line, obj.distinct_values,
+                   obj.iterations_used))
+    else:
+        lines.append("No checkpoint objects detected.")
+    if result.constant_locs:
+        lines.append("Excluded (constant across iterations): %s"
+                     % ", ".join(result.constant_locs))
+    if result.loop_local_locs:
+        lines.append("Excluded (defined inside the loop): %s"
+                     % ", ".join(result.loop_local_locs))
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Dynamic instruction-trace format (LLVM-Tracer style, §III-A).
+
+The paper's analysis consumes a dynamic execution trace with, per
+operation: the register name or memory location, the operator, the value
+and the source line. :class:`TraceRecord` carries exactly those fields;
+:class:`InstructionTrace` is an ordered container with the accessors
+Algorithm 1 needs (locations allocated before the main loop, locations
+used inside it, and per-location value histories across iterations).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import ConfigurationError
+
+
+class TraceOp(enum.Enum):
+    """Operation kinds recorded in the trace."""
+
+    ALLOC = "alloc"
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One dynamic operation."""
+
+    op: TraceOp
+    #: register name or memory location identifier (e.g. "x", "A[12]")
+    location: str
+    #: line number in the source where the operation executes
+    line: int
+    #: value observed/produced (None for pure allocations)
+    value: Any = None
+    #: main-loop iteration index; -1 = before the loop started
+    iteration: int = -1
+
+
+class InstructionTrace:
+    """An ordered dynamic trace plus the index structures Algorithm 1 uses."""
+
+    def __init__(self):
+        self.records: list = []
+        self._loop_started = False
+
+    # -- construction -------------------------------------------------------
+    def append(self, record: TraceRecord) -> None:
+        if record.iteration >= 0:
+            self._loop_started = True
+        elif self._loop_started:
+            raise ConfigurationError(
+                "trace records before the loop must precede loop records")
+        self.records.append(record)
+
+    def alloc(self, location: str, line: int) -> None:
+        self.append(TraceRecord(TraceOp.ALLOC, location, line))
+
+    def store(self, location: str, value, line: int,
+              iteration: int = -1) -> None:
+        self.append(TraceRecord(TraceOp.STORE, location, line, value,
+                                iteration))
+
+    def load(self, location: str, value, line: int,
+             iteration: int = -1) -> None:
+        self.append(TraceRecord(TraceOp.LOAD, location, line, value,
+                                iteration))
+
+    # -- Algorithm 1 inputs --------------------------------------------------
+    def locations_before_loop(self) -> list:
+        """Locations defined or allocated before the main loop (may repeat,
+        as in the raw trace; the algorithm removes repetitions)."""
+        return [r.location for r in self.records
+                if r.iteration < 0 and r.op in (TraceOp.ALLOC, TraceOp.STORE)]
+
+    def locations_in_loop(self) -> list:
+        """Locations used (read or written) inside the main loop."""
+        return [r.location for r in self.records if r.iteration >= 0
+                and r.op in (TraceOp.LOAD, TraceOp.STORE)]
+
+    def invocation_values(self, location: str) -> list:
+        """Values this location held at each in-loop touch, in order."""
+        return [r.value for r in self.records
+                if r.location == location and r.iteration >= 0
+                and r.value is not None]
+
+    def iterations_touching(self, location: str) -> set:
+        return {r.iteration for r in self.records
+                if r.location == location and r.iteration >= 0}
+
+    def line_of(self, location: str) -> Optional[int]:
+        for r in self.records:
+            if r.location == location:
+                return r.line
+        return None
+
+    def __len__(self):
+        return len(self.records)

@@ -1,0 +1,96 @@
+"""Exception hierarchy shared across the MATCH reproduction.
+
+The taxonomy mirrors the failure semantics of the paper's stack:
+
+* fail-stop process failures surface as :class:`ProcessFailedError`
+  (the analogue of ``MPIX_ERR_PROC_FAILED``),
+* a revoked communicator surfaces as :class:`CommRevokedError`
+  (``MPIX_ERR_REVOKED``),
+* an unrecoverable condition aborts the whole job with :class:`JobAbortedError`
+  (``MPI_Abort``),
+* checkpoint-layer problems raise :class:`CheckpointError` subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The simulated runtime reached an inconsistent state (a bug or misuse)."""
+
+
+class DeadlockError(SimulationError):
+    """No rank can make progress and no pending event can fire."""
+
+
+class MPIError(ReproError):
+    """Base class for errors surfaced through the simulated MPI layer."""
+
+    #: numeric error class, mirroring MPI error classes
+    error_class: int = 0
+
+
+class ProcessFailedError(MPIError):
+    """A peer involved in the operation failed (``MPIX_ERR_PROC_FAILED``)."""
+
+    error_class = 75
+
+    def __init__(self, failed_ranks, message: str | None = None):
+        self.failed_ranks = tuple(sorted(failed_ranks))
+        super().__init__(
+            message or "process failure detected: ranks %s" % (self.failed_ranks,)
+        )
+
+
+class CommRevokedError(MPIError):
+    """The communicator was revoked by some rank (``MPIX_ERR_REVOKED``)."""
+
+    error_class = 76
+
+    def __init__(self, message: str = "communicator revoked"):
+        super().__init__(message)
+
+
+class JobAbortedError(MPIError):
+    """The whole job aborted (``MPI_Abort`` or fatal error handler)."""
+
+    error_class = 1
+
+    def __init__(self, message: str = "job aborted", errorcode: int = 1):
+        self.errorcode = errorcode
+        super().__init__(message)
+
+
+class RankKilledError(ReproError):
+    """Internal control-flow signal: this rank received SIGTERM.
+
+    Raised inside the failing rank's coroutine by the fault injector; never
+    observable by surviving ranks (they observe :class:`ProcessFailedError`).
+    """
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        super().__init__("rank %d killed by fault injection" % rank)
+
+
+class CheckpointError(ReproError):
+    """Base class for checkpoint layer failures."""
+
+
+class NoCheckpointError(CheckpointError):
+    """Recovery was requested but no usable checkpoint exists."""
+
+
+class CorruptCheckpointError(CheckpointError):
+    """A checkpoint failed integrity verification on read."""
+
+
+class InsufficientRedundancyError(CheckpointError):
+    """Too many shards/copies were lost for this level to reconstruct data."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid experiment or library configuration."""

@@ -1,0 +1,5 @@
+"""Fault injection: deterministic SIGTERM-style process kills."""
+
+from .plans import FaultEvent, FaultPlan
+
+__all__ = ["FaultEvent", "FaultPlan"]

@@ -1,0 +1,93 @@
+"""Fault plans: which rank dies at which iteration.
+
+The paper (§IV-D, Fig. 4) raises SIGTERM on a randomly selected MPI
+process in a randomly selected iteration of the main computation loop.
+A :class:`FaultPlan` is the deterministic, seedable version of that choice
+so experiment repetitions are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Kill ``rank`` (or its whole node) at main-loop iteration
+    ``iteration``.
+
+    ``kind="process"`` is the paper's SIGTERM injection; ``kind="node"``
+    fail-stops every rank on the victim's node *and wipes its volatile
+    storage*, which is the failure class Reinit claims to handle (§IV-D)
+    — surviving it additionally requires FTI level >= 2.
+    """
+
+    rank: int
+    iteration: int
+    kind: str = "process"
+
+    def __post_init__(self):
+        if self.rank < 0 or self.iteration < 0:
+            raise ConfigurationError("fault event needs non-negative fields")
+        if self.kind not in ("process", "node"):
+            raise ConfigurationError("fault kind must be process or node")
+
+
+@dataclass
+class FaultPlan:
+    """A set of scheduled process kills, consulted at every ITER_MARK."""
+
+    events: tuple = ()
+    #: events that already fired (kills are one-shot)
+    _fired: set = field(default_factory=set, repr=False)
+
+    def event_for(self, rank: int, iteration: int):
+        """The armed event for this (rank, iteration), if any (one-shot)."""
+        for event in self.events:
+            if (event.rank == rank and event.iteration == iteration
+                    and event not in self._fired):
+                self._fired.add(event)
+                return event
+        return None
+
+    def should_kill(self, rank: int, iteration: int) -> bool:
+        return self.event_for(rank, iteration) is not None
+
+    def reset(self) -> None:
+        """Re-arm all events (used when replaying a plan after Restart).
+
+        A restarted job resumes from a checkpointed iteration *after* the
+        kill point, so re-arming is safe: ``should_kill`` only fires when
+        the exact iteration is re-executed, which checkpoint recovery
+        skips.
+        """
+        self._fired.clear()
+
+    @property
+    def nfaults(self) -> int:
+        return len(self.events)
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The no-failure configuration."""
+        return cls(events=())
+
+    @classmethod
+    def single_random(cls, nprocs: int, niters: int, seed: int,
+                      min_iteration: int = 1) -> "FaultPlan":
+        """One kill at a uniformly random (rank, iteration), as in Fig. 4.
+
+        ``min_iteration`` defaults to 1 so the job always survives at
+        least one iteration before dying, matching how the paper's loop
+        counter works.
+        """
+        if nprocs <= 0 or niters <= min_iteration:
+            raise ConfigurationError(
+                "need nprocs > 0 and niters > min_iteration")
+        rng = random.Random(seed)
+        rank = rng.randrange(nprocs)
+        iteration = rng.randrange(min_iteration, niters)
+        return cls(events=(FaultEvent(rank, iteration),))

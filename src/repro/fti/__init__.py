@@ -1,0 +1,32 @@
+"""FTI-style multi-level application checkpointing (paper §II-C, §IV-A)."""
+
+from .api import Fti, FtiStats
+from .config import FtiConfig
+from .gf256 import gf_add, gf_div, gf_inv, gf_mul, gf_pow
+from .levels import L1Local, L2Partner, L3ReedSolomon, L4Pfs, LEVELS
+from .metadata import CheckpointRecord, CheckpointRegistry, RankEntry
+from .rs_encoding import ReedSolomonCode, pad_to_equal_length
+from .serializer import ProtectedSet, ScalarRef
+
+__all__ = [
+    "CheckpointRecord",
+    "CheckpointRegistry",
+    "Fti",
+    "FtiConfig",
+    "FtiStats",
+    "L1Local",
+    "L2Partner",
+    "L3ReedSolomon",
+    "L4Pfs",
+    "LEVELS",
+    "ProtectedSet",
+    "RankEntry",
+    "ReedSolomonCode",
+    "ScalarRef",
+    "gf_add",
+    "gf_div",
+    "gf_inv",
+    "gf_mul",
+    "gf_pow",
+    "pad_to_equal_length",
+]

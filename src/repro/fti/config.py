@@ -1,0 +1,46 @@
+"""FTI configuration (the analogue of ``config.fti``).
+
+The paper's experiments use L1 with RAMFS via ``/dev/shm`` and a
+checkpoint every ten iterations (§V-B); those are the defaults here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+VALID_LEVELS = (1, 2, 3, 4)
+
+
+@dataclass(frozen=True)
+class FtiConfig:
+    """Checkpoint policy for one job."""
+
+    #: reliability level: 1 local, 2 partner copy, 3 Reed-Solomon, 4 PFS
+    level: int = 1
+    #: checkpoint every N iterations of the main loop
+    ckpt_stride: int = 10
+    #: ranks per RS encoding group (L3)
+    group_size: int = 4
+    #: write L1 checkpoints to the local SSD instead of RAMFS
+    use_ssd: bool = False
+    #: block size for L4 differential checkpointing
+    diff_block_bytes: int = 64 * 1024
+    #: enable differential (incremental) L4 checkpoints
+    differential: bool = True
+    #: how many complete checkpoints to retain before garbage collection
+    keep_last: int = 1
+
+    def __post_init__(self):
+        if self.level not in VALID_LEVELS:
+            raise ConfigurationError("FTI level must be one of %s"
+                                     % (VALID_LEVELS,))
+        if self.ckpt_stride < 1:
+            raise ConfigurationError("ckpt_stride must be >= 1")
+        if self.group_size < 2:
+            raise ConfigurationError("group_size must be >= 2 for encoding")
+        if self.diff_block_bytes < 1:
+            raise ConfigurationError("diff_block_bytes must be positive")
+        if self.keep_last < 1:
+            raise ConfigurationError("keep_last must be >= 1")

@@ -1,0 +1,141 @@
+"""GF(2^8) arithmetic for Reed-Solomon erasure coding (FTI's L3 level).
+
+Field elements are bytes; addition is XOR; multiplication uses exp/log
+tables over the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D),
+the standard choice for storage RS codes. Vectorised numpy paths keep
+encoding of megabyte checkpoints fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+_PRIMITIVE_POLY = 0x11D
+FIELD_SIZE = 256
+
+# -- table construction (module import time, ~microseconds) -----------------
+_EXP = np.zeros(512, dtype=np.uint8)
+_LOG = np.zeros(256, dtype=np.int32)
+_x = 1
+for _i in range(255):
+    _EXP[_i] = _x
+    _LOG[_x] = _i
+    _x <<= 1
+    if _x & 0x100:
+        _x ^= _PRIMITIVE_POLY
+_EXP[255:510] = _EXP[:255]  # wraparound so exp lookups never need a modulo
+
+
+def gf_add(a: int, b: int) -> int:
+    """Field addition (and subtraction): XOR."""
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Field multiplication via log/exp tables."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[int(_LOG[a]) + int(_LOG[b])])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Field division; raises on division by zero."""
+    if b == 0:
+        raise ZeroDivisionError("GF(256) division by zero")
+    if a == 0:
+        return 0
+    return int(_EXP[(int(_LOG[a]) - int(_LOG[b])) % 255])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse."""
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(256)")
+    return int(_EXP[255 - int(_LOG[a])])
+
+
+def gf_pow(a: int, n: int) -> int:
+    """``a**n`` in the field."""
+    if a == 0:
+        return 0 if n > 0 else 1
+    return int(_EXP[(int(_LOG[a]) * n) % 255])
+
+
+def gf_mul_vector(scalar: int, vec: np.ndarray) -> np.ndarray:
+    """Multiply a uint8 vector by a scalar, element-wise in GF(256)."""
+    if scalar == 0:
+        return np.zeros_like(vec)
+    if scalar == 1:
+        return vec.copy()
+    log_s = int(_LOG[scalar])
+    out = np.zeros_like(vec)
+    nz = vec != 0
+    out[nz] = _EXP[log_s + _LOG[vec[nz].astype(np.int32)]]
+    return out
+
+
+def gf_mat_vec(matrix: np.ndarray, shards: np.ndarray) -> np.ndarray:
+    """GF(256) matrix (r x k) times shard block (k x n) -> (r x n).
+
+    ``shards`` rows are uint8 vectors; the result row ``i`` is
+    ``sum_j matrix[i, j] * shards[j]`` with field arithmetic.
+    """
+    r, k = matrix.shape
+    if shards.shape[0] != k:
+        raise ConfigurationError(
+            "matrix/shard shape mismatch: %s vs %s"
+            % (matrix.shape, shards.shape))
+    out = np.zeros((r, shards.shape[1]), dtype=np.uint8)
+    for i in range(r):
+        acc = np.zeros(shards.shape[1], dtype=np.uint8)
+        for j in range(k):
+            coeff = int(matrix[i, j])
+            if coeff:
+                acc ^= gf_mul_vector(coeff, shards[j])
+        out[i] = acc
+    return out
+
+
+def gf_mat_inv(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square GF(256) matrix by Gauss-Jordan elimination.
+
+    Raises :class:`numpy.linalg.LinAlgError` if singular.
+    """
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ConfigurationError("matrix must be square")
+    aug = np.concatenate(
+        [matrix.astype(np.uint8), np.eye(n, dtype=np.uint8)], axis=1)
+    for col in range(n):
+        pivot = None
+        for row in range(col, n):
+            if aug[row, col] != 0:
+                pivot = row
+                break
+        if pivot is None:
+            raise np.linalg.LinAlgError("singular GF(256) matrix")
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        inv_p = gf_inv(int(aug[col, col]))
+        aug[col] = gf_mul_vector(inv_p, aug[col])
+        for row in range(n):
+            if row != col and aug[row, col] != 0:
+                aug[row] ^= gf_mul_vector(int(aug[row, col]), aug[col])
+    return aug[:, n:].copy()
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """Vandermonde matrix V[i, j] = (i+1)^j over GF(256).
+
+    Any ``cols`` rows of it are linearly independent for rows < 255,
+    which is the property erasure codes need.
+    """
+    if rows >= FIELD_SIZE:
+        raise ConfigurationError("at most 255 rows in GF(256) Vandermonde")
+    v = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            v[i, j] = gf_pow(i + 1, j)
+    return v

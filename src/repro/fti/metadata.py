@@ -1,0 +1,119 @@
+"""Checkpoint metadata: FTI's stable bookkeeping.
+
+The registry is the analogue of FTI's metadata files on reliable storage:
+it survives job restarts (the harness keeps it alive across `Runtime`
+instances) and records, per checkpoint, where every rank's blob lives and
+how to rebuild it. Entries become *complete* — and therefore usable for
+recovery — only once every rank has committed, so a failure mid-checkpoint
+can never yield a torn restart point.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class RankEntry:
+    """One rank's slice of a checkpoint."""
+
+    rank: int
+    node_id: int
+    path: str
+    nbytes: int
+    crc32: int
+    #: L2: node holding the partner copy
+    partner_node: Optional[int] = None
+    partner_path: Optional[str] = None
+    #: L3: parity shard location and group geometry
+    parity_path: Optional[str] = None
+    group_index: Optional[int] = None
+    group_ranks: tuple = ()
+    padded_len: Optional[int] = None
+    #: L4: path on the parallel file system
+    pfs_path: Optional[str] = None
+
+
+@dataclass
+class CheckpointRecord:
+    """One checkpoint generation across all ranks."""
+
+    ckpt_id: int
+    iteration: int
+    level: int
+    nprocs: int
+    entries: dict = field(default_factory=dict)
+
+    def commit_rank(self, entry: RankEntry) -> None:
+        self.entries[entry.rank] = entry
+
+    @property
+    def complete(self) -> bool:
+        return len(self.entries) == self.nprocs
+
+    def entry(self, rank: int) -> RankEntry:
+        return self.entries[rank]
+
+    def total_bytes(self) -> int:
+        return sum(e.nbytes for e in self.entries.values())
+
+
+class CheckpointRegistry:
+    """Job-spanning metadata service (FTI's stable metadata)."""
+
+    def __init__(self):
+        self._records: dict[int, CheckpointRecord] = {}
+        self._ids = itertools.count(1)
+        #: L4 differential state: rank -> {block index -> digest}
+        self.diff_hashes: dict[int, dict] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+    def open_checkpoint(self, iteration: int, level: int,
+                        nprocs: int) -> CheckpointRecord:
+        """Begin a new checkpoint generation; idempotent per iteration.
+
+        All ranks of a BSP app call this at the same iteration; the first
+        caller allocates the record, the rest join it.
+        """
+        for record in self._records.values():
+            if (record.iteration == iteration and record.level == level
+                    and not record.complete):
+                return record
+        record = CheckpointRecord(next(self._ids), iteration, level, nprocs)
+        self._records[record.ckpt_id] = record
+        return record
+
+    def latest_complete(self) -> Optional[CheckpointRecord]:
+        complete = [r for r in self._records.values() if r.complete]
+        if not complete:
+            return None
+        return max(complete, key=lambda r: r.ckpt_id)
+
+    def all_complete(self) -> list:
+        return sorted((r for r in self._records.values() if r.complete),
+                      key=lambda r: r.ckpt_id)
+
+    def has_checkpoint(self) -> bool:
+        return self.latest_complete() is not None
+
+    def discard(self, ckpt_id: int) -> None:
+        self._records.pop(ckpt_id, None)
+
+    def garbage_collect(self, keep_last: int) -> list:
+        """Drop all but the newest ``keep_last`` complete checkpoints.
+
+        Returns the discarded records so the caller can delete their blobs
+        from storage.
+        """
+        complete = self.all_complete()
+        victims = complete[:-keep_last] if keep_last else complete
+        for record in victims:
+            self._records.pop(record.ckpt_id, None)
+        return victims
+
+    @staticmethod
+    def checksum(blob: bytes) -> int:
+        return zlib.crc32(blob) & 0xFFFFFFFF

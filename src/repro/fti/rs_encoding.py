@@ -1,0 +1,102 @@
+"""Systematic Reed-Solomon erasure coding across a checkpoint group.
+
+FTI's L3 (§II-C): the checkpoints of a group of ``k`` ranks are encoded
+with RS so that the group survives the loss of *half its nodes* — i.e.
+``k`` data shards plus ``k`` parity shards, any ``k`` of which rebuild
+everything. Shard ``i`` (data) and parity shard ``i`` both live on rank
+``i``'s node, so losing a node destroys exactly two of ``2k`` shards.
+
+The code is systematic: data shards are stored verbatim, so the failure-
+free read path never pays a decode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gf256 import gf_mat_inv, gf_mat_vec, vandermonde
+from ..errors import ConfigurationError, InsufficientRedundancyError
+
+
+class ReedSolomonCode:
+    """RS(k data, m parity) over GF(256), systematic form."""
+
+    def __init__(self, k: int, m: int):
+        if k < 1 or m < 0 or k + m > 255:
+            raise ConfigurationError(
+                "need 1 <= k, 0 <= m, k+m <= 255; got k=%d m=%d" % (k, m))
+        self.k = k
+        self.m = m
+        # Build a (k+m) x k generator whose top k x k block is identity:
+        # start from Vandermonde (any k rows independent), then normalise.
+        v = vandermonde(k + m, k)
+        top_inv = gf_mat_inv(v[:k, :])
+        self.generator = gf_mat_vec(v, top_inv)  # (k+m) x k, systematic
+        self.parity_matrix = self.generator[k:, :]
+
+    # -- encoding -----------------------------------------------------------
+    def encode(self, data_shards: list) -> list:
+        """Compute ``m`` parity shards from ``k`` equal-length data shards.
+
+        Returns the parity shards as ``bytes``; data shards are unchanged
+        (systematic code).
+        """
+        block = self._as_block(data_shards)
+        parity = gf_mat_vec(self.parity_matrix, block)
+        return [parity[i].tobytes() for i in range(self.m)]
+
+    # -- decoding -------------------------------------------------------------
+    def decode(self, shards: dict, shard_len: int) -> list:
+        """Rebuild all ``k`` data shards from any ``k`` surviving shards.
+
+        ``shards`` maps shard index (0..k+m-1; <k are data, >=k parity) to
+        bytes. Raises :class:`InsufficientRedundancyError` with fewer than
+        ``k`` survivors.
+        """
+        available = sorted(shards)
+        if len(available) < self.k:
+            raise InsufficientRedundancyError(
+                "need %d shards to decode, have %d" % (self.k, len(available)))
+        if all(i < self.k for i in available[:self.k]) and all(
+                i in shards for i in range(self.k)):
+            return [bytes(shards[i]) for i in range(self.k)]
+        use = available[:self.k]
+        sub_gen = self.generator[use, :]
+        inv = gf_mat_inv(sub_gen)
+        block = np.zeros((self.k, shard_len), dtype=np.uint8)
+        for row, idx in enumerate(use):
+            shard = np.frombuffer(shards[idx], dtype=np.uint8)
+            if shard.size != shard_len:
+                raise ConfigurationError(
+                    "shard %d has length %d, expected %d"
+                    % (idx, shard.size, shard_len))
+            block[row] = shard
+        data = gf_mat_vec(inv, block)
+        return [data[i].tobytes() for i in range(self.k)]
+
+    # -- helpers -----------------------------------------------------------------
+    def _as_block(self, data_shards: list) -> np.ndarray:
+        if len(data_shards) != self.k:
+            raise ConfigurationError(
+                "expected %d data shards, got %d" % (self.k, len(data_shards)))
+        lengths = {len(s) for s in data_shards}
+        if len(lengths) != 1:
+            raise ConfigurationError(
+                "data shards must be equal length, got %s" % sorted(lengths))
+        block = np.zeros((self.k, lengths.pop()), dtype=np.uint8)
+        for i, shard in enumerate(data_shards):
+            block[i] = np.frombuffer(shard, dtype=np.uint8)
+        return block
+
+
+def pad_to_equal_length(blobs: list) -> tuple:
+    """Pad byte blobs to a common length; returns (padded, original_lengths).
+
+    The common length is the max plus a 0x80 terminator-style pad so that
+    all-zero tails cannot be confused with data (lengths are stored in
+    metadata anyway; the pad byte is belt and braces).
+    """
+    lengths = [len(b) for b in blobs]
+    target = max(lengths) + 1
+    padded = [b + b"\x80" + b"\x00" * (target - len(b) - 1) for b in blobs]
+    return padded, lengths

@@ -1,0 +1,201 @@
+"""Serialization of protected data objects into checkpoint blobs.
+
+FTI's ``FTI_Protect`` registers (address, size) pairs; the Python
+equivalent registers *cells* — either numpy arrays (recovered in place)
+or boxed scalars. Serialization produces a self-describing blob with a
+CRC32 so torn or bit-flipped checkpoints are detected on read, mirroring
+FTI's per-file checksums.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..errors import ConfigurationError, CorruptCheckpointError
+
+_MAGIC = b"FTIB"
+_VERSION = 1
+
+_KIND_ARRAY = 0
+_KIND_SCALAR_F = 1
+_KIND_SCALAR_I = 2
+_KIND_BYTES = 3
+
+
+@dataclass
+class ScalarRef:
+    """A boxed scalar so checkpoint recovery can write back through it."""
+
+    value: Any = 0
+
+    def set(self, value):
+        self.value = value
+        return value
+
+
+class ProtectedSet:
+    """The ordered registry of data objects one rank protects."""
+
+    def __init__(self):
+        self._items: dict[int, tuple] = {}
+
+    def protect(self, var_id: int, obj: Any, name: str = "") -> None:
+        """Register ``obj`` under ``var_id`` (compare ``FTI_Protect``).
+
+        ``obj`` must be a numpy array (restored in place), a
+        :class:`ScalarRef`, or a ``bytearray``.
+        """
+        if not isinstance(obj, (np.ndarray, ScalarRef, bytearray)):
+            raise ConfigurationError(
+                "cannot protect %r: use ndarray, ScalarRef or bytearray"
+                % type(obj).__name__)
+        if var_id in self._items and self._items[var_id][0] is not obj:
+            # FTI allows re-protecting the same id with a new buffer
+            pass
+        self._items[var_id] = (obj, name or "var%d" % var_id)
+
+    def unprotect(self, var_id: int) -> None:
+        self._items.pop(var_id, None)
+
+    def ids(self) -> list:
+        return sorted(self._items)
+
+    def get(self, var_id: int):
+        return self._items[var_id][0]
+
+    def name_of(self, var_id: int) -> str:
+        return self._items[var_id][1]
+
+    def total_bytes(self) -> int:
+        """Payload size of one checkpoint of this set (without headers)."""
+        total = 0
+        for obj, _ in self._items.values():
+            if isinstance(obj, np.ndarray):
+                total += obj.nbytes
+            elif isinstance(obj, ScalarRef):
+                total += 8
+            else:
+                total += len(obj)
+        return total
+
+    def __len__(self):
+        return len(self._items)
+
+    # -- encode ---------------------------------------------------------------
+    def serialize(self) -> bytes:
+        """All protected objects -> one checksummed blob."""
+        chunks = [struct.pack("<4sHI", _MAGIC, _VERSION, len(self._items))]
+        for var_id in self.ids():
+            obj, _ = self._items[var_id]
+            chunks.append(self._encode_one(var_id, obj))
+        body = b"".join(chunks)
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        return body + struct.pack("<I", crc)
+
+    @staticmethod
+    def _encode_one(var_id: int, obj: Any) -> bytes:
+        if isinstance(obj, np.ndarray):
+            dtype_name = obj.dtype.str.encode("ascii")
+            shape = obj.shape
+            payload = np.ascontiguousarray(obj).tobytes()
+            header = struct.pack("<IBH", var_id, _KIND_ARRAY, len(dtype_name))
+            header += dtype_name
+            header += struct.pack("<B", len(shape))
+            header += struct.pack("<%dq" % len(shape), *shape)
+            return header + struct.pack("<Q", len(payload)) + payload
+        if isinstance(obj, ScalarRef):
+            if isinstance(obj.value, (int, np.integer)):
+                return (struct.pack("<IB", var_id, _KIND_SCALAR_I)
+                        + struct.pack("<q", int(obj.value)))
+            return (struct.pack("<IB", var_id, _KIND_SCALAR_F)
+                    + struct.pack("<d", float(obj.value)))
+        # bytearray
+        return (struct.pack("<IB", var_id, _KIND_BYTES)
+                + struct.pack("<Q", len(obj)) + bytes(obj))
+
+    # -- decode ------------------------------------------------------------------
+    def deserialize_into(self, blob: bytes) -> list:
+        """Restore protected objects in place from ``blob``.
+
+        Returns the list of restored var ids. Raises
+        :class:`CorruptCheckpointError` on checksum or format mismatch.
+        """
+        if len(blob) < 14:
+            raise CorruptCheckpointError("blob too short to be a checkpoint")
+        body, crc_bytes = blob[:-4], blob[-4:]
+        (expected_crc,) = struct.unpack("<I", crc_bytes)
+        if (zlib.crc32(body) & 0xFFFFFFFF) != expected_crc:
+            raise CorruptCheckpointError("checkpoint CRC mismatch")
+        magic, version, count = struct.unpack_from("<4sHI", body, 0)
+        if magic != _MAGIC or version != _VERSION:
+            raise CorruptCheckpointError("bad checkpoint header")
+        offset = 10
+        restored = []
+        for _ in range(count):
+            var_id, offset = self._decode_one(body, offset)
+            restored.append(var_id)
+        return restored
+
+    def _decode_one(self, body: bytes, offset: int) -> tuple:
+        var_id, kind = struct.unpack_from("<IB", body, offset)
+        offset += 5
+        if var_id not in self._items:
+            raise CorruptCheckpointError(
+                "checkpoint contains unprotected var id %d" % var_id)
+        obj = self._items[var_id][0]
+        if kind == _KIND_ARRAY:
+            (dtype_len,) = struct.unpack_from("<H", body, offset)
+            offset += 2
+            dtype = np.dtype(body[offset:offset + dtype_len].decode("ascii"))
+            offset += dtype_len
+            (ndim,) = struct.unpack_from("<B", body, offset)
+            offset += 1
+            shape = struct.unpack_from("<%dq" % ndim, body, offset)
+            offset += 8 * ndim
+            (nbytes,) = struct.unpack_from("<Q", body, offset)
+            offset += 8
+            data = np.frombuffer(body[offset:offset + nbytes], dtype=dtype)
+            offset += nbytes
+            if not isinstance(obj, np.ndarray):
+                raise CorruptCheckpointError(
+                    "var %d kind mismatch (array vs %s)"
+                    % (var_id, type(obj).__name__))
+            if tuple(shape) != obj.shape or dtype != obj.dtype:
+                raise CorruptCheckpointError(
+                    "var %d layout changed since checkpoint "
+                    "(%s %s -> %s %s)" % (var_id, shape, dtype,
+                                          obj.shape, obj.dtype))
+            obj[...] = data.reshape(shape)
+        elif kind == _KIND_SCALAR_I:
+            (value,) = struct.unpack_from("<q", body, offset)
+            offset += 8
+            self._expect_scalar(var_id, obj).value = value
+        elif kind == _KIND_SCALAR_F:
+            (value,) = struct.unpack_from("<d", body, offset)
+            offset += 8
+            self._expect_scalar(var_id, obj).value = value
+        elif kind == _KIND_BYTES:
+            (nbytes,) = struct.unpack_from("<Q", body, offset)
+            offset += 8
+            data = body[offset:offset + nbytes]
+            offset += nbytes
+            if not isinstance(obj, bytearray):
+                raise CorruptCheckpointError("var %d expected bytearray"
+                                             % var_id)
+            obj[:] = data
+        else:
+            raise CorruptCheckpointError("unknown kind byte %d" % kind)
+        return var_id, offset
+
+    @staticmethod
+    def _expect_scalar(var_id: int, obj) -> ScalarRef:
+        if not isinstance(obj, ScalarRef):
+            raise CorruptCheckpointError(
+                "var %d kind mismatch (scalar vs %s)"
+                % (var_id, type(obj).__name__))
+        return obj

@@ -1,0 +1,81 @@
+"""Reference implementation of log-tree fault-tolerant agreement.
+
+``MPIX_Comm_agree`` performs a bitwise-AND agreement that must terminate
+even across failures (Herault et al., SC'15). The runtime prices the
+operation with a closed-form cost; this module implements the actual
+two-phase tree algorithm over point-to-point messages so tests can check
+the runtime's semantics (result equivalence) and the cost model's shape
+(message count) against a concrete protocol.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+
+def tree_children(rank: int, size: int) -> list:
+    """Children of ``rank`` in a binary reduction tree of ``size``."""
+    if not 0 <= rank < size:
+        raise ConfigurationError("rank %d outside tree of %d" % (rank, size))
+    kids = [2 * rank + 1, 2 * rank + 2]
+    return [k for k in kids if k < size]
+
+
+def tree_parent(rank: int) -> int:
+    """Parent of ``rank``; the root (0) is its own parent."""
+    return 0 if rank == 0 else (rank - 1) // 2
+
+
+def agreement_message_count(size: int) -> int:
+    """Messages a two-phase (reduce + bcast) tree agreement sends."""
+    return 2 * (size - 1)
+
+
+def agreement_rounds(size: int) -> int:
+    """Critical-path rounds: up the tree and back down."""
+    return 2 * math.ceil(math.log2(max(2, size)))
+
+
+def simulate_agreement(flags: dict) -> int:
+    """Run the two-phase AND-agreement over an explicit message table.
+
+    ``flags`` maps rank -> contributed flag. Returns the agreed value,
+    computed exactly as the tree protocol would: reduce towards the
+    root, then broadcast the result.
+    """
+    size = len(flags)
+    if size == 0:
+        raise ConfigurationError("agreement needs at least one rank")
+    reduced = dict(flags)
+    # post-order reduction: process ranks from the highest downwards so
+    # children fold into parents before parents fold upwards
+    for rank in range(size - 1, 0, -1):
+        parent = tree_parent(rank)
+        reduced[parent] &= reduced[rank]
+    return reduced[0]
+
+
+def agree(mpi, comm, flag: int):
+    """Generator: a real tree agreement over p2p messages (for tests).
+
+    Functionally equivalent to ``mpi.comm_agree`` but exercises the
+    point-to-point layer; useful to validate the built-in op and to
+    measure protocol message counts.
+    """
+    my = comm.rank_of(mpi.rank)
+    size = comm.size
+    value = int(flag)
+    for child in tree_children(my, size):
+        payload, _ = yield from mpi.recv(comm.world_rank(child), tag=0xA6EE)
+        value &= payload
+    if my != 0:
+        parent_world = comm.world_rank(tree_parent(my))
+        yield from mpi.send(parent_world, value, tag=0xA6EE)
+        agreed, _ = yield from mpi.recv(parent_world, tag=0xA6EF)
+    else:
+        agreed = value
+    for child in tree_children(my, size):
+        yield from mpi.send(comm.world_rank(child), agreed, tag=0xA6EF)
+    return agreed

@@ -1,0 +1,42 @@
+"""Common interface for the three MPI recovery strategies.
+
+A recovery strategy owns the job-level control flow: how a job reacts to
+a process failure (teardown + redeploy, runtime-level global restart, or
+application-level communicator repair) and how much virtual time each
+reaction costs. Per-rank protocol code lives in the strategy's
+``rank_*`` helpers and is driven from the design wrappers in
+:mod:`repro.core.designs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RecoveryStats:
+    """Accounting of every recovery episode in one experiment run."""
+
+    #: total seconds spent repairing MPI state (the paper's "Recovery" bar)
+    recovery_seconds: float = 0.0
+    #: number of recovery episodes (one per injected failure)
+    episodes: int = 0
+    #: per-episode durations for distribution-style analysis
+    durations: list = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        self.recovery_seconds += seconds
+        self.episodes += 1
+        self.durations.append(seconds)
+
+
+class RecoveryStrategy:
+    """Base class; concrete strategies override the hooks they need."""
+
+    name = "base"
+
+    def __init__(self):
+        self.stats = RecoveryStats()
+
+    def reset_stats(self) -> None:
+        self.stats = RecoveryStats()

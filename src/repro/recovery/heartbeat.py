@@ -1,0 +1,54 @@
+"""ULFM's background failure detector (heartbeats) and its costs.
+
+ULFM ships an always-on heartbeat-ring detector (Bosilca et al., IJHPCA
+2018). Two observable consequences, both reproduced here:
+
+* **detection latency** — a failure is observed only after a timeout of
+  missed beats plus a log-depth propagation wave; modelled by
+  :class:`~repro.simmpi.failures.FailureDetector`.
+* **steady-state overhead** — servicing beats and running interposed,
+  revocation-aware communication calls taxes every application operation;
+  modelled by :class:`~repro.simmpi.overhead.UlfmOverheadModel` and
+  applied by the runtime to compute and communication pricing.
+
+This module re-exports both so recovery-level code has one import point,
+and provides the ablation helper used by the heartbeat benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simmpi.failures import DetectorSpec, FailureDetector
+from ..simmpi.overhead import UlfmOverheadModel
+
+
+@dataclass(frozen=True)
+class HeartbeatTradeoff:
+    """One point in the detector's overhead-vs-latency design space."""
+
+    heartbeat_period: float
+    detection_latency: float
+    compute_overhead_factor: float
+
+
+def heartbeat_tradeoff(period: float, nprocs: int,
+                       timeout_beats: int = 3) -> HeartbeatTradeoff:
+    """Evaluate a heartbeat period: faster beats detect failures sooner
+    but tax the application more (inverse scaling with the period)."""
+    spec = DetectorSpec(heartbeat_period=period, timeout_beats=timeout_beats)
+    detector = FailureDetector(spec)
+    # overhead scales inversely with the beat period, anchored at 100 ms
+    base = UlfmOverheadModel()
+    scale = 0.1 / period
+    model = UlfmOverheadModel(
+        compute_tax_per_log2p=base.compute_tax_per_log2p * scale)
+    return HeartbeatTradeoff(
+        heartbeat_period=period,
+        detection_latency=detector.detection_latency(nprocs),
+        compute_overhead_factor=model.compute_factor(nprocs),
+    )
+
+
+__all__ = ["DetectorSpec", "FailureDetector", "HeartbeatTradeoff",
+           "UlfmOverheadModel", "heartbeat_tradeoff"]

@@ -1,0 +1,5 @@
+"""SCR-style checkpoint/restart interface (paper §V-E extension)."""
+
+from .api import Scr, ScrConfig, ScrRedundancy
+
+__all__ = ["Scr", "ScrConfig", "ScrRedundancy"]

@@ -1,0 +1,290 @@
+"""SCR-style checkpointing interface (the paper's §V-E extension).
+
+The paper proposes swapping FTI for SCR (the Scalable Checkpoint/Restart
+library, Mohror et al., TPDS 2014) as future work. SCR's programming
+model differs from FTI's in two ways this module reproduces:
+
+* **file-oriented flow** — the application *writes its own checkpoint
+  files*; SCR only routes paths and manages redundancy. The cycle is
+  ``need_checkpoint -> start_checkpoint -> route_file -> write ->
+  complete_checkpoint`` rather than FTI's protect/checkpoint of
+  registered buffers.
+* **output-complete semantics** — a checkpoint becomes valid only at
+  ``complete_checkpoint(valid=True)``; an exception between start and
+  complete leaves the previous generation as the restart point.
+
+Redundancy reuses the same storage substrate as FTI: SINGLE (node-local),
+PARTNER (ring-neighbour copy) and XOR (RAID-5-like parity across a set,
+implemented with the Reed-Solomon coder at m=1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import (
+    CheckpointError,
+    ConfigurationError,
+    InsufficientRedundancyError,
+    NoCheckpointError,
+)
+from ..fti.metadata import CheckpointRegistry, RankEntry
+from ..fti.rs_encoding import ReedSolomonCode, pad_to_equal_length
+from ..simmpi import ops
+
+
+class ScrRedundancy(enum.Enum):
+    """SCR redundancy schemes."""
+
+    SINGLE = "single"
+    PARTNER = "partner"
+    XOR = "xor"
+
+
+@dataclass(frozen=True)
+class ScrConfig:
+    """SCR policy knobs."""
+
+    scheme: ScrRedundancy = ScrRedundancy.SINGLE
+    #: checkpoint every N iterations (SCR_CHECKPOINT_INTERVAL)
+    interval: int = 10
+    #: XOR set size (SCR_SET_SIZE)
+    set_size: int = 4
+    keep_last: int = 1
+
+    def __post_init__(self):
+        if self.interval < 1:
+            raise ConfigurationError("interval must be >= 1")
+        if self.set_size < 2:
+            raise ConfigurationError("XOR set size must be >= 2")
+
+
+class Scr:
+    """One rank's SCR instance."""
+
+    def __init__(self, mpi, cluster, registry: CheckpointRegistry,
+                 config: ScrConfig | None = None):
+        self.mpi = mpi
+        self.cluster = cluster
+        self.registry = registry
+        self.config = config or ScrConfig()
+        self.rank = mpi.rank
+        self.nprocs = mpi.size
+        self.node_id = cluster.node_of(mpi.rank)
+        self._initialized = False
+        self._open_record = None
+        self._have_restart = False
+        self.set_comm = self._build_set_comm()
+
+    def _build_set_comm(self):
+        size = self.config.set_size
+        start = (self.rank // size) * size
+        members = list(range(start, min(start + size, self.nprocs)))
+        if len(members) < 2:
+            members = list(range(max(0, self.nprocs - size), self.nprocs))
+            start = members[0]
+        return self.mpi.cached_comm(members, "scr.set%d" % start)
+
+    # -- lifecycle ---------------------------------------------------------
+    def init(self):
+        """``SCR_Init``: detect whether a restart generation exists."""
+        has = self.registry.has_checkpoint()
+        agreed = yield from self.mpi.bcast(1 if has else 0, root=0, nbytes=8)
+        self._have_restart = bool(agreed)
+        self._initialized = True
+
+    def finalize(self):
+        """``SCR_Finalize``."""
+        self._require_init()
+        yield from self.mpi.barrier()
+        self._initialized = False
+
+    def have_restart(self) -> bool:
+        """``SCR_Have_restart``: is there a generation to read?"""
+        self._require_init()
+        return self._have_restart
+
+    def need_checkpoint(self, iteration: int) -> bool:
+        """``SCR_Need_checkpoint``: interval policy."""
+        self._require_init()
+        return iteration > 0 and iteration % self.config.interval == 0
+
+    # -- writing -----------------------------------------------------------
+    def start_checkpoint(self, iteration: int):
+        """``SCR_Start_checkpoint``: open a new generation."""
+        self._require_init()
+        if self._open_record is not None:
+            raise CheckpointError("previous checkpoint was never completed")
+        self._open_record = self.registry.open_checkpoint(
+            iteration, level=self._level_tag(), nprocs=self.nprocs)
+        yield from self.mpi.barrier()
+
+    def route_file(self, name: str) -> str:
+        """``SCR_Route_file``: where this rank should write ``name``."""
+        self._require_record()
+        return "scr/ckpt%06d/rank%05d/%s" % (
+            self._open_record.ckpt_id, self.rank, name)
+
+    def write_file(self, path: str, data: bytes):
+        """Write one checkpoint file to the routed node-local path."""
+        self._require_record()
+        store = self.cluster.ramfs_of(self.rank)
+        yield from self.mpi.store_write(store, path, data)
+        entry = RankEntry(rank=self.rank, node_id=self.node_id, path=path,
+                          nbytes=len(data),
+                          crc32=CheckpointRegistry.checksum(data))
+        yield from self._apply_redundancy(entry, data)
+        self._open_record.commit_rank(entry)
+
+    def _apply_redundancy(self, entry: RankEntry, data: bytes):
+        scheme = self.config.scheme
+        if scheme is ScrRedundancy.SINGLE:
+            return
+        if scheme is ScrRedundancy.PARTNER:
+            partner = self.cluster.partner_node(self.node_id)
+            partner_store = self.cluster.node_storage[partner].ramfs
+            transfer = self.cluster.network.ptp_time(len(data),
+                                                     intra_node=False)
+            yield from self.mpi.sleep(transfer)
+            yield from self.mpi.store_write(partner_store,
+                                            entry.path + ".partner", data)
+            entry.partner_node = partner
+            entry.partner_path = entry.path + ".partner"
+            return
+        # XOR: one parity shard per set (RS with m=1), stored round-robin
+        blobs = yield from self.mpi.allgather(data, comm=self.set_comm,
+                                              nbytes=len(data))
+        padded, _ = pad_to_equal_length(blobs)
+        k = self.set_comm.size
+        yield from self.mpi.compute(bytes_moved=2.0 * k * len(padded[0]))
+        code = ReedSolomonCode(k, 1)
+        parity = code.encode(padded)[0]
+        my_index = self.set_comm.rank_of(self.rank)
+        parity_holder = self._open_record.iteration % k
+        if my_index == parity_holder:
+            store = self.cluster.ramfs_of(self.rank)
+            yield from self.mpi.store_write(store, entry.path + ".xor",
+                                            parity)
+        entry.parity_path = entry.path + ".xor" \
+            if my_index == parity_holder else None
+        entry.group_index = my_index
+        entry.group_ranks = tuple(self.set_comm.world_ranks)
+        entry.padded_len = len(padded[0])
+
+    def complete_checkpoint(self, valid: bool = True):
+        """``SCR_Complete_checkpoint``: global commit or discard."""
+        self._require_record()
+        flag = yield from self.mpi.allreduce(1 if valid else 0, op=ops.MIN,
+                                             nbytes=8)
+        record, self._open_record = self._open_record, None
+        if not flag:
+            self.registry.discard(record.ckpt_id)
+            return False
+        if record.complete:
+            for victim in self.registry.garbage_collect(self.config.keep_last):
+                self._delete_generation(victim)
+        self._have_restart = True
+        return True
+
+    def _delete_generation(self, record) -> None:
+        entry = record.entries.get(self.rank)
+        if entry is None:
+            return
+        store = self.cluster.node_storage[entry.node_id].ramfs
+        store.delete(entry.path)
+        if entry.partner_path and entry.partner_node is not None:
+            self.cluster.node_storage[entry.partner_node].ramfs.delete(
+                entry.partner_path)
+        if entry.parity_path:
+            store.delete(entry.parity_path)
+
+    # -- reading ---------------------------------------------------------------
+    def start_restart(self):
+        """``SCR_Start_restart``: returns the generation's iteration."""
+        self._require_init()
+        record = self.registry.latest_complete()
+        if record is None:
+            raise NoCheckpointError("SCR has no restart generation")
+        yield from self.mpi.barrier()
+        return record.iteration
+
+    def read_file(self, name: str):
+        """Fetch this rank's file, using redundancy if the local copy died."""
+        self._require_init()
+        record = self.registry.latest_complete()
+        if record is None:
+            raise NoCheckpointError("SCR has no restart generation")
+        entry = record.entry(self.rank)
+        store = self.cluster.node_storage[entry.node_id].ramfs
+        if store.exists(entry.path):
+            data = yield from self.mpi.store_read(store, entry.path)
+            if CheckpointRegistry.checksum(data) == entry.crc32:
+                return data
+        data = yield from self._rebuild(record, entry)
+        return data
+
+    def _rebuild(self, record, entry: RankEntry):
+        scheme = self.config.scheme
+        if scheme is ScrRedundancy.PARTNER and entry.partner_path:
+            partner_store = self.cluster.node_storage[
+                entry.partner_node].ramfs
+            if partner_store.exists(entry.partner_path):
+                transfer = self.cluster.network.ptp_time(
+                    entry.nbytes, intra_node=False)
+                yield from self.mpi.sleep(transfer)
+                data = yield from self.mpi.store_read(partner_store,
+                                                      entry.partner_path)
+                return data
+            raise InsufficientRedundancyError(
+                "SCR PARTNER lost both copies of rank %d" % self.rank)
+        if scheme is ScrRedundancy.XOR:
+            data = yield from self._rebuild_xor(record, entry)
+            return data
+        raise NoCheckpointError(
+            "SCR SINGLE checkpoint of rank %d is gone" % self.rank)
+
+    def _rebuild_xor(self, record, entry: RankEntry):
+        group = entry.group_ranks
+        k = len(group)
+        shards: dict = {}
+        parity = None
+        for member in group:
+            m_entry = record.entry(member)
+            m_store = self.cluster.node_storage[m_entry.node_id].ramfs
+            if m_store.exists(m_entry.path):
+                raw, _ = m_store.read(m_entry.path)
+                padded, _ = pad_to_equal_length([raw])
+                shard = padded[0][:entry.padded_len]
+                shard += b"\x00" * (entry.padded_len - len(shard))
+                shards[m_entry.group_index] = shard
+            if m_entry.parity_path and m_store.exists(m_entry.parity_path):
+                raw, _ = m_store.read(m_entry.parity_path)
+                parity = raw
+        if parity is not None:
+            shards[k] = parity
+        if len(shards) < k:
+            raise InsufficientRedundancyError(
+                "SCR XOR set of rank %d lost more than one member"
+                % self.rank)
+        yield from self.mpi.compute(bytes_moved=2.0 * k * entry.padded_len)
+        code = ReedSolomonCode(k, 1)
+        data = code.decode(shards, entry.padded_len)
+        from ..fti.levels import _strip_pad
+
+        return _strip_pad(data[entry.group_index])
+
+    # -- helpers --------------------------------------------------------------------
+    def _level_tag(self) -> int:
+        return {ScrRedundancy.SINGLE: 1, ScrRedundancy.PARTNER: 2,
+                ScrRedundancy.XOR: 3}[self.config.scheme]
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise CheckpointError("SCR_Init was not called")
+
+    def _require_record(self) -> None:
+        self._require_init()
+        if self._open_record is None:
+            raise CheckpointError("no checkpoint is open: call "
+                                  "start_checkpoint first")

@@ -1,0 +1,29 @@
+"""Simulated MPI: deterministic SPMD runtime with fail-stop failures."""
+
+from . import reduceops as ops
+from .api import MpiApi
+from .communicator import Communicator
+from .datatypes import Message, Op, OpKind, Status, payload_nbytes
+from .errhandler import ErrHandler
+from .failures import DetectorSpec, FailureDetector, FailureLog
+from .overhead import OverheadModel, UlfmOverheadModel
+from .runtime import Runtime, StartState
+
+__all__ = [
+    "Communicator",
+    "DetectorSpec",
+    "ErrHandler",
+    "FailureDetector",
+    "FailureLog",
+    "Message",
+    "MpiApi",
+    "Op",
+    "OpKind",
+    "OverheadModel",
+    "Runtime",
+    "StartState",
+    "Status",
+    "UlfmOverheadModel",
+    "ops",
+    "payload_nbytes",
+]

@@ -1,0 +1,106 @@
+"""Communicators for the simulated runtime.
+
+A communicator is an ordered group of *world* ranks plus failure/revocation
+state. ULFM's ``shrink`` produces a new communicator of survivors; the
+paper's non-shrinking recovery then spawns replacements and merges them
+back, restoring the original size.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .errhandler import DEFAULT_ERRHANDLER, ErrHandler
+from ..errors import ConfigurationError
+
+_comm_ids = itertools.count(0)
+
+
+class Communicator:
+    """An ordered process group (compare ``MPI_Comm``)."""
+
+    def __init__(self, world_ranks, name: str = "comm",
+                 errhandler: ErrHandler = DEFAULT_ERRHANDLER):
+        world_ranks = list(world_ranks)
+        if not world_ranks:
+            raise ConfigurationError("communicator needs at least one rank")
+        if len(set(world_ranks)) != len(world_ranks):
+            raise ConfigurationError("duplicate ranks in communicator")
+        self.comm_id = next(_comm_ids)
+        self.name = name
+        self._world_ranks = world_ranks
+        self._rank_of = {w: i for i, w in enumerate(world_ranks)}
+        self.errhandler = errhandler
+        self.revoked = False
+
+    # -- group accessors ----------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._world_ranks)
+
+    @property
+    def world_ranks(self) -> tuple:
+        return tuple(self._world_ranks)
+
+    def rank_of(self, world_rank: int) -> int:
+        """Communicator-local rank of a world rank."""
+        return self._rank_of[world_rank]
+
+    def world_rank(self, local_rank: int) -> int:
+        """World rank of a communicator-local rank."""
+        return self._world_ranks[local_rank]
+
+    def contains(self, world_rank: int) -> bool:
+        return world_rank in self._rank_of
+
+    # -- derived communicators ----------------------------------------------
+    def dup(self, name: str | None = None) -> "Communicator":
+        """A fresh communicator with the same group (``MPI_Comm_dup``)."""
+        return Communicator(self._world_ranks, name or self.name + ".dup",
+                            errhandler=self.errhandler)
+
+    def split(self, colors: dict, name: str = "split") -> dict:
+        """Split by color (``MPI_Comm_split``); keys are world ranks."""
+        groups: dict = {}
+        for w in self._world_ranks:
+            color = colors[w]
+            if color is None:
+                continue
+            groups.setdefault(color, []).append(w)
+        return {
+            color: Communicator(ranks, "%s[%s]" % (name, color),
+                                errhandler=self.errhandler)
+            for color, ranks in groups.items()
+        }
+
+    def without(self, dead_ranks, name: str | None = None) -> "Communicator":
+        """Survivor communicator (what ``MPIX_Comm_shrink`` builds)."""
+        dead = set(dead_ranks)
+        survivors = [w for w in self._world_ranks if w not in dead]
+        return Communicator(survivors, name or self.name + ".shrunk",
+                            errhandler=self.errhandler)
+
+    def merged_with(self, new_ranks, name: str | None = None) -> "Communicator":
+        """Union communicator (``MPI_Intercomm_merge`` of spawn result).
+
+        New ranks are placed at the world-rank positions they replace, so
+        the merged communicator is ordered by world rank — matching the
+        paper's non-shrinking recovery where the repaired world has the
+        same rank layout as the original.
+        """
+        combined = sorted(set(self._world_ranks) | set(new_ranks))
+        return Communicator(combined, name or self.name + ".merged",
+                            errhandler=self.errhandler)
+
+    # -- failure state -------------------------------------------------------
+    def revoke(self) -> None:
+        """Mark revoked; every subsequent op on this comm raises."""
+        self.revoked = True
+
+    def set_errhandler(self, handler: ErrHandler) -> None:
+        self.errhandler = handler
+
+    def __repr__(self):
+        return "<Communicator %s id=%d size=%d%s>" % (
+            self.name, self.comm_id, self.size,
+            " REVOKED" if self.revoked else "")

@@ -1,0 +1,135 @@
+"""Operation and message datatypes exchanged between rank coroutines and
+the scheduler.
+
+Every MPI call an application makes is ultimately a ``yield`` of one of
+these operation records; the runtime matches them, advances virtual time
+and resumes the coroutine with the operation's result.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class OpKind(enum.Enum):
+    """Discriminator for scheduler dispatch."""
+
+    COMPUTE = "compute"
+    SEND = "send"
+    RECV = "recv"
+    BARRIER = "barrier"
+    BCAST = "bcast"
+    REDUCE = "reduce"
+    ALLREDUCE = "allreduce"
+    GATHER = "gather"
+    ALLGATHER = "allgather"
+    SCATTER = "scatter"
+    ALLTOALL = "alltoall"
+    SCAN = "scan"
+    ITER_MARK = "iter_mark"
+    STORE_WRITE = "store_write"
+    STORE_READ = "store_read"
+    REVOKE = "revoke"
+    SHRINK = "shrink"
+    SPAWN = "spawn"
+    MERGE = "merge"
+    AGREE = "agree"
+    ABORT = "abort"
+    SLEEP = "sleep"
+
+
+#: operation kinds resolved by a collective rendezvous of all comm members
+COLLECTIVE_KINDS = frozenset({
+    OpKind.BARRIER, OpKind.BCAST, OpKind.REDUCE, OpKind.ALLREDUCE,
+    OpKind.GATHER, OpKind.ALLGATHER, OpKind.SCATTER, OpKind.ALLTOALL,
+    OpKind.SCAN, OpKind.SHRINK, OpKind.SPAWN, OpKind.MERGE, OpKind.AGREE,
+})
+
+
+@dataclass
+class Op:
+    """One operation submitted by a rank coroutine.
+
+    ``rank`` is filled in by the runtime when the op is received, so
+    application-level helpers never need to know their own rank.
+    """
+
+    kind: OpKind
+    comm: Any = None
+    #: world rank of the peer (SEND destination / RECV source)
+    peer: Optional[int] = None
+    tag: int = 0
+    #: payload carried by SEND / contributed to a collective
+    payload: Any = None
+    #: bytes on the wire; inferred from payload when None
+    nbytes: Optional[int] = None
+    #: root world-rank index *within the communicator* for rooted collectives
+    root: int = 0
+    #: reduction callable for REDUCE/ALLREDUCE/SCAN
+    reduce_op: Optional[Callable] = None
+    #: seconds of local work for COMPUTE / SLEEP
+    seconds: float = 0.0
+    #: iteration number for ITER_MARK
+    iteration: int = -1
+    #: storage tier + path for STORE_* ops
+    store: Any = None
+    path: str = ""
+    #: world rank doing the op; assigned by the runtime
+    rank: int = -1
+
+    def __post_init__(self):
+        if self.nbytes is None:
+            self.nbytes = payload_nbytes(self.payload)
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Best-effort wire size of a payload object.
+
+    numpy arrays report their true buffer size; scalars count as 8 bytes;
+    ``bytes`` count themselves; everything else is sized by a shallow
+    structural walk with an 8-byte floor.
+    """
+    if payload is None:
+        return 0
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (int, float, bool)):
+        return 8
+    if isinstance(payload, complex):
+        return 16
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return max(8, sum(payload_nbytes(item) for item in payload))
+    if isinstance(payload, dict):
+        return max(8, sum(payload_nbytes(k) + payload_nbytes(v)
+                          for k, v in payload.items()))
+    return 8
+
+
+@dataclass
+class Status:
+    """Completion record handed back with RECV results."""
+
+    source: int
+    tag: int
+    nbytes: int
+    completed_at: float
+
+
+@dataclass
+class Message:
+    """An in-flight point-to-point message held in the unexpected queue."""
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    sent_at: float
+    seq: int = field(default=0)

@@ -1,0 +1,24 @@
+"""MPI error handler semantics.
+
+The default world error handler is ``ERRORS_ARE_FATAL``: a detected process
+failure aborts the whole job (this is what plain Restart relies on). ULFM
+flips the world to ``ERRORS_RETURN`` so failures surface as exceptions in
+the affected ranks, which the application-level recovery code catches —
+exactly the control flow of Figure 3 in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ErrHandler(enum.Enum):
+    """How a communicator reacts to a detected failure."""
+
+    #: abort the entire job (MPI default)
+    FATAL = "errors_are_fatal"
+    #: raise the error inside the calling rank(s) and keep the job alive
+    RETURN = "errors_return"
+
+
+DEFAULT_ERRHANDLER = ErrHandler.FATAL

@@ -1,0 +1,103 @@
+"""Fail-stop failure bookkeeping and detection model.
+
+A killed process stops at a definite virtual time; surviving peers observe
+the failure only after the detector's latency has elapsed — waiting inside
+a blocked operation until then, exactly as a real MPI stack behaves. The
+detection latency follows the heartbeat-ring detector of Bosilca et al.
+("A failure detector for HPC platforms", IJHPCA 2018) that ULFM ships:
+roughly one heartbeat period plus a log-depth propagation wave.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """Failure-detector timing parameters."""
+
+    #: heartbeat period in seconds (ULFM default is 100 ms class)
+    heartbeat_period: float = 0.1
+    #: missed-beat multiplier before declaring a process dead
+    timeout_beats: int = 3
+    #: per-hop propagation latency of the failure notice
+    propagation_hop: float = 5e-4
+
+    def __post_init__(self):
+        if self.heartbeat_period <= 0 or self.timeout_beats < 1:
+            raise ConfigurationError("invalid detector parameters")
+
+
+class FailureDetector:
+    """Computes when a failure at time ``t`` becomes visible to peers."""
+
+    def __init__(self, spec: DetectorSpec | None = None):
+        self.spec = spec or DetectorSpec()
+
+    def detection_latency(self, nprocs: int) -> float:
+        """Seconds from actual death to global knowledge of it."""
+        s = self.spec
+        wave = math.ceil(math.log2(max(2, nprocs))) * s.propagation_hop
+        return s.heartbeat_period * s.timeout_beats + wave
+
+    def detected_at(self, failure_time: float, nprocs: int) -> float:
+        return failure_time + self.detection_latency(nprocs)
+
+
+@dataclass
+class FailureRecord:
+    """One observed process failure."""
+
+    rank: int
+    failed_at: float
+    iteration: int = -1
+    detected_at: float = field(default=0.0)
+
+
+class FailureLog:
+    """Job-wide record of failures, queried by ops and recovery code."""
+
+    def __init__(self, detector: FailureDetector, nprocs: int):
+        self._detector = detector
+        self._nprocs = nprocs
+        self._records: dict[int, FailureRecord] = {}
+
+    def record(self, rank: int, failed_at: float,
+               iteration: int = -1) -> FailureRecord:
+        rec = FailureRecord(
+            rank=rank, failed_at=failed_at, iteration=iteration,
+            detected_at=self._detector.detected_at(failed_at, self._nprocs),
+        )
+        self._records[rank] = rec
+        return rec
+
+    def is_failed(self, rank: int) -> bool:
+        return rank in self._records
+
+    def failed_ranks(self) -> tuple:
+        return tuple(sorted(self._records))
+
+    def record_for(self, rank: int) -> FailureRecord:
+        return self._records[rank]
+
+    def any_failed(self, ranks) -> list:
+        return [r for r in ranks if r in self._records]
+
+    def earliest_detection(self, ranks) -> float:
+        """Earliest time at which any failure among ``ranks`` is visible."""
+        times = [self._records[r].detected_at for r in ranks
+                 if r in self._records]
+        if not times:
+            raise KeyError("no failed ranks among %s" % (list(ranks),))
+        return min(times)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def forget(self, rank: int) -> None:
+        """Drop the record for a rank (after a replacement was spawned)."""
+        self._records.pop(rank, None)

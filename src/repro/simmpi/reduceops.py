@@ -1,0 +1,61 @@
+"""Reduction operators for collectives (the analogue of ``MPI_Op``).
+
+All operators work on scalars and element-wise on numpy arrays, matching
+MPI semantics for contiguous buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def SUM(a, b):
+    """Element-wise sum (``MPI_SUM``)."""
+    return a + b
+
+
+def PROD(a, b):
+    """Element-wise product (``MPI_PROD``)."""
+    return a * b
+
+
+def MAX(a, b):
+    """Element-wise maximum (``MPI_MAX``)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return a if a >= b else b
+
+
+def MIN(a, b):
+    """Element-wise minimum (``MPI_MIN``)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return a if a <= b else b
+
+
+def LAND(a, b):
+    """Logical and (``MPI_LAND``)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_and(a, b)
+    return bool(a) and bool(b)
+
+
+def LOR(a, b):
+    """Logical or (``MPI_LOR``)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_or(a, b)
+    return bool(a) or bool(b)
+
+
+def BAND(a, b):
+    """Bitwise and (``MPI_BAND``) — used by ULFM's agreement."""
+    return a & b
+
+
+def reduce_contributions(contributions, op):
+    """Left fold of rank-ordered contributions, as MPI requires."""
+    it = iter(contributions)
+    acc = next(it)
+    for value in it:
+        acc = op(acc, value)
+    return acc

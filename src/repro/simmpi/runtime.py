@@ -1,0 +1,771 @@
+"""The simulated MPI runtime: a deterministic SPMD scheduler.
+
+Every rank is a Python generator coroutine. An MPI call is a ``yield`` of
+an :class:`~repro.simmpi.datatypes.Op`; the scheduler matches operations,
+prices them with the cluster's network/storage models, advances per-rank
+virtual clocks and resumes coroutines with results. Failures are
+fail-stop: a killed rank simply stops yielding, and peers observe
+:class:`~repro.errors.ProcessFailedError` once the failure detector's
+latency has elapsed — or the whole job aborts if the communicator's error
+handler is ``FATAL`` (the Restart design's path).
+
+Scheduling is rank-ordered and time-independent of host wall-clock, so
+every experiment is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from .communicator import Communicator
+from .datatypes import COLLECTIVE_KINDS, Message, Op, OpKind, Status
+from .errhandler import ErrHandler
+from .failures import DetectorSpec, FailureDetector, FailureLog
+from .overhead import OverheadModel
+from .reduceops import BAND, reduce_contributions
+from ..cluster.machine import Cluster
+from ..cluster.simclock import SimClock
+from ..errors import (
+    CommRevokedError,
+    DeadlockError,
+    JobAbortedError,
+    ProcessFailedError,
+    SimulationError,
+)
+
+
+class RankStatus(enum.Enum):
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+    DEAD = "dead"
+
+
+class StartState(enum.Enum):
+    """Why this coroutine instance was started (visible to applications)."""
+
+    INITIAL = "initial"
+    #: restarted by Reinit's global-restart path
+    RESTARTED = "restarted"
+    #: spawned as a replacement during ULFM non-shrinking recovery
+    RESPAWNED = "respawned"
+
+
+class _Throw:
+    """Marker: deliver an exception into the coroutine at next resume."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
+@dataclass
+class _Rank:
+    rank: int
+    gen: Generator
+    status: RankStatus = RankStatus.READY
+    #: value (or _Throw) to deliver at next resume
+    inbox: Any = None
+    exit_value: Any = None
+    #: the op this rank is currently blocked on, if any
+    blocked_on: Optional[Op] = None
+    start_state: StartState = StartState.INITIAL
+
+
+@dataclass
+class _CollectiveSite:
+    """Rendezvous point for one collective call on one communicator.
+
+    Roster tracking is incremental (O(1) per arrival): ``missing`` holds
+    the alive members that have not arrived yet, and ``dead_flag`` is set
+    as soon as any member is known failed.
+    """
+
+    comm: Communicator
+    kind: OpKind
+    #: world rank -> (Op, arrival time)
+    arrivals: dict = field(default_factory=dict)
+    #: alive members still expected
+    missing: set = field(default_factory=set)
+    dead_flag: bool = False
+
+    @classmethod
+    def create(cls, comm: Communicator, kind: OpKind,
+               failure_log: FailureLog) -> "_CollectiveSite":
+        site = cls(comm=comm, kind=kind)
+        dead = [w for w in failure_log.failed_ranks() if comm.contains(w)]
+        site.missing = set(comm.world_ranks).difference(dead)
+        site.dead_flag = bool(dead)
+        return site
+
+    def note_arrival(self, rank: int) -> None:
+        self.missing.discard(rank)
+
+    def note_failure(self, rank: int) -> None:
+        if self.comm.contains(rank):
+            self.missing.discard(rank)
+            self.dead_flag = True
+
+    def complete_roster(self) -> bool:
+        return not self.missing
+
+    def has_dead_member(self) -> bool:
+        return self.dead_flag
+
+
+class Runtime:
+    """Owns the coroutines, the clock and all matching state for one job."""
+
+    #: cost constants for ULFM recovery operations (seconds); the log-depth
+    #: scaling is what makes ULFM recovery grow with process count (Fig. 7)
+    REVOKE_ALPHA = 0.012
+    SHRINK_ALPHA = 0.11
+    #: ULFM's shrink runs an all-to-all style consensus whose volume grows
+    #: with the group: a per-process term on top of the log-depth rounds
+    SHRINK_PER_PROC = 0.008
+    AGREE_ALPHA = 0.055
+    MERGE_ALPHA = 0.035
+    SPAWN_BASE = 0.9
+    SPAWN_PER_PROC = 0.012
+
+    def __init__(self, cluster: Cluster, nprocs: int,
+                 entry: Callable[["MpiApi"], Generator],
+                 detector_spec: DetectorSpec | None = None,
+                 overhead: OverheadModel | None = None,
+                 fault_plan=None,
+                 on_global_failure: Optional[Callable] = None,
+                 errhandler: ErrHandler = ErrHandler.FATAL):
+        from .api import MpiApi  # local import to avoid a cycle
+
+        self.cluster = cluster
+        self.nprocs = nprocs
+        self.entry = entry
+        self.clock = SimClock(nprocs)
+        self.detector = FailureDetector(detector_spec)
+        self.failure_log = FailureLog(self.detector, nprocs)
+        self.overhead = overhead or OverheadModel()
+        self.fault_plan = fault_plan
+        #: Reinit hooks in here: called instead of aborting the job
+        self.on_global_failure = on_global_failure
+        self.world = Communicator(range(nprocs), "world",
+                                  errhandler=errhandler)
+        cluster.place_job(nprocs)
+        self._api_cls = MpiApi
+        self._ranks: dict[int, _Rank] = {}
+        self._send_queue: list[Message] = []
+        self._recv_waiters: dict[int, Op] = {}
+        self._sites: dict[int, list] = {}
+        self._seq = 0
+        self._aborted: Optional[JobAbortedError] = None
+        self._pending_global_failure: Optional[tuple] = None
+        self._pending_spawned: list = []
+        #: synthetic rendezvous comm for survivors + freshly spawned ranks
+        self._merge_comm: Optional[Communicator] = None
+        self._comm_cache: dict[tuple, Communicator] = {}
+        self.abort_time: float = 0.0
+        #: diagnostics for tests and the harness
+        self.stats = {"p2p_messages": 0, "collectives": 0, "spawns": 0,
+                      "reinit_rollbacks": 0}
+        for rank in range(nprocs):
+            self._spawn_coroutine(rank, StartState.INITIAL)
+
+    # ------------------------------------------------------------------ #
+    # coroutine lifecycle                                                #
+    # ------------------------------------------------------------------ #
+    def _spawn_coroutine(self, rank: int, state: StartState) -> None:
+        api = self._api_cls(self, rank, state)
+        gen = self.entry(api)
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                "entry %r must be a generator function" % (self.entry,))
+        self._ranks[rank] = _Rank(rank=rank, gen=gen, start_state=state)
+
+    def api_for(self, rank: int):
+        """Build a fresh API facade for ``rank`` (used by tests)."""
+        return self._api_cls(self, rank, self._ranks[rank].start_state)
+
+    def cached_comm(self, world_ranks, name: str) -> Communicator:
+        """Canonical communicator shared by every rank that asks for the
+        same (group, name) — SPMD code in different coroutines must agree
+        on the communicator *object* for collectives to rendezvous."""
+        key = (tuple(world_ranks), name)
+        comm = self._comm_cache.get(key)
+        if comm is None:
+            comm = Communicator(key[0], name)
+            self._comm_cache[key] = comm
+        return comm
+
+    # ------------------------------------------------------------------ #
+    # public queries                                                     #
+    # ------------------------------------------------------------------ #
+    def is_alive(self, rank: int) -> bool:
+        return (rank in self._ranks
+                and self._ranks[rank].status is not RankStatus.DEAD)
+
+    def makespan(self) -> float:
+        return self.clock.global_now()
+
+    def ranks_per_node(self) -> int:
+        return -(-self.nprocs // self.cluster.nnodes)
+
+    # ------------------------------------------------------------------ #
+    # the driver loop                                                    #
+    # ------------------------------------------------------------------ #
+    def run(self) -> dict:
+        """Drive every rank to completion; returns rank -> exit value.
+
+        Raises :class:`JobAbortedError` if a failure hits a FATAL
+        communicator and no global-failure hook is installed.
+        """
+        while True:
+            if self._aborted is not None:
+                raise self._aborted
+            if self._pending_global_failure is not None:
+                when, failed = self._pending_global_failure
+                self._pending_global_failure = None
+                self.on_global_failure(self, when, failed)
+                continue
+            progressed = self._round()
+            if self._all_finished():
+                break
+            if not progressed and self._pending_global_failure is None:
+                self._resolve_stalled_failures()
+                if self._aborted is not None:
+                    raise self._aborted
+                if (self._pending_global_failure is None
+                        and not self._any_ready()
+                        and not self._all_finished()):
+                    self._raise_deadlock()
+        return {r: st.exit_value for r, st in self._ranks.items()
+                if st.status is RankStatus.DONE}
+
+    def _round(self) -> bool:
+        progressed = False
+        for rank in sorted(self._ranks):
+            state = self._ranks[rank]
+            if state.status is RankStatus.READY:
+                self._step(rank)
+                progressed = True
+                if (self._aborted is not None
+                        or self._pending_global_failure is not None):
+                    return progressed
+        return progressed
+
+    def _any_ready(self) -> bool:
+        return any(s.status is RankStatus.READY for s in self._ranks.values())
+
+    def _all_finished(self) -> bool:
+        return all(s.status in (RankStatus.DONE, RankStatus.DEAD)
+                   for s in self._ranks.values())
+
+    def _step(self, rank: int) -> None:
+        state = self._ranks[rank]
+        inbox, state.inbox = state.inbox, None
+        try:
+            if isinstance(inbox, _Throw):
+                op = state.gen.throw(inbox.exc)
+            else:
+                op = state.gen.send(inbox)
+        except StopIteration as stop:
+            state.status = RankStatus.DONE
+            state.exit_value = stop.value
+            self._on_rank_gone(rank)
+            return
+        if not isinstance(op, Op):
+            raise SimulationError(
+                "rank %d yielded %r instead of an Op" % (rank, op))
+        op.rank = rank
+        self._dispatch(rank, op)
+
+    # ------------------------------------------------------------------ #
+    # dispatch                                                           #
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, rank: int, op: Op) -> None:
+        kind = op.kind
+        if op.comm is not None and op.comm.revoked and kind not in (
+                OpKind.SHRINK, OpKind.AGREE, OpKind.ABORT):
+            self._deliver_error(rank, CommRevokedError(
+                "op %s on revoked %s" % (kind.value, op.comm.name)))
+            return
+        if kind is OpKind.COMPUTE:
+            factor = self.overhead.compute_factor(self.nprocs)
+            self.clock.advance(rank, op.seconds * factor)
+            self._mark_ready(rank, None)
+        elif kind is OpKind.SLEEP:
+            self.clock.advance(rank, op.seconds)
+            self._mark_ready(rank, None)
+        elif kind is OpKind.ITER_MARK:
+            self._handle_iter_mark(rank, op)
+        elif kind is OpKind.STORE_WRITE:
+            duration = op.store.write(op.path, op.payload,
+                                      now=self.clock.now(rank))
+            self.clock.advance(rank, duration)
+            self._mark_ready(rank, duration)
+        elif kind is OpKind.STORE_READ:
+            data, duration = op.store.read(op.path)
+            self.clock.advance(rank, duration)
+            self._mark_ready(rank, data)
+        elif kind is OpKind.SEND:
+            self._handle_send(rank, op)
+        elif kind is OpKind.RECV:
+            self._handle_recv(rank, op)
+        elif kind is OpKind.REVOKE:
+            self._handle_revoke(rank, op)
+        elif kind is OpKind.ABORT:
+            self._abort_job(self.clock.now(rank),
+                            "MPI_Abort called by rank %d" % rank)
+        elif kind in COLLECTIVE_KINDS:
+            self._handle_collective(rank, op)
+        else:
+            raise SimulationError("unhandled op kind %s" % kind)
+
+    def _mark_ready(self, rank: int, result: Any) -> None:
+        state = self._ranks[rank]
+        state.status = RankStatus.READY
+        state.inbox = result
+        state.blocked_on = None
+
+    def _deliver_error(self, rank: int, exc: BaseException,
+                       at_time: float | None = None) -> None:
+        state = self._ranks[rank]
+        if at_time is not None:
+            self.clock.advance_to(rank, at_time)
+        state.status = RankStatus.READY
+        state.inbox = _Throw(exc)
+        state.blocked_on = None
+
+    # ------------------------------------------------------------------ #
+    # fault injection                                                    #
+    # ------------------------------------------------------------------ #
+    def _handle_iter_mark(self, rank: int, op: Op) -> None:
+        event = (self.fault_plan.event_for(rank, op.iteration)
+                 if self.fault_plan is not None else None)
+        if event is not None:
+            if getattr(event, "kind", "process") == "node":
+                self.kill_node(self.cluster.node_of(rank),
+                               iteration=op.iteration)
+            else:
+                self.kill(rank, iteration=op.iteration)
+            return
+        self._mark_ready(rank, None)
+
+    def kill_node(self, node_id: int, iteration: int = -1) -> None:
+        """Fail-stop a whole node: every rank on it dies and its volatile
+        storage (RAMFS/SSD, i.e. any L1 checkpoints) is destroyed.
+
+        The node is modeled as rebooting before replacements arrive, so
+        placement is unchanged — but the lost storage means recovery
+        must come from a redundant FTI level (L2+).
+        """
+        victims = list(self.cluster.ranks_on_node(node_id))
+        self.cluster.node_storage[node_id].wipe()
+        for rank in victims:
+            if self.is_alive(rank):
+                self.kill(rank, iteration=iteration)
+
+    def kill(self, rank: int, iteration: int = -1) -> None:
+        """Fail-stop ``rank`` at its current local time (SIGTERM model)."""
+        state = self._ranks[rank]
+        if state.status is RankStatus.DEAD:
+            return
+        failed_at = self.clock.now(rank)
+        state.status = RankStatus.DEAD
+        state.blocked_on = None
+        state.gen.close()
+        self.failure_log.record(rank, failed_at, iteration)
+        self._on_failure_recorded(rank)
+
+    def _on_rank_gone(self, rank: int) -> None:
+        """Completion (DONE) needs no matching cleanup; placeholder hook."""
+
+    def _on_failure_recorded(self, failed_rank: int) -> None:
+        """Wake every op that can now observe the failure."""
+        rec = self.failure_log.record_for(failed_rank)
+        # blocked receivers waiting on the failed rank
+        for waiter_rank, op in list(self._recv_waiters.items()):
+            if op.peer == failed_rank or op.peer is None:
+                self._fail_blocked_op(waiter_rank, op, rec.detected_at)
+        # queued sends headed to the failed rank never complete; the sender
+        # already continued (eager semantics), so just drop the messages
+        self._send_queue = [m for m in self._send_queue
+                            if m.dest != failed_rank]
+        # collective sites including the failed rank
+        for sites in self._sites.values():
+            for site in list(sites):
+                if site.comm.contains(failed_rank):
+                    site.note_failure(failed_rank)
+                    self._maybe_resolve_site(site)
+
+    def _fail_blocked_op(self, rank: int, op: Op, detected_at: float) -> None:
+        handler = (op.comm.errhandler if op.comm is not None
+                   else self.world.errhandler)
+        failed = self.failure_log.failed_ranks()
+        when = max(self.clock.now(rank), detected_at)
+        self._recv_waiters.pop(rank, None)
+        if handler is ErrHandler.FATAL:
+            self._global_failure(when, failed)
+        else:
+            self._deliver_error(rank, ProcessFailedError(failed), when)
+
+    # ------------------------------------------------------------------ #
+    # global failure: abort or Reinit                                    #
+    # ------------------------------------------------------------------ #
+    def _global_failure(self, when: float, failed_ranks) -> None:
+        if self.on_global_failure is not None:
+            # defer to the driver loop: restarting mid-dispatch would pull
+            # the rug out from under the code that detected the failure
+            if self._pending_global_failure is None:
+                self._pending_global_failure = (when, tuple(failed_ranks))
+            return
+        self._abort_job(when, "process failure on ranks %s with FATAL "
+                              "error handler" % (list(failed_ranks),))
+
+    def _abort_job(self, when: float, reason: str) -> None:
+        self.abort_time = max(when, self.abort_time)
+        self._aborted = JobAbortedError(reason)
+
+    def global_restart(self, restart_time: float) -> None:
+        """Reinit's core move: re-enter every rank at the restart point.
+
+        All coroutines (dead or alive) are discarded and restarted with
+        ``StartState.RESTARTED``; clocks jump to ``restart_time``. MPI
+        state is repaired by construction: a fresh world communicator.
+        """
+        for state in self._ranks.values():
+            if state.status not in (RankStatus.DEAD, RankStatus.DONE):
+                state.gen.close()
+        self.failure_log.clear()
+        self._send_queue.clear()
+        self._recv_waiters.clear()
+        self._sites.clear()
+        self._comm_cache.clear()
+        self.world = Communicator(range(self.nprocs), "world",
+                                  errhandler=self.world.errhandler)
+        for rank in range(self.nprocs):
+            self._spawn_coroutine(rank, StartState.RESTARTED)
+            self.clock.advance_to(rank, restart_time)
+        self.stats["reinit_rollbacks"] += 1
+
+    # ------------------------------------------------------------------ #
+    # point to point                                                     #
+    # ------------------------------------------------------------------ #
+    def _ptp_cost(self, src: int, dst: int, nbytes: int) -> float:
+        intra = self.cluster.same_node(src, dst)
+        return (self.cluster.network.ptp_time(nbytes, intra_node=intra)
+                + self.overhead.ptp_extra(self.nprocs, nbytes))
+
+    def _handle_send(self, rank: int, op: Op) -> None:
+        """Eager/buffered send: sender pays overhead and proceeds."""
+        dest = op.peer
+        if self.failure_log.is_failed(dest):
+            rec = self.failure_log.record_for(dest)
+            self._fail_blocked_op(rank, op, rec.detected_at)
+            return
+        self._seq += 1
+        msg = Message(source=rank, dest=dest, tag=op.tag, payload=op.payload,
+                      nbytes=op.nbytes, sent_at=self.clock.now(rank),
+                      seq=self._seq)
+        self.stats["p2p_messages"] += 1
+        # sender-side overhead: injection latency only (eager protocol)
+        self.clock.advance(rank, self.cluster.network.spec.alpha_intra
+                           if self.cluster.same_node(rank, dest)
+                           else self.cluster.network.spec.alpha_inter)
+        waiter = self._recv_waiters.get(dest)
+        if waiter is not None and self._matches(waiter, msg):
+            self._complete_recv(dest, waiter, msg)
+        else:
+            self._send_queue.append(msg)
+        self._mark_ready(rank, None)
+
+    def _handle_recv(self, rank: int, op: Op) -> None:
+        for i, msg in enumerate(self._send_queue):
+            if msg.dest == rank and self._matches(op, msg):
+                del self._send_queue[i]
+                self._complete_recv(rank, op, msg)
+                return
+        source = op.peer
+        if source is not None and self.failure_log.is_failed(source):
+            rec = self.failure_log.record_for(source)
+            self._fail_blocked_op(rank, op, rec.detected_at)
+            return
+        if rank in self._recv_waiters:
+            raise SimulationError(
+                "rank %d posted a second blocking recv" % rank)
+        op.rank = rank
+        self._recv_waiters[rank] = op
+        state = self._ranks[rank]
+        state.status = RankStatus.BLOCKED
+        state.blocked_on = op
+
+    @staticmethod
+    def _matches(recv_op: Op, msg: Message) -> bool:
+        source_ok = recv_op.peer is None or recv_op.peer == msg.source
+        tag_ok = recv_op.tag is None or recv_op.tag == msg.tag
+        return source_ok and tag_ok
+
+    def _complete_recv(self, rank: int, op: Op, msg: Message) -> None:
+        self._recv_waiters.pop(rank, None)
+        cost = self._ptp_cost(msg.source, rank, msg.nbytes)
+        completion = max(self.clock.now(rank), msg.sent_at + cost)
+        self.clock.advance_to(rank, completion)
+        status = Status(source=msg.source, tag=msg.tag, nbytes=msg.nbytes,
+                        completed_at=completion)
+        self._mark_ready(rank, (msg.payload, status))
+
+    # ------------------------------------------------------------------ #
+    # collectives                                                        #
+    # ------------------------------------------------------------------ #
+    def _handle_collective(self, rank: int, op: Op) -> None:
+        comm = op.comm or self.world
+        if op.kind is OpKind.MERGE and self._merge_comm is not None:
+            # both survivors (who pass the shrunk comm) and replacements
+            # (who pass None, like joining via the parent intercomm) are
+            # routed to the synthetic spawn-merge rendezvous
+            comm = self._merge_comm
+        op.comm = comm
+        if not comm.contains(rank):
+            raise SimulationError(
+                "rank %d called %s on %s it does not belong to"
+                % (rank, op.kind.value, comm.name))
+        sites = self._sites.setdefault(comm.comm_id, [])
+        site = None
+        for candidate in sites:
+            if rank not in candidate.arrivals:
+                if candidate.kind is not op.kind:
+                    raise SimulationError(
+                        "collective mismatch on %s: rank %d called %s while "
+                        "site expects %s" % (comm.name, rank, op.kind.value,
+                                             candidate.kind.value))
+                site = candidate
+                break
+        if site is None:
+            site = _CollectiveSite.create(comm, op.kind, self.failure_log)
+            sites.append(site)
+        site.arrivals[rank] = (op, self.clock.now(rank))
+        site.note_arrival(rank)
+        state = self._ranks[rank]
+        state.status = RankStatus.BLOCKED
+        state.blocked_on = op
+        self._maybe_resolve_site(site)
+
+    def _maybe_resolve_site(self, site: _CollectiveSite) -> None:
+        if not site.complete_roster():
+            return
+        if not site.arrivals:
+            self._discard_site(site)
+            return
+        if site.has_dead_member() and site.kind not in (
+                OpKind.SHRINK, OpKind.AGREE, OpKind.SPAWN, OpKind.MERGE):
+            self._resolve_site_as_failure(site)
+            return
+        self._resolve_site(site)
+
+    def _discard_site(self, site: _CollectiveSite) -> None:
+        sites = self._sites.get(site.comm.comm_id, [])
+        if site in sites:
+            sites.remove(site)
+
+    def _resolve_site_as_failure(self, site: _CollectiveSite) -> None:
+        self._discard_site(site)
+        failed = self.failure_log.failed_ranks()
+        detected = self.failure_log.earliest_detection(site.comm.world_ranks)
+        if site.comm.errhandler is ErrHandler.FATAL:
+            arrivals = [t for (_, t) in site.arrivals.values()]
+            self._global_failure(max([detected] + arrivals), failed)
+            return
+        for rank, (_, arrival) in site.arrivals.items():
+            if self._ranks[rank].status is RankStatus.BLOCKED:
+                self._deliver_error(rank, ProcessFailedError(failed),
+                                    max(arrival, detected))
+
+    def _collective_cost(self, kind: OpKind, nprocs: int, nbytes: int) -> float:
+        net = self.cluster.network
+        if kind is OpKind.BARRIER:
+            base = net.barrier_time(nprocs)
+        elif kind is OpKind.BCAST:
+            base = net.bcast_time(nprocs, nbytes)
+        elif kind is OpKind.REDUCE:
+            base = net.reduce_time(nprocs, nbytes)
+        elif kind is OpKind.ALLREDUCE:
+            base = net.allreduce_time(nprocs, nbytes)
+        elif kind is OpKind.GATHER:
+            base = net.gather_time(nprocs, nbytes)
+        elif kind is OpKind.ALLGATHER:
+            base = net.allgather_time(nprocs, nbytes)
+        elif kind is OpKind.SCATTER:
+            base = net.scatter_time(nprocs, nbytes)
+        elif kind is OpKind.ALLTOALL:
+            base = net.alltoall_time(nprocs, nbytes)
+        elif kind is OpKind.SCAN:
+            base = net.scan_time(nprocs, nbytes)
+        elif kind is OpKind.SHRINK:
+            base = (self.SHRINK_ALPHA * math.log2(max(2, nprocs))
+                    + self.SHRINK_PER_PROC * nprocs)
+        elif kind is OpKind.AGREE:
+            base = 2.0 * self.AGREE_ALPHA * math.log2(max(2, nprocs))
+        elif kind is OpKind.MERGE:
+            base = self.MERGE_ALPHA * math.log2(max(2, nprocs))
+        elif kind is OpKind.SPAWN:
+            base = 0.0  # priced separately in _resolve_site
+        else:
+            raise SimulationError("no cost model for %s" % kind)
+        return base + self.overhead.collective_extra(nprocs, nbytes)
+
+    def _resolve_site(self, site: _CollectiveSite) -> None:
+        self._discard_site(site)
+        self.stats["collectives"] += 1
+        participants = sorted(site.arrivals)
+        arrivals = [site.arrivals[r][1] for r in participants]
+        ops = {r: site.arrivals[r][0] for r in participants}
+        nprocs = len(participants)
+        max_nbytes = max((ops[r].nbytes or 0) for r in participants)
+        cost = self._collective_cost(site.kind, nprocs, max_nbytes)
+        completion = max(arrivals) + cost
+        results = self._collective_results(site, participants, ops)
+        if site.kind is OpKind.SPAWN:
+            completion += self._do_spawn(site, ops, completion)
+            results = self._collective_results(site, participants, ops)
+        for rank in participants:
+            self.clock.advance_to(rank, completion)
+            self._mark_ready(rank, results[rank])
+
+    def _collective_results(self, site, participants, ops) -> dict:
+        kind = site.kind
+        comm = site.comm
+        if kind is OpKind.BARRIER:
+            return {r: None for r in participants}
+        if kind is OpKind.BCAST:
+            root_world = comm.world_rank(ops[participants[0]].root)
+            value = ops[root_world].payload
+            return {r: value for r in participants}
+        if kind in (OpKind.REDUCE, OpKind.ALLREDUCE):
+            op_fn = ops[participants[0]].reduce_op
+            ordered = [ops[w].payload
+                       for w in comm.world_ranks if w in ops]
+            total = reduce_contributions(ordered, op_fn)
+            if kind is OpKind.ALLREDUCE:
+                return {r: total for r in participants}
+            root_world = comm.world_rank(ops[participants[0]].root)
+            return {r: (total if r == root_world else None)
+                    for r in participants}
+        if kind in (OpKind.GATHER, OpKind.ALLGATHER):
+            gathered = [ops[w].payload
+                        for w in comm.world_ranks if w in ops]
+            if kind is OpKind.ALLGATHER:
+                return {r: list(gathered) for r in participants}
+            root_world = comm.world_rank(ops[participants[0]].root)
+            return {r: (list(gathered) if r == root_world else None)
+                    for r in participants}
+        if kind is OpKind.SCATTER:
+            root_world = comm.world_rank(ops[participants[0]].root)
+            chunks = ops[root_world].payload
+            return {r: chunks[comm.rank_of(r)] for r in participants}
+        if kind is OpKind.ALLTOALL:
+            blocks = {r: ops[r].payload for r in participants}
+            return {
+                r: [blocks[s][comm.rank_of(r)]
+                    for s in comm.world_ranks if s in blocks]
+                for r in participants
+            }
+        if kind is OpKind.SCAN:
+            op_fn = ops[participants[0]].reduce_op
+            out, acc = {}, None
+            for w in comm.world_ranks:
+                if w not in ops:
+                    continue
+                acc = ops[w].payload if acc is None else op_fn(acc, ops[w].payload)
+                out[w] = acc
+            return out
+        if kind is OpKind.SHRINK:
+            shrunk = comm.without(self.failure_log.failed_ranks())
+            return {r: shrunk for r in participants}
+        if kind is OpKind.AGREE:
+            flags = [ops[w].payload for w in comm.world_ranks if w in ops]
+            agreed = reduce_contributions(flags, BAND)
+            return {r: agreed for r in participants}
+        if kind is OpKind.MERGE:
+            merged = comm.merged_with(self._pending_spawned,
+                                      name="world.repaired")
+            self._pending_spawned = []
+            self._merge_comm = None
+            return {r: merged for r in participants}
+        if kind is OpKind.SPAWN:
+            return {r: list(self._pending_spawned) for r in participants}
+        raise SimulationError("no result rule for %s" % kind)
+
+    def _do_spawn(self, site: _CollectiveSite, ops, when: float) -> float:
+        """Respawn replacements for every currently-failed rank.
+
+        Returns the additional seconds the spawn costs beyond the
+        rendezvous. Replacement processes reuse the dead world ranks' ids
+        (the paper's non-shrinking recovery restores the original layout).
+        """
+        dead = list(self.failure_log.failed_ranks())
+        cost = (self.SPAWN_BASE
+                + self.SPAWN_PER_PROC * max(1, len(dead))
+                + self.MERGE_ALPHA * math.log2(max(2, self.nprocs)))
+        for rank in dead:
+            self._spawn_coroutine(rank, StartState.RESPAWNED)
+            self.clock.advance_to(rank, when + cost)
+            self.failure_log.forget(rank)
+        self._pending_spawned = dead
+        # the rendezvous (and thus the merged world) must inherit the
+        # shrunk comm's error handler, or a later failure on the repaired
+        # world would wrongly be treated as fatal
+        self._merge_comm = Communicator(
+            sorted(set(site.comm.world_ranks) | set(dead)), "merge.pending",
+            errhandler=site.comm.errhandler)
+        self.stats["spawns"] += 1
+        return cost
+
+    # ------------------------------------------------------------------ #
+    # revoke                                                             #
+    # ------------------------------------------------------------------ #
+    def _handle_revoke(self, rank: int, op: Op) -> None:
+        comm = op.comm
+        now = self.clock.now(rank)
+        cost = self.REVOKE_ALPHA * math.log2(max(2, comm.size))
+        comm.revoke()
+        notice_at = now + cost
+        # interrupt pending receives from members of this communicator
+        for waiter_rank, waiter in list(self._recv_waiters.items()):
+            if comm.contains(waiter_rank):
+                self._recv_waiters.pop(waiter_rank, None)
+                self._deliver_error(waiter_rank, CommRevokedError(),
+                                    max(self.clock.now(waiter_rank),
+                                        notice_at))
+        # poison collective sites on this communicator
+        for site in list(self._sites.get(comm.comm_id, [])):
+            self._discard_site(site)
+            for member, (_, arrival) in site.arrivals.items():
+                if self._ranks[member].status is RankStatus.BLOCKED:
+                    self._deliver_error(member, CommRevokedError(),
+                                        max(arrival, notice_at))
+        self.clock.advance(rank, cost)
+        self._mark_ready(rank, None)
+
+    # ------------------------------------------------------------------ #
+    # stall resolution / deadlock                                        #
+    # ------------------------------------------------------------------ #
+    def _resolve_stalled_failures(self) -> None:
+        """Re-check blocked ops against the failure log (safety net)."""
+        for rank, op in list(self._recv_waiters.items()):
+            if op.peer is not None and self.failure_log.is_failed(op.peer):
+                rec = self.failure_log.record_for(op.peer)
+                self._fail_blocked_op(rank, op, rec.detected_at)
+        for sites in list(self._sites.values()):
+            for site in list(sites):
+                self._maybe_resolve_site(site)
+
+    def _raise_deadlock(self) -> None:
+        blocked = {
+            r: (s.blocked_on.kind.value if s.blocked_on else "?")
+            for r, s in self._ranks.items()
+            if s.status is RankStatus.BLOCKED
+        }
+        raise DeadlockError(
+            "no rank can make progress; blocked ranks: %s" % (blocked,))

@@ -1,0 +1,5 @@
+"""Work-to-time model for charging application compute on the virtual clock."""
+
+from .model import WorkModel
+
+__all__ = ["WorkModel"]

@@ -1,0 +1,52 @@
+"""Translate application work (flops, bytes touched) into virtual seconds.
+
+A roofline-lite model: an interval of work costs the max of its compute
+time and its memory time, where memory bandwidth is shared among the ranks
+co-located on a node. This is what makes packing 512 ranks onto 32 nodes
+(16/node) slower per rank than 64 ranks (2/node) for memory-bound kernels,
+without any per-app tuning.
+
+Applications execute *real* numerics on (possibly capped) local arrays but
+charge time for the *nominal* Table I problem size through this model, so
+512-rank, large-input experiments stay laptop-cheap while the reported
+virtual times reflect nominal-scale behaviour (see DESIGN.md substitution
+#4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.node import NodeSpec
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkModel:
+    """Prices (flops, bytes) work intervals for one rank."""
+
+    node: NodeSpec = NodeSpec()
+    #: achieved fraction of peak flops for proxy-app kernels
+    flop_efficiency: float = 0.35
+    #: achieved fraction of stream bandwidth
+    bandwidth_efficiency: float = 0.75
+
+    def __post_init__(self):
+        if not 0 < self.flop_efficiency <= 1:
+            raise ConfigurationError("flop efficiency must be in (0, 1]")
+        if not 0 < self.bandwidth_efficiency <= 1:
+            raise ConfigurationError("bandwidth efficiency must be in (0, 1]")
+
+    def seconds(self, flops: float = 0.0, bytes_moved: float = 0.0,
+                ranks_per_node: int = 1) -> float:
+        """Virtual seconds for one rank to do this much work."""
+        if flops < 0 or bytes_moved < 0:
+            raise ConfigurationError("work amounts must be non-negative")
+        if ranks_per_node < 1:
+            raise ConfigurationError("ranks_per_node must be >= 1")
+        flop_rate = self.node.flops_per_core * self.flop_efficiency
+        bw_share = (self.node.memory_bandwidth * self.bandwidth_efficiency
+                    / ranks_per_node)
+        compute_time = flops / flop_rate if flops else 0.0
+        memory_time = bytes_moved / bw_share if bytes_moved else 0.0
+        return max(compute_time, memory_time)

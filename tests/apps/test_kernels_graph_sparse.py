@@ -1,0 +1,119 @@
+"""Graph (Louvain) and sparse FE assembly kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.kernels.graph import (
+    louvain_sweep,
+    modularity,
+    planted_partition,
+)
+from repro.apps.kernels.sparse import assemble_poisson_27pt, rhs_for
+from repro.errors import ConfigurationError
+
+
+# -- planted partition ------------------------------------------------------
+def test_graph_has_no_isolated_vertices():
+    g = planted_partition(60, 4, np.random.default_rng(0))
+    assert all(len(nbrs) > 0 for nbrs in g["adjacency"].values())
+
+
+def test_graph_is_symmetric():
+    g = planted_partition(40, 3, np.random.default_rng(1))
+    adj = g["adjacency"]
+    for v, nbrs in adj.items():
+        for w in nbrs:
+            assert v in adj[w]
+
+
+def test_graph_validation():
+    with pytest.raises(ConfigurationError):
+        planted_partition(2, 2, np.random.default_rng(0))
+    with pytest.raises(ConfigurationError):
+        planted_partition(10, 1, np.random.default_rng(0))
+
+
+# -- modularity / Louvain -------------------------------------------------------
+def test_modularity_of_planted_communities_beats_singletons():
+    g = planted_partition(80, 4, np.random.default_rng(2))
+    singletons = np.arange(80)
+    planted = g["planted"].copy()
+    assert (modularity(g["adjacency"], planted)
+            > modularity(g["adjacency"], singletons))
+
+
+def test_louvain_never_decreases_modularity():
+    """The invariant miniVite's verification relies on."""
+    g = planted_partition(70, 5, np.random.default_rng(3))
+    communities = np.arange(70)
+    q_prev = modularity(g["adjacency"], communities)
+    for _ in range(6):
+        louvain_sweep(g["adjacency"], communities)
+        q = modularity(g["adjacency"], communities)
+        assert q >= q_prev - 1e-9
+        q_prev = q
+
+
+def test_louvain_converges_to_zero_moves():
+    g = planted_partition(50, 3, np.random.default_rng(4))
+    communities = np.arange(50)
+    moves = [louvain_sweep(g["adjacency"], communities) for _ in range(15)]
+    assert moves[-1] == 0
+
+
+def test_louvain_finds_community_structure():
+    g = planted_partition(90, 3, np.random.default_rng(5),
+                          p_in=0.3, p_out=0.002)
+    communities = np.arange(90)
+    for _ in range(10):
+        louvain_sweep(g["adjacency"], communities)
+    q = modularity(g["adjacency"], communities)
+    assert q > 0.3  # strong planted structure should be found
+
+
+def test_modularity_empty_graph_is_zero():
+    assert modularity({0: set(), 1: set()}, np.array([0, 1])) == 0.0
+
+
+# -- FE assembly --------------------------------------------------------------------
+def test_assembly_shape_and_pattern():
+    matrix = assemble_poisson_27pt(4, 4, 4)
+    assert matrix.shape == (64, 64)
+    # interior row has 27 nonzeros
+    interior = 1 * 16 + 1 * 4 + 1  # node (1,1,1)
+    assert matrix[interior].getnnz() == 27
+
+
+def test_assembly_symmetric():
+    matrix = assemble_poisson_27pt(3, 4, 5)
+    diff = (matrix - matrix.T).toarray()
+    assert np.allclose(diff, 0.0)
+
+
+def test_assembly_positive_definite():
+    matrix = assemble_poisson_27pt(3, 3, 3).toarray()
+    eigenvalues = np.linalg.eigvalsh(matrix)
+    assert eigenvalues.min() > 0
+
+
+def test_assembly_validates_dims():
+    with pytest.raises(ConfigurationError):
+        assemble_poisson_27pt(1, 4, 4)
+
+
+def test_rhs_is_unit_forcing():
+    b = rhs_for(2, 3, 4)
+    assert b.shape == (24,)
+    assert np.all(b == 1.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=5),
+       st.integers(min_value=2, max_value=5),
+       st.integers(min_value=2, max_value=5))
+def test_assembly_diagonally_dominant(nx, ny, nz):
+    matrix = assemble_poisson_27pt(nx, ny, nz).toarray()
+    diag = np.diag(matrix)
+    off = np.abs(matrix).sum(axis=1) - np.abs(diag)
+    assert np.all(diag >= off - 1e-9)

@@ -1,0 +1,143 @@
+"""Physics kernels: multigrid, Lennard-Jones MD, Sedov hydro."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels.hydro import (
+    eos_pressure,
+    init_sedov,
+    lagrange_step,
+    stable_dt,
+)
+from repro.apps.kernels.lennard_jones import (
+    init_fcc_lattice,
+    kinetic_energy,
+    lj_forces,
+    velocity_verlet,
+)
+from repro.apps.kernels.multigrid import hierarchy_depth, v_cycle
+from repro.apps.kernels.stencil import residual_norm
+from repro.errors import ConfigurationError
+
+
+# -- multigrid ------------------------------------------------------------
+def test_v_cycle_contracts_residual():
+    rng = np.random.default_rng(0)
+    f = rng.random((16, 16, 16))
+    u = np.zeros_like(f)
+    r0 = residual_norm(u, f)
+    u = v_cycle(u, f)
+    r1 = residual_norm(u, f)
+    u = v_cycle(u, f)
+    r2 = residual_norm(u, f)
+    assert r1 < r0
+    assert r2 < r1
+
+
+def test_v_cycle_beats_plain_jacobi():
+    from repro.apps.kernels.stencil import jacobi_smooth
+
+    rng = np.random.default_rng(1)
+    f = rng.random((16, 16, 16))
+    mg = residual_norm(v_cycle(np.zeros_like(f), f), f)
+    jac = residual_norm(jacobi_smooth(np.zeros_like(f), f, sweeps=4), f)
+    assert mg < jac
+
+
+def test_hierarchy_depth():
+    assert hierarchy_depth((16, 16, 16)) == 4
+    assert hierarchy_depth((2, 2, 2)) == 1
+
+
+# -- Lennard-Jones ----------------------------------------------------------
+def test_lattice_zero_net_momentum():
+    pos, vel = init_fcc_lattice(50, np.random.default_rng(0))
+    assert np.allclose(vel.sum(axis=0), 0.0, atol=1e-12)
+    assert pos.shape == (50, 3)
+
+
+def test_lattice_needs_two_atoms():
+    with pytest.raises(ConfigurationError):
+        init_fcc_lattice(1, np.random.default_rng(0))
+
+
+def test_lj_forces_newton_third_law():
+    pos, _ = init_fcc_lattice(30, np.random.default_rng(2))
+    forces, energy = lj_forces(pos)
+    assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+    assert np.isfinite(energy)
+
+
+def test_lj_two_atoms_repel_when_close():
+    pos = np.array([[5.0, 5.0, 5.0], [5.9, 5.0, 5.0]])
+    forces, _ = lj_forces(pos)
+    assert forces[0, 0] < 0  # pushed apart
+    assert forces[1, 0] > 0
+
+
+def test_lj_beyond_cutoff_no_force():
+    pos = np.array([[1.0, 1.0, 1.0], [4.9, 1.0, 1.0]])  # r = 3.9 > 2.5
+    forces, energy = lj_forces(pos)
+    assert np.allclose(forces, 0.0)
+    assert energy == pytest.approx(0.0)
+
+
+def test_velocity_verlet_approximately_conserves_energy():
+    pos, vel = init_fcc_lattice(40, np.random.default_rng(4))
+    forces, pe = lj_forces(pos)
+    e0 = pe + kinetic_energy(vel)
+    for _ in range(50):
+        pos, vel, forces, pe = velocity_verlet(pos, vel, forces, dt=0.002)
+    e1 = pe + kinetic_energy(vel)
+    assert abs(e1 - e0) / max(1.0, abs(e0)) < 0.1
+
+
+def test_verlet_keeps_atoms_in_box():
+    pos, vel = init_fcc_lattice(20, np.random.default_rng(5))
+    forces, _ = lj_forces(pos)
+    for _ in range(20):
+        pos, vel, forces, _ = velocity_verlet(pos, vel, forces, dt=0.005)
+    assert np.all(pos >= 0.0) and np.all(pos < 10.0)
+
+
+# -- Sedov hydro -----------------------------------------------------------------
+def test_init_sedov_deposits_energy_once():
+    hot = init_sedov(6, deposit_energy=True)
+    cold = init_sedov(6, deposit_energy=False)
+    assert hot["energy"][0, 0, 0] > 1.0
+    assert np.all(cold["energy"] < 1e-5)
+
+
+def test_init_sedov_validates_edge():
+    with pytest.raises(ConfigurationError):
+        init_sedov(1, True)
+
+
+def test_eos_ideal_gas():
+    rho = np.full((2, 2, 2), 2.0)
+    e = np.full((2, 2, 2), 3.0)
+    assert np.allclose(eos_pressure(rho, e), 0.4 * 6.0)
+
+
+def test_stable_dt_positive_and_cfl_bounded():
+    fields = init_sedov(8, True)
+    dt = stable_dt(fields)
+    assert 0 < dt < 1.0
+
+
+def test_blast_wave_propagates_and_energy_positive():
+    fields = init_sedov(8, True)
+    energies = []
+    for _ in range(30):
+        dt = stable_dt(fields)
+        energies.append(lagrange_step(fields, dt))
+    assert all(np.isfinite(e) and e > 0 for e in energies)
+    # the blast front moved: cells away from the corner warmed up
+    assert fields["energy"][2, 0, 0] > 1e-6
+
+
+def test_cold_domain_stays_quiet():
+    fields = init_sedov(6, deposit_energy=False)
+    for _ in range(10):
+        lagrange_step(fields, stable_dt(fields))
+    assert np.max(np.abs(fields["velocity"])) < 1e-3

@@ -1,0 +1,110 @@
+"""Stencil kernels: operator properties and multigrid transfer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apps.kernels.stencil import (
+    apply_7pt,
+    apply_27pt,
+    jacobi_smooth,
+    prolong_inject,
+    residual_norm,
+    restrict_full_weight,
+)
+from repro.errors import ConfigurationError
+
+
+def test_27pt_constant_field_zero_interior_positive_boundary():
+    """Interior rows sum to zero (26 - 26 neighbours); the Dirichlet
+    boundary makes edge rows positive — that is what gives SPD."""
+    u = np.ones((5, 5, 5))
+    out = apply_27pt(u)
+    assert out[2, 2, 2] == pytest.approx(0.0)
+    assert out[0, 0, 0] > 0.0  # corner lost 19 of its 26 neighbours
+
+
+def test_27pt_rejects_non_3d():
+    with pytest.raises(ConfigurationError):
+        apply_27pt(np.ones((4, 4)))
+
+
+def test_27pt_linear():
+    rng = np.random.default_rng(1)
+    a = rng.random((4, 4, 4))
+    b = rng.random((4, 4, 4))
+    assert np.allclose(apply_27pt(a + 2 * b),
+                       apply_27pt(a) + 2 * apply_27pt(b))
+
+
+def test_27pt_symmetric_positive_definite_quadratic_form():
+    rng = np.random.default_rng(2)
+    for _ in range(5):
+        v = rng.standard_normal((4, 4, 4))
+        assert float(np.sum(v * apply_27pt(v))) > 0
+
+
+def test_7pt_single_spike():
+    u = np.zeros((3, 3, 3))
+    u[1, 1, 1] = 1.0
+    out = apply_7pt(u)
+    assert out[1, 1, 1] == 6.0
+    assert out[0, 1, 1] == -1.0
+    assert out[1, 0, 1] == -1.0
+
+
+def test_7pt_spd_quadratic_form():
+    rng = np.random.default_rng(3)
+    v = rng.standard_normal((5, 5, 5))
+    assert float(np.sum(v * apply_7pt(v))) > 0
+
+
+def test_jacobi_reduces_residual():
+    rng = np.random.default_rng(4)
+    f = rng.random((6, 6, 6))
+    u0 = np.zeros_like(f)
+    before = residual_norm(u0, f)
+    after = residual_norm(jacobi_smooth(u0, f, sweeps=5), f)
+    assert after < before
+
+
+def test_restrict_halves_dimensions():
+    fine = np.ones((8, 8, 8))
+    coarse = restrict_full_weight(fine)
+    assert coarse.shape == (4, 4, 4)
+    assert np.allclose(coarse, 1.0)  # average of a constant
+
+
+def test_restrict_odd_dimensions():
+    fine = np.ones((5, 5, 5))
+    assert restrict_full_weight(fine).shape == (2, 2, 2)
+
+
+def test_prolong_restores_shape():
+    coarse = np.full((3, 3, 3), 2.0)
+    fine = prolong_inject(coarse, (6, 6, 6))
+    assert fine.shape == (6, 6, 6)
+    assert np.allclose(fine, 2.0)
+
+
+def test_prolong_handles_odd_target():
+    coarse = np.ones((2, 2, 2))
+    fine = prolong_inject(coarse, (5, 5, 5))
+    assert fine.shape == (5, 5, 5)
+    assert np.allclose(fine[:4, :4, :4], 1.0)
+
+
+def test_restrict_prolong_roundtrip_preserves_constants():
+    fine = np.full((8, 8, 8), 3.0)
+    back = prolong_inject(restrict_full_weight(fine), fine.shape)
+    assert np.allclose(back, 3.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays(np.float64, (4, 4, 4),
+              elements=st.floats(min_value=-10, max_value=10)))
+def test_27pt_row_sums_bounded(u):
+    """|A u|_inf <= 53 |u|_inf (diag 27 + 26 neighbours)."""
+    out = apply_27pt(u)
+    assert np.max(np.abs(out)) <= 53 * max(np.max(np.abs(u)), 1e-300)

@@ -1,0 +1,166 @@
+"""The six proxy apps: construction, Table I inputs, scaling semantics,
+and full runs on the simulated runtime with verification."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    APP_REGISTRY,
+    Amg,
+    Comd,
+    Hpccg,
+    Lulesh,
+    Minife,
+    Minivite,
+)
+from repro.cluster import Cluster
+from repro.errors import ConfigurationError
+from repro.simmpi import Runtime
+
+ALL_APPS = sorted(APP_REGISTRY)
+
+
+def small_nprocs(app_name):
+    return 8  # all six accept 8 (2^3 is a cube, so LULESH too)
+
+
+def run_app(app, nprocs, niters=None):
+    if niters is not None:
+        app.niters = niters
+
+    def entry(mpi):
+        state = yield from app.make_state(mpi)
+        for i in range(app.niters):
+            yield from mpi.iteration(i)
+            state.iteration.value = i
+            yield from app.iterate(mpi, state, i)
+        return app.verify(state), state
+
+    runtime = Runtime(Cluster(nnodes=4), nprocs, entry)
+    return runtime.run(), runtime
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_registry_builds_every_input(app_name):
+    cls = APP_REGISTRY[app_name]
+    for input_size in ("small", "medium", "large"):
+        app = cls.from_input(small_nprocs(app_name), input_size)
+        assert app.name == app_name
+        assert app.niters >= 2
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_unknown_input_rejected(app_name):
+    with pytest.raises(ConfigurationError):
+        APP_REGISTRY[app_name].from_input(8, "gigantic")
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_full_run_verifies(app_name):
+    app = APP_REGISTRY[app_name].from_input(small_nprocs(app_name), "small")
+    results, runtime = run_app(app, small_nprocs(app_name), niters=12)
+    assert all(v[0] for v in results.values()), \
+        "%s failed verification" % app_name
+    assert runtime.makespan() > 0
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_runs_are_deterministic(app_name):
+    n = small_nprocs(app_name)
+    a, rta = run_app(APP_REGISTRY[app_name].from_input(n, "small"), n, 6)
+    b, rtb = run_app(APP_REGISTRY[app_name].from_input(n, "small"), n, 6)
+    assert rta.makespan() == rtb.makespan()
+    state_a, state_b = a[0][1], b[0][1]
+    for name in state_a.arrays:
+        assert np.array_equal(state_a.arrays[name], state_b.arrays[name])
+
+
+@pytest.mark.parametrize("app_name,expected", [
+    ("amg", "weak"), ("comd", "strong"), ("hpccg", "weak"),
+    ("lulesh", "weak"), ("minife", "strong"), ("minivite", "strong"),
+])
+def test_scaling_semantics(app_name, expected):
+    assert APP_REGISTRY[app_name].scaling == expected
+
+
+@pytest.mark.parametrize("app_name", ["comd", "minife", "minivite"])
+def test_strong_scaling_divides_work(app_name):
+    cls = APP_REGISTRY[app_name]
+    w64 = cls.from_input(64, "small").work_per_iter()[0]
+    w512 = cls.from_input(512, "small").work_per_iter()[0]
+    assert w64 / w512 == pytest.approx(8.0)
+
+
+@pytest.mark.parametrize("app_name", ["amg", "hpccg", "lulesh"])
+def test_weak_scaling_keeps_work(app_name):
+    cls = APP_REGISTRY[app_name]
+    w64 = cls.from_input(64, "small").work_per_iter()[0]
+    w512 = cls.from_input(512, "small").work_per_iter()[0]
+    assert w64 == pytest.approx(w512)
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_larger_inputs_mean_more_work_and_ckpt(app_name):
+    cls = APP_REGISTRY[app_name]
+    small = cls.from_input(64, "small")
+    large = cls.from_input(64, "large")
+    assert large.work_per_iter()[0] > small.work_per_iter()[0]
+    assert large.nominal_ckpt_bytes() > small.nominal_ckpt_bytes()
+
+
+def test_lulesh_requires_cube_processes():
+    with pytest.raises(ConfigurationError):
+        Lulesh(nprocs=10)
+    Lulesh(nprocs=27)  # fine
+
+
+def test_lulesh_paper_proc_counts():
+    from repro.apps import LULESH_PROC_COUNTS
+
+    assert LULESH_PROC_COUNTS == (64, 512)
+
+
+def test_table1_parameters_encoded():
+    assert Hpccg.from_input(8, "small").params.nx == 64
+    assert Hpccg.from_input(8, "large").params.nz == 192
+    assert Amg.from_input(8, "medium").params.nx == 40
+    assert Comd.from_input(8, "large").params.nx == 512
+    assert Minife.from_input(8, "small").params.global_rows == 8000
+    assert Minivite.from_input(8, "medium").params.nvertices == 256000
+    assert Lulesh.from_input(8, "small").params.edge == 30
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_capped_allocation_stays_small(app_name):
+    """Real arrays must stay laptop-sized even for 'large' inputs."""
+    app = APP_REGISTRY[app_name].from_input(8, "large")
+
+    def entry(mpi):
+        state = yield from app.make_state(mpi)
+        total = sum(a.nbytes for a in state.arrays.values())
+        return total
+
+    runtime = Runtime(Cluster(nnodes=4), 8, entry)
+    results = runtime.run()
+    assert all(v < 4 * 1024 * 1024 for v in results.values())
+
+
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_protect_with_registers_iteration_and_arrays(app_name):
+    from repro.fti import CheckpointRegistry, Fti
+
+    app = APP_REGISTRY[app_name].from_input(8, "small")
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry)
+        yield from fti.init()
+        state = yield from app.make_state(mpi)
+        state.protect_with(fti)
+        return len(fti.protected), fti.protected_bytes()
+
+    results = Runtime(cluster, 8, entry).run()
+    count, nbytes = results[0]
+    assert count >= 2  # iteration + at least one array
+    assert nbytes > 0

@@ -1,0 +1,55 @@
+"""mpirun launcher cost model: redeployment pricing."""
+
+import pytest
+
+from repro.cluster import JobLauncher, LauncherSpec
+from repro.errors import ConfigurationError
+
+
+def test_launch_time_positive():
+    assert JobLauncher().launch_time(64, 32) > 0
+
+
+def test_launch_time_grows_with_processes():
+    launcher = JobLauncher()
+    times = [launcher.launch_time(p, 32) for p in (64, 128, 256, 512)]
+    assert times == sorted(times)
+    assert times[-1] > times[0]
+
+
+def test_restart_is_an_order_of_magnitude_over_reinit():
+    """Paper: restart recovery ~16x Reinit's sub-second recovery."""
+    t64 = JobLauncher().launch_time(64, 32)
+    assert 8.0 < t64 < 20.0
+
+
+def test_512_restart_stays_within_paper_band():
+    t512 = JobLauncher().launch_time(512, 32)
+    t64 = JobLauncher().launch_time(64, 32)
+    # paper: up to 22x Reinit (~0.8s) => < ~20s; and more than at 64
+    assert t64 < t512 < 25.0
+
+
+def test_launch_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        JobLauncher().launch_time(0, 32)
+    with pytest.raises(ConfigurationError):
+        JobLauncher().launch_time(64, 0)
+
+
+def test_allocation_dominates_small_jobs():
+    spec = LauncherSpec()
+    small = JobLauncher(LauncherSpec()).launch_time(2, 1)
+    assert small >= spec.allocation_seconds
+
+
+def test_record_launch_counts():
+    launcher = JobLauncher()
+    launcher.record_launch()
+    launcher.record_launch()
+    assert launcher.launch_count == 2
+
+
+def test_spec_rejects_negative_allocation():
+    with pytest.raises(ConfigurationError):
+        LauncherSpec(allocation_seconds=-1)

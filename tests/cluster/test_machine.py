@@ -1,0 +1,80 @@
+"""Cluster: placement, storage lookup, node failure semantics."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec
+from repro.errors import ConfigurationError
+
+
+def test_paper_pool_is_32_nodes():
+    cluster = Cluster()
+    assert cluster.nnodes == 32
+
+
+def test_block_placement_is_contiguous():
+    cluster = Cluster(nnodes=4)
+    mapping = cluster.place_job(8)
+    assert mapping[0] == 0 and mapping[1] == 0
+    assert mapping[2] == 1 and mapping[3] == 1
+    assert mapping[7] == 3
+
+
+def test_placement_512_on_32_nodes_is_16_per_node():
+    cluster = Cluster(nnodes=32)
+    cluster.place_job(512)
+    assert all(len(cluster.ranks_on_node(n)) == 16 for n in range(32))
+
+
+def test_placement_rejects_oversubscription():
+    cluster = Cluster(nnodes=1, node_spec=NodeSpec(cores=4))
+    with pytest.raises(ConfigurationError):
+        cluster.place_job(5)
+
+
+def test_placement_rejects_empty_job():
+    with pytest.raises(ConfigurationError):
+        Cluster(nnodes=2).place_job(0)
+
+
+def test_same_node_predicate():
+    cluster = Cluster(nnodes=4)
+    cluster.place_job(8)
+    assert cluster.same_node(0, 1)
+    assert not cluster.same_node(1, 2)
+
+
+def test_partner_node_is_ring_neighbour():
+    cluster = Cluster(nnodes=4)
+    assert cluster.partner_node(0) == 1
+    assert cluster.partner_node(3) == 0
+
+
+def test_storage_lookup_follows_placement():
+    cluster = Cluster(nnodes=2)
+    cluster.place_job(4)
+    assert cluster.ramfs_of(0) is cluster.node_storage[0].ramfs
+    assert cluster.ramfs_of(3) is cluster.node_storage[1].ramfs
+    assert cluster.ssd_of(2) is cluster.node_storage[1].ssd
+
+
+def test_fail_node_wipes_storage_and_reports_ranks():
+    cluster = Cluster(nnodes=2)
+    cluster.place_job(4)
+    cluster.ramfs_of_node(0).write("ckpt", b"data")
+    dead = cluster.fail_node(0)
+    assert dead == [0, 1]
+    assert not cluster.node_storage[0].ramfs.exists("ckpt")
+    assert cluster.alive_nodes() == [1]
+
+
+def test_replacement_job_resets_placement():
+    cluster = Cluster(nnodes=2)
+    cluster.place_job(4)
+    cluster.place_job(2)
+    assert cluster.ranks_on_node(0) == [0]
+    assert cluster.ranks_on_node(1) == [1]
+
+
+def test_needs_at_least_one_node():
+    with pytest.raises(ConfigurationError):
+        Cluster(nnodes=0)

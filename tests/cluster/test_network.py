@@ -1,0 +1,107 @@
+"""Network cost model: alpha-beta p2p and log-tree collectives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import Network, NetworkSpec
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def net():
+    return Network()
+
+
+def test_ptp_time_has_latency_floor(net):
+    assert net.ptp_time(0) == pytest.approx(net.spec.alpha_inter)
+
+
+def test_ptp_time_scales_with_bytes(net):
+    small = net.ptp_time(1024)
+    large = net.ptp_time(1024 * 1024)
+    assert large > small
+
+
+def test_intra_node_is_cheaper(net):
+    nbytes = 64 * 1024
+    assert net.ptp_time(nbytes, intra_node=True) < net.ptp_time(nbytes)
+
+
+def test_ptp_rejects_negative_size(net):
+    with pytest.raises(ConfigurationError):
+        net.ptp_time(-1)
+
+
+def test_barrier_grows_logarithmically(net):
+    t64 = net.barrier_time(64)
+    t512 = net.barrier_time(512)
+    assert t512 > t64
+    # log2(512)/log2(64) = 9/6
+    assert t512 / t64 == pytest.approx(9 / 6)
+
+
+def test_bcast_equals_reduce_complexity(net):
+    assert net.bcast_time(64, 4096) == pytest.approx(
+        net.reduce_time(64, 4096))
+
+
+def test_allreduce_rounds_scale_with_log_p(net):
+    t = {p: net.allreduce_time(p, 8) for p in (2, 4, 8, 16)}
+    assert t[4] > t[2]
+    assert t[16] > t[8]
+
+
+def test_allgather_ring_scales_linearly_with_p(net):
+    t8 = net.allgather_time(8, 1024)
+    t16 = net.allgather_time(16, 1024)
+    assert t16 / t8 == pytest.approx(15 / 7)
+
+
+def test_alltoall_more_expensive_than_allgather_same_block(net):
+    # pairwise exchange moves P-1 distinct blocks, like the ring; equal here
+    assert net.alltoall_time(16, 1024) == pytest.approx(
+        net.allgather_time(16, 1024))
+
+
+def test_gather_data_term_counts_total_bytes(net):
+    t_small = net.gather_time(8, 1024)
+    t_big = net.gather_time(8, 2048)
+    assert t_big > t_small
+
+
+def test_scatter_mirrors_gather(net):
+    assert net.scatter_time(32, 512) == pytest.approx(
+        net.gather_time(32, 512))
+
+
+def test_scan_matches_allreduce(net):
+    assert net.scan_time(64, 64) == pytest.approx(net.allreduce_time(64, 64))
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        NetworkSpec(beta_inter=0)
+    with pytest.raises(ConfigurationError):
+        NetworkSpec(alpha_inter=-1e-6)
+
+
+@given(st.integers(min_value=2, max_value=1024),
+       st.integers(min_value=0, max_value=10**8))
+def test_collective_times_positive_and_finite(nprocs, nbytes):
+    net = Network()
+    for fn in (net.barrier_time, ):
+        assert fn(nprocs) > 0
+    for fn in (net.bcast_time, net.allreduce_time, net.allgather_time,
+               net.gather_time, net.scatter_time, net.alltoall_time,
+               net.scan_time):
+        value = fn(nprocs, nbytes)
+        assert value > 0
+        assert value < 1e9
+
+
+@given(st.integers(min_value=2, max_value=512),
+       st.integers(min_value=1, max_value=10**7))
+def test_more_bytes_never_cheaper(nprocs, nbytes):
+    net = Network()
+    assert (net.allreduce_time(nprocs, 2 * nbytes)
+            >= net.allreduce_time(nprocs, nbytes))

@@ -1,0 +1,56 @@
+"""Node model: placement, capacity, failure."""
+
+import pytest
+
+from repro.cluster import Node, NodeSpec
+from repro.errors import ConfigurationError
+
+
+def test_default_spec_matches_paper_testbed():
+    spec = NodeSpec()
+    assert spec.cores == 28                      # two Haswell CPUs
+    assert spec.memory_bytes == 128 * 1024**3    # 128 GB
+    assert spec.local_storage_bytes == 8 * 1024**4  # 8 TB
+
+
+def test_peak_flops_aggregates_cores():
+    spec = NodeSpec(cores=4, flops_per_core=1e9)
+    assert spec.peak_flops == 4e9
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        NodeSpec(cores=0)
+    with pytest.raises(ConfigurationError):
+        NodeSpec(flops_per_core=-1)
+
+
+def test_place_and_evict():
+    node = Node(0, NodeSpec(cores=2))
+    node.place(7)
+    assert node.occupancy == 1
+    node.evict(7)
+    assert node.occupancy == 0
+
+
+def test_place_respects_core_count():
+    node = Node(0, NodeSpec(cores=2))
+    node.place(0)
+    node.place(1)
+    with pytest.raises(ConfigurationError):
+        node.place(2)
+
+
+def test_fail_marks_dead():
+    node = Node(0)
+    assert node.alive
+    node.fail()
+    assert not node.alive
+
+
+def test_flops_share_is_one_core():
+    spec = NodeSpec(cores=28, flops_per_core=3e9)
+    node = Node(0, spec)
+    node.place(0)
+    node.place(1)
+    assert node.flops_share() == 3e9

@@ -1,0 +1,100 @@
+"""SimClock: per-rank virtual time semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import SimClock
+from repro.errors import SimulationError
+
+
+def test_starts_at_zero():
+    clock = SimClock(4)
+    assert clock.global_now() == 0.0
+    assert clock.min_now() == 0.0
+    assert all(clock.now(r) == 0.0 for r in range(4))
+
+
+def test_needs_positive_rank_count():
+    with pytest.raises(SimulationError):
+        SimClock(0)
+
+
+def test_advance_is_local():
+    clock = SimClock(3)
+    clock.advance(1, 2.5)
+    assert clock.now(1) == 2.5
+    assert clock.now(0) == 0.0
+    assert clock.global_now() == 2.5
+    assert clock.min_now() == 0.0
+
+
+def test_advance_rejects_negative():
+    clock = SimClock(2)
+    with pytest.raises(SimulationError):
+        clock.advance(0, -1.0)
+
+
+def test_advance_to_moves_forward_only():
+    clock = SimClock(2)
+    clock.advance_to(0, 5.0)
+    assert clock.now(0) == 5.0
+    with pytest.raises(SimulationError):
+        clock.advance_to(0, 3.0)
+
+
+def test_advance_to_same_time_is_noop():
+    clock = SimClock(2)
+    clock.advance_to(0, 5.0)
+    clock.advance_to(0, 5.0)
+    assert clock.now(0) == 5.0
+
+
+def test_synchronize_jumps_to_max_plus_cost():
+    clock = SimClock(3)
+    clock.advance(0, 1.0)
+    clock.advance(1, 4.0)
+    completion = clock.synchronize([0, 1, 2], cost=0.5)
+    assert completion == pytest.approx(4.5)
+    assert all(clock.now(r) == pytest.approx(4.5) for r in range(3))
+
+
+def test_synchronize_subset_leaves_others():
+    clock = SimClock(3)
+    clock.advance(2, 9.0)
+    clock.synchronize([0, 1], cost=1.0)
+    assert clock.now(0) == pytest.approx(1.0)
+    assert clock.now(2) == 9.0
+
+
+def test_synchronize_empty_raises():
+    clock = SimClock(2)
+    with pytest.raises(SimulationError):
+        clock.synchronize([])
+
+
+def test_reset_zeroes_all():
+    clock = SimClock(3)
+    for r in range(3):
+        clock.advance(r, r + 1.0)
+    clock.reset()
+    assert clock.global_now() == 0.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                max_size=20))
+def test_global_now_is_max_of_locals(durations):
+    clock = SimClock(len(durations))
+    for rank, duration in enumerate(durations):
+        clock.advance(rank, duration)
+    assert clock.global_now() == pytest.approx(max(durations))
+    assert clock.min_now() == pytest.approx(min(durations))
+
+
+@given(st.integers(min_value=1, max_value=16),
+       st.floats(min_value=0, max_value=100),
+       st.floats(min_value=0, max_value=100))
+def test_advance_accumulates(nranks, a, b):
+    clock = SimClock(nranks)
+    clock.advance(0, a)
+    clock.advance(0, b)
+    assert clock.now(0) == pytest.approx(a + b)

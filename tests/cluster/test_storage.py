@@ -1,0 +1,126 @@
+"""Storage tiers: byte stores, node storage, parallel file system."""
+
+import pytest
+
+from repro.cluster import ByteStore, NodeStorage, ParallelFileSystem
+from repro.errors import ConfigurationError, SimulationError
+
+
+def test_write_then_read_roundtrip():
+    store = ByteStore("t", bandwidth=1e9)
+    store.write("a/b", b"hello")
+    data, _ = store.read("a/b")
+    assert data == b"hello"
+
+
+def test_write_duration_scales_with_size():
+    store = ByteStore("t", bandwidth=1e6, latency=0.0)
+    d_small = store.write("s", b"x" * 1000)
+    d_large = store.write("l", b"x" * 100000)
+    assert d_large == pytest.approx(100 * d_small)
+
+
+def test_write_duration_includes_latency():
+    store = ByteStore("t", bandwidth=1e9, latency=0.25)
+    assert store.write("p", b"") >= 0.25
+
+
+def test_read_missing_raises_keyerror():
+    store = ByteStore("t", bandwidth=1e9)
+    with pytest.raises(KeyError):
+        store.read("nope")
+
+
+def test_exists_delete():
+    store = ByteStore("t", bandwidth=1e9)
+    store.write("x", b"1")
+    assert store.exists("x")
+    store.delete("x")
+    assert not store.exists("x")
+    store.delete("x")  # idempotent
+
+
+def test_paths_prefix_filter():
+    store = ByteStore("t", bandwidth=1e9)
+    store.write("fti/ckpt1/r0", b"a")
+    store.write("fti/ckpt1/r1", b"b")
+    store.write("other", b"c")
+    assert store.paths("fti/") == ["fti/ckpt1/r0", "fti/ckpt1/r1"]
+
+
+def test_overwrite_replaces():
+    store = ByteStore("t", bandwidth=1e9)
+    store.write("x", b"old")
+    store.write("x", b"newer")
+    data, _ = store.read("x")
+    assert data == b"newer"
+
+
+def test_capacity_enforced():
+    store = ByteStore("t", bandwidth=1e9, capacity_bytes=10)
+    store.write("a", b"12345")
+    with pytest.raises(SimulationError):
+        store.write("b", b"123456789")
+
+
+def test_capacity_accounts_overwrite():
+    store = ByteStore("t", bandwidth=1e9, capacity_bytes=10)
+    store.write("a", b"1234567890")
+    store.write("a", b"0987654321")  # same size, should fit
+
+
+def test_wipe_destroys_everything():
+    store = ByteStore("t", bandwidth=1e9)
+    store.write("a", b"1")
+    store.wipe()
+    assert not store.exists("a")
+
+
+def test_io_counters():
+    store = ByteStore("t", bandwidth=1e9)
+    store.write("a", b"12345")
+    store.read("a")
+    assert store.bytes_written == 5
+    assert store.bytes_read == 5
+
+
+def test_zero_bandwidth_rejected():
+    with pytest.raises(ConfigurationError):
+        ByteStore("t", bandwidth=0)
+
+
+def test_node_storage_factory_names_tiers():
+    storage = NodeStorage.for_node(3, ramfs_bandwidth=4e9, ssd_bandwidth=1e9)
+    assert "node3" in storage.ramfs.name
+    assert storage.ramfs.bandwidth == 4e9
+    assert storage.ssd.bandwidth == 1e9
+
+
+def test_node_storage_wipe_clears_both_tiers():
+    storage = NodeStorage.for_node(0, 4e9, 1e9)
+    storage.ramfs.write("a", b"1")
+    storage.ssd.write("b", b"2")
+    storage.wipe()
+    assert not storage.ramfs.exists("a")
+    assert not storage.ssd.exists("b")
+
+
+def test_pfs_shared_write_slower_with_more_writers():
+    pfs = ParallelFileSystem(aggregate_bandwidth=1e9, latency=0.0)
+    alone = pfs.write_shared("a", b"x" * 10**6, concurrent_writers=1)
+    crowded = pfs.write_shared("b", b"x" * 10**6, concurrent_writers=64)
+    assert crowded == pytest.approx(64 * alone)
+
+
+def test_pfs_shared_read_contention():
+    pfs = ParallelFileSystem(aggregate_bandwidth=1e9, latency=0.0)
+    pfs.write("a", b"x" * 10**6)
+    _, d1 = pfs.read_shared("a", 1)
+    _, d8 = pfs.read_shared("a", 8)
+    assert d8 == pytest.approx(8 * d1)
+
+
+def test_pfs_rejects_zero_writers():
+    pfs = ParallelFileSystem()
+    with pytest.raises(ConfigurationError):
+        pfs.write_shared("a", b"x", concurrent_writers=0)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the MATCH reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.fti import CheckpointRegistry
+
+
+@pytest.fixture
+def cluster():
+    """A small 4-node cluster, enough for 8-16 rank tests."""
+    return Cluster(nnodes=4)
+
+
+@pytest.fixture
+def big_cluster():
+    """The paper's 32-node pool."""
+    return Cluster(nnodes=32)
+
+
+@pytest.fixture
+def registry():
+    return CheckpointRegistry()
+
+
+def run_spmd(cluster, nprocs, entry, **kwargs):
+    """Convenience: build a runtime, run it, return (results, runtime)."""
+    from repro.simmpi import Runtime
+
+    runtime = Runtime(cluster, nprocs, entry, **kwargs)
+    results = runtime.run()
+    return results, runtime

@@ -1,0 +1,62 @@
+"""Time breakdown arithmetic and averaging."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.breakdown import (
+    RunResult,
+    TimeBreakdown,
+    average_breakdowns,
+)
+
+
+def test_application_is_the_remainder():
+    b = TimeBreakdown(total_seconds=100, ckpt_write_seconds=13,
+                      recovery_seconds=5, ckpt_read_seconds=2)
+    assert b.application_seconds == pytest.approx(80)
+
+
+def test_application_never_negative():
+    b = TimeBreakdown(total_seconds=1, ckpt_write_seconds=5)
+    assert b.application_seconds == 0.0
+
+
+def test_as_dict_and_str():
+    b = TimeBreakdown(10, 2, 1, 0.5)
+    d = b.as_dict()
+    assert d["total"] == 10
+    assert d["write_checkpoints"] == 2
+    assert d["recovery"] == 1
+    assert "total=10.00s" in str(b)
+
+
+def test_average_breakdowns():
+    runs = [TimeBreakdown(10, 2, 0, 0), TimeBreakdown(20, 4, 2, 0)]
+    avg = average_breakdowns(runs)
+    assert avg.total_seconds == 15
+    assert avg.ckpt_write_seconds == 3
+    assert avg.recovery_seconds == 1
+
+
+def test_average_empty_raises():
+    with pytest.raises(ValueError):
+        average_breakdowns([])
+
+
+def test_run_result_fields():
+    r = RunResult(config_label="x", breakdown=TimeBreakdown(1, 0, 0, 0),
+                  verified=True)
+    assert r.relaunches == 0
+    assert r.fault_events == ()
+    assert r.details == {}
+
+
+@given(st.lists(st.tuples(
+    st.floats(min_value=0, max_value=1e6),
+    st.floats(min_value=0, max_value=1e5)), min_size=1, max_size=10))
+def test_average_is_within_range(pairs):
+    runs = [TimeBreakdown(total, ckpt, 0, 0) for total, ckpt in pairs]
+    avg = average_breakdowns(runs)
+    totals = [b.total_seconds for b in runs]
+    eps = 1e-9 * (1 + max(totals))
+    assert min(totals) - eps <= avg.total_seconds <= max(totals) + eps

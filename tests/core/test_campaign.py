@@ -1,0 +1,74 @@
+"""Fault-injection campaigns and distribution summaries."""
+
+import pytest
+
+from repro.core.campaign import (
+    CampaignResult,
+    DistributionSummary,
+    run_campaign,
+)
+from repro.core.configs import ExperimentConfig
+from repro.errors import ConfigurationError
+
+
+def small_config(**kwargs):
+    defaults = dict(app="minivite", design="reinit-fti", nprocs=8,
+                    nnodes=4, inject_fault=True)
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+def test_distribution_summary_basics():
+    s = DistributionSummary.of([1.0, 2.0, 3.0])
+    assert s.mean == pytest.approx(2.0)
+    assert s.minimum == 1.0 and s.maximum == 3.0
+    assert s.count == 3
+    assert s.std == pytest.approx((2.0 / 3.0) ** 0.5)
+    assert "n=3" in str(s)
+
+
+def test_distribution_summary_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        DistributionSummary.of([])
+
+
+def test_campaign_runs_and_verifies():
+    result = run_campaign(small_config(), runs=5)
+    assert len(result.runs) == 5
+    assert result.all_verified
+    assert result.recovery.count == 5
+    assert result.recovery.minimum > 0
+    assert result.total.mean > result.rework.mean
+
+
+def test_campaign_victims_are_varied():
+    result = run_campaign(small_config(), runs=8)
+    assert len(set(result.victims())) > 1
+
+
+def test_campaign_requires_fault_injection():
+    with pytest.raises(ConfigurationError):
+        run_campaign(small_config(inject_fault=False), runs=5)
+    with pytest.raises(ConfigurationError):
+        run_campaign(small_config(), runs=1)
+
+
+def test_campaign_report_mentions_metrics():
+    result = run_campaign(small_config(), runs=3)
+    text = result.report()
+    assert "recovery" in text
+    assert "verified: True" in text
+    assert "3 runs" in text
+
+
+def test_reinit_recovery_distribution_is_tight():
+    """Reinit's recovery cost barely depends on where the failure lands."""
+    result = run_campaign(small_config(design="reinit-fti"), runs=6)
+    assert result.recovery.std < 0.05 * result.recovery.mean
+
+
+def test_total_time_varies_with_failure_position():
+    """Rework depends on how far past a checkpoint the failure hits, so
+    total time must spread more than recovery does."""
+    result = run_campaign(small_config(design="reinit-fti"), runs=10)
+    assert result.total.std > result.recovery.std

@@ -1,0 +1,57 @@
+"""ASCII chart rendering."""
+
+from repro.core.breakdown import TimeBreakdown
+from repro.core.charts import bar_chart, figure_chart, stacked_bar_chart
+
+
+def bd(total, ckpt=0.0, rec=0.0):
+    return TimeBreakdown(total_seconds=total, ckpt_write_seconds=ckpt,
+                         recovery_seconds=rec)
+
+
+def test_stacked_bar_chart_draws_segments():
+    text = stacked_bar_chart("demo", [("A", bd(10, ckpt=2, rec=1)),
+                                      ("B", bd(5))], width=40)
+    assert "demo" in text
+    assert "#" in text and "=" in text and "%" in text
+    assert "10.0s" in text and "5.0s" in text
+    assert "legend" in text
+
+
+def test_stacked_bars_scale_to_peak():
+    text = stacked_bar_chart("t", [("big", bd(100)), ("small", bd(50))],
+                             width=40)
+    big_line = next(line for line in text.splitlines() if "big" in line)
+    small_line = next(line for line in text.splitlines()
+                      if "small" in line)
+    assert big_line.count("#") > small_line.count("#")
+
+
+def test_bar_chart_plain():
+    text = bar_chart("recovery", [("REINIT", 0.8), ("RESTART", 16.0)],
+                     width=32)
+    assert "0.80s" in text and "16.00s" in text
+    restart_line = next(line for line in text.splitlines()
+                        if "RESTART" in line)
+    reinit_line = next(line for line in text.splitlines()
+                       if "REINIT" in line)
+    assert restart_line.count("#") > reinit_line.count("#")
+
+
+def test_figure_chart_groups_by_x_value():
+    cells = [(64, "restart-fti", bd(10, 2)),
+             (64, "reinit-fti", bd(10, 2)),
+             (128, "restart-fti", bd(12, 2))]
+    text = figure_chart("Figure 5", cells)
+    assert "64:" in text and "128:" in text
+    assert "RESTART-FTI" in text and "REINIT-FTI" in text
+
+
+def test_empty_charts_do_not_crash():
+    assert "(no data)" in stacked_bar_chart("t", [])
+    assert "(no data)" in bar_chart("t", [])
+
+
+def test_zero_totals_handled():
+    text = stacked_bar_chart("t", [("z", bd(0.0))])
+    assert "0.0s" in text

@@ -1,0 +1,42 @@
+"""CLI: argument parsing and command output."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "TABLE I" in out
+    assert "minivite" in out
+
+
+def test_run_command(capsys):
+    code = main(["run", "--app", "minivite", "--design", "reinit-fti",
+                 "--nprocs", "8", "--reps", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "verified: True" in out
+    assert "total=" in out
+
+
+def test_run_command_with_fault(capsys):
+    code = main(["run", "--app", "minivite", "--design", "reinit-fti",
+                 "--nprocs", "8", "--fault", "--reps", "1"])
+    assert code == 0
+    assert "verified: True" in capsys.readouterr().out
+
+
+def test_figure_command_unknown_id(capsys):
+    assert main(["figure", "--id", "99"]) == 2
+
+
+def test_parser_rejects_bad_design():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--app", "x", "--design", "bogus"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

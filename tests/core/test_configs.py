@@ -1,0 +1,96 @@
+"""Experiment configurations and the Table I encoding."""
+
+import pytest
+
+from repro.core.configs import (
+    DESIGN_NAMES,
+    INPUT_SIZES,
+    NNODES,
+    SCALING_SIZES,
+    TABLE1,
+    TABLE1_BY_APP,
+    ExperimentConfig,
+    input_matrix,
+    scaling_matrix,
+    valid_proc_counts,
+)
+from repro.errors import ConfigurationError
+
+
+def test_paper_constants():
+    assert SCALING_SIZES == (64, 128, 256, 512)
+    assert INPUT_SIZES == ("small", "medium", "large")
+    assert NNODES == 32
+    assert set(DESIGN_NAMES) == {"restart-fti", "reinit-fti", "ulfm-fti"}
+
+
+def test_table1_has_six_apps():
+    assert len(TABLE1) == 6
+    assert set(TABLE1_BY_APP) == {"amg", "comd", "hpccg", "lulesh",
+                                  "minife", "minivite"}
+
+
+def test_table1_lulesh_runs_two_scales_only():
+    assert TABLE1_BY_APP["lulesh"].nprocs == (64, 512)
+    assert valid_proc_counts("amg") == (64, 128, 256, 512)
+
+
+def test_table1_cmdline_lookup():
+    row = TABLE1_BY_APP["comd"]
+    assert row.cmdline("small") == "-nx 128 -ny 128 -nz 128"
+    assert row.cmdline("large") == "-nx 512 -ny 512 -nz 512"
+
+
+def test_config_defaults_match_paper():
+    cfg = ExperimentConfig(app="hpccg", design="reinit-fti")
+    assert cfg.nprocs == 64            # default scaling size
+    assert cfg.input_size == "small"   # default input problem
+    assert cfg.fti.level == 1          # FTI L1 mode
+    assert cfg.fti.ckpt_stride == 10   # every ten iterations
+    assert not cfg.inject_fault
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(app="nope", design="reinit-fti")
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(app="hpccg", design="nope")
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(app="hpccg", design="reinit-fti", input_size="big")
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(app="lulesh", design="reinit-fti", nprocs=128)
+
+
+def test_config_label_and_seed():
+    cfg = ExperimentConfig(app="amg", design="ulfm-fti", nprocs=256,
+                           inject_fault=True)
+    assert "amg" in cfg.label() and "256" in cfg.label()
+    assert "fault" in cfg.label()
+    assert cfg.with_seed(5).seed == 5
+    assert cfg.seed == 0  # frozen original
+
+
+def test_make_app_builds_right_type():
+    from repro.apps import Hpccg
+
+    cfg = ExperimentConfig(app="hpccg", design="reinit-fti", nprocs=128,
+                           input_size="medium")
+    app = cfg.make_app()
+    assert isinstance(app, Hpccg)
+    assert app.nprocs == 128
+    assert app.params.nx == 128
+
+
+def test_scaling_matrix_covers_figure5():
+    cells = scaling_matrix()
+    # 5 apps x 4 scales x 3 designs + lulesh x 2 scales x 3 designs
+    assert len(cells) == 5 * 4 * 3 + 2 * 3
+    assert all(c.input_size == "small" for c in cells)
+    assert not any(c.inject_fault for c in cells)
+
+
+def test_input_matrix_covers_figure8():
+    cells = input_matrix(inject_fault=True)
+    assert len(cells) == 6 * 3 * 3
+    assert all(c.nprocs == 64 for c in cells)
+    assert all(c.inject_fault for c in cells)

@@ -1,0 +1,48 @@
+"""Report rendering: figure series and Table I text."""
+
+from repro.core.breakdown import TimeBreakdown
+from repro.core.report import (
+    format_breakdown_series,
+    format_recovery_series,
+    format_table1,
+    summarize_ratios,
+)
+
+
+def test_breakdown_series_contains_rows():
+    rows = [(64, "restart-fti", TimeBreakdown(10, 2, 0, 0)),
+            (128, "reinit-fti", TimeBreakdown(12, 2, 1, 0))]
+    text = format_breakdown_series("Figure 5 (hpccg)", rows)
+    assert "Figure 5" in text
+    assert "RESTART-FTI" in text and "REINIT-FTI" in text
+    assert "64" in text and "128" in text
+    assert "8.00" in text  # app time of the first row
+
+
+def test_recovery_series():
+    text = format_recovery_series("Figure 7", [(64, "ulfm-fti", 3.5)],
+                                  x_label="#Processes")
+    assert "ULFM-FTI" in text
+    assert "3.50" in text
+    assert "#Processes" in text
+
+
+def test_table1_text_is_faithful():
+    text = format_table1()
+    assert "TABLE I" in text
+    assert "-problem 2 -n 20 20 20" in text
+    assert "-p 3 -l -n 512000" in text
+    assert "64, 512" in text  # lulesh row
+
+
+def test_summarize_ratios():
+    text = summarize_ratios({
+        "reinit-fti": [1.0], "ulfm-fti": [4.0], "restart-fti": [16.0]})
+    assert "4.0x" in text
+    assert "16.0x" in text
+    assert "ULFM" in text and "Restart" in text
+
+
+def test_summarize_ratios_handles_missing():
+    text = summarize_ratios({"reinit-fti": [1.0]})
+    assert "ratios" in text

@@ -1,0 +1,125 @@
+"""Algorithm 1: the three principles, on synthetic and reference traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.depanalysis import (
+    InstructionTrace,
+    REFERENCE_PROGRAMS,
+    find_checkpoint_objects,
+    format_report,
+    values_vary,
+)
+
+
+def build_trace(pre_loop, in_loop):
+    """pre_loop: names to alloc; in_loop: {name: [values per iteration]}."""
+    trace = InstructionTrace()
+    for name in pre_loop:
+        trace.alloc(name, line=1)
+    niters = max((len(v) for v in in_loop.values()), default=0)
+    for i in range(niters):
+        for name, values in in_loop.items():
+            if i < len(values):
+                trace.store(name, values[i], line=10, iteration=i)
+    return trace
+
+
+def test_principle_1_loop_locals_excluded():
+    trace = build_trace(["x"], {"x": [1, 2, 3], "tmp": [4, 5, 6]})
+    result = find_checkpoint_objects(trace)
+    assert result.locations == ["x"]
+    assert "tmp" in result.loop_local_locs
+
+
+def test_principle_2_unused_before_loop_objects_ignored():
+    trace = build_trace(["x", "never_used"], {"x": [1, 2]})
+    result = find_checkpoint_objects(trace)
+    assert result.locations == ["x"]  # never_used is not in CPK_Locs
+
+
+def test_principle_3_constants_excluded():
+    trace = build_trace(["x", "c"], {"x": [1, 2, 3], "c": [7, 7, 7]})
+    result = find_checkpoint_objects(trace)
+    assert result.locations == ["x"]
+    assert "c" in result.constant_locs
+
+
+def test_single_touch_counts_as_constant():
+    trace = build_trace(["once"], {"once": [5]})
+    result = find_checkpoint_objects(trace)
+    assert result.locations == []
+    assert "once" in result.constant_locs
+
+
+def test_array_values_compared_by_content():
+    trace = InstructionTrace()
+    trace.alloc("grid", 1)
+    trace.store("grid", np.zeros(4), 5, iteration=0)
+    trace.store("grid", np.ones(4), 5, iteration=1)
+    result = find_checkpoint_objects(trace)
+    assert result.locations == ["grid"]
+
+
+def test_identical_arrays_are_constant():
+    trace = InstructionTrace()
+    trace.alloc("grid", 1)
+    trace.store("grid", np.ones(4), 5, iteration=0)
+    trace.store("grid", np.ones(4), 5, iteration=1)
+    result = find_checkpoint_objects(trace)
+    assert result.locations == []
+
+
+def test_values_vary_helper():
+    assert not values_vary([])
+    assert not values_vary([1])
+    assert not values_vary([1, 1, 1])
+    assert values_vary([1, 2])
+    assert values_vary([np.zeros(2), np.ones(2)])
+    assert not values_vary([np.ones(2), np.ones(2)])
+
+
+def test_diagnostics_recorded():
+    trace = build_trace(["x"], {"x": [1, 2, 1]})
+    result = find_checkpoint_objects(trace)
+    obj = result.cpk_locs[0]
+    assert obj.location == "x"
+    assert obj.distinct_values == 2
+    assert obj.iterations_used == 3
+    assert obj.source_line == 1
+
+
+@pytest.mark.parametrize("program", sorted(REFERENCE_PROGRAMS))
+def test_reference_programs_ground_truth(program):
+    trace, expected = REFERENCE_PROGRAMS[program]()
+    result = find_checkpoint_objects(trace)
+    assert set(result.locations) == expected
+
+
+def test_report_mentions_all_categories():
+    trace = build_trace(["x", "c"], {"x": [1, 2], "c": [3, 3],
+                                     "tmp": [1, 2]})
+    text = format_report(find_checkpoint_objects(trace), "demo")
+    assert "x" in text
+    assert "constant" in text
+    assert "inside the loop" in text
+    assert "demo" in text
+
+
+def test_empty_trace_yields_nothing():
+    result = find_checkpoint_objects(InstructionTrace())
+    assert result.locations == []
+    text = format_report(result)
+    assert "No checkpoint objects" in text
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=2,
+                max_size=20))
+def test_detection_iff_values_vary(values):
+    trace = build_trace(["v"], {"v": values})
+    result = find_checkpoint_objects(trace)
+    if len(set(values)) > 1:
+        assert result.locations == ["v"]
+    else:
+        assert result.locations == []

@@ -1,0 +1,126 @@
+"""Auto-generated checkpoint registration (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.depanalysis import find_checkpoint_objects, traced_cg_loop
+from repro.depanalysis.autoprotect import (
+    apply_protection,
+    build_protection_plan,
+)
+from repro.errors import ConfigurationError
+from repro.fti import CheckpointRegistry, Fti, FtiConfig, ScalarRef
+from repro.simmpi import Runtime
+
+
+@pytest.fixture
+def cg_analysis():
+    trace, expected = traced_cg_loop()
+    return find_checkpoint_objects(trace), expected
+
+
+def test_plan_binds_detected_objects(cg_analysis):
+    result, expected = cg_analysis
+    namespace = {"x": np.zeros(4), "r": np.zeros(4), "p": np.zeros(4),
+                 "rho": 1.0, "unrelated": np.ones(2)}
+    plan = build_protection_plan(result, namespace)
+    assert {name for _, name in plan.assignments} == expected
+    assert plan.unbound == []
+    # ids are deterministic (sorted by name)
+    names = [name for _, name in plan.assignments]
+    assert names == sorted(names)
+
+
+def test_plan_reports_unbound(cg_analysis):
+    result, _ = cg_analysis
+    plan = build_protection_plan(result, {"x": np.zeros(4)})
+    assert set(plan.unbound) == {"p", "r", "rho"}
+    assert "WARNING" in plan.source_text()
+
+
+def test_source_text_emits_protect_calls(cg_analysis):
+    result, _ = cg_analysis
+    namespace = {"x": np.zeros(4), "r": np.zeros(4), "p": np.zeros(4),
+                 "rho": 0.0}
+    text = build_protection_plan(result, namespace).source_text()
+    assert 'fti.protect(2, rho, "rho")' in text or "rho" in text
+    assert text.count("fti.protect(") == 4
+
+
+def test_apply_protection_end_to_end(cg_analysis):
+    """Analysis -> auto-protect -> checkpoint -> wipe -> recover."""
+    result, _ = cg_analysis
+    cluster = Cluster(nnodes=2)
+    registry = CheckpointRegistry()
+
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry, FtiConfig(ckpt_stride=1))
+        yield from fti.init()
+        namespace = {"x": np.full(4, 1.0), "r": np.full(4, 2.0),
+                     "p": np.full(4, 3.0), "rho": 6.0}
+        plan = apply_protection(fti, result, namespace)
+        assert len(plan.assignments) == 4
+        yield from fti.checkpoint(1)
+        # clobber everything, then recover
+        for name in ("x", "r", "p"):
+            namespace[name][:] = -1.0
+        namespace["rho"].value = -1.0
+        yield from fti.recover()
+        return (float(namespace["x"][0]), float(namespace["r"][0]),
+                float(namespace["p"][0]), namespace["rho"].value)
+
+    results = Runtime(cluster, 2, entry).run()
+    assert results[0] == (1.0, 2.0, 3.0, 6.0)
+
+
+def test_apply_protection_boxes_plain_scalars(cg_analysis):
+    result, _ = cg_analysis
+    cluster = Cluster(nnodes=2)
+    registry = CheckpointRegistry()
+
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry)
+        yield from fti.init()
+        namespace = {"x": np.zeros(2), "r": np.zeros(2), "p": np.zeros(2),
+                     "rho": 42.5}
+        apply_protection(fti, result, namespace)
+        yield from mpi.barrier()
+        return isinstance(namespace["rho"], ScalarRef), namespace["rho"].value
+
+    results = Runtime(cluster, 2, entry).run()
+    assert results[0] == (True, 42.5)
+
+
+def test_apply_protection_strict_on_missing(cg_analysis):
+    result, _ = cg_analysis
+    cluster = Cluster(nnodes=2)
+    registry = CheckpointRegistry()
+
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry)
+        yield from fti.init()
+        with pytest.raises(ConfigurationError):
+            apply_protection(fti, result, {"x": np.zeros(2)})
+        yield from mpi.barrier()
+        return "ok"
+
+    Runtime(cluster, 2, entry).run()
+
+
+def test_apply_protection_rejects_exotic_types(cg_analysis):
+    result, _ = cg_analysis
+    cluster = Cluster(nnodes=2)
+    registry = CheckpointRegistry()
+
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry)
+        yield from fti.init()
+        namespace = {"x": np.zeros(2), "r": np.zeros(2), "p": np.zeros(2),
+                     "rho": object()}
+        with pytest.raises(ConfigurationError):
+            apply_protection(fti, result, namespace)
+        yield from mpi.barrier()
+        return "ok"
+
+    Runtime(cluster, 2, entry).run()

@@ -1,0 +1,75 @@
+"""Instruction trace container: phases, histories, accessors."""
+
+import pytest
+
+from repro.depanalysis import InstructionTrace, TraceOp, TraceRecord
+from repro.errors import ConfigurationError
+
+
+def test_alloc_store_load_helpers():
+    trace = InstructionTrace()
+    trace.alloc("x", line=10)
+    trace.store("x", 1.0, line=11)
+    trace.load("x", 1.0, line=20, iteration=0)
+    assert len(trace) == 3
+    assert trace.records[0].op is TraceOp.ALLOC
+
+
+def test_before_loop_locations_include_allocs_and_stores():
+    trace = InstructionTrace()
+    trace.alloc("a", 1)
+    trace.store("b", 5, 2)
+    trace.load("c", 5, 3)  # a pre-loop *read* is not a definition
+    assert trace.locations_before_loop() == ["a", "b"]
+
+
+def test_in_loop_locations_are_uses():
+    trace = InstructionTrace()
+    trace.alloc("x", 1)
+    trace.load("x", 1, 5, iteration=0)
+    trace.store("y", 2, 6, iteration=0)
+    assert trace.locations_in_loop() == ["x", "y"]
+
+
+def test_pre_loop_records_must_come_first():
+    trace = InstructionTrace()
+    trace.store("x", 1, 5, iteration=0)
+    with pytest.raises(ConfigurationError):
+        trace.alloc("late", 9)
+
+
+def test_invocation_values_ordered():
+    trace = InstructionTrace()
+    trace.alloc("x", 1)
+    for i, v in enumerate([1, 4, 9]):
+        trace.store("x", v, 5, iteration=i)
+    assert trace.invocation_values("x") == [1, 4, 9]
+
+
+def test_invocation_values_exclude_pre_loop():
+    trace = InstructionTrace()
+    trace.store("x", 99, 1)
+    trace.store("x", 1, 5, iteration=0)
+    assert trace.invocation_values("x") == [1]
+
+
+def test_iterations_touching():
+    trace = InstructionTrace()
+    trace.alloc("x", 1)
+    trace.load("x", 0, 5, iteration=0)
+    trace.load("x", 0, 5, iteration=2)
+    assert trace.iterations_touching("x") == {0, 2}
+
+
+def test_line_of_first_occurrence():
+    trace = InstructionTrace()
+    trace.alloc("x", 42)
+    trace.load("x", 0, 50, iteration=0)
+    assert trace.line_of("x") == 42
+    assert trace.line_of("unknown") is None
+
+
+def test_record_is_frozen():
+    record = TraceRecord(TraceOp.LOAD, "x", 1)
+    with pytest.raises(AttributeError):
+        record.location = "y"

@@ -1,0 +1,201 @@
+"""FTI API lifecycle: init/status/protect/checkpoint/recover/finalize."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import NoCheckpointError
+from repro.fti import CheckpointRegistry, Fti, FtiConfig, ScalarRef
+from repro.simmpi import Runtime
+
+
+def run(cluster, nprocs, entry):
+    return Runtime(cluster, nprocs, entry).run()
+
+
+def test_status_zero_on_fresh_start(cluster, registry):
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry)
+        yield from fti.init()
+        return fti.status()
+
+    assert set(run(cluster, 4, entry).values()) == {0}
+
+
+def test_status_one_after_checkpoint_exists(cluster, registry):
+    def writer(mpi):
+        fti = Fti(mpi, cluster, registry, FtiConfig(ckpt_stride=1))
+        yield from fti.init()
+        fti.protect(0, np.zeros(4))
+        yield from fti.checkpoint(5)
+        return None
+
+    run(cluster, 4, writer)
+
+    def reader(mpi):
+        fti = Fti(mpi, cluster, registry)
+        yield from fti.init()
+        return fti.status()
+
+    assert set(run(cluster, 4, reader).values()) == {1}
+
+
+def test_checkpoint_before_init_rejected(cluster, registry):
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry)
+        with pytest.raises(NoCheckpointError):
+            yield from fti.checkpoint(1)
+        yield from mpi.barrier()
+        return "ok"
+
+    run(cluster, 2, entry)
+
+
+def test_recover_without_checkpoint_raises(cluster, registry):
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry)
+        yield from fti.init()
+        with pytest.raises(NoCheckpointError):
+            yield from fti.recover()
+        yield from mpi.barrier()
+        return "ok"
+
+    run(cluster, 2, entry)
+
+
+def test_checkpoint_due_follows_paper_policy():
+    cluster = Cluster(nnodes=2)
+    registry = CheckpointRegistry()
+
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry, FtiConfig(ckpt_stride=10))
+        yield from fti.init()
+        due = [i for i in range(35) if fti.checkpoint_due(i)]
+        yield from mpi.barrier()
+        return due
+
+    results = run(cluster, 2, entry)
+    assert results[0] == [10, 20, 30]  # iteration 0 is never due
+
+
+def test_old_checkpoints_garbage_collected(cluster, registry):
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry, FtiConfig(ckpt_stride=1,
+                                                    keep_last=1))
+        yield from fti.init()
+        x = np.zeros(16)
+        fti.protect(0, x)
+        for i in range(1, 4):
+            x[:] = i
+            yield from fti.checkpoint(i)
+        return None
+
+    run(cluster, 4, entry)
+    assert len(registry.all_complete()) == 1
+    assert registry.latest_complete().iteration == 3
+    # storage holds only the surviving generation's blobs
+    store = cluster.node_storage[0].ramfs
+    assert len(store.paths("fti/")) == 1  # 1 rank on node 0, 1 ckpt kept
+    assert "ckpt000003" in store.paths("fti/")[0]
+
+
+def test_recover_restores_latest_generation(cluster, registry):
+    def writer(mpi):
+        fti = Fti(mpi, cluster, registry, FtiConfig(ckpt_stride=1,
+                                                    keep_last=3))
+        yield from fti.init()
+        x = np.zeros(8)
+        fti.protect(0, x)
+        for i in (1, 2, 3):
+            x[:] = 10.0 * i
+            yield from fti.checkpoint(i)
+        return None
+
+    run(cluster, 4, writer)
+
+    def reader(mpi):
+        fti = Fti(mpi, cluster, registry)
+        yield from fti.init()
+        x = np.zeros(8)
+        fti.protect(0, x)
+        iteration = yield from fti.recover()
+        return iteration, float(x[0])
+
+    results = run(cluster, 4, reader)
+    assert all(v == (3, 30.0) for v in results.values())
+
+
+def test_status_resets_after_recover(cluster, registry):
+    def writer(mpi):
+        fti = Fti(mpi, cluster, registry, FtiConfig(ckpt_stride=1))
+        yield from fti.init()
+        fti.protect(0, np.zeros(4))
+        yield from fti.checkpoint(1)
+        return None
+
+    run(cluster, 2, writer)
+
+    def reader(mpi):
+        fti = Fti(mpi, cluster, registry)
+        yield from fti.init()
+        fti.protect(0, np.zeros(4))
+        yield from fti.recover()
+        return fti.status()
+
+    assert set(run(cluster, 2, reader).values()) == {0}
+
+
+def test_nominal_inflation_increases_ckpt_time(cluster, registry):
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry, FtiConfig(ckpt_stride=1))
+        yield from fti.init()
+        fti.protect(0, np.zeros(128))
+        t0 = mpi.now()
+        yield from fti.checkpoint(1)
+        small = mpi.now() - t0
+        fti.set_nominal_bytes(10**9)
+        t1 = mpi.now()
+        yield from fti.checkpoint(2)
+        large = mpi.now() - t1
+        return small, large
+
+    results = run(cluster, 2, entry)
+    small, large = results[0]
+    assert large > small * 10
+
+
+def test_coordination_cost_grows_with_scale():
+    def entry_factory(cluster, registry):
+        def entry(mpi):
+            fti = Fti(mpi, cluster, registry, FtiConfig(ckpt_stride=1))
+            yield from fti.init()
+            fti.protect(0, np.zeros(4))
+            yield from fti.checkpoint(1)
+            return fti.stats.ckpt_seconds
+
+        return entry
+
+    c_small, r_small = Cluster(nnodes=32), CheckpointRegistry()
+    c_big, r_big = Cluster(nnodes=32), CheckpointRegistry()
+    t_small = Runtime(c_small, 8, entry_factory(c_small, r_small)).run()[0]
+    t_big = Runtime(c_big, 64, entry_factory(c_big, r_big)).run()[0]
+    assert t_big > t_small
+
+
+def test_stats_accumulate_across_instances(cluster, registry):
+    from repro.fti import FtiStats
+
+    shared = FtiStats()
+
+    def entry(mpi):
+        for segment in range(2):
+            fti = Fti(mpi, cluster, registry, FtiConfig(ckpt_stride=1),
+                      stats=shared if mpi.rank == 0 else None)
+            yield from fti.init()
+            fti.protect(0, np.zeros(4))
+            yield from fti.checkpoint(segment + 1)
+            yield from fti.finalize()
+        return None
+
+    run(cluster, 2, entry)
+    assert shared.ckpt_count == 2

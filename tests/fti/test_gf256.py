@@ -1,0 +1,115 @@
+"""GF(256) field arithmetic: axioms and matrix operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fti.gf256 import (
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mat_inv,
+    gf_mat_vec,
+    gf_mul,
+    gf_mul_vector,
+    gf_pow,
+    vandermonde,
+)
+
+elem = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+def test_addition_is_xor():
+    assert gf_add(0b1010, 0b0110) == 0b1100
+
+
+def test_mul_identity_and_zero():
+    for a in range(256):
+        assert gf_mul(a, 1) == a
+        assert gf_mul(a, 0) == 0
+
+
+@given(elem, elem)
+def test_mul_commutative(a, b):
+    assert gf_mul(a, b) == gf_mul(b, a)
+
+
+@given(elem, elem, elem)
+def test_mul_associative(a, b, c):
+    assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+
+@given(elem, elem, elem)
+def test_distributive_over_xor(a, b, c):
+    assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+@given(nonzero)
+def test_inverse_is_inverse(a):
+    assert gf_mul(a, gf_inv(a)) == 1
+
+
+@given(elem, nonzero)
+def test_div_is_mul_by_inverse(a, b):
+    assert gf_div(a, b) == gf_mul(a, gf_inv(b))
+
+
+def test_div_by_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        gf_div(5, 0)
+    with pytest.raises(ZeroDivisionError):
+        gf_inv(0)
+
+
+@given(nonzero, st.integers(min_value=0, max_value=300))
+def test_pow_matches_repeated_mul(a, n):
+    expected = 1
+    for _ in range(n):
+        expected = gf_mul(expected, a)
+    assert gf_pow(a, n) == expected
+
+
+def test_pow_of_zero():
+    assert gf_pow(0, 5) == 0
+    assert gf_pow(0, 0) == 1
+
+
+@given(elem, st.lists(elem, min_size=1, max_size=64))
+def test_mul_vector_matches_scalar(scalar, values):
+    vec = np.array(values, dtype=np.uint8)
+    out = gf_mul_vector(scalar, vec)
+    for i, v in enumerate(values):
+        assert out[i] == gf_mul(scalar, v)
+
+
+def test_mat_inv_roundtrip():
+    rng = np.random.default_rng(5)
+    for _ in range(5):
+        m = vandermonde(4, 4)  # invertible by construction
+        inv = gf_mat_inv(m)
+        identity = gf_mat_vec(m, inv)
+        assert np.array_equal(identity, np.eye(4, dtype=np.uint8))
+
+
+def test_mat_inv_singular_raises():
+    singular = np.zeros((3, 3), dtype=np.uint8)
+    with pytest.raises(np.linalg.LinAlgError):
+        gf_mat_inv(singular)
+
+
+def test_vandermonde_any_k_rows_invertible():
+    v = vandermonde(8, 4)
+    # spot-check several 4-row subsets
+    for rows in [(0, 1, 2, 3), (4, 5, 6, 7), (0, 3, 5, 7), (1, 2, 4, 6)]:
+        sub = v[list(rows), :]
+        inv = gf_mat_inv(sub)  # must not raise
+        assert np.array_equal(gf_mat_vec(sub, inv),
+                              np.eye(4, dtype=np.uint8))
+
+
+def test_vandermonde_size_limit():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        vandermonde(256, 4)

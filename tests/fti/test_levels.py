@@ -1,0 +1,184 @@
+"""FTI levels L1-L4: write/read paths, redundancy, survivability."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import InsufficientRedundancyError
+from repro.fti import CheckpointRegistry, Fti, FtiConfig, ScalarRef
+from repro.simmpi import Runtime
+
+
+def checkpoint_job(cluster, registry, nprocs=8, level=1, group_size=4,
+                   value=7.0, differential=True):
+    """Run a tiny job that writes exactly one checkpoint at iteration 1."""
+    config = FtiConfig(level=level, ckpt_stride=1, group_size=group_size,
+                       differential=differential)
+
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry, config)
+        yield from fti.init()
+        x = np.full(64, value + mpi.rank)
+        it = ScalarRef(0)
+        fti.protect(0, it)
+        fti.protect(1, x)
+        it.value = 1
+        yield from fti.checkpoint(1)
+        yield from fti.finalize()
+        return fti.stats
+
+    runtime = Runtime(cluster, nprocs, entry)
+    return runtime.run()
+
+
+def recovery_job(cluster, registry, nprocs=8, level=1, group_size=4):
+    config = FtiConfig(level=level, ckpt_stride=1, group_size=group_size)
+
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry, config)
+        yield from fti.init()
+        x = np.zeros(64)
+        it = ScalarRef(0)
+        fti.protect(0, it)
+        fti.protect(1, x)
+        assert fti.status() == 1
+        iteration = yield from fti.recover()
+        return iteration, float(x[0]), it.value
+
+    runtime = Runtime(cluster, nprocs, entry)
+    return runtime.run()
+
+
+@pytest.mark.parametrize("level", [1, 2, 3, 4])
+def test_roundtrip_every_level(level):
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+    checkpoint_job(cluster, registry, level=level, value=11.0)
+    results = recovery_job(cluster, registry, level=level)
+    for rank, (iteration, x0, it) in results.items():
+        assert iteration == 1
+        assert it == 1
+        assert x0 == 11.0 + rank
+
+
+def test_l1_dies_with_node():
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+    checkpoint_job(cluster, registry, level=1)
+    cluster.node_storage[0].wipe()
+    with pytest.raises(Exception) as err:
+        recovery_job(cluster, registry, level=1)
+    assert "lost" in str(err.value) or "NoCheckpoint" in type(err.value).__name__
+
+
+def test_l2_survives_one_node_loss():
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+    checkpoint_job(cluster, registry, level=2)
+    cluster.node_storage[0].wipe()  # partner copies live on node 1
+    results = recovery_job(cluster, registry, level=2)
+    assert results[0][1] == 7.0
+
+
+def test_l2_loses_both_copies():
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+    checkpoint_job(cluster, registry, level=2)
+    cluster.node_storage[0].wipe()
+    cluster.node_storage[1].wipe()  # node 0's partner
+    with pytest.raises(InsufficientRedundancyError):
+        recovery_job(cluster, registry, level=2)
+
+
+def test_l3_survives_half_the_group():
+    """The paper's claim: RS encoding survives loss of half the nodes in
+    an encoding group."""
+    cluster = Cluster(nnodes=4)  # 8 ranks: 2 per node; group 0-3 on nodes 0,1
+    registry = CheckpointRegistry()
+    checkpoint_job(cluster, registry, level=3, group_size=4)
+    cluster.node_storage[1].wipe()  # kills ranks 2,3's shards: half of group0
+    results = recovery_job(cluster, registry, level=3)
+    assert results[2][1] == 9.0  # 7 + rank 2
+    assert results[3][1] == 10.0
+
+
+def test_l3_too_many_losses():
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+    checkpoint_job(cluster, registry, level=3, group_size=4)
+    cluster.node_storage[0].wipe()
+    cluster.node_storage[1].wipe()  # whole group 0-3 gone
+    with pytest.raises(InsufficientRedundancyError):
+        recovery_job(cluster, registry, level=3)
+
+
+def test_l4_survives_any_local_loss():
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+    checkpoint_job(cluster, registry, level=4)
+    for storage in cluster.node_storage:
+        storage.wipe()
+    results = recovery_job(cluster, registry, level=4)
+    assert results[5][1] == 12.0
+
+
+def test_l4_differential_second_write_cheaper():
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+    config = FtiConfig(level=4, ckpt_stride=1, differential=True,
+                       keep_last=2, diff_block_bytes=64)
+
+    def entry(mpi):
+        fti = Fti(mpi, cluster, registry, config)
+        yield from fti.init()
+        x = np.zeros(4096)
+        fti.protect(0, x)
+        t0 = mpi.now()
+        yield from fti.checkpoint(1)
+        first = mpi.now() - t0
+        x[0] = 1.0  # tiny change: one block differs
+        t1 = mpi.now()
+        yield from fti.checkpoint(2)
+        second = mpi.now() - t1
+        return first, second
+
+    runtime = Runtime(cluster, 4, entry)
+    results = runtime.run()
+    first, second = results[0]
+    assert second < first
+
+
+def test_level_write_costs_ordered():
+    """More redundancy costs more time: L1 <= L2 and L1 <= L3, L4."""
+    times = {}
+    for level in (1, 2, 3, 4):
+        cluster = Cluster(nnodes=4)
+        registry = CheckpointRegistry()
+        results = checkpoint_job(cluster, registry, level=level)
+        times[level] = max(s.ckpt_seconds for s in results.values())
+    assert times[1] <= times[2]
+    assert times[1] <= times[3]
+    assert times[1] <= times[4]
+
+
+def test_ssd_slower_than_ramfs():
+    fast = Cluster(nnodes=4)
+    slow = Cluster(nnodes=4)
+    reg_fast, reg_slow = CheckpointRegistry(), CheckpointRegistry()
+
+    def job(cluster, registry, use_ssd):
+        config = FtiConfig(level=1, ckpt_stride=1, use_ssd=use_ssd)
+
+        def entry(mpi):
+            fti = Fti(mpi, cluster, registry, config)
+            yield from fti.init()
+            x = np.zeros(1 << 16)
+            fti.protect(0, x)
+            yield from fti.checkpoint(1)
+            return fti.stats.ckpt_seconds
+
+        return Runtime(cluster, 4, entry).run()
+
+    t_ram = job(fast, reg_fast, use_ssd=False)[0]
+    t_ssd = job(slow, reg_slow, use_ssd=True)[0]
+    assert t_ssd > t_ram

@@ -1,0 +1,93 @@
+"""Checkpoint registry: completeness, GC, restart survival."""
+
+from repro.fti import CheckpointRegistry, RankEntry
+
+
+def entry_for(rank, ckpt="p"):
+    return RankEntry(rank=rank, node_id=rank // 2, path="%s/%d" % (ckpt, rank),
+                     nbytes=100, crc32=0)
+
+
+def test_incomplete_checkpoint_not_usable():
+    reg = CheckpointRegistry()
+    record = reg.open_checkpoint(iteration=10, level=1, nprocs=4)
+    record.commit_rank(entry_for(0))
+    record.commit_rank(entry_for(1))
+    assert not record.complete
+    assert reg.latest_complete() is None
+    assert not reg.has_checkpoint()
+
+
+def test_complete_after_all_ranks_commit():
+    reg = CheckpointRegistry()
+    record = reg.open_checkpoint(10, 1, 3)
+    for r in range(3):
+        record.commit_rank(entry_for(r))
+    assert record.complete
+    assert reg.latest_complete() is record
+
+
+def test_open_checkpoint_joins_existing_generation():
+    """All BSP ranks calling open at the same iteration share one record."""
+    reg = CheckpointRegistry()
+    a = reg.open_checkpoint(10, 1, 2)
+    b = reg.open_checkpoint(10, 1, 2)
+    assert a is b
+    a.commit_rank(entry_for(0))
+    a.commit_rank(entry_for(1))
+    c = reg.open_checkpoint(10, 1, 2)  # complete now: new generation
+    assert c is not a
+
+
+def test_latest_complete_prefers_newest():
+    reg = CheckpointRegistry()
+    first = reg.open_checkpoint(10, 1, 1)
+    first.commit_rank(entry_for(0))
+    second = reg.open_checkpoint(20, 1, 1)
+    second.commit_rank(entry_for(0))
+    assert reg.latest_complete() is second
+    assert [r.iteration for r in reg.all_complete()] == [10, 20]
+
+
+def test_garbage_collect_keeps_last_n():
+    reg = CheckpointRegistry()
+    for it in (10, 20, 30):
+        rec = reg.open_checkpoint(it, 1, 1)
+        rec.commit_rank(entry_for(0))
+    victims = reg.garbage_collect(keep_last=1)
+    assert [v.iteration for v in victims] == [10, 20]
+    assert reg.latest_complete().iteration == 30
+
+
+def test_gc_does_not_touch_incomplete():
+    reg = CheckpointRegistry()
+    done = reg.open_checkpoint(10, 1, 2)
+    done.commit_rank(entry_for(0))
+    done.commit_rank(entry_for(1))
+    pending = reg.open_checkpoint(20, 1, 2)
+    pending.commit_rank(entry_for(0))
+    victims = reg.garbage_collect(keep_last=1)
+    assert victims == []
+    assert reg.latest_complete() is done
+
+
+def test_total_bytes_sums_entries():
+    reg = CheckpointRegistry()
+    rec = reg.open_checkpoint(10, 1, 2)
+    rec.commit_rank(entry_for(0))
+    rec.commit_rank(entry_for(1))
+    assert rec.total_bytes() == 200
+
+
+def test_checksum_is_crc32():
+    import zlib
+
+    assert CheckpointRegistry.checksum(b"abc") == zlib.crc32(b"abc")
+
+
+def test_discard_removes_record():
+    reg = CheckpointRegistry()
+    rec = reg.open_checkpoint(10, 1, 1)
+    rec.commit_rank(entry_for(0))
+    reg.discard(rec.ckpt_id)
+    assert reg.latest_complete() is None

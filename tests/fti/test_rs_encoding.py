@@ -1,0 +1,119 @@
+"""Reed-Solomon erasure coding: systematic property, erasure recovery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, InsufficientRedundancyError
+from repro.fti import ReedSolomonCode, pad_to_equal_length
+
+
+def shards_for(k, length, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    return [bytes(rng.randrange(256) for _ in range(length))
+            for _ in range(k)]
+
+
+def test_systematic_top_is_identity():
+    code = ReedSolomonCode(4, 2)
+    import numpy as np
+
+    assert np.array_equal(code.generator[:4, :], np.eye(4, dtype=np.uint8))
+
+
+def test_encode_produces_m_parity_shards():
+    code = ReedSolomonCode(3, 2)
+    parity = code.encode(shards_for(3, 10))
+    assert len(parity) == 2
+    assert all(len(p) == 10 for p in parity)
+
+
+def test_decode_without_loss_is_passthrough():
+    code = ReedSolomonCode(4, 4)
+    data = shards_for(4, 16)
+    shards = {i: data[i] for i in range(4)}
+    assert code.decode(shards, 16) == data
+
+
+def test_decode_recovers_from_half_node_loss():
+    """The paper's L3 guarantee: survive loss of half the group."""
+    k = 4
+    code = ReedSolomonCode(k, k)
+    data = shards_for(k, 64, seed=3)
+    parity = code.encode(data)
+    # lose nodes 0 and 2 entirely (their data AND parity shards)
+    survivors = {1: data[1], 3: data[3], k + 1: parity[1], k + 3: parity[3]}
+    assert code.decode(survivors, 64) == data
+
+
+def test_decode_from_parity_only():
+    k = 3
+    code = ReedSolomonCode(k, k)
+    data = shards_for(k, 8, seed=9)
+    parity = code.encode(data)
+    survivors = {k + i: parity[i] for i in range(k)}
+    assert code.decode(survivors, 8) == data
+
+
+def test_too_few_shards_raises():
+    code = ReedSolomonCode(4, 4)
+    data = shards_for(4, 8)
+    with pytest.raises(InsufficientRedundancyError):
+        code.decode({0: data[0], 1: data[1], 2: data[2]}, 8)
+
+
+def test_wrong_shard_length_rejected():
+    code = ReedSolomonCode(2, 2)
+    data = shards_for(2, 8)
+    parity = code.encode(data)
+    with pytest.raises(ConfigurationError):
+        code.decode({0: data[0][:4], 2: parity[0]}, 8)
+
+
+def test_unequal_data_shards_rejected():
+    code = ReedSolomonCode(2, 1)
+    with pytest.raises(ConfigurationError):
+        code.encode([b"abc", b"defg"])
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        ReedSolomonCode(0, 2)
+    with pytest.raises(ConfigurationError):
+        ReedSolomonCode(200, 100)  # k+m > 255
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=6),
+       st.integers(min_value=1, max_value=40),
+       st.randoms(use_true_random=False))
+def test_any_k_of_2k_shards_decode(k, length, rnd):
+    code = ReedSolomonCode(k, k)
+    data = [bytes(rnd.randrange(256) for _ in range(length))
+            for _ in range(k)]
+    parity = code.encode(data)
+    everything = {i: data[i] for i in range(k)}
+    everything.update({k + i: parity[i] for i in range(k)})
+    keep = rnd.sample(sorted(everything), k)
+    survivors = {i: everything[i] for i in keep}
+    assert code.decode(survivors, length) == data
+
+
+def test_pad_to_equal_length_roundtrip():
+    blobs = [b"short", b"much longer blob", b""]
+    padded, lengths = pad_to_equal_length(blobs)
+    assert lengths == [5, 16, 0]
+    assert len({len(p) for p in padded}) == 1
+    from repro.fti.levels import _strip_pad
+
+    for original, pad in zip(blobs, padded):
+        assert _strip_pad(pad) == original
+
+
+@given(st.lists(st.binary(max_size=64), min_size=1, max_size=6))
+def test_pad_strip_property(blobs):
+    from repro.fti.levels import _strip_pad
+
+    padded, _ = pad_to_equal_length(blobs)
+    assert all(_strip_pad(p) == b for p, b in zip(padded, blobs))

@@ -1,0 +1,155 @@
+"""Checkpoint serialization: roundtrips, integrity, layout checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, CorruptCheckpointError
+from repro.fti import ProtectedSet, ScalarRef
+
+
+def test_array_roundtrip_in_place():
+    ps = ProtectedSet()
+    x = np.arange(10, dtype=np.float64)
+    ps.protect(1, x, "x")
+    blob = ps.serialize()
+    x[:] = 0.0
+    restored = ps.deserialize_into(blob)
+    assert restored == [1]
+    assert np.array_equal(x, np.arange(10, dtype=np.float64))
+
+
+def test_multidimensional_and_dtypes():
+    ps = ProtectedSet()
+    a = np.ones((3, 4, 5), dtype=np.float32)
+    b = np.arange(6, dtype=np.int32).reshape(2, 3)
+    ps.protect(0, a)
+    ps.protect(1, b)
+    blob = ps.serialize()
+    a[:] = 0
+    b[:] = 0
+    ps.deserialize_into(blob)
+    assert np.all(a == 1.0)
+    assert b[1, 2] == 5
+
+
+def test_scalar_refs_roundtrip():
+    ps = ProtectedSet()
+    it = ScalarRef(0)
+    energy = ScalarRef(0.0)
+    ps.protect(0, it)
+    ps.protect(1, energy)
+    it.value = 42
+    energy.value = 3.14
+    blob = ps.serialize()
+    it.value = -1
+    energy.value = 0.0
+    ps.deserialize_into(blob)
+    assert it.value == 42
+    assert energy.value == pytest.approx(3.14)
+
+
+def test_bytearray_roundtrip():
+    ps = ProtectedSet()
+    buf = bytearray(b"state")
+    ps.protect(3, buf)
+    blob = ps.serialize()
+    buf[:] = b"wiped"
+    ps.deserialize_into(blob)
+    assert bytes(buf) == b"state"
+
+
+def test_unsupported_type_rejected():
+    ps = ProtectedSet()
+    with pytest.raises(ConfigurationError):
+        ps.protect(0, [1, 2, 3])
+    with pytest.raises(ConfigurationError):
+        ps.protect(0, "string")
+
+
+def test_crc_detects_corruption():
+    ps = ProtectedSet()
+    ps.protect(0, np.zeros(4))
+    blob = bytearray(ps.serialize())
+    blob[12] ^= 0xFF
+    with pytest.raises(CorruptCheckpointError):
+        ps.deserialize_into(bytes(blob))
+
+
+def test_truncated_blob_rejected():
+    ps = ProtectedSet()
+    with pytest.raises(CorruptCheckpointError):
+        ps.deserialize_into(b"FTIB")
+
+
+def test_layout_change_detected():
+    ps = ProtectedSet()
+    x = np.zeros(8)
+    ps.protect(0, x, "x")
+    blob = ps.serialize()
+    ps.protect(0, np.zeros(16), "x")  # re-protected with a new shape
+    with pytest.raises(CorruptCheckpointError):
+        ps.deserialize_into(blob)
+
+
+def test_unknown_var_id_rejected():
+    ps = ProtectedSet()
+    ps.protect(0, np.zeros(4))
+    blob = ps.serialize()
+    ps2 = ProtectedSet()
+    ps2.protect(7, np.zeros(4))
+    with pytest.raises(CorruptCheckpointError):
+        ps2.deserialize_into(blob)
+
+
+def test_kind_mismatch_detected():
+    ps = ProtectedSet()
+    ps.protect(0, np.zeros(2))
+    blob = ps.serialize()
+    ps2 = ProtectedSet()
+    ps2.protect(0, ScalarRef(0))
+    with pytest.raises(CorruptCheckpointError):
+        ps2.deserialize_into(blob)
+
+
+def test_total_bytes_accounting():
+    ps = ProtectedSet()
+    ps.protect(0, np.zeros(100))           # 800
+    ps.protect(1, ScalarRef(1))            # 8
+    ps.protect(2, bytearray(16))           # 16
+    assert ps.total_bytes() == 824
+
+
+def test_unprotect_removes():
+    ps = ProtectedSet()
+    ps.protect(0, np.zeros(2))
+    ps.unprotect(0)
+    assert len(ps) == 0
+    ps.unprotect(0)  # idempotent
+
+
+def test_ids_are_sorted_and_named():
+    ps = ProtectedSet()
+    ps.protect(5, np.zeros(1), "later")
+    ps.protect(1, np.zeros(1), "earlier")
+    assert ps.ids() == [1, 5]
+    assert ps.name_of(5) == "later"
+    assert ps.name_of(1) == "earlier"
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=64),
+                min_size=1, max_size=100),
+       st.integers(min_value=-2**40, max_value=2**40))
+def test_roundtrip_property(values, scalar):
+    ps = ProtectedSet()
+    arr = np.array(values)
+    ref = ScalarRef(scalar)
+    ps.protect(0, arr)
+    ps.protect(1, ref)
+    blob = ps.serialize()
+    arr[:] = -1
+    ref.value = 0
+    ps.deserialize_into(blob)
+    assert np.array_equal(arr, np.array(values))
+    assert ref.value == scalar

@@ -1,0 +1,57 @@
+"""Multiple failures in one job: each design recovers repeatedly.
+
+The paper injects a single failure per run; a benchmark suite meant as a
+foundation for future designs (§V-E) must also survive repeated
+failures, so this is covered as an extension.
+"""
+
+import pytest
+
+from repro.apps import APP_REGISTRY
+from repro.cluster import Cluster
+from repro.core.designs import DESIGNS
+from repro.faults import FaultEvent, FaultPlan
+from repro.fti import FtiConfig
+
+NPROCS = 8
+
+
+def run_with_two_faults(design_name, first=5, second=11):
+    app = APP_REGISTRY["hpccg"].from_input(NPROCS, "small")
+    app.niters = 15
+    design = DESIGNS[design_name](Cluster(nnodes=4))
+    plan = FaultPlan(events=(FaultEvent(rank=1, iteration=first),
+                             FaultEvent(rank=6, iteration=second)))
+    return design.run_job(app, FtiConfig(ckpt_stride=3), plan,
+                          label="two-faults")
+
+
+@pytest.mark.parametrize("design_name", sorted(DESIGNS))
+def test_two_failures_recovered(design_name):
+    result = run_with_two_faults(design_name)
+    assert result.verified
+    assert result.recovery_episodes == 2
+    assert result.breakdown.recovery_seconds > 0
+
+
+def test_two_restarts_counted():
+    result = run_with_two_faults("restart-fti")
+    assert result.relaunches == 2
+
+
+def test_two_reinit_rollbacks_counted():
+    result = run_with_two_faults("reinit-fti")
+    assert result.details["runtime_stats"]["reinit_rollbacks"] == 2
+
+
+def test_two_ulfm_spawns_counted():
+    result = run_with_two_faults("ulfm-fti")
+    assert result.details["runtime_stats"]["spawns"] == 2
+
+
+def test_back_to_back_failures_same_iteration_window():
+    """Two failures within one checkpoint stride of each other."""
+    for design_name in sorted(DESIGNS):
+        result = run_with_two_faults(design_name, first=7, second=8)
+        assert result.verified, design_name
+        assert result.recovery_episodes == 2

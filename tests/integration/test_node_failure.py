@@ -1,0 +1,119 @@
+"""Node failures: Reinit's extension beyond process failures (§IV-D).
+
+The paper injects process failures only, noting that Reinit *can*
+recover from node failures while the evaluated ULFM implementation
+cannot. These tests exercise the node-failure path: a whole node dies,
+taking its RAMFS (and therefore any L1 checkpoints) with it — recovery
+then requires a redundant FTI level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import CheckpointError, NoCheckpointError
+from repro.faults import FaultEvent, FaultPlan
+from repro.fti import CheckpointRegistry, Fti, FtiConfig, ScalarRef
+from repro.recovery import ReinitRecovery
+from repro.simmpi import Runtime, ops
+
+NPROCS = 8
+NITERS = 12
+
+
+def resilient_main_factory(cluster, registry, level):
+    def resilient_main(mpi):
+        fti = Fti(mpi, cluster, registry,
+                  FtiConfig(level=level, ckpt_stride=3))
+        yield from fti.init()
+        it = ScalarRef(0)
+        x = np.zeros(32)
+        fti.protect(0, it)
+        fti.protect(1, x)
+        start = 0
+        if fti.status():
+            start = (yield from fti.recover()) + 1
+        for i in range(start, NITERS):
+            yield from mpi.iteration(i)
+            it.value = i
+            x += 1.0
+            yield from mpi.allreduce(1.0, op=ops.SUM)
+            if fti.checkpoint_due(i):
+                yield from fti.checkpoint(i)
+        return it.value
+
+    return resilient_main
+
+
+def run_with_node_fault(level, kill_iter=8):
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+    reinit = ReinitRecovery(cluster)
+    plan = FaultPlan(events=(
+        FaultEvent(rank=2, iteration=kill_iter, kind="node"),))
+    runtime = Runtime(cluster, NPROCS,
+                      resilient_main_factory(cluster, registry, level),
+                      fault_plan=plan)
+    reinit.install(runtime)
+    return runtime.run(), runtime, cluster
+
+
+def test_node_fault_kills_every_colocated_rank():
+    cluster = Cluster(nnodes=4)
+
+    def entry(mpi):
+        yield from mpi.iteration(0)
+        yield from mpi.compute(seconds=0.1)
+        yield from mpi.barrier()
+        return "ok"
+
+    plan = FaultPlan(events=(FaultEvent(rank=2, iteration=0, kind="node"),))
+    runtime = Runtime(cluster, 8, entry, fault_plan=plan)
+    ReinitRecovery(cluster).install(runtime)
+    runtime.run()
+    # ranks 2 and 3 share node 1; both must have died in the first life
+    assert runtime.stats["reinit_rollbacks"] == 1
+
+
+def test_reinit_with_l2_survives_node_failure():
+    """Reinit + partner-copy checkpoints ride out a whole-node loss."""
+    results, runtime, _ = run_with_node_fault(level=2)
+    assert len(results) == NPROCS
+    assert all(v == NITERS - 1 for v in results.values())
+    assert runtime.stats["reinit_rollbacks"] == 1
+
+
+def test_reinit_with_l3_survives_node_failure():
+    results, runtime, _ = run_with_node_fault(level=3)
+    assert all(v == NITERS - 1 for v in results.values())
+
+
+def test_reinit_with_l1_loses_checkpoints_on_node_failure():
+    """L1 lives on the dead node's RAMFS: recovery must fail loudly."""
+    with pytest.raises((CheckpointError, NoCheckpointError)):
+        run_with_node_fault(level=1)
+
+
+def test_node_failure_wipes_victim_storage():
+    cluster = Cluster(nnodes=4)
+    cluster.place_job(8)
+    cluster.ramfs_of_node(1).write("fti/x", b"ckpt")
+
+    def entry(mpi):
+        yield from mpi.iteration(0)
+        yield from mpi.barrier()
+        return "ok"
+
+    plan = FaultPlan(events=(FaultEvent(rank=2, iteration=0, kind="node"),))
+    runtime = Runtime(cluster, 8, entry, fault_plan=plan)
+    ReinitRecovery(cluster).install(runtime)
+    runtime.run()
+    assert not cluster.ramfs_of_node(1).exists("fti/x")
+
+
+def test_fault_event_kind_validation():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        FaultEvent(rank=0, iteration=0, kind="meteor")
+    assert FaultEvent(0, 0).kind == "process"

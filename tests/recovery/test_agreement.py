@@ -1,0 +1,86 @@
+"""Log-tree agreement: reference protocol vs the runtime's AGREE op."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import Cluster
+from repro.errors import ConfigurationError
+from repro.recovery.agreement import (
+    agree,
+    agreement_message_count,
+    agreement_rounds,
+    simulate_agreement,
+    tree_children,
+    tree_parent,
+)
+from repro.simmpi import ErrHandler, Runtime
+
+
+def test_tree_structure():
+    assert tree_children(0, 7) == [1, 2]
+    assert tree_children(2, 7) == [5, 6]
+    assert tree_children(3, 7) == []
+    assert tree_parent(0) == 0
+    assert tree_parent(5) == 2
+    assert tree_parent(6) == 2
+
+
+def test_tree_children_bounds():
+    with pytest.raises(ConfigurationError):
+        tree_children(7, 7)
+
+
+def test_message_and_round_counts():
+    assert agreement_message_count(8) == 14
+    assert agreement_rounds(8) == 6  # up 3 + down 3
+
+
+def test_simulate_agreement_and_semantics():
+    assert simulate_agreement({0: 1, 1: 1, 2: 1}) == 1
+    assert simulate_agreement({0: 1, 1: 0, 2: 1}) == 0
+    assert simulate_agreement({0: 0b111, 1: 0b110, 2: 0b011}) == 0b010
+
+
+def test_simulate_agreement_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        simulate_agreement({})
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                max_size=32))
+def test_simulation_matches_fold(flags_list):
+    flags = dict(enumerate(flags_list))
+    expected = flags_list[0]
+    for f in flags_list[1:]:
+        expected &= f
+    assert simulate_agreement(flags) == expected
+
+
+def test_p2p_agreement_matches_builtin_op():
+    """The explicit tree protocol over p2p must agree (pun intended)
+    with the runtime's closed-form AGREE collective."""
+    flags = {0: 0b1111, 1: 0b1101, 2: 0b1110, 3: 0b0111, 4: 0b1011}
+
+    def entry(mpi):
+        via_tree = yield from agree(mpi, mpi.world, flags[mpi.rank])
+        via_op = yield from mpi.comm_agree(mpi.world, flags[mpi.rank])
+        return via_tree, via_op
+
+    runtime = Runtime(Cluster(nnodes=4), 5, entry,
+                      errhandler=ErrHandler.RETURN)
+    results = runtime.run()
+    expected = 0b1111 & 0b1101 & 0b1110 & 0b0111 & 0b1011
+    for tree_result, op_result in results.values():
+        assert tree_result == expected
+        assert op_result == expected
+
+
+def test_p2p_agreement_message_count():
+    def entry(mpi):
+        result = yield from agree(mpi, mpi.world, 1)
+        return result
+
+    runtime = Runtime(Cluster(nnodes=4), 8, entry,
+                      errhandler=ErrHandler.RETURN)
+    runtime.run()
+    assert runtime.stats["p2p_messages"] == agreement_message_count(8)

@@ -1,0 +1,36 @@
+"""Heartbeat detector trade-off helper."""
+
+import pytest
+
+from repro.recovery import heartbeat_tradeoff
+
+
+def test_faster_beats_detect_sooner():
+    slow = heartbeat_tradeoff(0.5, nprocs=64)
+    fast = heartbeat_tradeoff(0.05, nprocs=64)
+    assert fast.detection_latency < slow.detection_latency
+
+
+def test_faster_beats_cost_more_overhead():
+    slow = heartbeat_tradeoff(0.5, nprocs=64)
+    fast = heartbeat_tradeoff(0.05, nprocs=64)
+    assert fast.compute_overhead_factor > slow.compute_overhead_factor
+
+
+def test_anchor_point_matches_default_model():
+    from repro.simmpi import UlfmOverheadModel
+
+    point = heartbeat_tradeoff(0.1, nprocs=64)
+    assert point.compute_overhead_factor == pytest.approx(
+        UlfmOverheadModel().compute_factor(64))
+
+
+def test_latency_includes_timeout_beats():
+    point = heartbeat_tradeoff(0.2, nprocs=64, timeout_beats=4)
+    assert point.detection_latency >= 0.8
+
+
+def test_overhead_scales_with_process_count():
+    small = heartbeat_tradeoff(0.1, nprocs=8)
+    large = heartbeat_tradeoff(0.1, nprocs=512)
+    assert large.compute_overhead_factor > small.compute_overhead_factor

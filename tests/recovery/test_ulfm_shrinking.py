@@ -1,0 +1,98 @@
+"""ULFM shrinking recovery: the paper's §V-E extension.
+
+A shrink-tolerant toy workload (block-sum with owner recomputation)
+survives a failure by continuing on the survivor communicator and
+redistributing the dead rank's block.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.faults import FaultEvent, FaultPlan
+from repro.recovery import RECOVERY_TRIGGERS, UlfmRecovery
+from repro.simmpi import ErrHandler, Runtime, ops
+
+NPROCS = 8
+NBLOCKS = 16  # blocks of work, initially 2 per rank
+
+
+def shrink_tolerant_entry_factory(ulfm):
+    def entry(mpi):
+        world = mpi.world
+        total = None
+        for i in range(6):
+            try:
+                yield from mpi.iteration(i)
+                # each rank sums the blocks it owns under the CURRENT world
+                my = world.rank_of(mpi.rank)
+                owned = [b for b in range(NBLOCKS)
+                         if b % world.size == my]
+                local = float(sum(owned))
+                yield from mpi.compute(seconds=0.01)
+                total = yield from mpi.allreduce(local, op=ops.SUM,
+                                                 comm=world)
+            except RECOVERY_TRIGGERS:
+                world = yield from ulfm.shrinking_repair(mpi)
+        return world.size, total
+
+    return entry
+
+
+def test_shrinking_recovery_continues_with_fewer_ranks():
+    ulfm = UlfmRecovery()
+    plan = FaultPlan(events=(FaultEvent(rank=3, iteration=2),))
+    runtime = Runtime(Cluster(nnodes=4), NPROCS,
+                      shrink_tolerant_entry_factory(ulfm),
+                      fault_plan=plan, errhandler=ErrHandler.RETURN)
+    results = runtime.run()
+    assert 3 not in results               # the victim never returns
+    assert len(results) == NPROCS - 1
+    sizes = {size for size, _ in results.values()}
+    assert sizes == {NPROCS - 1}          # everyone shrank to 7
+    # the redistributed sum still covers every block exactly once
+    expected = float(sum(range(NBLOCKS)))
+    assert all(total == expected for _, total in results.values())
+    assert runtime.stats["spawns"] == 0   # shrinking never respawns
+
+
+def test_shrinking_cheaper_than_nonshrinking():
+    """No spawn/merge phases: shrinking recovery must cost less."""
+    def measure(repair_method_name):
+        ulfm = UlfmRecovery()
+        plan = FaultPlan(events=(FaultEvent(rank=2, iteration=1),))
+
+        def entry(mpi):
+            if mpi.is_respawned:
+                yield from ulfm.replacement_join(mpi)
+                return "joined"
+            for i in range(4):
+                try:
+                    yield from mpi.iteration(i)
+                    yield from mpi.allreduce(1.0, op=ops.SUM,
+                                             comm=mpi.world)
+                except RECOVERY_TRIGGERS:
+                    repair = getattr(ulfm, repair_method_name)
+                    yield from repair(mpi)
+                    return "repaired"  # measurement done; stop here
+            return "done"
+
+        runtime = Runtime(Cluster(nnodes=4), NPROCS, entry,
+                          fault_plan=plan, errhandler=ErrHandler.RETURN)
+        runtime.run()
+        return max(ulfm.episode_list())
+
+    shrinking = measure("shrinking_repair")
+    nonshrinking = measure("survivor_repair")
+    assert shrinking < nonshrinking
+
+
+def test_repeated_shrinks():
+    ulfm = UlfmRecovery()
+    plan = FaultPlan(events=(FaultEvent(rank=1, iteration=1),
+                             FaultEvent(rank=5, iteration=3)))
+    runtime = Runtime(Cluster(nnodes=4), NPROCS,
+                      shrink_tolerant_entry_factory(ulfm),
+                      fault_plan=plan, errhandler=ErrHandler.RETURN)
+    results = runtime.run()
+    assert len(results) == NPROCS - 2
+    assert {size for size, _ in results.values()} == {NPROCS - 2}

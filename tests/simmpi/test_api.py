@@ -1,0 +1,117 @@
+"""The MpiApi facade: accessors, wtime, placement, start states."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.simmpi import Runtime, StartState
+
+
+def run(nprocs, entry, nnodes=4, **kwargs):
+    runtime = Runtime(Cluster(nnodes=nnodes), nprocs, entry, **kwargs)
+    return runtime.run(), runtime
+
+
+def test_rank_and_size():
+    def entry(mpi):
+        yield from mpi.barrier()
+        return (mpi.rank, mpi.size)
+
+    results, _ = run(4, entry)
+    assert results[2] == (2, 4)
+
+
+def test_now_is_monotonic_wtime():
+    def entry(mpi):
+        t0 = mpi.now()
+        yield from mpi.compute(seconds=0.5)
+        t1 = mpi.now()
+        yield from mpi.sleep(0.25)
+        t2 = mpi.now()
+        return t0, t1, t2
+
+    results, _ = run(2, entry)
+    t0, t1, t2 = results[0]
+    assert t0 == 0.0
+    assert t1 == pytest.approx(0.5)
+    assert t2 == pytest.approx(0.75)
+
+
+def test_node_id_follows_block_placement():
+    def entry(mpi):
+        yield from mpi.barrier()
+        return mpi.node_id()
+
+    results, _ = run(8, entry, nnodes=4)
+    assert results[0] == results[1] == 0
+    assert results[6] == results[7] == 3
+
+
+def test_ranks_per_node():
+    def entry(mpi):
+        yield from mpi.barrier()
+        return mpi.ranks_per_node()
+
+    results, _ = run(8, entry, nnodes=4)
+    assert set(results.values()) == {2}
+
+
+def test_initial_start_state_flags():
+    def entry(mpi):
+        yield from mpi.barrier()
+        return (mpi.is_restarted, mpi.is_respawned,
+                mpi.start_state is StartState.INITIAL)
+
+    results, _ = run(2, entry)
+    assert results[0] == (False, False, True)
+
+
+def test_world_property_tracks_runtime():
+    def entry(mpi):
+        before = mpi.world
+        yield from mpi.barrier()
+        return before is mpi.world
+
+    results, _ = run(2, entry)
+    assert all(results.values())
+
+
+def test_store_write_and_read_roundtrip():
+    cluster = Cluster(nnodes=2)
+
+    def entry(mpi):
+        store = cluster.ramfs_of(mpi.rank)
+        duration = yield from mpi.store_write(store, "blob", b"payload")
+        data = yield from mpi.store_read(store, "blob")
+        return duration > 0, data
+
+    runtime = Runtime(cluster, 2, entry)
+    results = runtime.run()
+    assert results[0] == (True, b"payload")
+
+
+def test_store_io_charges_local_clock():
+    cluster = Cluster(nnodes=2)
+    big = b"x" * (1 << 22)
+
+    def entry(mpi):
+        if mpi.rank == 0:
+            store = cluster.ramfs_of(0)
+            yield from mpi.store_write(store, "big", big)
+        yield from mpi.barrier()
+        return mpi.now()
+
+    runtime = Runtime(cluster, 2, entry)
+    results = runtime.run()
+    expected = len(big) / cluster.node_spec.ramfs_bandwidth
+    assert results[0] >= expected
+
+
+def test_compute_work_model_contention():
+    """The same bytes cost more when more ranks share a node."""
+    def entry(mpi):
+        yield from mpi.compute(bytes_moved=1e9)
+        return mpi.now()
+
+    sparse, _ = run(2, entry, nnodes=2)   # 1 rank/node
+    dense, _ = run(8, entry, nnodes=1)    # 8 ranks/node
+    assert dense[0] > sparse[0]

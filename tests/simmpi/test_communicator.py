@@ -1,0 +1,90 @@
+"""Communicator group algebra: dup, split, shrink, merge, revoke."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simmpi import Communicator, ErrHandler
+
+
+def test_basic_rank_translation():
+    comm = Communicator([4, 7, 9])
+    assert comm.size == 3
+    assert comm.rank_of(7) == 1
+    assert comm.world_rank(2) == 9
+    assert comm.contains(4)
+    assert not comm.contains(5)
+
+
+def test_unique_ids():
+    a = Communicator([0, 1])
+    b = Communicator([0, 1])
+    assert a.comm_id != b.comm_id
+
+
+def test_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        Communicator([])
+
+
+def test_duplicates_rejected():
+    with pytest.raises(ConfigurationError):
+        Communicator([1, 1, 2])
+
+
+def test_dup_same_group_new_identity():
+    comm = Communicator([0, 1, 2], errhandler=ErrHandler.RETURN)
+    dup = comm.dup()
+    assert dup.world_ranks == comm.world_ranks
+    assert dup.comm_id != comm.comm_id
+    assert dup.errhandler is ErrHandler.RETURN
+
+
+def test_split_by_color():
+    comm = Communicator(range(6))
+    groups = comm.split({w: w % 2 for w in range(6)})
+    assert groups[0].world_ranks == (0, 2, 4)
+    assert groups[1].world_ranks == (1, 3, 5)
+
+
+def test_split_none_color_excluded():
+    comm = Communicator(range(4))
+    groups = comm.split({0: "a", 1: None, 2: "a", 3: None})
+    assert list(groups) == ["a"]
+    assert groups["a"].world_ranks == (0, 2)
+
+
+def test_without_builds_survivor_comm():
+    comm = Communicator(range(8))
+    shrunk = comm.without([3, 5])
+    assert shrunk.size == 6
+    assert not shrunk.contains(3)
+    assert shrunk.rank_of(4) == 3  # ranks compact after removal
+
+
+def test_merged_with_restores_world_order():
+    comm = Communicator(range(8)).without([2])
+    merged = comm.merged_with([2])
+    assert merged.world_ranks == tuple(range(8))
+    assert merged.rank_of(2) == 2  # non-shrinking: original layout back
+
+
+def test_revoke_flag():
+    comm = Communicator([0, 1])
+    assert not comm.revoked
+    comm.revoke()
+    assert comm.revoked
+    assert "REVOKED" in repr(comm)
+
+
+def test_errhandler_mutable():
+    comm = Communicator([0, 1])
+    assert comm.errhandler is ErrHandler.FATAL  # MPI default
+    comm.set_errhandler(ErrHandler.RETURN)
+    assert comm.errhandler is ErrHandler.RETURN
+
+
+def test_shrink_then_merge_roundtrip_any_victim():
+    world = Communicator(range(16))
+    for victim in (0, 7, 15):
+        repaired = world.without([victim]).merged_with([victim])
+        assert repaired.world_ranks == world.world_ranks

@@ -1,0 +1,69 @@
+"""Payload sizing and op records."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simmpi import Op, OpKind, payload_nbytes
+from repro.simmpi.datatypes import COLLECTIVE_KINDS
+
+
+def test_none_is_zero_bytes():
+    assert payload_nbytes(None) == 0
+
+
+def test_numpy_array_reports_true_size():
+    arr = np.zeros(100, dtype=np.float64)
+    assert payload_nbytes(arr) == 800
+
+
+def test_bytes_count_themselves():
+    assert payload_nbytes(b"12345") == 5
+    assert payload_nbytes(bytearray(7)) == 7
+
+
+def test_scalars_are_word_sized():
+    assert payload_nbytes(3) == 8
+    assert payload_nbytes(3.14) == 8
+    assert payload_nbytes(True) == 8
+    assert payload_nbytes(1 + 2j) == 16
+
+
+def test_strings_by_utf8_length():
+    assert payload_nbytes("abc") == 3
+    assert payload_nbytes("é") == 2
+
+
+def test_containers_sum_elements():
+    assert payload_nbytes([1.0, 2.0, 3.0]) == 24
+    assert payload_nbytes({"k": 1.0}) == 9
+
+
+def test_container_floor_is_word():
+    assert payload_nbytes([]) == 8
+    assert payload_nbytes({}) == 8
+
+
+def test_op_infers_nbytes_from_payload():
+    op = Op(OpKind.SEND, payload=np.zeros(10))
+    assert op.nbytes == 80
+
+
+def test_op_explicit_nbytes_wins():
+    op = Op(OpKind.SEND, payload=np.zeros(10), nbytes=12345)
+    assert op.nbytes == 12345
+
+
+def test_collective_kinds_include_ulfm_ops():
+    for kind in (OpKind.SHRINK, OpKind.SPAWN, OpKind.MERGE, OpKind.AGREE):
+        assert kind in COLLECTIVE_KINDS
+    assert OpKind.SEND not in COLLECTIVE_KINDS
+    assert OpKind.REVOKE not in COLLECTIVE_KINDS  # one-sided, not collective
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False),
+                max_size=50))
+def test_list_size_monotone_in_length(values):
+    shorter = payload_nbytes(values)
+    longer = payload_nbytes(values + [0.0])
+    assert longer >= shorter

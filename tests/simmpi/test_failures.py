@@ -1,0 +1,79 @@
+"""Failure detector and failure log."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simmpi import DetectorSpec, FailureDetector, FailureLog
+
+
+def test_detection_latency_dominated_by_heartbeat_timeout():
+    detector = FailureDetector(DetectorSpec(heartbeat_period=0.1,
+                                            timeout_beats=3))
+    latency = detector.detection_latency(64)
+    assert latency >= 0.3
+    assert latency < 0.4
+
+
+def test_latency_grows_slowly_with_scale():
+    detector = FailureDetector()
+    l64 = detector.detection_latency(64)
+    l512 = detector.detection_latency(512)
+    assert l512 > l64
+    assert l512 - l64 < 0.01  # propagation wave only
+
+
+def test_detected_at_offsets_failure_time():
+    detector = FailureDetector()
+    assert detector.detected_at(10.0, 64) == pytest.approx(
+        10.0 + detector.detection_latency(64))
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        DetectorSpec(heartbeat_period=0)
+    with pytest.raises(ConfigurationError):
+        DetectorSpec(timeout_beats=0)
+
+
+@pytest.fixture
+def log():
+    return FailureLog(FailureDetector(), nprocs=8)
+
+
+def test_log_records_and_queries(log):
+    rec = log.record(3, failed_at=5.0, iteration=12)
+    assert log.is_failed(3)
+    assert not log.is_failed(2)
+    assert rec.detected_at > 5.0
+    assert log.failed_ranks() == (3,)
+    assert log.record_for(3).iteration == 12
+
+
+def test_any_failed_filters(log):
+    log.record(1, 0.0)
+    log.record(5, 0.0)
+    assert log.any_failed([0, 1, 2]) == [1]
+    assert log.any_failed([5, 1]) == [5, 1]
+    assert log.any_failed([0, 2]) == []
+
+
+def test_earliest_detection(log):
+    log.record(1, 10.0)
+    log.record(2, 5.0)
+    assert log.earliest_detection([1, 2]) == log.record_for(2).detected_at
+    with pytest.raises(KeyError):
+        log.earliest_detection([0, 3])
+
+
+def test_forget_reverses_record(log):
+    log.record(4, 1.0)
+    log.forget(4)
+    assert not log.is_failed(4)
+    assert log.failed_ranks() == ()
+
+
+def test_clear_wipes_all(log):
+    log.record(0, 1.0)
+    log.record(1, 2.0)
+    log.clear()
+    assert log.failed_ranks() == ()

@@ -1,0 +1,54 @@
+"""Runtime overhead models: vanilla vs ULFM."""
+
+import pytest
+
+from repro.simmpi import OverheadModel, UlfmOverheadModel
+
+
+def test_vanilla_model_is_free():
+    model = OverheadModel()
+    assert model.compute_factor(512) == 1.0
+    assert model.collective_extra(512, 10**6) == 0.0
+    assert model.ptp_extra(512, 10**6) == 0.0
+
+
+def test_ulfm_taxes_compute():
+    model = UlfmOverheadModel()
+    assert model.compute_factor(64) > 1.0
+
+
+def test_ulfm_tax_grows_with_scale():
+    """Paper §V-C: ULFM's overhead grows as process count goes up."""
+    model = UlfmOverheadModel()
+    factors = [model.compute_factor(p) for p in (64, 128, 256, 512)]
+    assert factors == sorted(factors)
+    assert factors[-1] > factors[0]
+
+
+def test_ulfm_tax_band_matches_figure5():
+    """ULFM application inflation sits in the ~10-25% band of Fig. 5."""
+    model = UlfmOverheadModel()
+    assert 1.05 < model.compute_factor(64) < 1.25
+    assert 1.10 < model.compute_factor(512) < 1.30
+
+
+def test_ulfm_communication_extras_positive():
+    model = UlfmOverheadModel()
+    assert model.collective_extra(64, 8) > 0
+    assert model.ptp_extra(64, 8) > 0
+
+
+def test_collective_extra_scales_with_log_p():
+    model = UlfmOverheadModel()
+    assert (model.collective_extra(512, 8)
+            == pytest.approx(model.collective_extra(64, 8) * 9 / 6))
+
+
+def test_multiplicative_tax_scales_with_input_automatically():
+    """The same factor on a larger compute interval costs more absolute
+    seconds — the mechanism behind Fig. 8's growing ULFM overhead."""
+    model = UlfmOverheadModel()
+    factor = model.compute_factor(64)
+    small_overhead = 10.0 * (factor - 1.0)
+    large_overhead = 100.0 * (factor - 1.0)
+    assert large_overhead == pytest.approx(10 * small_overhead)

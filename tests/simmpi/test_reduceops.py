@@ -1,0 +1,74 @@
+"""Reduction operators: scalar and element-wise array semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simmpi import ops
+from repro.simmpi.reduceops import reduce_contributions
+
+
+def test_sum_prod_scalars():
+    assert ops.SUM(2, 3) == 5
+    assert ops.PROD(2, 3) == 6
+
+
+def test_max_min_scalars():
+    assert ops.MAX(2, 3) == 3
+    assert ops.MIN(2, 3) == 2
+
+
+def test_land_lor():
+    assert ops.LAND(1, 0) is False
+    assert ops.LAND(1, 2) is True
+    assert ops.LOR(0, 0) is False
+    assert ops.LOR(0, 5) is True
+
+
+def test_band_is_bitwise():
+    assert ops.BAND(0b110, 0b011) == 0b010
+
+
+def test_elementwise_on_arrays():
+    a = np.array([1.0, 5.0])
+    b = np.array([4.0, 2.0])
+    assert np.array_equal(ops.MAX(a, b), [4.0, 5.0])
+    assert np.array_equal(ops.MIN(a, b), [1.0, 2.0])
+    assert np.array_equal(ops.SUM(a, b), [5.0, 7.0])
+
+
+def test_logical_arrays():
+    a = np.array([True, False, True])
+    b = np.array([True, True, False])
+    assert np.array_equal(ops.LAND(a, b), [True, False, False])
+    assert np.array_equal(ops.LOR(a, b), [True, True, True])
+
+
+def test_reduce_contributions_left_fold_order():
+    # subtraction-like op exposes ordering; MPI requires rank order
+    calls = []
+
+    def record(a, b):
+        calls.append((a, b))
+        return a + b
+
+    assert reduce_contributions([1, 2, 3], record) == 6
+    assert calls == [(1, 2), (3, 3)]
+
+
+def test_reduce_single_contribution():
+    assert reduce_contributions([42], ops.SUM) == 42
+
+
+@given(st.lists(st.integers(min_value=-10**6, max_value=10**6), min_size=1,
+                max_size=30))
+def test_reduce_sum_matches_builtin(values):
+    assert reduce_contributions(values, ops.SUM) == sum(values)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                max_size=20))
+def test_band_agreement_semantics(flags):
+    agreed = reduce_contributions(flags, ops.BAND)
+    for flag in flags:
+        assert agreed & flag == agreed  # result is a subset of every input

@@ -1,0 +1,216 @@
+"""Runtime: compute, p2p matching, timing, determinism."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import DeadlockError, SimulationError
+from repro.simmpi import Runtime, ops
+
+
+def run(nprocs, entry, nnodes=4, **kwargs):
+    runtime = Runtime(Cluster(nnodes=nnodes), nprocs, entry, **kwargs)
+    return runtime.run(), runtime
+
+
+def test_compute_advances_local_clock():
+    def entry(mpi):
+        yield from mpi.compute(seconds=1.5)
+        return mpi.now()
+
+    results, runtime = run(2, entry)
+    assert results[0] == pytest.approx(1.5)
+    assert runtime.makespan() == pytest.approx(1.5)
+
+
+def test_compute_from_flops_uses_work_model():
+    def entry(mpi):
+        yield from mpi.compute(flops=2.8e9)
+        return mpi.now()
+
+    results, _ = run(2, entry)
+    assert results[0] == pytest.approx(1.0, rel=0.01)  # 2.8e9 @ 35% of 8e9
+
+
+def test_sleep_is_not_taxed_by_overhead():
+    from repro.simmpi import UlfmOverheadModel
+
+    def entry(mpi):
+        yield from mpi.sleep(1.0)
+        return mpi.now()
+
+    results, _ = run(2, entry, overhead=UlfmOverheadModel())
+    assert results[0] == pytest.approx(1.0)
+
+
+def test_compute_is_taxed_by_overhead():
+    from repro.simmpi import UlfmOverheadModel
+
+    model = UlfmOverheadModel()
+
+    def entry(mpi):
+        yield from mpi.compute(seconds=1.0)
+        return mpi.now()
+
+    results, _ = run(2, entry, overhead=model)
+    assert results[0] == pytest.approx(model.compute_factor(2))
+
+
+def test_send_recv_delivers_payload_and_status():
+    def entry(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(1, {"msg": "hi"}, tag=3)
+            return None
+        payload, status = yield from mpi.recv(0, tag=3)
+        return payload, status
+
+    results, _ = run(2, entry)
+    payload, status = results[1]
+    assert payload == {"msg": "hi"}
+    assert status.source == 0
+    assert status.tag == 3
+
+
+def test_recv_any_source():
+    def entry(mpi):
+        if mpi.rank == 2:
+            got = []
+            for _ in range(2):
+                payload, status = yield from mpi.recv(None, tag=None)
+                got.append((status.source, payload))
+            return sorted(got)
+        yield from mpi.send(2, mpi.rank * 10)
+        return None
+
+    results, _ = run(3, entry)
+    assert results[2] == [(0, 0), (1, 10)]
+
+
+def test_tag_matching_is_selective():
+    def entry(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(1, "a", tag=1)
+            yield from mpi.send(1, "b", tag=2)
+            return None
+        pb, _ = yield from mpi.recv(0, tag=2)
+        pa, _ = yield from mpi.recv(0, tag=1)
+        return pa, pb
+
+    results, _ = run(2, entry)
+    assert results[1] == ("a", "b")
+
+
+def test_message_ordering_fifo_same_tag():
+    def entry(mpi):
+        if mpi.rank == 0:
+            for i in range(5):
+                yield from mpi.send(1, i, tag=0)
+            return None
+        seen = []
+        for _ in range(5):
+            payload, _ = yield from mpi.recv(0, tag=0)
+            seen.append(payload)
+        return seen
+
+    results, _ = run(2, entry)
+    assert results[1] == [0, 1, 2, 3, 4]
+
+
+def test_recv_completion_charges_transfer_time():
+    def entry(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(1, b"x" * (1 << 20))
+            return mpi.now()
+        _, status = yield from mpi.recv(0)
+        return mpi.now()
+
+    results, runtime = run(2, entry, nnodes=2)  # ranks on distinct nodes
+    beta = runtime.cluster.network.spec.beta_inter
+    expected = (1 << 20) / beta
+    assert results[1] >= expected
+    # eager protocol: the sender does not wait for the transfer
+    assert results[0] < results[1]
+
+
+def test_intra_node_transfer_is_cheaper():
+    def entry(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(1, b"x" * (1 << 20))
+            return None
+        yield from mpi.recv(0)
+        return mpi.now()
+
+    on_same, _ = run(2, entry, nnodes=1)
+    on_diff, _ = run(2, entry, nnodes=2)
+    assert on_same[1] < on_diff[1]
+
+
+def test_sendrecv_pairs_exchange():
+    def entry(mpi):
+        peer = 1 - mpi.rank
+        payload, _ = yield from mpi.sendrecv(peer, mpi.rank * 100, tag=9)
+        return payload
+
+    results, _ = run(2, entry)
+    assert results[0] == 100
+    assert results[1] == 0
+
+
+def test_unmatched_recv_deadlocks_with_diagnostics():
+    def entry(mpi):
+        if mpi.rank == 0:
+            yield from mpi.recv(1, tag=77)  # never sent
+        return None
+
+    with pytest.raises(DeadlockError) as err:
+        run(2, entry)
+    assert "recv" in str(err.value)
+
+
+def test_non_generator_entry_rejected():
+    def entry(mpi):
+        return 42  # not a generator function
+
+    with pytest.raises(SimulationError):
+        Runtime(Cluster(nnodes=2), 2, entry)
+
+
+def test_yielding_garbage_rejected():
+    def entry(mpi):
+        yield "not an op"
+
+    with pytest.raises(SimulationError):
+        run(2, entry)
+
+
+def test_determinism_bitwise_repeatable():
+    def entry(mpi):
+        total = yield from mpi.allreduce(float(mpi.rank) * 1.7, op=ops.SUM)
+        yield from mpi.compute(seconds=0.01 * mpi.rank)
+        yield from mpi.barrier()
+        return (total, mpi.now())
+
+    r1, rt1 = run(8, entry)
+    r2, rt2 = run(8, entry)
+    assert r1 == r2
+    assert rt1.makespan() == rt2.makespan()
+
+
+def test_exit_values_collected_per_rank():
+    def entry(mpi):
+        yield from mpi.barrier()
+        return mpi.rank ** 2
+
+    results, _ = run(4, entry)
+    assert results == {0: 0, 1: 1, 2: 4, 3: 9}
+
+
+def test_stats_count_traffic():
+    def entry(mpi):
+        yield from mpi.send((mpi.rank + 1) % mpi.size, 1)
+        yield from mpi.recv((mpi.rank - 1) % mpi.size)
+        yield from mpi.barrier()
+        return None
+
+    _, runtime = run(4, entry)
+    assert runtime.stats["p2p_messages"] == 4
+    assert runtime.stats["collectives"] == 1

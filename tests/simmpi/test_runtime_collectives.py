@@ -1,0 +1,187 @@
+"""Runtime collectives: result semantics and timing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import SimulationError
+from repro.simmpi import Runtime, ops
+
+
+def run(nprocs, entry, **kwargs):
+    runtime = Runtime(Cluster(nnodes=4), nprocs, entry, **kwargs)
+    return runtime.run(), runtime
+
+
+def test_barrier_synchronizes_clocks():
+    def entry(mpi):
+        yield from mpi.compute(seconds=float(mpi.rank))
+        yield from mpi.barrier()
+        return mpi.now()
+
+    results, _ = run(4, entry)
+    times = set(round(t, 9) for t in results.values())
+    assert len(times) == 1
+    assert results[0] > 3.0  # everyone waits for the slowest
+
+
+def test_bcast_from_nonzero_root():
+    def entry(mpi):
+        value = "payload" if mpi.rank == 2 else None
+        got = yield from mpi.bcast(value, root=2)
+        return got
+
+    results, _ = run(4, entry)
+    assert all(v == "payload" for v in results.values())
+
+
+def test_reduce_only_root_gets_result():
+    def entry(mpi):
+        got = yield from mpi.reduce(mpi.rank + 1, op=ops.SUM, root=1)
+        return got
+
+    results, _ = run(4, entry)
+    assert results[1] == 10
+    assert results[0] is None and results[3] is None
+
+
+def test_allreduce_sum_max_min():
+    def entry(mpi):
+        s = yield from mpi.allreduce(float(mpi.rank), op=ops.SUM)
+        mx = yield from mpi.allreduce(mpi.rank, op=ops.MAX)
+        mn = yield from mpi.allreduce(mpi.rank, op=ops.MIN)
+        return s, mx, mn
+
+    results, _ = run(5, entry)
+    assert results[3] == (10.0, 4, 0)
+
+
+def test_allreduce_elementwise_arrays():
+    def entry(mpi):
+        vec = np.full(3, float(mpi.rank))
+        total = yield from mpi.allreduce(vec, op=ops.SUM)
+        return total
+
+    results, _ = run(4, entry)
+    assert np.array_equal(results[2], np.full(3, 6.0))
+
+
+def test_gather_collects_in_rank_order():
+    def entry(mpi):
+        got = yield from mpi.gather("r%d" % mpi.rank, root=0)
+        return got
+
+    results, _ = run(4, entry)
+    assert results[0] == ["r0", "r1", "r2", "r3"]
+    assert results[1] is None
+
+
+def test_allgather_everyone_gets_all():
+    def entry(mpi):
+        got = yield from mpi.allgather(mpi.rank * 2)
+        return got
+
+    results, _ = run(4, entry)
+    assert all(v == [0, 2, 4, 6] for v in results.values())
+
+
+def test_scatter_distributes_root_chunks():
+    def entry(mpi):
+        chunks = [[i, i * i] for i in range(mpi.size)] if mpi.rank == 0 \
+            else None
+        mine = yield from mpi.scatter(chunks, root=0)
+        return mine
+
+    results, _ = run(4, entry)
+    assert results[3] == [3, 9]
+
+
+def test_alltoall_transposes_blocks():
+    def entry(mpi):
+        blocks = [mpi.rank * 10 + dest for dest in range(mpi.size)]
+        got = yield from mpi.alltoall(blocks)
+        return got
+
+    results, _ = run(3, entry)
+    # rank r receives block [s*10 + r for each source s]
+    assert results[0] == [0, 10, 20]
+    assert results[2] == [2, 12, 22]
+
+
+def test_scan_inclusive_prefix():
+    def entry(mpi):
+        got = yield from mpi.scan(mpi.rank + 1, op=ops.SUM)
+        return got
+
+    results, _ = run(4, entry)
+    assert [results[r] for r in range(4)] == [1, 3, 6, 10]
+
+
+def test_subcomm_collective_only_involves_members():
+    def entry(mpi):
+        if mpi.rank < 2:
+            comm = mpi.cached_comm([0, 1], "pair")
+            total = yield from mpi.allreduce(1, op=ops.SUM, comm=comm)
+            return total
+        yield from mpi.compute(seconds=0.01)
+        return "outside"
+
+    results, _ = run(4, entry)
+    assert results[0] == 2
+    assert results[2] == "outside"
+
+
+def test_mismatched_collectives_detected():
+    def entry(mpi):
+        if mpi.rank == 0:
+            yield from mpi.barrier()
+        else:
+            yield from mpi.allreduce(1, op=ops.SUM)
+        return None
+
+    with pytest.raises(SimulationError) as err:
+        run(2, entry)
+    assert "mismatch" in str(err.value)
+
+
+def test_collective_on_foreign_comm_rejected():
+    def entry(mpi):
+        comm = mpi.cached_comm([0, 1], "pair")
+        yield from mpi.barrier(comm=comm)  # rank 2 is not a member
+        return None
+
+    with pytest.raises(SimulationError):
+        run(3, entry)
+
+
+def test_collective_cost_grows_with_scale():
+    def entry(mpi):
+        yield from mpi.allreduce(np.zeros(1 << 14), op=ops.SUM)
+        return mpi.now()
+
+    small, _ = run(4, entry)
+    big, _ = run(16, entry)
+    assert big[0] > small[0]
+
+
+def test_back_to_back_collectives_keep_order():
+    def entry(mpi):
+        a = yield from mpi.allreduce(1, op=ops.SUM)
+        b = yield from mpi.allreduce(2, op=ops.SUM)
+        c = yield from mpi.allreduce(mpi.rank, op=ops.MAX)
+        return (a, b, c)
+
+    results, runtime = run(4, entry)
+    assert results[0] == (4, 8, 3)
+    assert runtime.stats["collectives"] == 3
+
+
+def test_cached_comm_is_shared_object():
+    def entry(mpi):
+        comm = mpi.cached_comm([0, 1, 2, 3], "g")
+        yield from mpi.barrier(comm=comm)
+        return id(comm)
+
+    # run within one runtime: every rank must see the same object
+    results, _ = run(4, entry)
+    assert len(set(results.values())) == 1

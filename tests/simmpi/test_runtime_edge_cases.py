@@ -1,0 +1,161 @@
+"""Runtime edge cases: odd sizes, exotic orderings, failure timing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import DeadlockError, ProcessFailedError
+from repro.faults import FaultEvent, FaultPlan
+from repro.simmpi import ErrHandler, Runtime, ops
+
+
+def run(nprocs, entry, nnodes=4, **kwargs):
+    runtime = Runtime(Cluster(nnodes=nnodes), nprocs, entry, **kwargs)
+    return runtime.run(), runtime
+
+
+def test_two_rank_job():
+    def entry(mpi):
+        total = yield from mpi.allreduce(1, op=ops.SUM)
+        return total
+
+    results, _ = run(2, entry)
+    assert results == {0: 2, 1: 2}
+
+
+def test_self_send_recv():
+    def entry(mpi):
+        yield from mpi.send(mpi.rank, "to-myself", tag=5)
+        payload, status = yield from mpi.recv(mpi.rank, tag=5)
+        return payload, status.source
+
+    results, _ = run(2, entry)
+    assert results[1] == ("to-myself", 1)
+
+
+def test_zero_second_compute():
+    def entry(mpi):
+        yield from mpi.compute(seconds=0.0)
+        yield from mpi.barrier()
+        return mpi.now()
+
+    results, _ = run(2, entry)
+    assert results[0] >= 0.0
+
+
+def test_many_small_collectives_accumulate_cost():
+    def entry(mpi):
+        for _ in range(50):
+            yield from mpi.allreduce(1.0, op=ops.SUM)
+        return mpi.now()
+
+    results, runtime = run(4, entry)
+    assert runtime.stats["collectives"] == 50
+    one_cost = runtime.cluster.network.allreduce_time(4, 8)
+    assert results[0] == pytest.approx(50 * one_cost, rel=0.05)
+
+
+def test_ranks_progress_independently_between_sync_points():
+    def entry(mpi):
+        yield from mpi.compute(seconds=float(mpi.rank))
+        before_barrier = mpi.now()
+        yield from mpi.barrier()
+        return before_barrier
+
+    results, _ = run(4, entry)
+    assert [round(results[r], 6) for r in range(4)] == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_interleaved_p2p_and_collectives():
+    def entry(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(1, "x")
+        total = yield from mpi.allreduce(1, op=ops.SUM)
+        if mpi.rank == 1:
+            payload, _ = yield from mpi.recv(0)
+            return total, payload
+        return total, None
+
+    results, _ = run(3, entry)
+    assert results[1] == (3, "x")
+
+
+def test_failure_during_p2p_chain_detected_downstream():
+    """Rank 1 dies mid-pipeline; rank 2 (waiting on 1) must see it."""
+    plan = FaultPlan(events=(FaultEvent(rank=1, iteration=0),))
+
+    def entry(mpi):
+        try:
+            if mpi.rank == 0:
+                yield from mpi.send(1, "start")
+                return "sent"
+            if mpi.rank == 1:
+                yield from mpi.recv(0)
+                yield from mpi.iteration(0)  # dies after receiving
+                yield from mpi.send(2, "relay")
+                return "relayed"
+            yield from mpi.recv(1)
+            return "got"
+        except ProcessFailedError:
+            return "saw-failure"
+
+    results, _ = run(3, entry, errhandler=ErrHandler.RETURN, fault_plan=plan)
+    assert results[2] == "saw-failure"
+    assert 1 not in results
+
+
+def test_victim_mid_collective_sequence():
+    """Failure between two back-to-back collectives: the second one
+    (which the victim never joins) delivers the error."""
+    plan = FaultPlan(events=(FaultEvent(rank=2, iteration=0),))
+
+    def entry(mpi):
+        try:
+            a = yield from mpi.allreduce(1, op=ops.SUM)
+            yield from mpi.iteration(0)
+            b = yield from mpi.allreduce(1, op=ops.SUM)
+            return a, b
+        except ProcessFailedError:
+            return "failure-in-second"
+
+    results, _ = run(4, entry, errhandler=ErrHandler.RETURN, fault_plan=plan)
+    survivors = {r: v for r, v in results.items()}
+    assert all(v == "failure-in-second" for v in survivors.values())
+
+
+def test_allreduce_large_array_costs_more_than_small():
+    def entry_factory(n):
+        def entry(mpi):
+            yield from mpi.allreduce(np.zeros(n), op=ops.SUM)
+            return mpi.now()
+        return entry
+
+    small, _ = run(4, entry_factory(8))
+    large, _ = run(4, entry_factory(1 << 20))
+    assert large[0] > small[0]
+
+
+def test_deadlock_reports_blocked_kinds():
+    def entry(mpi):
+        if mpi.rank == 0:
+            yield from mpi.barrier()
+        else:
+            yield from mpi.recv(0, tag=99)
+        return None
+
+    with pytest.raises(DeadlockError) as err:
+        run(2, entry)
+    message = str(err.value)
+    assert "barrier" in message or "recv" in message
+
+
+def test_uncaught_exception_in_rank_propagates():
+    def entry(mpi):
+        yield from mpi.barrier()
+        if mpi.rank == 1:
+            raise ValueError("app bug")
+        yield from mpi.barrier()
+        return "ok"
+
+    with pytest.raises(ValueError, match="app bug"):
+        run(2, entry)

@@ -1,0 +1,174 @@
+"""ULFM runtime extensions: shrink, spawn, merge, agree."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import ProcessFailedError
+from repro.faults import FaultEvent, FaultPlan
+from repro.simmpi import ErrHandler, Runtime, StartState, ops
+
+
+def make_runtime(nprocs, entry, plan=None):
+    return Runtime(Cluster(nnodes=4), nprocs, entry, fault_plan=plan,
+                   errhandler=ErrHandler.RETURN)
+
+
+def test_shrink_excludes_failed_ranks():
+    plan = FaultPlan(events=(FaultEvent(rank=2, iteration=0),))
+
+    def entry(mpi):
+        yield from mpi.iteration(0)
+        try:
+            yield from mpi.allreduce(1, op=ops.SUM)
+            return None
+        except ProcessFailedError:
+            pass
+        shrunk = yield from mpi.comm_shrink(mpi.world)
+        return shrunk.world_ranks
+
+    runtime = make_runtime(4, entry, plan)
+    results = runtime.run()
+    assert results[0] == (0, 1, 3)
+    assert 2 not in results
+
+
+def test_shrink_works_on_revoked_comm():
+    plan = FaultPlan(events=(FaultEvent(rank=1, iteration=0),))
+
+    def entry(mpi):
+        yield from mpi.iteration(0)
+        try:
+            yield from mpi.allreduce(1, op=ops.SUM)
+        except ProcessFailedError:
+            if not mpi.world.revoked:
+                yield from mpi.comm_revoke(mpi.world)
+        shrunk = yield from mpi.comm_shrink(mpi.world)
+        return shrunk.size
+
+    runtime = make_runtime(3, entry, plan)
+    results = runtime.run()
+    assert all(size == 2 for size in results.values())
+
+
+def test_agree_bitwise_and():
+    def entry(mpi):
+        flag = 0b111 if mpi.rank != 1 else 0b101
+        agreed = yield from mpi.comm_agree(mpi.world, flag)
+        return agreed
+
+    runtime = make_runtime(3, entry)
+    results = runtime.run()
+    assert all(v == 0b101 for v in results.values())
+
+
+def test_agree_cost_scales_with_log_p():
+    def entry(mpi):
+        yield from mpi.comm_agree(mpi.world, 1)
+        return mpi.now()
+
+    t4 = make_runtime(4, entry).run()[0]
+    runtime16 = Runtime(Cluster(nnodes=8), 16, entry,
+                        errhandler=ErrHandler.RETURN)
+    t16 = runtime16.run()[0]
+    assert t16 / t4 == pytest.approx(math.log2(16) / math.log2(4), rel=0.01)
+
+
+def test_full_repair_protocol_restores_world_size():
+    """revoke/shrink/spawn/merge: the paper's Figure 3 sequence."""
+    plan = FaultPlan(events=(FaultEvent(rank=3, iteration=0),))
+
+    def entry(mpi):
+        if mpi.is_respawned:
+            merged = yield from mpi.intercomm_merge(None)
+            agreed = yield from mpi.comm_agree(merged, 1)
+            return ("respawned", merged.size, agreed)
+        yield from mpi.iteration(0)
+        try:
+            yield from mpi.allreduce(1, op=ops.SUM)
+            return None
+        except ProcessFailedError:
+            pass
+        if not mpi.world.revoked:
+            yield from mpi.comm_revoke(mpi.world)
+        shrunk = yield from mpi.comm_shrink(mpi.world)
+        spawned = yield from mpi.comm_spawn(shrunk)
+        merged = yield from mpi.intercomm_merge(shrunk)
+        agreed = yield from mpi.comm_agree(merged, 1)
+        return ("survivor", merged.size, agreed, tuple(spawned))
+
+    runtime = make_runtime(4, entry, plan)
+    results = runtime.run()
+    assert results[3][0] == "respawned"
+    assert all(r[1] == 4 for r in results.values())  # non-shrinking!
+    assert all(r[2] == 1 for r in results.values())
+    assert results[0][3] == (3,)
+    assert runtime.stats["spawns"] == 1
+
+
+def test_spawned_rank_has_respawned_state():
+    plan = FaultPlan(events=(FaultEvent(rank=1, iteration=0),))
+    states = {}
+
+    def entry(mpi):
+        states[mpi.rank] = mpi.start_state
+        if mpi.is_respawned:
+            yield from mpi.intercomm_merge(None)
+            return "joined"
+        yield from mpi.iteration(0)
+        try:
+            yield from mpi.barrier()
+            return None
+        except ProcessFailedError:
+            shrunk = yield from mpi.comm_shrink(mpi.world)
+            yield from mpi.comm_spawn(shrunk)
+            yield from mpi.intercomm_merge(shrunk)
+            return "repaired"
+
+    runtime = make_runtime(2, entry, plan)
+    results = runtime.run()
+    assert results[1] == "joined"
+    assert states[1] is StartState.RESPAWNED  # the second incarnation
+    assert states[0] is StartState.INITIAL
+
+
+def test_merged_world_swap_visible_to_api():
+    plan = FaultPlan(events=(FaultEvent(rank=0, iteration=0),))
+
+    def entry(mpi):
+        if mpi.is_respawned:
+            merged = yield from mpi.intercomm_merge(None)
+            mpi.set_world(merged)
+            yield from mpi.barrier()  # on the swapped world
+            return "ok"
+        yield from mpi.iteration(0)
+        try:
+            yield from mpi.barrier()
+            return None
+        except ProcessFailedError:
+            shrunk = yield from mpi.comm_shrink(mpi.world)
+            yield from mpi.comm_spawn(shrunk)
+            merged = yield from mpi.intercomm_merge(shrunk)
+            mpi.set_world(merged)
+            yield from mpi.barrier()
+            return "ok"
+
+    runtime = make_runtime(3, entry, plan)
+    results = runtime.run()
+    assert all(v == "ok" for v in results.values())
+    assert runtime.world.size == 3
+
+
+def test_shrink_cost_includes_linear_term():
+    """The shrink consensus must grow super-logarithmically so ULFM
+    recovery does not scale (Fig. 7)."""
+    from repro.simmpi.datatypes import OpKind
+
+    def idle(mpi):
+        yield from mpi.barrier()
+
+    r = Runtime(Cluster(nnodes=32), 64, idle)
+    cost64 = r._collective_cost(OpKind.SHRINK, 64, 0)
+    cost512 = r._collective_cost(OpKind.SHRINK, 512, 0)
+    assert cost512 / cost64 > math.log2(512) / math.log2(64)

@@ -1,0 +1,65 @@
+"""The exception taxonomy: hierarchy and payloads."""
+
+import pytest
+
+from repro.errors import (
+    CheckpointError,
+    CommRevokedError,
+    ConfigurationError,
+    CorruptCheckpointError,
+    DeadlockError,
+    InsufficientRedundancyError,
+    JobAbortedError,
+    MPIError,
+    NoCheckpointError,
+    ProcessFailedError,
+    RankKilledError,
+    ReproError,
+    SimulationError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (SimulationError, DeadlockError, MPIError,
+                     ProcessFailedError, CommRevokedError, JobAbortedError,
+                     RankKilledError, CheckpointError, NoCheckpointError,
+                     CorruptCheckpointError, InsufficientRedundancyError,
+                     ConfigurationError):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_mpi_error_classes_mirror_ulfm_constants():
+    assert ProcessFailedError.error_class == 75  # MPIX_ERR_PROC_FAILED
+    assert CommRevokedError.error_class == 76    # MPIX_ERR_REVOKED
+
+
+def test_process_failed_error_sorts_and_freezes_ranks():
+    err = ProcessFailedError([5, 1, 3])
+    assert err.failed_ranks == (1, 3, 5)
+    assert "1, 3, 5" in str(err) or "(1, 3, 5)" in str(err)
+
+
+def test_job_aborted_error_carries_errorcode():
+    err = JobAbortedError("boom", errorcode=42)
+    assert err.errorcode == 42
+    assert "boom" in str(err)
+
+
+def test_rank_killed_error_carries_rank():
+    err = RankKilledError(7)
+    assert err.rank == 7
+    assert "7" in str(err)
+
+
+def test_deadlock_is_a_simulation_error():
+    assert issubclass(DeadlockError, SimulationError)
+
+
+def test_checkpoint_errors_are_not_mpi_errors():
+    assert not issubclass(NoCheckpointError, MPIError)
+    assert not issubclass(CorruptCheckpointError, MPIError)
+
+
+def test_errors_are_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise InsufficientRedundancyError("lost too many shards")

@@ -1,0 +1,77 @@
+"""Fault plans: seeding, one-shot semantics, random selection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultEvent, FaultPlan
+
+
+def test_none_plan_never_kills():
+    plan = FaultPlan.none()
+    assert plan.nfaults == 0
+    assert not plan.should_kill(0, 0)
+
+
+def test_event_validation():
+    with pytest.raises(ConfigurationError):
+        FaultEvent(rank=-1, iteration=0)
+    with pytest.raises(ConfigurationError):
+        FaultEvent(rank=0, iteration=-1)
+
+
+def test_should_kill_exact_match_only():
+    plan = FaultPlan(events=(FaultEvent(2, 5),))
+    assert not plan.should_kill(2, 4)
+    assert not plan.should_kill(1, 5)
+    assert plan.should_kill(2, 5)
+
+
+def test_one_shot_per_event():
+    plan = FaultPlan(events=(FaultEvent(2, 5),))
+    assert plan.should_kill(2, 5)
+    assert not plan.should_kill(2, 5)
+
+
+def test_reset_rearms():
+    plan = FaultPlan(events=(FaultEvent(2, 5),))
+    plan.should_kill(2, 5)
+    plan.reset()
+    assert plan.should_kill(2, 5)
+
+
+def test_single_random_is_deterministic_per_seed():
+    a = FaultPlan.single_random(64, 40, seed=9)
+    b = FaultPlan.single_random(64, 40, seed=9)
+    assert a.events == b.events
+
+
+def test_different_seeds_differ_eventually():
+    plans = {FaultPlan.single_random(64, 40, seed=s).events
+             for s in range(20)}
+    assert len(plans) > 10
+
+
+def test_single_random_respects_min_iteration():
+    for seed in range(50):
+        plan = FaultPlan.single_random(8, 10, seed=seed, min_iteration=3)
+        event = plan.events[0]
+        assert 3 <= event.iteration < 10
+        assert 0 <= event.rank < 8
+
+
+def test_single_random_validation():
+    with pytest.raises(ConfigurationError):
+        FaultPlan.single_random(0, 10, seed=1)
+    with pytest.raises(ConfigurationError):
+        FaultPlan.single_random(4, 1, seed=1)
+
+
+@given(st.integers(min_value=1, max_value=512),
+       st.integers(min_value=2, max_value=100),
+       st.integers())
+def test_single_random_always_in_bounds(nprocs, niters, seed):
+    plan = FaultPlan.single_random(nprocs, niters, seed=seed)
+    event = plan.events[0]
+    assert 0 <= event.rank < nprocs
+    assert 1 <= event.iteration < niters

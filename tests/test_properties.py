@@ -1,0 +1,124 @@
+"""Cross-cutting property-based tests on core invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster, Network
+from repro.fti import ProtectedSet, ReedSolomonCode, ScalarRef
+from repro.simmpi import Communicator, Runtime, ops
+
+
+# -- communicator algebra ----------------------------------------------------
+@given(st.sets(st.integers(min_value=0, max_value=63), min_size=2,
+               max_size=16).map(sorted),
+       st.data())
+def test_shrink_merge_identity(ranks, data):
+    """without(dead) then merged_with(dead) restores the exact group."""
+    comm = Communicator(ranks)
+    dead = data.draw(st.sets(st.sampled_from(ranks), min_size=1,
+                             max_size=len(ranks) - 1))
+    repaired = comm.without(dead).merged_with(dead)
+    assert repaired.world_ranks == comm.world_ranks
+
+
+@given(st.sets(st.integers(min_value=0, max_value=63), min_size=1,
+               max_size=16).map(sorted))
+def test_rank_translation_bijective(ranks):
+    comm = Communicator(ranks)
+    for local in range(comm.size):
+        assert comm.rank_of(comm.world_rank(local)) == local
+
+
+# -- network cost model -----------------------------------------------------------
+@given(st.integers(min_value=2, max_value=512),
+       st.integers(min_value=2, max_value=512),
+       st.integers(min_value=0, max_value=10**7))
+def test_collectives_monotone_in_procs(p_small, p_big, nbytes):
+    if p_small > p_big:
+        p_small, p_big = p_big, p_small
+    net = Network()
+    assert (net.allreduce_time(p_big, nbytes)
+            >= net.allreduce_time(p_small, nbytes) - 1e-15)
+    assert (net.allgather_time(p_big, nbytes)
+            >= net.allgather_time(p_small, nbytes) - 1e-15)
+
+
+# -- Reed-Solomon -----------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=5),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=32),
+       st.randoms(use_true_random=False))
+def test_rs_decode_tolerates_up_to_m_erasures(k, m, length, rnd):
+    code = ReedSolomonCode(k, m)
+    data = [bytes(rnd.randrange(256) for _ in range(length))
+            for _ in range(k)]
+    parity = code.encode(data)
+    everything = {i: data[i] for i in range(k)}
+    everything.update({k + i: parity[i] for i in range(m)})
+    erasures = rnd.sample(sorted(everything), min(m, len(everything) - k))
+    survivors = {i: blob for i, blob in everything.items()
+                 if i not in erasures}
+    assert code.decode(survivors, length) == data
+
+
+# -- serializer -----------------------------------------------------------------
+def test_serializer_nan_and_inf_roundtrip():
+    ps = ProtectedSet()
+    arr = np.array([np.nan, np.inf, -np.inf, 0.0])
+    ref = ScalarRef(float("inf"))
+    ps.protect(0, arr)
+    ps.protect(1, ref)
+    blob = ps.serialize()
+    arr[:] = 0.0
+    ref.value = 0.0
+    ps.deserialize_into(blob)
+    assert np.isnan(arr[0])
+    assert arr[1] == np.inf and arr[2] == -np.inf
+    assert ref.value == float("inf")
+
+
+@given(st.integers(min_value=1, max_value=6))
+def test_serializer_idempotent_reserialize(n):
+    ps = ProtectedSet()
+    arrays = [np.arange(4, dtype=np.float64) * i for i in range(n)]
+    for i, arr in enumerate(arrays):
+        ps.protect(i, arr)
+    blob1 = ps.serialize()
+    ps.deserialize_into(blob1)
+    blob2 = ps.serialize()
+    assert blob1 == blob2
+
+
+# -- runtime determinism across seeds of work --------------------------------------
+@settings(max_examples=5, deadline=None)
+@given(st.lists(st.floats(min_value=0.001, max_value=1.0), min_size=2,
+                max_size=6))
+def test_runtime_makespan_equals_critical_path(durations):
+    """With one barrier at the end, makespan = max(compute) + barrier."""
+    nprocs = len(durations)
+
+    def entry(mpi):
+        yield from mpi.compute(seconds=durations[mpi.rank])
+        yield from mpi.barrier()
+        return mpi.now()
+
+    runtime = Runtime(Cluster(nnodes=max(1, nprocs // 2)), nprocs, entry)
+    runtime.run()
+    barrier_cost = runtime.cluster.network.barrier_time(nprocs)
+    assert runtime.makespan() == pytest.approx(
+        max(durations) + barrier_cost)
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.integers(min_value=2, max_value=12))
+def test_allreduce_result_independent_of_rank_count_ordering(nprocs):
+    def entry(mpi):
+        value = yield from mpi.allreduce(float(mpi.rank + 1), op=ops.SUM)
+        return value
+
+    runtime = Runtime(Cluster(nnodes=4), nprocs, entry)
+    results = runtime.run()
+    expected = nprocs * (nprocs + 1) / 2
+    assert all(v == pytest.approx(expected) for v in results.values())

@@ -1,0 +1,185 @@
+"""SCR-style checkpointing: file flow, redundancy schemes, restart."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import (
+    CheckpointError,
+    InsufficientRedundancyError,
+    NoCheckpointError,
+)
+from repro.fti import CheckpointRegistry
+from repro.scr import Scr, ScrConfig, ScrRedundancy
+from repro.simmpi import Runtime
+
+NPROCS = 8
+
+
+def writer_job(cluster, registry, scheme, iteration=5, valid=True,
+               payload=None):
+    config = ScrConfig(scheme=scheme, interval=5, set_size=4)
+
+    def entry(mpi):
+        scr = Scr(mpi, cluster, registry, config)
+        yield from scr.init()
+        data = payload or ("state-of-rank-%d" % mpi.rank).encode()
+        yield from scr.start_checkpoint(iteration)
+        path = scr.route_file("state.bin")
+        yield from scr.write_file(path, data)
+        committed = yield from scr.complete_checkpoint(valid=valid)
+        yield from scr.finalize()
+        return committed
+
+    return Runtime(cluster, NPROCS, entry).run()
+
+
+def reader_job(cluster, registry, scheme):
+    config = ScrConfig(scheme=scheme, interval=5, set_size=4)
+
+    def entry(mpi):
+        scr = Scr(mpi, cluster, registry, config)
+        yield from scr.init()
+        assert scr.have_restart()
+        iteration = yield from scr.start_restart()
+        data = yield from scr.read_file("state.bin")
+        yield from scr.finalize()
+        return iteration, data
+
+    return Runtime(cluster, NPROCS, entry).run()
+
+
+@pytest.mark.parametrize("scheme", list(ScrRedundancy))
+def test_roundtrip_every_scheme(scheme):
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+    assert all(writer_job(cluster, registry, scheme).values())
+    results = reader_job(cluster, registry, scheme)
+    for rank, (iteration, data) in results.items():
+        assert iteration == 5
+        assert data == ("state-of-rank-%d" % rank).encode()
+
+
+def test_invalid_checkpoint_discarded():
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+    committed = writer_job(cluster, registry, ScrRedundancy.SINGLE,
+                           valid=False)
+    assert not any(committed.values())
+    assert not registry.has_checkpoint()
+
+
+def test_single_scheme_dies_with_node():
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+    writer_job(cluster, registry, ScrRedundancy.SINGLE)
+    cluster.node_storage[0].wipe()
+    with pytest.raises(NoCheckpointError):
+        reader_job(cluster, registry, ScrRedundancy.SINGLE)
+
+
+def test_partner_scheme_survives_node_loss():
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+    writer_job(cluster, registry, ScrRedundancy.PARTNER)
+    cluster.node_storage[0].wipe()
+    results = reader_job(cluster, registry, ScrRedundancy.PARTNER)
+    assert results[0][1] == b"state-of-rank-0"
+
+
+def test_partner_scheme_loses_both():
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+    writer_job(cluster, registry, ScrRedundancy.PARTNER)
+    cluster.node_storage[0].wipe()
+    cluster.node_storage[1].wipe()
+    with pytest.raises(InsufficientRedundancyError):
+        reader_job(cluster, registry, ScrRedundancy.PARTNER)
+
+
+def test_xor_scheme_survives_one_member_per_set():
+    """XOR (RAID-5-like) tolerates one lost member per set."""
+    cluster = Cluster(nnodes=8)  # one rank per node
+    registry = CheckpointRegistry()
+    writer_job(cluster, registry, ScrRedundancy.XOR)
+    cluster.node_storage[2].wipe()  # exactly one member of set {0..3}
+    results = reader_job(cluster, registry, ScrRedundancy.XOR)
+    assert results[2][1] == b"state-of-rank-2"
+    assert results[3][1] == b"state-of-rank-3"
+
+
+def test_xor_scheme_two_losses_in_one_set_fail():
+    cluster = Cluster(nnodes=8)
+    registry = CheckpointRegistry()
+    writer_job(cluster, registry, ScrRedundancy.XOR)
+    cluster.node_storage[2].wipe()
+    cluster.node_storage[3].wipe()  # second member of the same set
+    with pytest.raises(InsufficientRedundancyError):
+        reader_job(cluster, registry, ScrRedundancy.XOR)
+
+
+def test_scr_requires_init():
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+
+    def entry(mpi):
+        scr = Scr(mpi, cluster, registry)
+        with pytest.raises(CheckpointError):
+            scr.have_restart()
+        with pytest.raises(CheckpointError):
+            scr.route_file("x")
+        yield from mpi.barrier()
+        return "ok"
+
+    Runtime(cluster, 2, entry).run()
+
+
+def test_need_checkpoint_interval_policy():
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+
+    def entry(mpi):
+        scr = Scr(mpi, cluster, registry, ScrConfig(interval=7))
+        yield from scr.init()
+        due = [i for i in range(30) if scr.need_checkpoint(i)]
+        return due
+
+    results = Runtime(cluster, 2, entry).run()
+    assert results[0] == [7, 14, 21, 28]
+
+
+def test_double_start_rejected():
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+
+    def entry(mpi):
+        scr = Scr(mpi, cluster, registry)
+        yield from scr.init()
+        yield from scr.start_checkpoint(1)
+        with pytest.raises(CheckpointError):
+            yield from scr.start_checkpoint(2)
+        yield from mpi.barrier()
+        return "ok"
+
+    Runtime(cluster, 2, entry).run()
+
+
+def test_old_generations_cleaned_up():
+    cluster = Cluster(nnodes=4)
+    registry = CheckpointRegistry()
+    config = ScrConfig(scheme=ScrRedundancy.SINGLE, interval=1, keep_last=1)
+
+    def entry(mpi):
+        scr = Scr(mpi, cluster, registry, config)
+        yield from scr.init()
+        for i in (1, 2, 3):
+            yield from scr.start_checkpoint(i)
+            path = scr.route_file("f")
+            yield from scr.write_file(path, b"gen%d" % i)
+            yield from scr.complete_checkpoint()
+        yield from scr.finalize()
+        return None
+
+    Runtime(cluster, NPROCS, entry).run()
+    assert len(registry.all_complete()) == 1
+    assert registry.latest_complete().iteration == 3

@@ -1,0 +1,68 @@
+"""Work model: roofline pricing and contention."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import NodeSpec
+from repro.errors import ConfigurationError
+from repro.workmodel import WorkModel
+
+
+def test_pure_compute_time():
+    model = WorkModel(NodeSpec(flops_per_core=1e9), flop_efficiency=0.5)
+    assert model.seconds(flops=5e8) == pytest.approx(1.0)
+
+
+def test_pure_memory_time():
+    model = WorkModel(NodeSpec(memory_bandwidth=1e10),
+                      bandwidth_efficiency=1.0)
+    assert model.seconds(bytes_moved=1e10) == pytest.approx(1.0)
+
+
+def test_roofline_takes_max():
+    model = WorkModel()
+    compute_only = model.seconds(flops=1e12)
+    memory_only = model.seconds(bytes_moved=1e12)
+    both = model.seconds(flops=1e12, bytes_moved=1e12)
+    assert both == pytest.approx(max(compute_only, memory_only))
+
+
+def test_memory_contention_divides_bandwidth():
+    model = WorkModel()
+    alone = model.seconds(bytes_moved=1e9, ranks_per_node=1)
+    crowded = model.seconds(bytes_moved=1e9, ranks_per_node=16)
+    assert crowded == pytest.approx(16 * alone)
+
+
+def test_compute_unaffected_by_contention():
+    """Each rank owns a core; only memory bandwidth is shared."""
+    model = WorkModel()
+    assert model.seconds(flops=1e9, ranks_per_node=1) == pytest.approx(
+        model.seconds(flops=1e9, ranks_per_node=16))
+
+
+def test_zero_work_is_free():
+    assert WorkModel().seconds() == 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        WorkModel(flop_efficiency=0)
+    with pytest.raises(ConfigurationError):
+        WorkModel(bandwidth_efficiency=1.5)
+    with pytest.raises(ConfigurationError):
+        WorkModel().seconds(flops=-1)
+    with pytest.raises(ConfigurationError):
+        WorkModel().seconds(ranks_per_node=0)
+
+
+@given(st.floats(min_value=0, max_value=1e15),
+       st.floats(min_value=0, max_value=1e15),
+       st.integers(min_value=1, max_value=64))
+def test_monotone_in_work(flops, bytes_moved, rpn):
+    model = WorkModel()
+    base = model.seconds(flops=flops, bytes_moved=bytes_moved,
+                         ranks_per_node=rpn)
+    more = model.seconds(flops=flops * 2, bytes_moved=bytes_moved * 2,
+                         ranks_per_node=rpn)
+    assert more >= base
