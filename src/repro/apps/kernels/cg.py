@@ -22,6 +22,8 @@ class CgWorkspace:
         self.r = b.copy()
         self.p = b.copy()
         self.rho = float(np.dot(b.ravel(), b.ravel()))
+        #: scratch for axpy updates (never checkpointed)
+        self._scratch = np.empty_like(b)
 
     def arrays(self) -> dict:
         return {"cg_x": self.x, "cg_r": self.r, "cg_p": self.p}
@@ -36,23 +38,32 @@ def cg_step(mpi, ws: CgWorkspace, comm=None):
     """
     q = ws.matvec(ws.p)
     local_pq = float(np.dot(ws.p.ravel(), q.ravel()))
-    global_pq = yield from mpi.allreduce(local_pq, op=ops.SUM, comm=comm)
+    global_pq = yield from mpi.allreduce(local_pq, op=ops.SUM, comm=comm,
+                                         nbytes=8)
     if global_pq == 0.0:
         # p = 0 on every rank (SPD makes each term non-negative). If the
         # residual is globally zero too, the system is exactly solved —
         # small capped systems reach this — and further iterations are
         # consistent no-ops; otherwise it is a genuine breakdown. The
         # check is collective so all ranks branch identically.
-        global_rho = yield from mpi.allreduce(ws.rho, op=ops.SUM, comm=comm)
+        global_rho = yield from mpi.allreduce(ws.rho, op=ops.SUM, comm=comm,
+                                              nbytes=8)
         if global_rho == 0.0:
             return 0.0
         raise ConfigurationError("CG breakdown: p.A.p == 0 with r != 0")
-    global_rho = yield from mpi.allreduce(ws.rho, op=ops.SUM, comm=comm)
+    global_rho = yield from mpi.allreduce(ws.rho, op=ops.SUM, comm=comm,
+                                          nbytes=8)
     alpha = global_rho / global_pq
-    ws.x += alpha * ws.p
-    ws.r -= alpha * q
+    # axpy updates through the preallocated scratch: same values as
+    # `x += alpha*p` / `r -= alpha*q` without a fresh temporary each call
+    scratch = ws._scratch
+    np.multiply(ws.p, alpha, out=scratch)
+    ws.x += scratch
+    np.multiply(q, alpha, out=scratch)
+    ws.r -= scratch
     new_rho = float(np.dot(ws.r.ravel(), ws.r.ravel()))
-    new_global_rho = yield from mpi.allreduce(new_rho, op=ops.SUM, comm=comm)
+    new_global_rho = yield from mpi.allreduce(new_rho, op=ops.SUM, comm=comm,
+                                              nbytes=8)
     beta = new_global_rho / global_rho if global_rho else 0.0
     # in-place so FTI's protected registration keeps pointing at p
     ws.p *= beta

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ._accel import native_apply
 from ...errors import ConfigurationError
 
 
@@ -17,10 +18,19 @@ def apply_27pt(u: np.ndarray) -> np.ndarray:
     """27-point stencil matvec on a 3-D grid with zero (Dirichlet) halo.
 
     ``out[i] = 26*u[i] - sum(neighbours of i)`` — equivalent to the
-    HPCCG/miniFE operator rows for interior points.
+    HPCCG/miniFE operator rows for interior points. Served by the native
+    kernel when available (bit-identical; see :mod:`._accel`).
     """
     if u.ndim != 3:
         raise ConfigurationError("apply_27pt expects a 3-D array")
+    out = native_apply("apply_27pt", u)
+    if out is not None:
+        return out
+    return apply_27pt_reference(u)
+
+
+def apply_27pt_reference(u: np.ndarray) -> np.ndarray:
+    """Pure-numpy 27-point stencil: the determinism reference."""
     padded = np.zeros((u.shape[0] + 2, u.shape[1] + 2, u.shape[2] + 2),
                       dtype=u.dtype)
     padded[1:-1, 1:-1, 1:-1] = u
@@ -38,6 +48,14 @@ def apply_7pt(u: np.ndarray) -> np.ndarray:
     """7-point Laplacian (AMG's fine-grid operator): 6*u - neighbours."""
     if u.ndim != 3:
         raise ConfigurationError("apply_7pt expects a 3-D array")
+    out = native_apply("apply_7pt", u)
+    if out is not None:
+        return out
+    return apply_7pt_reference(u)
+
+
+def apply_7pt_reference(u: np.ndarray) -> np.ndarray:
+    """Pure-numpy 7-point Laplacian: the determinism reference."""
     padded = np.zeros((u.shape[0] + 2, u.shape[1] + 2, u.shape[2] + 2),
                       dtype=u.dtype)
     padded[1:-1, 1:-1, 1:-1] = u

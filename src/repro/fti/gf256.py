@@ -2,8 +2,10 @@
 
 Field elements are bytes; addition is XOR; multiplication uses exp/log
 tables over the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D),
-the standard choice for storage RS codes. Vectorised numpy paths keep
-encoding of megabyte checkpoints fast.
+the standard choice for storage RS codes. The bulk paths are fully
+table-driven numpy: a precomputed 256x256 product table turns matrix
+kernels into fancy-indexing plus XOR reductions with no Python-level
+inner loops, which keeps encoding of megabyte checkpoints fast.
 """
 
 from __future__ import annotations
@@ -27,6 +29,15 @@ for _i in range(255):
         _x ^= _PRIMITIVE_POLY
 _EXP[255:510] = _EXP[:255]  # wraparound so exp lookups never need a modulo
 
+#: full product table: _MUL_TABLE[a, b] == a*b in GF(256) (64 KiB)
+_MUL_TABLE = _EXP[_LOG[:, None] + _LOG[None, :]].astype(np.uint8)
+_MUL_TABLE[0, :] = 0
+_MUL_TABLE[:, 0] = 0
+
+#: element cap per (rows x k x cols) lookup block in gf_mat_vec; bounds
+#: transient memory to ~16 MiB while keeping full vectorisation
+_MAT_VEC_CHUNK = 1 << 24
+
 
 def gf_add(a: int, b: int) -> int:
     """Field addition (and subtraction): XOR."""
@@ -34,10 +45,8 @@ def gf_add(a: int, b: int) -> int:
 
 
 def gf_mul(a: int, b: int) -> int:
-    """Field multiplication via log/exp tables."""
-    if a == 0 or b == 0:
-        return 0
-    return int(_EXP[int(_LOG[a]) + int(_LOG[b])])
+    """Field multiplication via the product table."""
+    return int(_MUL_TABLE[a, b])
 
 
 def gf_div(a: int, b: int) -> int:
@@ -65,42 +74,37 @@ def gf_pow(a: int, n: int) -> int:
 
 def gf_mul_vector(scalar: int, vec: np.ndarray) -> np.ndarray:
     """Multiply a uint8 vector by a scalar, element-wise in GF(256)."""
-    if scalar == 0:
-        return np.zeros_like(vec)
-    if scalar == 1:
-        return vec.copy()
-    log_s = int(_LOG[scalar])
-    out = np.zeros_like(vec)
-    nz = vec != 0
-    out[nz] = _EXP[log_s + _LOG[vec[nz].astype(np.int32)]]
-    return out
+    return _MUL_TABLE[scalar][vec]
 
 
 def gf_mat_vec(matrix: np.ndarray, shards: np.ndarray) -> np.ndarray:
     """GF(256) matrix (r x k) times shard block (k x n) -> (r x n).
 
     ``shards`` rows are uint8 vectors; the result row ``i`` is
-    ``sum_j matrix[i, j] * shards[j]`` with field arithmetic.
+    ``sum_j matrix[i, j] * shards[j]`` with field arithmetic. The whole
+    product is one table gather plus an XOR reduction, processed in
+    column chunks so transient memory stays bounded.
     """
     r, k = matrix.shape
     if shards.shape[0] != k:
         raise ConfigurationError(
             "matrix/shard shape mismatch: %s vs %s"
             % (matrix.shape, shards.shape))
-    out = np.zeros((r, shards.shape[1]), dtype=np.uint8)
-    for i in range(r):
-        acc = np.zeros(shards.shape[1], dtype=np.uint8)
-        for j in range(k):
-            coeff = int(matrix[i, j])
-            if coeff:
-                acc ^= gf_mul_vector(coeff, shards[j])
-        out[i] = acc
+    n = shards.shape[1]
+    mat = np.ascontiguousarray(matrix, dtype=np.uint8)
+    out = np.empty((r, n), dtype=np.uint8)
+    step = max(1, _MAT_VEC_CHUNK // max(1, r * k))
+    for start in range(0, n, step):
+        chunk = shards[:, start:start + step]
+        prods = _MUL_TABLE[mat[:, :, None], chunk[None, :, :]]
+        np.bitwise_xor.reduce(prods, axis=1, out=out[:, start:start + step])
     return out
 
 
 def gf_mat_inv(matrix: np.ndarray) -> np.ndarray:
     """Invert a square GF(256) matrix by Gauss-Jordan elimination.
 
+    Row updates are whole-matrix table gathers (no per-row Python loop).
     Raises :class:`numpy.linalg.LinAlgError` if singular.
     """
     n = matrix.shape[0]
@@ -109,20 +113,18 @@ def gf_mat_inv(matrix: np.ndarray) -> np.ndarray:
     aug = np.concatenate(
         [matrix.astype(np.uint8), np.eye(n, dtype=np.uint8)], axis=1)
     for col in range(n):
-        pivot = None
-        for row in range(col, n):
-            if aug[row, col] != 0:
-                pivot = row
-                break
-        if pivot is None:
+        nonzero = np.nonzero(aug[col:, col])[0]
+        if nonzero.size == 0:
             raise np.linalg.LinAlgError("singular GF(256) matrix")
+        pivot = col + int(nonzero[0])
         if pivot != col:
             aug[[col, pivot]] = aug[[pivot, col]]
         inv_p = gf_inv(int(aug[col, col]))
-        aug[col] = gf_mul_vector(inv_p, aug[col])
-        for row in range(n):
-            if row != col and aug[row, col] != 0:
-                aug[row] ^= gf_mul_vector(int(aug[row, col]), aug[col])
+        aug[col] = _MUL_TABLE[inv_p][aug[col]]
+        # eliminate the pivot column from every other row at once
+        factors = aug[:, col].copy()
+        factors[col] = 0
+        aug ^= _MUL_TABLE[factors[:, None], aug[col][None, :]]
     return aug[:, n:].copy()
 
 
@@ -134,8 +136,9 @@ def vandermonde(rows: int, cols: int) -> np.ndarray:
     """
     if rows >= FIELD_SIZE:
         raise ConfigurationError("at most 255 rows in GF(256) Vandermonde")
-    v = np.zeros((rows, cols), dtype=np.uint8)
-    for i in range(rows):
-        for j in range(cols):
-            v[i, j] = gf_pow(i + 1, j)
+    logs = _LOG[np.arange(1, rows + 1)]
+    powers = (logs[:, None] * np.arange(cols)[None, :]) % 255
+    v = _EXP[powers].astype(np.uint8)
+    # a^0 == 1 for every a, including the table's log(1) == 0 row
+    v[:, 0] = 1
     return v

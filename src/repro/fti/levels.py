@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 
 from .metadata import CheckpointRegistry, RankEntry
-from .rs_encoding import ReedSolomonCode, pad_to_equal_length
+from .rs_encoding import pad_to_equal_length, rs_code
 from ..errors import (
     CorruptCheckpointError,
     InsufficientRedundancyError,
@@ -162,7 +162,7 @@ class L3ReedSolomon(L1Local):
         padded, _lengths = pad_to_equal_length(blobs)
         # encode cost: touching k shards twice per parity row, vectorised
         yield from mpi.compute(bytes_moved=2.0 * k * len(padded[0]))
-        code = ReedSolomonCode(k, k)
+        code = rs_code(k, k)
         parity = code.encode(padded)
         my_index = group_comm.rank_of(mpi.rank)
         store = _local_store(fti)
@@ -212,7 +212,7 @@ class L3ReedSolomon(L1Local):
                                                 intra_node=False)
         yield from mpi.sleep(transfer)
         yield from mpi.compute(bytes_moved=2.0 * k * entry.padded_len)
-        code = ReedSolomonCode(k, k)
+        code = rs_code(k, k)
         data = code.decode(shards, entry.padded_len)
         mine = data[entry.group_index]
         blob = _strip_pad(mine)

@@ -12,10 +12,24 @@ free read path never pays a decode.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from .gf256 import gf_mat_inv, gf_mat_vec, vandermonde
 from ..errors import ConfigurationError, InsufficientRedundancyError
+
+
+@lru_cache(maxsize=64)
+def rs_code(k: int, m: int) -> "ReedSolomonCode":
+    """Shared :class:`ReedSolomonCode` instance for ``(k, m)``.
+
+    Building the systematic generator costs a Vandermonde build plus a
+    GF matrix inversion; checkpoint groups reuse the same geometry for
+    every checkpoint of a job, so the code object is cached process-wide
+    (it is immutable after construction).
+    """
+    return ReedSolomonCode(k, m)
 
 
 class ReedSolomonCode:
@@ -61,8 +75,7 @@ class ReedSolomonCode:
                 i in shards for i in range(self.k)):
             return [bytes(shards[i]) for i in range(self.k)]
         use = available[:self.k]
-        sub_gen = self.generator[use, :]
-        inv = gf_mat_inv(sub_gen)
+        inv = self._decode_matrix(tuple(use))
         block = np.zeros((self.k, shard_len), dtype=np.uint8)
         for row, idx in enumerate(use):
             shard = np.frombuffer(shards[idx], dtype=np.uint8)
@@ -75,6 +88,20 @@ class ReedSolomonCode:
         return [data[i].tobytes() for i in range(self.k)]
 
     # -- helpers -----------------------------------------------------------------
+    def _decode_matrix(self, use: tuple) -> np.ndarray:
+        """Inverse of the generator rows for one survivor set, cached:
+        repeated recoveries from the same loss pattern skip the
+        Gauss-Jordan elimination."""
+        cache = getattr(self, "_decode_cache", None)
+        if cache is None:
+            cache = self._decode_cache = {}
+        inv = cache.get(use)
+        if inv is None:
+            if len(cache) >= 128:
+                cache.clear()
+            inv = cache[use] = gf_mat_inv(self.generator[list(use), :])
+        return inv
+
     def _as_block(self, data_shards: list) -> np.ndarray:
         if len(data_shards) != self.k:
             raise ConfigurationError(

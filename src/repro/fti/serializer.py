@@ -48,15 +48,15 @@ class ProtectedSet:
         """Register ``obj`` under ``var_id`` (compare ``FTI_Protect``).
 
         ``obj`` must be a numpy array (restored in place), a
-        :class:`ScalarRef`, or a ``bytearray``.
+        :class:`ScalarRef`, or a ``bytearray``. Re-protecting an existing
+        id replaces the registration — FTI's semantics for an application
+        that reallocated a buffer between checkpoints; later recoveries
+        restore into the *new* object.
         """
         if not isinstance(obj, (np.ndarray, ScalarRef, bytearray)):
             raise ConfigurationError(
                 "cannot protect %r: use ndarray, ScalarRef or bytearray"
                 % type(obj).__name__)
-        if var_id in self._items and self._items[var_id][0] is not obj:
-            # FTI allows re-protecting the same id with a new buffer
-            pass
         self._items[var_id] = (obj, name or "var%d" % var_id)
 
     def unprotect(self, var_id: int) -> None:
@@ -88,35 +88,63 @@ class ProtectedSet:
 
     # -- encode ---------------------------------------------------------------
     def serialize(self) -> bytes:
-        """All protected objects -> one checksummed blob."""
-        chunks = [struct.pack("<4sHI", _MAGIC, _VERSION, len(self._items))]
-        for var_id in self.ids():
-            obj, _ = self._items[var_id]
-            chunks.append(self._encode_one(var_id, obj))
-        body = b"".join(chunks)
-        crc = zlib.crc32(body) & 0xFFFFFFFF
-        return body + struct.pack("<I", crc)
+        """All protected objects -> one checksummed blob.
+
+        The blob is assembled in a single preallocated buffer: a sizing
+        pass computes the total, then every cell packs straight into its
+        slice (array payloads are copied buffer-to-buffer, never through
+        an intermediate ``tobytes``).
+        """
+        items = [(var_id,) + self._items[var_id] for var_id in self.ids()]
+        total = 10 + sum(self._encoded_size(obj) for _, obj, _ in items)
+        buf = bytearray(total + 4)
+        struct.pack_into("<4sHI", buf, 0, _MAGIC, _VERSION, len(items))
+        offset = 10
+        for var_id, obj, _ in items:
+            offset = self._encode_into(buf, offset, var_id, obj)
+        crc = zlib.crc32(memoryview(buf)[:total]) & 0xFFFFFFFF
+        struct.pack_into("<I", buf, total, crc)
+        return bytes(buf)
 
     @staticmethod
-    def _encode_one(var_id: int, obj: Any) -> bytes:
+    def _encoded_size(obj: Any) -> int:
+        if isinstance(obj, np.ndarray):
+            dtype_len = len(obj.dtype.str)
+            return 5 + 2 + dtype_len + 1 + 8 * obj.ndim + 8 + obj.nbytes
+        if isinstance(obj, ScalarRef):
+            return 5 + 8
+        return 5 + 8 + len(obj)  # bytearray
+
+    @staticmethod
+    def _encode_into(buf: bytearray, offset: int, var_id: int,
+                     obj: Any) -> int:
         if isinstance(obj, np.ndarray):
             dtype_name = obj.dtype.str.encode("ascii")
             shape = obj.shape
-            payload = np.ascontiguousarray(obj).tobytes()
-            header = struct.pack("<IBH", var_id, _KIND_ARRAY, len(dtype_name))
-            header += dtype_name
-            header += struct.pack("<B", len(shape))
-            header += struct.pack("<%dq" % len(shape), *shape)
-            return header + struct.pack("<Q", len(payload)) + payload
+            struct.pack_into("<IBH", buf, offset, var_id, _KIND_ARRAY,
+                             len(dtype_name))
+            offset += 7
+            buf[offset:offset + len(dtype_name)] = dtype_name
+            offset += len(dtype_name)
+            struct.pack_into("<B%dqQ" % len(shape), buf, offset,
+                             len(shape), *shape, obj.nbytes)
+            offset += 1 + 8 * len(shape) + 8
+            buf[offset:offset + obj.nbytes] = \
+                memoryview(np.ascontiguousarray(obj)).cast("B")
+            return offset + obj.nbytes
         if isinstance(obj, ScalarRef):
             if isinstance(obj.value, (int, np.integer)):
-                return (struct.pack("<IB", var_id, _KIND_SCALAR_I)
-                        + struct.pack("<q", int(obj.value)))
-            return (struct.pack("<IB", var_id, _KIND_SCALAR_F)
-                    + struct.pack("<d", float(obj.value)))
+                struct.pack_into("<IBq", buf, offset, var_id,
+                                 _KIND_SCALAR_I, int(obj.value))
+            else:
+                struct.pack_into("<IBd", buf, offset, var_id,
+                                 _KIND_SCALAR_F, float(obj.value))
+            return offset + 13
         # bytearray
-        return (struct.pack("<IB", var_id, _KIND_BYTES)
-                + struct.pack("<Q", len(obj)) + bytes(obj))
+        struct.pack_into("<IBQ", buf, offset, var_id, _KIND_BYTES, len(obj))
+        offset += 13
+        buf[offset:offset + len(obj)] = obj
+        return offset + len(obj)
 
     # -- decode ------------------------------------------------------------------
     def deserialize_into(self, blob: bytes) -> list:
@@ -127,7 +155,8 @@ class ProtectedSet:
         """
         if len(blob) < 14:
             raise CorruptCheckpointError("blob too short to be a checkpoint")
-        body, crc_bytes = blob[:-4], blob[-4:]
+        view = memoryview(blob)
+        body, crc_bytes = view[:-4], view[-4:]
         (expected_crc,) = struct.unpack("<I", crc_bytes)
         if (zlib.crc32(body) & 0xFFFFFFFF) != expected_crc:
             raise CorruptCheckpointError("checkpoint CRC mismatch")
@@ -141,7 +170,7 @@ class ProtectedSet:
             restored.append(var_id)
         return restored
 
-    def _decode_one(self, body: bytes, offset: int) -> tuple:
+    def _decode_one(self, body, offset: int) -> tuple:
         var_id, kind = struct.unpack_from("<IB", body, offset)
         offset += 5
         if var_id not in self._items:
@@ -151,7 +180,8 @@ class ProtectedSet:
         if kind == _KIND_ARRAY:
             (dtype_len,) = struct.unpack_from("<H", body, offset)
             offset += 2
-            dtype = np.dtype(body[offset:offset + dtype_len].decode("ascii"))
+            dtype = np.dtype(
+                bytes(body[offset:offset + dtype_len]).decode("ascii"))
             offset += dtype_len
             (ndim,) = struct.unpack_from("<B", body, offset)
             offset += 1

@@ -30,7 +30,7 @@ from ..errors import (
     NoCheckpointError,
 )
 from ..fti.metadata import CheckpointRegistry, RankEntry
-from ..fti.rs_encoding import ReedSolomonCode, pad_to_equal_length
+from ..fti.rs_encoding import pad_to_equal_length, rs_code
 from ..simmpi import ops
 
 
@@ -158,7 +158,7 @@ class Scr:
         padded, _ = pad_to_equal_length(blobs)
         k = self.set_comm.size
         yield from self.mpi.compute(bytes_moved=2.0 * k * len(padded[0]))
-        code = ReedSolomonCode(k, 1)
+        code = rs_code(k, 1)
         parity = code.encode(padded)[0]
         my_index = self.set_comm.rank_of(self.rank)
         parity_holder = self._open_record.iteration % k
@@ -268,7 +268,7 @@ class Scr:
                 "SCR XOR set of rank %d lost more than one member"
                 % self.rank)
         yield from self.mpi.compute(bytes_moved=2.0 * k * entry.padded_len)
-        code = ReedSolomonCode(k, 1)
+        code = rs_code(k, 1)
         data = code.decode(shards, entry.padded_len)
         from ..fti.levels import _strip_pad
 

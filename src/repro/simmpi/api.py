@@ -80,7 +80,15 @@ class MpiApi:
         yield Op(OpKind.SLEEP, seconds=seconds)
 
     def iteration(self, i: int) -> Generator:
-        """Mark the start of main-loop iteration ``i`` (fault hook)."""
+        """Mark the start of main-loop iteration ``i`` (fault hook).
+
+        With no armed fault events the mark cannot have any effect (it
+        advances no clock and carries no result), so it is elided
+        entirely instead of paying a scheduler round trip.
+        """
+        plan = self._runtime.fault_plan
+        if plan is None or not getattr(plan, "events", ()):
+            return
         yield Op(OpKind.ITER_MARK, iteration=i)
 
     # -- point to point -------------------------------------------------------
@@ -210,9 +218,13 @@ class MpiApi:
 
         This is the paper's ``worldc[worldi]`` global-variable swap
         (Fig. 3, lines 2-6): FTI and the application must see the
-        repaired world immediately. Idempotent across ranks.
+        repaired world immediately. Idempotent across ranks. Cached
+        communicators from the pre-repair epoch that can no longer be
+        used (revoked, or referencing ranks outside the new world) are
+        evicted so repeated recoveries do not accumulate state.
         """
         self._runtime.world = comm
+        self._runtime.prune_stale_comms()
 
     def comm_agree(self, comm: Communicator, flag: int = 1) -> Generator:
         """``MPIX_Comm_agree``: fault-tolerant bitwise-AND agreement."""

@@ -48,7 +48,7 @@ COLLECTIVE_KINDS = frozenset({
 })
 
 
-@dataclass
+@dataclass(slots=True)
 class Op:
     """One operation submitted by a rank coroutine.
 
@@ -112,7 +112,7 @@ def payload_nbytes(payload: Any) -> int:
     return 8
 
 
-@dataclass
+@dataclass(slots=True)
 class Status:
     """Completion record handed back with RECV results."""
 
@@ -122,7 +122,7 @@ class Status:
     completed_at: float
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An in-flight point-to-point message held in the unexpected queue."""
 

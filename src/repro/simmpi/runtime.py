@@ -11,13 +11,33 @@ handler is ``FATAL`` (the Restart design's path).
 
 Scheduling is rank-ordered and time-independent of host wall-clock, so
 every experiment is exactly reproducible.
+
+**Event-driven scheduling.** The scheduler never scans the whole world
+per round. Runnable ranks live in a pair of min-heaps (`current round` /
+`next round`) ordered by rank id; a rank is pushed when it becomes
+runnable (unblock, spawn, error delivery) and popped exactly once per
+round, so a round costs O(runnable · log runnable) instead of O(P).
+The two-heap split preserves the historical semantics exactly: a rank
+unblocked while rank ``r`` is stepping joins the *current* round iff its
+id is greater than ``r`` (the ascending scan would still reach it),
+otherwise the next round.
+
+**Indexed message matching.** Unexpected (eager) messages are held in
+per-destination buckets keyed by ``(source, tag)``; a receive with both
+coordinates known pops its bucket's head in O(1), and a wildcard receive
+(``MPI_ANY_SOURCE``/``MPI_ANY_TAG``) takes the lowest global sequence
+number over the destination's buckets, which is exactly the arrival-order
+scan the flat queue used to do. Blocked receivers are likewise indexed by
+awaited source so a failure wakes only the receivers that can observe it.
 """
 
 from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Optional
 
 from .communicator import Communicator
@@ -63,7 +83,7 @@ class _Throw:
         self.exc = exc
 
 
-@dataclass
+@dataclass(slots=True)
 class _Rank:
     rank: int
     gen: Generator
@@ -74,9 +94,10 @@ class _Rank:
     #: the op this rank is currently blocked on, if any
     blocked_on: Optional[Op] = None
     start_state: StartState = StartState.INITIAL
+    #: True while this instance sits in a ready heap (dedup guard)
+    queued: bool = False
 
 
-@dataclass
 class _CollectiveSite:
     """Rendezvous point for one collective call on one communicator.
 
@@ -85,36 +106,30 @@ class _CollectiveSite:
     as soon as any member is known failed.
     """
 
-    comm: Communicator
-    kind: OpKind
-    #: world rank -> (Op, arrival time)
-    arrivals: dict = field(default_factory=dict)
-    #: alive members still expected
-    missing: set = field(default_factory=set)
-    dead_flag: bool = False
+    __slots__ = ("comm", "kind", "arrivals", "missing", "dead_flag")
+
+    def __init__(self, comm: Communicator, kind: OpKind):
+        self.comm = comm
+        self.kind = kind
+        #: world rank -> (Op, arrival time)
+        self.arrivals: dict = {}
+        #: alive members still expected
+        self.missing: set = set()
+        self.dead_flag = False
 
     @classmethod
     def create(cls, comm: Communicator, kind: OpKind,
                failure_log: FailureLog) -> "_CollectiveSite":
-        site = cls(comm=comm, kind=kind)
+        site = cls(comm, kind)
         dead = [w for w in failure_log.failed_ranks() if comm.contains(w)]
         site.missing = set(comm.world_ranks).difference(dead)
         site.dead_flag = bool(dead)
         return site
 
-    def note_arrival(self, rank: int) -> None:
-        self.missing.discard(rank)
-
     def note_failure(self, rank: int) -> None:
         if self.comm.contains(rank):
             self.missing.discard(rank)
             self.dead_flag = True
-
-    def complete_roster(self) -> bool:
-        return not self.missing
-
-    def has_dead_member(self) -> bool:
-        return self.dead_flag
 
 
 class Runtime:
@@ -156,8 +171,14 @@ class Runtime:
         cluster.place_job(nprocs)
         self._api_cls = MpiApi
         self._ranks: dict[int, _Rank] = {}
-        self._send_queue: list[Message] = []
+        #: dest -> (source, tag) -> FIFO deque of unexpected messages
+        self._unexpected: dict[int, dict[tuple, deque]] = {}
         self._recv_waiters: dict[int, Op] = {}
+        #: awaited source -> {waiter rank -> post sequence}
+        self._waiters_by_src: dict[int, dict[int, int]] = {}
+        #: ANY_SOURCE waiters: rank -> post sequence
+        self._waiters_any: dict[int, int] = {}
+        self._waiter_seq = 0
         self._sites: dict[int, list] = {}
         self._seq = 0
         self._aborted: Optional[JobAbortedError] = None
@@ -170,8 +191,32 @@ class Runtime:
         #: diagnostics for tests and the harness
         self.stats = {"p2p_messages": 0, "collectives": 0, "spawns": 0,
                       "reinit_rollbacks": 0}
+        #: ready heaps: (rank, push id, _Rank) — see the module docstring
+        self._ready_now: list = []
+        self._ready_next: list = []
+        self._push_count = 0
+        self._stepping: Optional[int] = None
+        #: ranks neither DONE nor DEAD (O(1) termination check)
+        self._unfinished = 0
+        self._dispatch_table = self._build_dispatch_table()
         for rank in range(nprocs):
             self._spawn_coroutine(rank, StartState.INITIAL)
+
+    def _build_dispatch_table(self) -> dict:
+        table = {
+            OpKind.COMPUTE: self._handle_compute,
+            OpKind.SLEEP: self._handle_sleep,
+            OpKind.ITER_MARK: self._handle_iter_mark,
+            OpKind.STORE_WRITE: self._handle_store_write,
+            OpKind.STORE_READ: self._handle_store_read,
+            OpKind.SEND: self._handle_send,
+            OpKind.RECV: self._handle_recv,
+            OpKind.REVOKE: self._handle_revoke,
+            OpKind.ABORT: self._handle_abort,
+        }
+        for kind in COLLECTIVE_KINDS:
+            table[kind] = self._handle_collective
+        return table
 
     # ------------------------------------------------------------------ #
     # coroutine lifecycle                                                #
@@ -182,7 +227,11 @@ class Runtime:
         if not hasattr(gen, "send"):
             raise SimulationError(
                 "entry %r must be a generator function" % (self.entry,))
+        old = self._ranks.get(rank)
+        if old is None or old.status in (RankStatus.DONE, RankStatus.DEAD):
+            self._unfinished += 1
         self._ranks[rank] = _Rank(rank=rank, gen=gen, start_state=state)
+        self._enqueue_ready(rank)
 
     def api_for(self, rank: int):
         """Build a fresh API facade for ``rank`` (used by tests)."""
@@ -191,13 +240,34 @@ class Runtime:
     def cached_comm(self, world_ranks, name: str) -> Communicator:
         """Canonical communicator shared by every rank that asks for the
         same (group, name) — SPMD code in different coroutines must agree
-        on the communicator *object* for collectives to rendezvous."""
+        on the communicator *object* for collectives to rendezvous.
+
+        A revoked entry is replaced with a fresh communicator: ranks
+        re-deriving the group after a repair must not rendezvous on a
+        permanently-poisoned object.
+        """
         key = (tuple(world_ranks), name)
         comm = self._comm_cache.get(key)
-        if comm is None:
+        if comm is None or comm.revoked:
             comm = Communicator(key[0], name)
             self._comm_cache[key] = comm
         return comm
+
+    def prune_stale_comms(self) -> int:
+        """Evict cached communicators that can never be used again.
+
+        Called after a world swap (ULFM repair): entries that are revoked
+        or reference ranks outside the new world are dropped so
+        ``_comm_cache`` stays bounded across repeated recoveries
+        (``_discard_site`` already bounds ``_sites`` the same way).
+        Returns the number of evicted communicators.
+        """
+        alive = set(self.world.world_ranks)
+        stale = [key for key, comm in self._comm_cache.items()
+                 if comm.revoked or not alive.issuperset(key[0])]
+        for key in stale:
+            del self._comm_cache[key]
+        return len(stale)
 
     # ------------------------------------------------------------------ #
     # public queries                                                     #
@@ -211,6 +281,32 @@ class Runtime:
 
     def ranks_per_node(self) -> int:
         return -(-self.nprocs // self.cluster.nnodes)
+
+    # ------------------------------------------------------------------ #
+    # the ready queue                                                    #
+    # ------------------------------------------------------------------ #
+    def _enqueue_ready(self, rank: int) -> None:
+        state = self._ranks[rank]
+        if state.queued:
+            return
+        state.queued = True
+        self._push_count += 1
+        entry = (rank, self._push_count, state)
+        stepping = self._stepping
+        if stepping is not None and rank > stepping:
+            heappush(self._ready_now, entry)
+        else:
+            heappush(self._ready_next, entry)
+
+    def _merge_rounds(self) -> None:
+        """Fold a partially-consumed round back into the next one.
+
+        After a mid-round interruption (pending global failure handed to
+        its hook) the historical scheduler would restart its ascending
+        scan from rank 0; merging the heaps reproduces that exactly.
+        """
+        while self._ready_now:
+            heappush(self._ready_next, heappop(self._ready_now))
 
     # ------------------------------------------------------------------ #
     # the driver loop                                                    #
@@ -228,6 +324,7 @@ class Runtime:
                 when, failed = self._pending_global_failure
                 self._pending_global_failure = None
                 self.on_global_failure(self, when, failed)
+                self._merge_rounds()
                 continue
             progressed = self._round()
             if self._all_finished():
@@ -244,35 +341,46 @@ class Runtime:
                 if st.status is RankStatus.DONE}
 
     def _round(self) -> bool:
+        if not self._ready_now:
+            self._ready_now, self._ready_next = (self._ready_next,
+                                                 self._ready_now)
+        heap = self._ready_now
+        ranks = self._ranks
         progressed = False
-        for rank in sorted(self._ranks):
-            state = self._ranks[rank]
-            if state.status is RankStatus.READY:
-                self._step(rank)
-                progressed = True
-                if (self._aborted is not None
-                        or self._pending_global_failure is not None):
-                    return progressed
+        while heap:
+            rank, _, state = heappop(heap)
+            if state is not ranks[rank]:
+                continue  # superseded by a respawn/restart
+            state.queued = False
+            if state.status is not RankStatus.READY:
+                continue
+            self._stepping = rank
+            self._step(rank)
+            progressed = True
+            if (self._aborted is not None
+                    or self._pending_global_failure is not None):
+                break
+        self._stepping = None
         return progressed
 
     def _any_ready(self) -> bool:
         return any(s.status is RankStatus.READY for s in self._ranks.values())
 
     def _all_finished(self) -> bool:
-        return all(s.status in (RankStatus.DONE, RankStatus.DEAD)
-                   for s in self._ranks.values())
+        return self._unfinished == 0
 
     def _step(self, rank: int) -> None:
         state = self._ranks[rank]
         inbox, state.inbox = state.inbox, None
         try:
-            if isinstance(inbox, _Throw):
+            if type(inbox) is _Throw:
                 op = state.gen.throw(inbox.exc)
             else:
                 op = state.gen.send(inbox)
         except StopIteration as stop:
             state.status = RankStatus.DONE
             state.exit_value = stop.value
+            self._unfinished -= 1
             self._on_rank_gone(rank)
             return
         if not isinstance(op, Op):
@@ -286,57 +394,61 @@ class Runtime:
     # ------------------------------------------------------------------ #
     def _dispatch(self, rank: int, op: Op) -> None:
         kind = op.kind
-        if op.comm is not None and op.comm.revoked and kind not in (
+        comm = op.comm
+        if comm is not None and comm.revoked and kind not in (
                 OpKind.SHRINK, OpKind.AGREE, OpKind.ABORT):
             self._deliver_error(rank, CommRevokedError(
-                "op %s on revoked %s" % (kind.value, op.comm.name)))
+                "op %s on revoked %s" % (kind.value, comm.name)))
             return
-        if kind is OpKind.COMPUTE:
-            factor = self.overhead.compute_factor(self.nprocs)
-            self.clock.advance(rank, op.seconds * factor)
-            self._mark_ready(rank, None)
-        elif kind is OpKind.SLEEP:
-            self.clock.advance(rank, op.seconds)
-            self._mark_ready(rank, None)
-        elif kind is OpKind.ITER_MARK:
-            self._handle_iter_mark(rank, op)
-        elif kind is OpKind.STORE_WRITE:
-            duration = op.store.write(op.path, op.payload,
-                                      now=self.clock.now(rank))
-            self.clock.advance(rank, duration)
-            self._mark_ready(rank, duration)
-        elif kind is OpKind.STORE_READ:
-            data, duration = op.store.read(op.path)
-            self.clock.advance(rank, duration)
-            self._mark_ready(rank, data)
-        elif kind is OpKind.SEND:
-            self._handle_send(rank, op)
-        elif kind is OpKind.RECV:
-            self._handle_recv(rank, op)
-        elif kind is OpKind.REVOKE:
-            self._handle_revoke(rank, op)
-        elif kind is OpKind.ABORT:
-            self._abort_job(self.clock.now(rank),
-                            "MPI_Abort called by rank %d" % rank)
-        elif kind in COLLECTIVE_KINDS:
-            self._handle_collective(rank, op)
-        else:
+        handler = self._dispatch_table.get(kind)
+        if handler is None:
             raise SimulationError("unhandled op kind %s" % kind)
+        handler(rank, op)
+
+    def _handle_compute(self, rank: int, op: Op) -> None:
+        factor = self.overhead.compute_factor(self.nprocs)
+        self.clock.advance(rank, op.seconds * factor)
+        self._mark_ready(rank, None)
+
+    def _handle_sleep(self, rank: int, op: Op) -> None:
+        self.clock.advance(rank, op.seconds)
+        self._mark_ready(rank, None)
+
+    def _handle_store_write(self, rank: int, op: Op) -> None:
+        duration = op.store.write(op.path, op.payload,
+                                  now=self.clock.now(rank))
+        self.clock.advance(rank, duration)
+        self._mark_ready(rank, duration)
+
+    def _handle_store_read(self, rank: int, op: Op) -> None:
+        data, duration = op.store.read(op.path)
+        self.clock.advance(rank, duration)
+        self._mark_ready(rank, data)
+
+    def _handle_abort(self, rank: int, op: Op) -> None:
+        self._abort_job(self.clock.now(rank),
+                        "MPI_Abort called by rank %d" % rank)
 
     def _mark_ready(self, rank: int, result: Any) -> None:
         state = self._ranks[rank]
+        if state.status is RankStatus.DEAD:
+            return  # a failed rank is never resurrected
         state.status = RankStatus.READY
         state.inbox = result
         state.blocked_on = None
+        self._enqueue_ready(rank)
 
     def _deliver_error(self, rank: int, exc: BaseException,
                        at_time: float | None = None) -> None:
         state = self._ranks[rank]
+        if state.status is RankStatus.DEAD:
+            return  # a failed rank observes nothing, not even errors
         if at_time is not None:
             self.clock.advance_to(rank, at_time)
         state.status = RankStatus.READY
         state.inbox = _Throw(exc)
         state.blocked_on = None
+        self._enqueue_ready(rank)
 
     # ------------------------------------------------------------------ #
     # fault injection                                                    #
@@ -373,6 +485,13 @@ class Runtime:
         if state.status is RankStatus.DEAD:
             return
         failed_at = self.clock.now(rank)
+        if state.status is not RankStatus.DONE:
+            self._unfinished -= 1
+        # drop the victim's own blocked receive from the waiter indexes:
+        # a later failure of its awaited source must not try to wake it
+        if state.blocked_on is not None and \
+                state.blocked_on.kind is OpKind.RECV:
+            self._unregister_waiter(rank, state.blocked_on)
         state.status = RankStatus.DEAD
         state.blocked_on = None
         state.gen.close()
@@ -385,16 +504,20 @@ class Runtime:
     def _on_failure_recorded(self, failed_rank: int) -> None:
         """Wake every op that can now observe the failure."""
         rec = self.failure_log.record_for(failed_rank)
-        # blocked receivers waiting on the failed rank
-        for waiter_rank, op in list(self._recv_waiters.items()):
-            if op.peer == failed_rank or op.peer is None:
+        # blocked receivers awaiting the failed rank (or ANY_SOURCE),
+        # woken in the order their receives were posted
+        candidates = list(self._waiters_by_src.get(failed_rank, {}).items())
+        candidates.extend(self._waiters_any.items())
+        candidates.sort(key=lambda item: item[1])
+        for waiter_rank, _ in candidates:
+            op = self._recv_waiters.get(waiter_rank)
+            if op is not None:
                 self._fail_blocked_op(waiter_rank, op, rec.detected_at)
         # queued sends headed to the failed rank never complete; the sender
         # already continued (eager semantics), so just drop the messages
-        self._send_queue = [m for m in self._send_queue
-                            if m.dest != failed_rank]
+        self._unexpected.pop(failed_rank, None)
         # collective sites including the failed rank
-        for sites in self._sites.values():
+        for sites in list(self._sites.values()):
             for site in list(sites):
                 if site.comm.contains(failed_rank):
                     site.note_failure(failed_rank)
@@ -405,7 +528,7 @@ class Runtime:
                    else self.world.errhandler)
         failed = self.failure_log.failed_ranks()
         when = max(self.clock.now(rank), detected_at)
-        self._recv_waiters.pop(rank, None)
+        self._unregister_waiter(rank, op)
         if handler is ErrHandler.FATAL:
             self._global_failure(when, failed)
         else:
@@ -434,15 +557,22 @@ class Runtime:
         All coroutines (dead or alive) are discarded and restarted with
         ``StartState.RESTARTED``; clocks jump to ``restart_time``. MPI
         state is repaired by construction: a fresh world communicator.
+        All matching state — unexpected messages, receive waiters,
+        collective sites, cached communicators, queued ready entries —
+        is from a dead epoch and dropped wholesale.
         """
         for state in self._ranks.values():
             if state.status not in (RankStatus.DEAD, RankStatus.DONE):
                 state.gen.close()
         self.failure_log.clear()
-        self._send_queue.clear()
+        self._unexpected.clear()
         self._recv_waiters.clear()
+        self._waiters_by_src.clear()
+        self._waiters_any.clear()
         self._sites.clear()
         self._comm_cache.clear()
+        self._ready_now.clear()
+        self._ready_next.clear()
         self.world = Communicator(range(self.nprocs), "world",
                                   errhandler=self.world.errhandler)
         for rank in range(self.nprocs):
@@ -478,15 +608,59 @@ class Runtime:
         if waiter is not None and self._matches(waiter, msg):
             self._complete_recv(dest, waiter, msg)
         else:
-            self._send_queue.append(msg)
+            buckets = self._unexpected.get(dest)
+            if buckets is None:
+                buckets = self._unexpected[dest] = {}
+            key = (rank, op.tag)
+            queue = buckets.get(key)
+            if queue is None:
+                queue = buckets[key] = deque()
+            queue.append(msg)
         self._mark_ready(rank, None)
 
+    def _match_unexpected(self, rank: int, op: Op) -> Optional[Message]:
+        """Pop the matching unexpected message with the lowest sequence
+        number (arrival order), or None. O(1) for a fully-specified
+        receive; O(active buckets for this destination) with wildcards."""
+        buckets = self._unexpected.get(rank)
+        if not buckets:
+            return None
+        src, tag = op.peer, op.tag
+        if src is not None and tag is not None:
+            queue = buckets.get((src, tag))
+            if not queue:
+                return None
+            msg = queue.popleft()
+            if not queue:
+                del buckets[(src, tag)]
+                if not buckets:
+                    del self._unexpected[rank]
+            return msg
+        best_key = None
+        best_seq = -1
+        for key, queue in buckets.items():
+            if src is not None and key[0] != src:
+                continue
+            if tag is not None and key[1] != tag:
+                continue
+            head_seq = queue[0].seq
+            if best_key is None or head_seq < best_seq:
+                best_key, best_seq = key, head_seq
+        if best_key is None:
+            return None
+        queue = buckets[best_key]
+        msg = queue.popleft()
+        if not queue:
+            del buckets[best_key]
+            if not buckets:
+                del self._unexpected[rank]
+        return msg
+
     def _handle_recv(self, rank: int, op: Op) -> None:
-        for i, msg in enumerate(self._send_queue):
-            if msg.dest == rank and self._matches(op, msg):
-                del self._send_queue[i]
-                self._complete_recv(rank, op, msg)
-                return
+        msg = self._match_unexpected(rank, op)
+        if msg is not None:
+            self._complete_recv(rank, op, msg)
+            return
         source = op.peer
         if source is not None and self.failure_log.is_failed(source):
             rec = self.failure_log.record_for(source)
@@ -497,9 +671,29 @@ class Runtime:
                 "rank %d posted a second blocking recv" % rank)
         op.rank = rank
         self._recv_waiters[rank] = op
+        self._waiter_seq += 1
+        if source is None:
+            self._waiters_any[rank] = self._waiter_seq
+        else:
+            by_src = self._waiters_by_src.get(source)
+            if by_src is None:
+                by_src = self._waiters_by_src[source] = {}
+            by_src[rank] = self._waiter_seq
         state = self._ranks[rank]
         state.status = RankStatus.BLOCKED
         state.blocked_on = op
+
+    def _unregister_waiter(self, rank: int, op: Op) -> None:
+        self._recv_waiters.pop(rank, None)
+        if op is not None and op.kind is OpKind.RECV:
+            if op.peer is None:
+                self._waiters_any.pop(rank, None)
+            else:
+                by_src = self._waiters_by_src.get(op.peer)
+                if by_src is not None:
+                    by_src.pop(rank, None)
+                    if not by_src:
+                        del self._waiters_by_src[op.peer]
 
     @staticmethod
     def _matches(recv_op: Op, msg: Message) -> bool:
@@ -508,7 +702,7 @@ class Runtime:
         return source_ok and tag_ok
 
     def _complete_recv(self, rank: int, op: Op, msg: Message) -> None:
-        self._recv_waiters.pop(rank, None)
+        self._unregister_waiter(rank, op)
         cost = self._ptp_cost(msg.source, rank, msg.nbytes)
         completion = max(self.clock.now(rank), msg.sent_at + cost)
         self.clock.advance_to(rank, completion)
@@ -531,7 +725,9 @@ class Runtime:
             raise SimulationError(
                 "rank %d called %s on %s it does not belong to"
                 % (rank, op.kind.value, comm.name))
-        sites = self._sites.setdefault(comm.comm_id, [])
+        sites = self._sites.get(comm.comm_id)
+        if sites is None:
+            sites = self._sites[comm.comm_id] = []
         site = None
         for candidate in sites:
             if rank not in candidate.arrivals:
@@ -546,28 +742,35 @@ class Runtime:
             site = _CollectiveSite.create(comm, op.kind, self.failure_log)
             sites.append(site)
         site.arrivals[rank] = (op, self.clock.now(rank))
-        site.note_arrival(rank)
+        site.missing.discard(rank)
         state = self._ranks[rank]
         state.status = RankStatus.BLOCKED
         state.blocked_on = op
-        self._maybe_resolve_site(site)
+        if not site.missing:
+            self._maybe_resolve_site(site)
 
     def _maybe_resolve_site(self, site: _CollectiveSite) -> None:
-        if not site.complete_roster():
+        if site.missing:
             return
         if not site.arrivals:
             self._discard_site(site)
             return
-        if site.has_dead_member() and site.kind not in (
+        if site.dead_flag and site.kind not in (
                 OpKind.SHRINK, OpKind.AGREE, OpKind.SPAWN, OpKind.MERGE):
             self._resolve_site_as_failure(site)
             return
         self._resolve_site(site)
 
     def _discard_site(self, site: _CollectiveSite) -> None:
-        sites = self._sites.get(site.comm.comm_id, [])
+        sites = self._sites.get(site.comm.comm_id)
+        if sites is None:
+            return
         if site in sites:
             sites.remove(site)
+        if not sites:
+            # drop the key too: comm ids are never reused, so an empty
+            # list would otherwise linger for the life of the job
+            del self._sites[site.comm.comm_id]
 
     def _resolve_site_as_failure(self, site: _CollectiveSite) -> None:
         self._discard_site(site)
@@ -734,7 +937,7 @@ class Runtime:
         # interrupt pending receives from members of this communicator
         for waiter_rank, waiter in list(self._recv_waiters.items()):
             if comm.contains(waiter_rank):
-                self._recv_waiters.pop(waiter_rank, None)
+                self._unregister_waiter(waiter_rank, waiter)
                 self._deliver_error(waiter_rank, CommRevokedError(),
                                     max(self.clock.now(waiter_rank),
                                         notice_at))

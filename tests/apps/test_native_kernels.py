@@ -1,0 +1,75 @@
+"""Native stencil kernels must be bit-identical to the numpy reference.
+
+The simulator's determinism contract (recorded seed makespans) holds
+regardless of whether the optional C kernels compiled, because their
+per-element floating-point operation order matches the numpy reference
+exactly. These tests enforce that equivalence element-for-element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels._accel import native_apply, native_kernels
+from repro.apps.kernels.stencil import (
+    apply_27pt,
+    apply_27pt_reference,
+    apply_7pt,
+    apply_7pt_reference,
+)
+
+SHAPES = [(10, 10, 10), (7, 9, 11), (4, 4, 4), (1, 1, 1), (2, 3, 5),
+          (10, 1, 10), (1, 8, 1)]
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_apply_27pt_matches_reference_bitwise(shape):
+    rng = np.random.default_rng(hash(shape) & 0xFFFF)
+    for _ in range(20):
+        u = rng.standard_normal(shape) * rng.choice([1e-12, 1.0, 1e12])
+        assert np.array_equal(apply_27pt(u), apply_27pt_reference(u))
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_apply_7pt_matches_reference_bitwise(shape):
+    rng = np.random.default_rng(hash(shape) & 0xFFFF)
+    for _ in range(20):
+        u = rng.standard_normal(shape)
+        assert np.array_equal(apply_7pt(u), apply_7pt_reference(u))
+
+
+def test_special_values_round_trip():
+    u = np.zeros((4, 4, 4))
+    u[1, 2, 3] = np.inf
+    u[2, 1, 0] = -np.inf
+    u[3, 3, 3] = np.nan
+    with np.errstate(invalid="ignore"):  # inf - inf -> nan is the point
+        assert np.array_equal(apply_27pt(u), apply_27pt_reference(u),
+                              equal_nan=True)
+
+
+def test_non_contiguous_input_is_handled():
+    rng = np.random.default_rng(5)
+    big = rng.random((12, 12, 12))
+    view = big[::2, ::2, ::2]  # non-contiguous 6x6x6 view
+    got = apply_27pt(view)
+    want = apply_27pt_reference(np.ascontiguousarray(view))
+    assert np.array_equal(got, want)
+
+
+def test_native_apply_declines_unsupported_dtype():
+    u = np.ones((3, 3, 3), dtype=np.float32)
+    assert native_apply("apply_27pt", u) is None
+    # the public entry point still works via the numpy fallback
+    assert np.array_equal(apply_27pt(u), apply_27pt_reference(u))
+
+
+def test_native_availability_is_reported_consistently():
+    lib = native_kernels()
+    u = np.random.default_rng(0).random((5, 5, 5))
+    result = native_apply("apply_27pt", u)
+    if lib is None:
+        assert result is None
+    else:
+        assert result is not None

@@ -1,0 +1,66 @@
+"""Capture seed-reference outcomes for the determinism regression test.
+
+Run once against a known-good tree to (re)generate
+``tests/data/determinism_seed.json``::
+
+    PYTHONPATH=src python tests/data/capture_seed.py
+
+The determinism test replays the same pinned configurations and asserts
+bit-identical makespans, breakdowns and runtime stats, which is the
+safety net for any scheduler or matching-path rewrite.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.configs import ExperimentConfig
+from repro.core.harness import run_experiment
+
+HERE = pathlib.Path(__file__).parent
+
+#: the pinned configuration matrix (kept cheap: 64 ranks, small input)
+PINNED = [
+    {"app": "hpccg", "design": "restart-fti", "inject_fault": False},
+    {"app": "hpccg", "design": "reinit-fti", "inject_fault": False},
+    {"app": "hpccg", "design": "ulfm-fti", "inject_fault": False},
+    {"app": "hpccg", "design": "restart-fti", "inject_fault": True},
+    {"app": "hpccg", "design": "reinit-fti", "inject_fault": True},
+    {"app": "hpccg", "design": "ulfm-fti", "inject_fault": True},
+    {"app": "minife", "design": "ulfm-fti", "inject_fault": True},
+    {"app": "minivite", "design": "reinit-fti", "inject_fault": True},
+]
+
+
+def config_key(spec: dict) -> str:
+    return "%s/%s/%s" % (spec["app"], spec["design"],
+                         "fault" if spec["inject_fault"] else "nofault")
+
+
+def run_pinned(spec: dict) -> dict:
+    result = run_experiment(ExperimentConfig(nprocs=64, seed=7, **spec))
+    b = result.breakdown
+    return {
+        # repr() keeps full float precision; the test compares exactly
+        "total_seconds": repr(b.total_seconds),
+        "ckpt_write_seconds": repr(b.ckpt_write_seconds),
+        "recovery_seconds": repr(b.recovery_seconds),
+        "ckpt_read_seconds": repr(b.ckpt_read_seconds),
+        "verified": result.verified,
+        "ckpt_count": result.ckpt_count,
+        "recovery_episodes": result.recovery_episodes,
+        "relaunches": result.relaunches,
+        "runtime_stats": result.details["runtime_stats"],
+    }
+
+
+def main() -> None:
+    reference = {config_key(spec): run_pinned(spec) for spec in PINNED}
+    out = HERE / "determinism_seed.json"
+    out.write_text(json.dumps(reference, indent=2, sort_keys=True) + "\n")
+    print("wrote %s (%d configs)" % (out, len(reference)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Re-protection semantics of :class:`ProtectedSet.protect`.
+
+FTI allows an application to re-register a var id with a new buffer
+(e.g. after reallocating between checkpoints); the registration must be
+*replaced*, so later recoveries restore into the new object.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fti.serializer import ProtectedSet, ScalarRef
+
+
+def test_reprotect_replaces_buffer_and_name():
+    pset = ProtectedSet()
+    first = np.arange(8, dtype=np.float64)
+    pset.protect(1, first, "first")
+    replacement = np.zeros(8, dtype=np.float64)
+    pset.protect(1, replacement, "second")
+    assert pset.get(1) is replacement
+    assert pset.name_of(1) == "second"
+    assert len(pset) == 1
+
+
+def test_recovery_after_reprotect_restores_into_new_buffer():
+    pset = ProtectedSet()
+    original = np.arange(6, dtype=np.float64)
+    pset.protect(1, original, "vec")
+    blob = pset.serialize()
+
+    replacement = np.full(6, -1.0)
+    pset.protect(1, replacement, "vec")
+    restored = pset.deserialize_into(blob)
+
+    assert restored == [1]
+    assert np.array_equal(replacement, np.arange(6, dtype=np.float64))
+    # the superseded buffer is no longer written to
+    assert np.array_equal(original, np.arange(6, dtype=np.float64))
+
+
+def test_reprotect_same_object_is_a_noop_rename():
+    pset = ProtectedSet()
+    ref = ScalarRef(41)
+    pset.protect(2, ref, "before")
+    pset.protect(2, ref, "after")
+    assert pset.get(2) is ref
+    assert pset.name_of(2) == "after"
+
+
+def test_protect_still_rejects_unsupported_types():
+    pset = ProtectedSet()
+    with pytest.raises(ConfigurationError):
+        pset.protect(1, [1, 2, 3])

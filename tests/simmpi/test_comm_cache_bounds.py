@@ -1,0 +1,91 @@
+"""Bounded growth of runtime matching state across recoveries.
+
+Stale communicators and collective-site bookkeeping from pre-failure
+epochs must be evicted, not accumulated for the life of the job — these
+tests pin that contract for ULFM world swaps, revocation and Reinit
+rollbacks.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Cluster
+from repro.simmpi import ops
+from repro.simmpi.runtime import Runtime
+
+
+def _run(nprocs, entry, **kwargs):
+    runtime = Runtime(Cluster(nnodes=4), nprocs, entry, **kwargs)
+    results = runtime.run()
+    return results, runtime
+
+
+def test_revoked_cached_comm_is_replaced_on_next_lookup():
+    def entry(mpi):
+        comm = mpi.cached_comm([0, 1], "pair")
+        if mpi.rank in (0, 1):
+            yield from mpi.allreduce(1, op=ops.SUM, comm=comm)
+        if mpi.rank == 0:
+            yield from mpi.comm_revoke(comm)
+        yield from mpi.barrier()
+        fresh = mpi.cached_comm([0, 1], "pair")
+        return fresh.comm_id != comm.comm_id and not fresh.revoked
+
+    results, _ = _run(4, entry)
+    assert all(results.values())
+
+
+def test_set_world_evicts_unusable_cached_comms():
+    def entry(mpi):
+        stale = mpi.cached_comm([0, 1, 2, 3], "quad")
+        keep = mpi.cached_comm([0, 1], "pair")
+        if mpi.rank == 0:
+            yield from mpi.comm_revoke(stale)
+            # shrink the world: rank 3 is gone in the new epoch
+            mpi.set_world(mpi.world.without([3]))
+        yield from mpi.sleep(0.0)
+        return None
+
+    _, runtime = _run(4, entry)
+    cached = {name for (_, name) in runtime._comm_cache}
+    assert "quad" not in cached  # revoked AND references evicted rank 3
+    assert "pair" in cached      # still valid in the shrunk world
+
+
+def test_resolved_collectives_leave_no_site_bookkeeping():
+    def entry(mpi):
+        for _ in range(3):
+            yield from mpi.allreduce(1, op=ops.SUM)
+            yield from mpi.barrier()
+        comm = mpi.cached_comm([0, 1], "pair")
+        if mpi.rank in (0, 1):
+            yield from mpi.allreduce(1, op=ops.SUM, comm=comm)
+        return None
+
+    _, runtime = _run(4, entry)
+    assert runtime._sites == {}
+
+
+def test_reinit_rollback_clears_epoch_state():
+    from repro.faults.plans import FaultEvent, FaultPlan
+
+    def entry(mpi):
+        comm = mpi.cached_comm(range(mpi.size), "epoch0" if
+                               not mpi.is_restarted else "epoch1")
+        yield from mpi.allreduce(1, op=ops.SUM, comm=comm)
+        yield from mpi.iteration(0)
+        yield from mpi.iteration(1)
+        yield from mpi.barrier()
+        return True
+
+    def on_global_failure(runtime, when, failed):
+        runtime.global_restart(when + 1.0)
+
+    plan = FaultPlan(events=(FaultEvent(rank=1, iteration=1),))
+    results, runtime = _run(4, entry, fault_plan=plan,
+                            on_global_failure=on_global_failure)
+    assert all(results.values())
+    assert runtime.stats["reinit_rollbacks"] == 1
+    assert runtime._sites == {}
+    # only comms re-derived after the rollback survive the epoch wipe
+    cached = {name for (_, name) in runtime._comm_cache}
+    assert cached == {"epoch1"}

@@ -1,0 +1,41 @@
+"""A killed rank must vanish from the matching state entirely.
+
+Regression test: rank 0 blocks receiving from rank 1, then both die in
+one node failure. The later failure record for rank 1 must not find the
+(dead) rank 0 in the waiter indexes and try to wake it — historically
+that threw into a closed generator and let ProcessFailedError escape
+``run()`` instead of reaching the application's recovery path.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Cluster
+from repro.faults.plans import FaultEvent, FaultPlan
+from repro.simmpi.errhandler import ErrHandler
+from repro.simmpi.runtime import RankStatus, Runtime
+
+
+def test_node_failure_with_blocked_receiver_among_victims():
+    # 4 ranks on 2 nodes: ranks 0 and 1 share node 0 and both die there
+    def entry(mpi):
+        if mpi.rank == 0:
+            yield from mpi.recv(1)  # blocks forever: 1 never sends
+            return "unreachable"
+        if mpi.rank == 1:
+            yield from mpi.iteration(0)  # node-kill fires here
+            return "unreachable"
+        yield from mpi.compute(seconds=1.0)
+        return "survived"
+
+    plan = FaultPlan(events=(FaultEvent(rank=1, iteration=0, kind="node"),))
+    runtime = Runtime(Cluster(nnodes=2), 4, entry, fault_plan=plan,
+                      errhandler=ErrHandler.RETURN)
+    results = runtime.run()
+
+    assert results == {2: "survived", 3: "survived"}
+    assert runtime._ranks[0].status is RankStatus.DEAD
+    assert runtime._ranks[1].status is RankStatus.DEAD
+    # the dead receiver left no residue in the waiter indexes
+    assert 0 not in runtime._recv_waiters
+    assert runtime._waiters_by_src == {}
+    assert runtime._waiters_any == {}

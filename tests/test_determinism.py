@@ -1,0 +1,62 @@
+"""Determinism regression tests — the safety net for scheduler rewrites.
+
+Two layers:
+
+1. **Run-twice identity**: the same configuration executed twice in one
+   process yields bit-identical makespans, breakdowns and runtime stats.
+2. **Pinned seed values**: a recorded reference
+   (``tests/data/determinism_seed.json``, captured with
+   ``tests/data/capture_seed.py``) pins the exact simulated outcomes a
+   known-good tree produced. Any change to scheduling order, message
+   matching or cost arithmetic that shifts a single float fails here.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.configs import ExperimentConfig
+from repro.core.harness import run_experiment
+
+SEED_FILE = pathlib.Path(__file__).parent / "data" / "determinism_seed.json"
+
+
+def _outcome(config: ExperimentConfig) -> dict:
+    result = run_experiment(config)
+    b = result.breakdown
+    return {
+        "total_seconds": repr(b.total_seconds),
+        "ckpt_write_seconds": repr(b.ckpt_write_seconds),
+        "recovery_seconds": repr(b.recovery_seconds),
+        "ckpt_read_seconds": repr(b.ckpt_read_seconds),
+        "verified": result.verified,
+        "ckpt_count": result.ckpt_count,
+        "recovery_episodes": result.recovery_episodes,
+        "relaunches": result.relaunches,
+        "runtime_stats": result.details["runtime_stats"],
+    }
+
+
+@pytest.mark.parametrize("inject_fault", [False, True],
+                         ids=["nofault", "fault"])
+def test_identical_config_runs_twice_identically(inject_fault):
+    config = ExperimentConfig(app="hpccg", design="ulfm-fti", nprocs=64,
+                              seed=3, inject_fault=inject_fault)
+    assert _outcome(config) == _outcome(config)
+
+
+def _pinned_configs():
+    reference = json.loads(SEED_FILE.read_text())
+    return sorted(reference)
+
+
+@pytest.mark.parametrize("key", _pinned_configs())
+def test_outcome_matches_recorded_seed(key):
+    reference = json.loads(SEED_FILE.read_text())[key]
+    app, design, fault = key.split("/")
+    config = ExperimentConfig(app=app, design=design, nprocs=64, seed=7,
+                              inject_fault=(fault == "fault"))
+    assert _outcome(config) == reference
