@@ -1,0 +1,154 @@
+"""The CI perf-regression gate: compare two ``BENCH_perf.json`` files.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py \
+        --baseline base_perf.json --candidate head_perf.json \
+        [--threshold 0.25] [--sim-only]
+
+Direction is inferred from each series' unit:
+
+* throughput units (anything ending in ``/s``) regress when the
+  candidate drops more than ``threshold`` below the baseline;
+* wall-clock units (``s``) regress when the candidate rises more than
+  ``threshold`` above the baseline;
+* simulated units (``sim s``) are a determinism contract, not a speed:
+  they must match to 1e-9 relative — and are only comparable when both
+  files ran the same end-to-end app at the same process count.
+
+``--sim-only`` restricts the check to the simulated series (the only
+machine-independent comparison; used against the committed baseline,
+which was produced on different hardware). Series present only in the
+candidate are informational (new benchmarks are not regressions);
+series that disappeared from the candidate fail.
+
+Escape hatches: the environment variable ``MATCH_PERF_GATE_SKIP=1``
+turns the gate into a no-op, and CI also skips the job when the PR
+carries the ``skip-perf-gate`` label.
+
+Exit codes: 0 ok / 1 regression / 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+SIM_UNIT = "sim s"
+SIM_RTOL = 1e-9
+
+
+def classify(unit: str) -> str:
+    if unit == SIM_UNIT:
+        return "sim"
+    if unit.endswith("/s"):
+        return "higher_is_better"
+    if unit == "s":
+        return "lower_is_better"
+    return "unknown"
+
+
+def sim_comparable(baseline: dict, candidate: dict) -> bool:
+    """Simulated makespans only match when the end-to-end config does."""
+    keys = ("app_end_to_end", "nprocs_end_to_end")
+    return all(baseline.get(k) == candidate.get(k) for k in keys)
+
+
+def compare(baseline: dict, candidate: dict, threshold: float = 0.25,
+            sim_only: bool = False):
+    """Yields ``(series, status, message)``; status in ok/info/fail."""
+    base_series = baseline.get("series", {})
+    cand_series = candidate.get("series", {})
+    sim_ok = sim_comparable(baseline, candidate)
+    findings = []
+
+    for name in sorted(set(base_series) | set(cand_series)):
+        if name not in base_series:
+            findings.append((name, "info", "new series (no baseline)"))
+            continue
+        base = base_series[name]
+        kind = classify(base.get("unit", ""))
+        if sim_only and kind != "sim":
+            continue
+        if name not in cand_series:
+            findings.append((name, "fail", "series missing from candidate"))
+            continue
+        bval = float(base["value"])
+        cval = float(cand_series[name]["value"])
+        if kind == "sim":
+            if not sim_ok:
+                findings.append((name, "info",
+                                 "skipped: end-to-end app/nprocs differ "
+                                 "between files"))
+                continue
+            drift = abs(cval - bval) / max(abs(bval), 1e-30)
+            status = "ok" if drift <= SIM_RTOL else "fail"
+            findings.append((name, status,
+                             "simulated drift %.3e (tolerance %.0e)"
+                             % (drift, SIM_RTOL)))
+        elif kind == "higher_is_better":
+            floor = bval * (1.0 - threshold)
+            status = "ok" if cval >= floor else "fail"
+            findings.append((name, status,
+                             "%.3f vs baseline %.3f (floor %.3f)"
+                             % (cval, bval, floor)))
+        elif kind == "lower_is_better":
+            ceiling = bval * (1.0 + threshold)
+            status = "ok" if cval <= ceiling else "fail"
+            findings.append((name, status,
+                             "%.3f s vs baseline %.3f s (ceiling %.3f s)"
+                             % (cval, bval, ceiling)))
+        else:
+            findings.append((name, "info",
+                             "unknown unit %r, not compared"
+                             % base.get("unit")))
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--sim-only", action="store_true",
+                        help="check only machine-independent sim series")
+    args = parser.parse_args(argv)
+
+    if os.environ.get("MATCH_PERF_GATE_SKIP", "") not in ("", "0"):
+        print("perf gate skipped (MATCH_PERF_GATE_SKIP set)")
+        return 0
+
+    try:
+        baseline = json.loads(pathlib.Path(args.baseline).read_text())
+        candidate = json.loads(pathlib.Path(args.candidate).read_text())
+    except (OSError, ValueError) as exc:
+        print("error reading inputs: %s" % exc, file=sys.stderr)
+        return 2
+
+    findings = compare(baseline, candidate, threshold=args.threshold,
+                       sim_only=args.sim_only)
+    compared = [f for f in findings if f[1] in ("ok", "fail")]
+    failures = [f for f in findings if f[1] == "fail"]
+    for name, status, message in findings:
+        print("%-6s %-34s %s" % (status.upper(), name, message))
+    if not compared:
+        # a gate that compared nothing must not pass: a wrong-schema or
+        # mispointed baseline would otherwise turn the gate silently green
+        print("perf gate: no comparable series (wrong baseline file or "
+              "config mismatch?)", file=sys.stderr)
+        return 1
+    if failures:
+        print("perf gate: %d regression(s) beyond %.0f%%"
+              % (len(failures), args.threshold * 100), file=sys.stderr)
+        return 1
+    print("perf gate: %d series within %.0f%% of baseline"
+          % (len(compared), args.threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

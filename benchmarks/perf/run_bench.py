@@ -18,6 +18,7 @@ determinism-checked contract):
 * ``rs_encode_MB_per_sec``           — Reed-Solomon RS(8,8) encode
 * ``rs_decode_MB_per_sec``           — RS decode, half the shards lost
 * ``serializer_MB_per_sec``          — checkpoint blob serialize
+* ``campaign_runs_per_sec``          — campaign-engine end-to-end run rate
 * ``e2e_hpccg_makespan_sim_sec``     — simulated makespan (must not drift)
 * ``e2e_hpccg_wallclock_sec``        — end-to-end wall-clock of that run
 
@@ -181,6 +182,22 @@ def bench_serializer(cells: int = 32, cell_kb: int = 256,
     return len(blob) * reps / wall / 1e6
 
 
+# -- campaign engine -------------------------------------------------------
+def bench_campaign(runs: int = 6) -> float:
+    """End-to-end campaign throughput (runs/s) through the engine's
+    serial path: harness + design + store-free engine overhead on a
+    small fault-injection matrix."""
+    from repro.core.campaign import run_campaign
+
+    config = ExperimentConfig(app="minivite", design="reinit-fti",
+                              nprocs=8, nnodes=4, inject_fault=True)
+    t0 = time.perf_counter()
+    result = run_campaign(config, runs=runs, jobs=1)
+    wall = time.perf_counter() - t0
+    assert result.all_verified, "campaign bench runs must verify"
+    return runs / wall
+
+
 # -- end to end ------------------------------------------------------------
 def e2e_scale() -> int:
     raw = os.environ.get("MATCH_SCALES", "512")
@@ -222,6 +239,7 @@ def main(argv=None) -> int:
     record("rs_encode_MB_per_sec", encode_rate, "MB/s")
     record("rs_decode_MB_per_sec", decode_rate, "MB/s")
     record("serializer_MB_per_sec", bench_serializer(), "MB/s")
+    record("campaign_runs_per_sec", bench_campaign(), "runs/s")
     makespan, wall = bench_end_to_end()
     record("e2e_%s_makespan_sim_sec" % e2e_app(), makespan, "sim s")
     record("e2e_%s_wallclock_sec" % e2e_app(), wall, "s")

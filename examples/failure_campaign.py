@@ -9,7 +9,8 @@ the last checkpoint the failure lands.
 
 Usage::
 
-    python examples/failure_campaign.py [app] [--runs N] [--nprocs P]
+    python examples/failure_campaign.py [app] [--runs N] [--nprocs P] \
+        [--jobs J]
 """
 
 import argparse
@@ -24,13 +25,15 @@ def main():
     parser.add_argument("app", nargs="?", default="minivite")
     parser.add_argument("--runs", type=int, default=10)
     parser.add_argument("--nprocs", type=int, default=64)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="campaign-engine worker processes")
     args = parser.parse_args()
 
     means = []
     for design in DESIGN_NAMES:
         config = ExperimentConfig(app=args.app, design=design,
                                   nprocs=args.nprocs, inject_fault=True)
-        campaign = run_campaign(config, runs=args.runs)
+        campaign = run_campaign(config, runs=args.runs, jobs=args.jobs)
         print(campaign.report())
         print("  victims: %s ...\n" % (campaign.victims()[:5],))
         means.append((design.upper(), campaign.recovery.mean))

@@ -15,6 +15,7 @@ import sys
 from .core.configs import (
     DESIGN_NAMES,
     INPUT_SIZES,
+    NNODES,
     ExperimentConfig,
     valid_proc_counts,
 )
@@ -24,6 +25,7 @@ from .core.report import (
     format_recovery_series,
     format_table1,
 )
+from .errors import ConfigurationError
 
 
 def _cmd_table1(_args) -> int:
@@ -86,14 +88,90 @@ def _cmd_figure(args) -> int:
     return 0
 
 
-def _cmd_campaign(args) -> int:
-    from .core.campaign import run_campaign
+def _parse_designs(value: str):
+    designs = tuple(DESIGN_NAMES) if value == "all" \
+        else tuple(value.split(","))
+    for design in designs:
+        if design not in DESIGN_NAMES:
+            raise ConfigurationError(
+                "unknown design %r (have %s or 'all')"
+                % (design, DESIGN_NAMES))
+    return designs
 
-    config = ExperimentConfig(
-        app=args.app, design=args.design, nprocs=args.nprocs,
-        input_size=args.input, inject_fault=True, seed=args.seed)
-    campaign = run_campaign(config, runs=args.runs)
-    print(campaign.report())
+
+def _campaign_configs(args):
+    from .core.configs import campaign_matrix
+
+    return campaign_matrix(
+        apps=args.app.split(","), designs=_parse_designs(args.design),
+        nprocs=args.nprocs, input_size=args.input, seed=args.seed,
+        nnodes=args.nnodes)
+
+
+def _cmd_campaign(args) -> int:
+    from .core.campaign import run_campaign_matrix
+    from .core.engine import CampaignEngine
+    from .core.report import format_campaign_matrix
+
+    engine = CampaignEngine(jobs=args.jobs, store_path=args.store,
+                            resume=args.resume, shard=args.shard)
+    summaries = run_campaign_matrix(_campaign_configs(args),
+                                    runs=args.runs, engine=engine)
+    for result in summaries.values():
+        print(result.report())
+    if len(summaries) > 1:
+        print()
+        print(format_campaign_matrix(summaries))
+    print("engine: executed %d run(s), skipped %d already-stored run(s)"
+          % (engine.executed, engine.skipped))
+    return 0
+
+
+def _cmd_campaign_report(args) -> int:
+    from .core.breakdown import try_run_result_from_dict
+    from .core.campaign import campaign_results_from_records
+    from .core.engine import campaign_units
+    from .core.report import format_campaign_matrix
+    from .core.store import merge_store_paths
+
+    records = merge_store_paths(args.store)
+    print(format_campaign_matrix(campaign_results_from_records(records),
+                                 title="Merged campaign stores"))
+    if args.check_complete:
+        # run keys hash the full config: a completeness check against
+        # the wrong matrix silently reports INCOMPLETE (or worse,
+        # complete), so the identifying flags must be explicit and the
+        # assumed defaults are echoed
+        if None in (args.app, args.design, args.nprocs, args.runs):
+            print("--check-complete needs the sweep's matrix flags: "
+                  "--app --design --nprocs --runs (plus --input/--seed/"
+                  "--nnodes if the sweep used non-defaults)",
+                  file=sys.stderr)
+            return 2
+        args.input = "small" if args.input is None else args.input
+        args.seed = 0 if args.seed is None else args.seed
+        args.nnodes = NNODES if args.nnodes is None else args.nnodes
+        print("checking completeness for: app=%s design=%s nprocs=%d "
+              "input=%s seed=%d nnodes=%d runs=%d"
+              % (args.app, args.design, args.nprocs, args.input,
+                 args.seed, args.nnodes, args.runs))
+        # key presence is not enough: a record the summary had to skip
+        # (undecodable payload) must count as a hole, or an incomplete
+        # sweep ships as green
+        usable = {key for key, record in records.items()
+                  if try_run_result_from_dict(record["result"])
+                  is not None}
+        expected = campaign_units(_campaign_configs(args), args.runs)
+        missing = [u for u in expected if u.key not in usable]
+        if missing:
+            print("INCOMPLETE: %d of %d runs missing from the merged "
+                  "stores:" % (len(missing), len(expected)),
+                  file=sys.stderr)
+            for unit in missing[:20]:
+                print("  %s rep %d (%s)" % (unit.config.label(), unit.rep,
+                                            unit.key), file=sys.stderr)
+            return 1
+        print("complete: all %d matrix runs present" % len(expected))
     return 0
 
 
@@ -140,15 +218,52 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--reps", type=int, default=None)
     fig_p.set_defaults(func=_cmd_figure)
 
+    def add_matrix_args(p, required, with_defaults=True):
+        # with_defaults=False leaves every flag None so commands that
+        # must reconstruct a sweep's exact run keys can tell an omitted
+        # flag from an explicitly-passed default
+        p.add_argument("--app", required=required,
+                       help="app or comma-separated list of apps")
+        p.add_argument("--design", required=required,
+                       help="design, comma-separated list, or 'all'")
+        p.add_argument("--nprocs", type=int,
+                       default=64 if with_defaults else None)
+        p.add_argument("--nnodes", type=int,
+                       default=NNODES if with_defaults else None)
+        p.add_argument("--input", choices=INPUT_SIZES,
+                       default="small" if with_defaults else None)
+        p.add_argument("--runs", type=int,
+                       default=10 if with_defaults else None,
+                       help="repetitions per matrix cell")
+        p.add_argument("--seed", type=int,
+                       default=0 if with_defaults else None)
+
     camp_p = sub.add_parser("campaign",
-                            help="fault-injection campaign statistics")
-    camp_p.add_argument("--app", required=True)
-    camp_p.add_argument("--design", required=True, choices=DESIGN_NAMES)
-    camp_p.add_argument("--nprocs", type=int, default=64)
-    camp_p.add_argument("--input", default="small", choices=INPUT_SIZES)
-    camp_p.add_argument("--runs", type=int, default=10)
-    camp_p.add_argument("--seed", type=int, default=0)
+                            help="fault-injection campaign statistics "
+                                 "(parallel, resumable, shardable)")
+    add_matrix_args(camp_p, required=True)
+    camp_p.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial in-process)")
+    camp_p.add_argument("--store", default=None,
+                        help="JSONL result store for resume/merge")
+    camp_p.add_argument("--resume", action="store_true",
+                        help="skip runs already present in --store")
+    camp_p.add_argument("--shard", default=None, metavar="K/N",
+                        help="run only shard K of N of the matrix")
     camp_p.set_defaults(func=_cmd_campaign)
+
+    rep_p = sub.add_parser("campaign-report",
+                           help="merge result stores and print the "
+                                "campaign matrix")
+    rep_p.add_argument("--store", nargs="+", required=True,
+                       help="one or more JSONL result stores (shards)")
+    rep_p.add_argument("--check-complete", action="store_true",
+                       help="fail unless the merged stores cover the "
+                            "matrix given by --app/--design/--nprocs/"
+                            "--runs (and --input/--seed/--nnodes when "
+                            "the sweep used non-defaults)")
+    add_matrix_args(rep_p, required=False, with_defaults=False)
+    rep_p.set_defaults(func=_cmd_campaign_report)
 
     chart_p = sub.add_parser("chart",
                              help="ASCII stacked-bar chart of a figure")
@@ -161,7 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigurationError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -57,6 +57,71 @@ class RunResult:
     details: dict = field(default_factory=dict)
 
 
+def breakdown_to_dict(breakdown: TimeBreakdown) -> dict:
+    """JSON-safe form; floats round-trip exactly (json uses repr)."""
+    return {
+        "total_seconds": breakdown.total_seconds,
+        "ckpt_write_seconds": breakdown.ckpt_write_seconds,
+        "recovery_seconds": breakdown.recovery_seconds,
+        "ckpt_read_seconds": breakdown.ckpt_read_seconds,
+    }
+
+
+def breakdown_from_dict(data: dict) -> TimeBreakdown:
+    return TimeBreakdown(**data)
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """Serialize a run for the campaign result store (lossless for
+    everything campaign summaries and reports consume)."""
+    return {
+        "config_label": result.config_label,
+        "breakdown": breakdown_to_dict(result.breakdown),
+        "verified": bool(result.verified),
+        "ckpt_count": result.ckpt_count,
+        "recovery_episodes": result.recovery_episodes,
+        "relaunches": result.relaunches,
+        "fault_events": [[e.rank, e.iteration, e.kind]
+                         for e in result.fault_events],
+        "details": result.details,
+    }
+
+
+def run_result_from_dict(data: dict) -> RunResult:
+    from ..faults.plans import FaultEvent
+
+    return RunResult(
+        config_label=data["config_label"],
+        breakdown=breakdown_from_dict(data["breakdown"]),
+        verified=data["verified"],
+        ckpt_count=data.get("ckpt_count", 0),
+        recovery_episodes=data.get("recovery_episodes", 0),
+        relaunches=data.get("relaunches", 0),
+        fault_events=tuple(FaultEvent(rank, iteration, kind)
+                           for rank, iteration, kind
+                           in data.get("fault_events", ())),
+        details=data.get("details", {}),
+    )
+
+
+def try_run_result_from_dict(data):
+    """``run_result_from_dict`` or ``None`` on undecodable payloads.
+
+    The single definition of "usable record" shared by the engine's
+    resume path, store summarisation and the completeness check, so the
+    three can never disagree about which stored runs count: foreign
+    tools, old schemas or hand-edited records yield ``None`` (the run
+    is simply treated as not-done; re-running is always safe because
+    runs are deterministic).
+    """
+    from ..errors import ConfigurationError
+
+    try:
+        return run_result_from_dict(data)
+    except (ConfigurationError, KeyError, TypeError, ValueError):
+        return None
+
+
 def average_breakdowns(breakdowns) -> TimeBreakdown:
     """Mean of several repetitions (the paper averages five runs)."""
     breakdowns = list(breakdowns)

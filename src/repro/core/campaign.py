@@ -1,20 +1,27 @@
 """Fault-injection campaigns: distributions, not just averages.
 
 The paper reports five-run averages; a campaign runs many seeded
-repetitions of one configuration and summarises the distribution of
-recovery time and total time — useful for studying how sensitive a
-design is to *where* the failure lands (early vs late in the checkpoint
-stride, victim rank placement).
+repetitions of one or more configurations and summarises the
+distribution of recovery time and total time — useful for studying how
+sensitive a design is to *where* the failure lands (early vs late in
+the checkpoint stride, victim rank placement).
+
+Execution is delegated to :mod:`repro.core.engine`, so any campaign can
+fan out across worker processes (``jobs``), persist completed runs to a
+resumable store (``store_path``/``resume``) and restrict itself to one
+shard of the matrix (``shard``) — with summaries bit-identical to the
+serial path in every mode.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
 
-from .configs import ExperimentConfig
-from .harness import build_cluster, make_fault_plan
-from .designs import DESIGNS
+from .configs import ExperimentConfig, config_from_dict
+from .engine import CampaignEngine, campaign_units
 from ..errors import ConfigurationError
 
 
@@ -30,6 +37,16 @@ class DistributionSummary:
 
     @classmethod
     def of(cls, values) -> "DistributionSummary":
+        """Summarise a non-empty sample.
+
+        ``std`` is the *population* standard deviation (ddof=0): the
+        campaign's runs are the whole population of interest, not a
+        sample from a larger one. A single value therefore yields
+        ``std=0.0`` by construction — that is the documented n=1
+        behaviour, not missing data. Zero values is the error case and
+        raises :class:`ConfigurationError`, because summarising nothing
+        would silently report a tight distribution that never ran.
+        """
         values = list(values)
         if not values:
             raise ConfigurationError("cannot summarise zero samples")
@@ -86,20 +103,123 @@ class CampaignResult:
         return "\n".join(lines)
 
 
-def run_campaign(config: ExperimentConfig, runs: int = 20) -> CampaignResult:
-    """Run ``runs`` seeded repetitions of a fault-injected configuration."""
-    if not config.inject_fault:
-        raise ConfigurationError(
-            "campaigns need inject_fault=True (clean runs are "
-            "deterministic; one run suffices)")
+def _check_campaign_configs(configs) -> None:
+    for config in configs:
+        if not config.inject_fault:
+            raise ConfigurationError(
+                "campaigns need inject_fault=True (clean runs are "
+                "deterministic; one run suffices)")
+
+
+def run_campaign_matrix(configs, runs: int = 20, jobs: int = 1,
+                        store_path=None, resume: bool = False,
+                        shard=None, engine: CampaignEngine = None) -> dict:
+    """Sweep ``configs × runs`` and summarise per configuration.
+
+    Returns ``{label: CampaignResult}`` in matrix order, with each
+    result's runs in repetition order — the exact order (and therefore
+    the exact floating-point sums) the serial path produces, whatever
+    ``jobs``/``shard``/``resume`` were used. Sharded invocations only
+    include configurations that had at least one run in the shard.
+    """
+    configs = list(configs)
+    if not configs:
+        raise ConfigurationError("campaign matrix is empty")
     if runs < 2:
-        raise ConfigurationError("a campaign needs at least two runs")
-    result = CampaignResult(config_label=config.label())
-    for rep in range(runs):
-        cluster = build_cluster(config)
-        design = DESIGNS[config.design](cluster)
-        app = config.make_app()
-        plan = make_fault_plan(config, app, rep)
-        result.runs.append(design.run_job(app, config.fti, plan,
-                                          label=config.label()))
-    return result
+        raise ConfigurationError(
+            "a campaign needs at least two runs per cell (distributions "
+            "from one sample would report std=0.0)")
+    _check_campaign_configs(configs)
+    labels = [c.label() for c in configs]
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError(
+            "campaign configs produce duplicate labels (label() omits "
+            "seed/nnodes/fti, so vary only fields it shows — or sweep "
+            "the others in separate invocations)")
+    if engine is None:
+        engine = CampaignEngine(jobs=jobs, store_path=store_path,
+                                resume=resume, shard=shard)
+    elif jobs != 1 or store_path is not None or resume or shard is not None:
+        raise ConfigurationError(
+            "pass execution options either via engine= or as keyword "
+            "arguments, not both (the keywords would be silently "
+            "ignored)")
+    units = campaign_units(configs, runs)
+    results = engine.run(units)
+    summaries = {}
+    for i, config in enumerate(configs):
+        # units are config-major; reuse them so their memoised keys
+        # serve both execution and summarisation
+        cell = units[i * runs:(i + 1) * runs]
+        runs_for_config = [results[u.key] for u in cell
+                           if u.key in results]
+        if runs_for_config:
+            summaries[config.label()] = CampaignResult(
+                config_label=config.label(), runs=runs_for_config)
+    return summaries
+
+
+def run_campaign(config: ExperimentConfig, runs: int = 20, jobs: int = 1,
+                 store_path=None, resume: bool = False,
+                 shard=None) -> CampaignResult:
+    """Run ``runs`` seeded repetitions of a fault-injected configuration."""
+    summaries = run_campaign_matrix([config], runs=runs, jobs=jobs,
+                                    store_path=store_path, resume=resume,
+                                    shard=shard)
+    # a shard that selects zero units already raised inside the engine,
+    # so the single config's label is always present
+    return summaries[config.label()]
+
+
+def campaign_results_from_records(records: dict) -> dict:
+    """Group result-store records into ``{label: CampaignResult}``.
+
+    ``records`` is the ``{key: record}`` mapping produced by
+    :meth:`repro.core.store.ResultStore.load_completed` or
+    :func:`repro.core.store.merge_store_paths`. Grouping is by full
+    canonical configuration (so two configs differing only in seed do
+    not get mixed); runs are ordered by repetition index, matching the
+    serial summarisation order bit-for-bit.
+    """
+    from .breakdown import try_run_result_from_dict
+
+    if not records:
+        raise ConfigurationError(
+            "no completed runs to summarise (empty store merge)")
+    grouped = {}
+    skipped = 0
+    for record in records.values():
+        # tolerate what the engine's resume path tolerates: records from
+        # foreign tools or old schemas that no longer deserialize — the
+        # holes they leave surface via campaign-report --check-complete
+        try:
+            canonical = json.dumps(record["config"], sort_keys=True,
+                                   separators=(",", ":"))
+            entry = (int(record["rep"]),
+                     config_from_dict(record["config"]),
+                     try_run_result_from_dict(record["result"]))
+        except (ConfigurationError, KeyError, TypeError, ValueError):
+            skipped += 1
+            continue
+        if entry[2] is None:
+            skipped += 1
+            continue
+        grouped.setdefault(canonical, []).append(entry)
+    if not grouped:
+        raise ConfigurationError(
+            "no decodable campaign records to summarise "
+            "(%d undecodable record(s) skipped)" % skipped)
+    summaries = {}
+    for canonical in sorted(grouped):
+        group = sorted(grouped[canonical], key=lambda e: e[0])
+        config = group[0][1]
+        # plain label() so store-derived rows match live campaign rows
+        label = config.label()
+        if label in summaries:
+            # label() omits nnodes/fti: never silently merge or drop
+            # configs it cannot distinguish — suffix a content hash
+            label += "/#" + hashlib.sha256(
+                canonical.encode("utf-8")).hexdigest()[:8]
+        summaries[label] = CampaignResult(
+            config_label=label, runs=[e[2] for e in group])
+    return summaries

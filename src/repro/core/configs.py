@@ -7,6 +7,9 @@ averaged. LULESH only runs on cube process counts (64, 512).
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 
 from ..apps import APP_REGISTRY, LULESH_PROC_COUNTS
@@ -104,6 +107,69 @@ class ExperimentConfig:
         return "%s/%s/p%d/%s%s" % (
             self.app, self.design.upper(), self.nprocs, self.input_size,
             "/fault" if self.inject_fault else "")
+
+
+#: bump when the run-key payload layout changes (invalidates old stores)
+RUN_KEY_SCHEMA = 1
+
+
+def config_to_dict(config: "ExperimentConfig") -> dict:
+    """A JSON-safe dict capturing every field that affects a run.
+
+    The inverse of :func:`config_from_dict`; the pair is how configs
+    cross process boundaries (campaign workers) and land in result
+    stores.
+    """
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: dict) -> "ExperimentConfig":
+    """Rebuild an :class:`ExperimentConfig` from `config_to_dict` output."""
+    data = dict(data)
+    fti = data.pop("fti", None)
+    unknown = set(data) - {f.name for f in
+                           dataclasses.fields(ExperimentConfig)}
+    if unknown:
+        raise ConfigurationError(
+            "config dict has unknown fields %s" % sorted(unknown))
+    return ExperimentConfig(
+        fti=FtiConfig(**fti) if fti is not None else FtiConfig(), **data)
+
+
+def run_key(config: "ExperimentConfig", rep: int) -> str:
+    """Stable content key for one ``(config, repetition)`` run.
+
+    A sha256 prefix over the canonical JSON of the config plus the
+    repetition index. Independent of ``PYTHONHASHSEED``, process,
+    platform and dict ordering, so a resumed or sharded sweep agrees
+    with the sweep that wrote the store about which runs are done.
+    """
+    payload = {"schema": RUN_KEY_SCHEMA, "rep": int(rep),
+               "config": config_to_dict(config)}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def campaign_matrix(apps, designs=DESIGN_NAMES, nprocs: int = 64,
+                    input_size: str = "small", seed: int = 0,
+                    nnodes: int = NNODES):
+    """Fault-injection configs for a campaign sweep, in stable order.
+
+    Enumeration order (apps outer, designs inner) is part of the shard
+    contract: ``--shard K/N`` slices this ordering, so the same flags
+    always produce the same shard membership.
+    """
+    configs = []
+    for app in apps:
+        for design in designs:
+            configs.append(ExperimentConfig(
+                app=app, design=design, nprocs=nprocs,
+                input_size=input_size, inject_fault=True, seed=seed,
+                nnodes=nnodes))
+    labels = [c.label() for c in configs]
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError("campaign matrix has duplicate cells")
+    return configs
 
 
 def valid_proc_counts(app: str) -> tuple:

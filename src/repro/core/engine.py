@@ -1,0 +1,223 @@
+"""Parallel, resumable campaign execution engine.
+
+The paper's figures come from sweeping designs × apps × scales with
+repeated random fault injections. This engine fans the individual
+``(config, repetition)`` runs of such a sweep across worker processes
+while keeping three guarantees:
+
+* **Determinism** — each run derives its fault seed exactly as the
+  serial harness does (:func:`repro.core.harness.make_fault_plan` with
+  ``rep`` as the repetition index), and the simulator itself is
+  deterministic, so a run's result is a pure function of its
+  :class:`RunUnit`. Parallel, serial, sharded and resumed sweeps are
+  bit-identical.
+* **Isolation** — workers use the ``spawn`` start method with
+  ``maxtasksperchild=1``: every run gets a fresh interpreter, so no
+  module-level state (caches, RNG, accelerator handles) leaks between
+  runs or differs from a standalone serial run.
+* **Resumability** — with a :class:`~repro.core.store.ResultStore`
+  attached, every completed run is flushed to disk immediately and a
+  restarted sweep skips all content-keyed runs already present.
+
+Sharding (``--shard K/N``) slices the deterministic unit ordering
+round-robin (``units[K-1::N]``), so the N shards are disjoint and their
+union is exactly the full matrix.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+
+from .breakdown import (
+    RunResult,
+    run_result_from_dict,
+    run_result_to_dict,
+    try_run_result_from_dict,
+)
+from .configs import (
+    ExperimentConfig,
+    config_from_dict,
+    config_to_dict,
+    run_key,
+)
+from .store import ResultStore
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RunUnit:
+    """One schedulable run: a configuration plus a repetition index."""
+
+    config: ExperimentConfig
+    rep: int
+
+    @property
+    def key(self) -> str:
+        # memoised: engine + summarisation consult the key several times
+        # per unit, and each computation canonicalises the whole config
+        key = self.__dict__.get("_key")
+        if key is None:
+            key = run_key(self.config, self.rep)
+            object.__setattr__(self, "_key", key)
+        return key
+
+
+def campaign_units(configs, runs: int):
+    """The full unit list of a sweep, in stable (config, rep) order."""
+    if runs < 1:
+        raise ConfigurationError("a sweep needs at least one run per cell")
+    return [RunUnit(config, rep) for config in configs
+            for rep in range(runs)]
+
+
+def parse_shard(spec: str):
+    """``"K/N"`` → ``(K, N)`` with 1 <= K <= N."""
+    try:
+        k_text, n_text = spec.split("/")
+        k, n = int(k_text), int(n_text)
+    except (ValueError, AttributeError):
+        raise ConfigurationError(
+            "shard spec must look like K/N (got %r)" % (spec,))
+    if n < 1 or not 1 <= k <= n:
+        raise ConfigurationError(
+            "shard spec needs 1 <= K <= N (got %r)" % (spec,))
+    return k, n
+
+
+def shard_units(units, k: int, n: int):
+    """Round-robin slice K of N over the stable unit ordering."""
+    return list(units)[k - 1::n]
+
+
+def execute_unit(unit: RunUnit) -> RunResult:
+    """Run one unit exactly as the serial harness would.
+
+    This is the single execution path: the serial loop, the pool
+    workers, and ``run_experiment``-style one-offs all come through
+    here, which is what makes the parallel/serial equivalence a
+    structural property instead of a test-only promise.
+    """
+    from .designs import DESIGNS
+    from .harness import build_cluster, make_fault_plan
+
+    config = unit.config
+    cluster = build_cluster(config)
+    design = DESIGNS[config.design](cluster)
+    app = config.make_app()
+    plan = make_fault_plan(config, app, unit.rep)
+    return design.run_job(app, config.fti, plan, label=config.label())
+
+
+def _pool_worker(payload: dict):
+    """Top-level (spawn-picklable) worker: payload in, result dict out."""
+    config = config_from_dict(payload["config"])
+    result = execute_unit(RunUnit(config, payload["rep"]))
+    return payload["key"], run_result_to_dict(result)
+
+
+class CampaignEngine:
+    """Executes a list of :class:`RunUnit` with optional parallelism,
+    shard selection and a resumable on-disk store.
+
+    After :meth:`run`, :attr:`executed` / :attr:`skipped` say how many
+    units actually ran versus were satisfied from the store.
+    """
+
+    def __init__(self, jobs: int = 1, store_path=None, resume: bool = False,
+                 shard=None):
+        if jobs < 1:
+            raise ConfigurationError("--jobs must be >= 1")
+        if resume and store_path is None:
+            raise ConfigurationError(
+                "--resume needs a result store (--store PATH) to resume "
+                "from")
+        self.jobs = jobs
+        self.store = ResultStore(store_path) if store_path else None
+        self.resume = resume
+        if shard is None:
+            self.shard = None
+        else:
+            # pre-parsed (K, N) pairs go through the same bounds check
+            # as "K/N" strings — a 0-based index must raise, not
+            # silently select the wrong slice
+            if not isinstance(shard, str):
+                try:
+                    k, n = shard
+                except (TypeError, ValueError):
+                    raise ConfigurationError(
+                        "shard must be a 'K/N' string or a (K, N) pair")
+                shard = "%s/%s" % (k, n)
+            self.shard = parse_shard(shard)
+        self.executed = 0
+        self.skipped = 0
+
+    # -- internals ----------------------------------------------------------
+    def _record(self, unit: RunUnit, result_dict: dict) -> None:
+        if self.store is not None:
+            self.store.append(unit.key, config_to_dict(unit.config),
+                              unit.rep, result_dict)
+
+    def _completed(self, units) -> dict:
+        """Deserialized results for exactly the units this sweep needs.
+
+        Records the sweep doesn't reference (other configs, old
+        run-key schemas, foreign tools sharing the store) are never
+        deserialized, so they cannot break a resume; a referenced
+        record whose payload won't deserialize is treated as not-done
+        and simply re-executed — runs are deterministic, so re-running
+        is always safe.
+        """
+        if self.store is None or not self.resume:
+            return {}
+        records = self.store.load_completed()
+        done = {}
+        for unit in units:
+            record = records.get(unit.key)
+            if record is None:
+                continue
+            result = try_run_result_from_dict(record["result"])
+            if result is not None:
+                done[unit.key] = result
+        return done
+
+    # -- driver -------------------------------------------------------------
+    def run(self, units) -> dict:
+        """Execute ``units`` (minus shard filter and resumed runs);
+        returns ``{key: RunResult}`` for every selected unit."""
+        units = list(units)
+        if self.shard is not None:
+            sharded = shard_units(units, *self.shard)
+            if units and not sharded:
+                # a mistyped shard must not let a CI job pass green
+                # having run nothing
+                raise ConfigurationError(
+                    "shard %d/%d selects zero of the sweep's %d runs"
+                    % (self.shard[0], self.shard[1], len(units)))
+            units = sharded
+        keys = [u.key for u in units]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError("duplicate run units in sweep")
+        done = self._completed(units)
+        pending = [u for u in units if u.key not in done]
+        self.skipped = len(units) - len(pending)
+        self.executed = len(pending)
+        results = {u.key: done[u.key] for u in units if u.key in done}
+        if self.jobs == 1 or len(pending) <= 1:
+            for unit in pending:
+                result = execute_unit(unit)
+                self._record(unit, run_result_to_dict(result))
+                results[unit.key] = result
+        else:
+            by_key = {u.key: u for u in pending}
+            payloads = [{"key": u.key, "rep": u.rep,
+                         "config": config_to_dict(u.config)}
+                        for u in pending]
+            ctx = multiprocessing.get_context("spawn")
+            nworkers = min(self.jobs, len(pending))
+            with ctx.Pool(processes=nworkers, maxtasksperchild=1) as pool:
+                for key, result_dict in pool.imap_unordered(_pool_worker,
+                                                            payloads):
+                    self._record(by_key[key], result_dict)
+                    results[key] = run_result_from_dict(result_dict)
+        return results

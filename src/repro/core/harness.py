@@ -5,6 +5,10 @@ location per run and reports the average (§V-B). Repetitions without
 fault injection are deterministic in this simulator, so a single run is
 exact; with faults, each repetition draws its (rank, iteration) from a
 distinct seed.
+
+Execution itself lives in :func:`repro.core.engine.execute_unit` — the
+single run path shared with parallel/sharded campaigns — while this
+module keeps the seed-derivation and averaging conventions.
 """
 
 from __future__ import annotations
@@ -13,7 +17,6 @@ from dataclasses import dataclass, field
 
 from .breakdown import RunResult, TimeBreakdown, average_breakdowns
 from .configs import DEFAULT_REPETITIONS, ExperimentConfig
-from .designs import DESIGNS
 from ..cluster.machine import Cluster
 from ..faults.plans import FaultPlan
 
@@ -34,11 +37,9 @@ def make_fault_plan(config: ExperimentConfig, app, rep: int) -> FaultPlan:
 
 def run_experiment(config: ExperimentConfig) -> RunResult:
     """Run one repetition of one configuration."""
-    cluster = build_cluster(config)
-    design = DESIGNS[config.design](cluster)
-    app = config.make_app()
-    plan = make_fault_plan(config, app, rep=config.seed)
-    return design.run_job(app, config.fti, plan, label=config.label())
+    from .engine import RunUnit, execute_unit
+
+    return execute_unit(RunUnit(config, rep=config.seed))
 
 
 @dataclass
@@ -66,16 +67,12 @@ def run_experiment_averaged(config: ExperimentConfig,
     Deterministic (no-fault) configurations collapse to one run since
     every repetition would be bit-identical.
     """
+    from .engine import RunUnit, execute_unit
+
     if repetitions is None:
         repetitions = DEFAULT_REPETITIONS if config.inject_fault else 1
-    runs = []
-    for rep in range(repetitions):
-        cluster = build_cluster(config)
-        design = DESIGNS[config.design](cluster)
-        app = config.make_app()
-        plan = make_fault_plan(config, app, rep)
-        runs.append(design.run_job(app, config.fti, plan,
-                                   label=config.label()))
+    runs = [execute_unit(RunUnit(config, rep))
+            for rep in range(repetitions)]
     return AveragedResult(
         config_label=config.label(),
         breakdown=average_breakdowns(r.breakdown for r in runs),

@@ -53,6 +53,27 @@ def format_table1() -> str:
     return "\n".join(lines)
 
 
+def format_campaign_matrix(summaries: dict, title: str = "Campaign matrix",
+                           ) -> str:
+    """Render ``{label: CampaignResult}`` (e.g. a merged store) as rows.
+
+    One row per configuration with the recovery/total distributions the
+    campaign engine produced; the per-config run counts make shard
+    coverage visible at a glance.
+    """
+    header = ("%-34s %5s %20s %20s %9s"
+              % ("Configuration", "Runs", "Recovery mean+-std",
+                 "Total mean+-std", "Verified"))
+    lines = [title, "-" * len(header), header]
+    for label, result in summaries.items():
+        recovery, total = result.recovery, result.total
+        lines.append("%-34s %5d %11.2f +- %5.2f %11.2f +- %5.2f %9s"
+                     % (label, len(result.runs), recovery.mean,
+                        recovery.std, total.mean, total.std,
+                        result.all_verified))
+    return "\n".join(lines)
+
+
 def summarize_ratios(recovery: dict) -> str:
     """Headline ratios (§I contribution 3) from a {design: [seconds]} map."""
     def mean(xs):

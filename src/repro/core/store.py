@@ -1,0 +1,96 @@
+"""On-disk resumable result store for campaign sweeps.
+
+A store is a JSONL file: one line per completed run, written append-only
+and flushed to disk as each run finishes, so a killed sweep loses at
+most the line it was writing. Each record is content-keyed by
+:func:`repro.core.configs.run_key`, which hashes the full configuration
+plus the repetition index — resuming therefore never trusts file order
+or in-memory state, only the keys::
+
+    {"key": "3f2a…", "rep": 0, "config": {...}, "result": {...}}
+
+``load_completed`` tolerates a truncated or corrupt trailing line (the
+signature of a mid-write kill) by skipping undecodable lines and
+counting them in :attr:`ResultStore.corrupt_lines`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from ..errors import ConfigurationError
+
+
+class ResultStore:
+    """Append-only JSONL store of completed campaign runs."""
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+        #: undecodable lines skipped by the last ``load_completed``
+        self.corrupt_lines = 0
+
+    def append(self, key: str, config_dict: dict, rep: int,
+               result_dict: dict) -> None:
+        """Durably record one completed run (flush + fsync per line)."""
+        record = {"key": key, "rep": int(rep), "config": config_dict,
+                  "result": result_dict}
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load_completed(self) -> dict:
+        """``{key: record}`` of every decodable record (last key wins).
+
+        Missing file means an empty store (a sweep that has not started
+        yet); corrupt lines are skipped, not fatal, because the one
+        expected corruption is the final partially-written line of a
+        killed sweep.
+        """
+        self.corrupt_lines = 0
+        records = {}
+        if not self.path.exists():
+            return records
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                    record["rep"], record["config"], record["result"]
+                except (ValueError, KeyError, TypeError):
+                    self.corrupt_lines += 1
+                    continue
+                records[key] = record
+        return records
+
+
+def merge_store_paths(paths) -> dict:
+    """Union the records of several stores (e.g. one per shard).
+
+    Raises :class:`ConfigurationError` when given no paths, a missing
+    path, or a store with zero decodable records — an empty input is
+    almost always a sweep that never ran, and silently summarising
+    nothing would report std=0.0 distributions that look real.
+    """
+    paths = [pathlib.Path(p) for p in paths]
+    if not paths:
+        raise ConfigurationError(
+            "store merge needs at least one result-store path")
+    merged = {}
+    for path in paths:
+        if not path.exists():
+            raise ConfigurationError(
+                "result store %s does not exist (shard never ran?)" % path)
+        records = ResultStore(path).load_completed()
+        if not records:
+            raise ConfigurationError(
+                "result store %s holds no completed runs" % path)
+        merged.update(records)
+    return merged

@@ -32,6 +32,19 @@ def test_distribution_summary_empty_rejected():
         DistributionSummary.of([])
 
 
+def test_distribution_summary_single_sample():
+    """Documented n=1 behaviour: population variance (ddof=0) makes a
+    single sample report std=0.0 — the n= count in the report is the
+    signal that the spread is vacuous, not measured."""
+    s = DistributionSummary.of([4.2])
+    assert s.count == 1
+    assert s.std == 0.0
+    assert s.mean == s.minimum == s.maximum == 4.2
+    assert "n=1" in str(s)
+    assert "ddof=0" in DistributionSummary.of.__func__.__doc__ or \
+        "population" in DistributionSummary.of.__func__.__doc__
+
+
 def test_campaign_runs_and_verifies():
     result = run_campaign(small_config(), runs=5)
     assert len(result.runs) == 5

@@ -1,0 +1,148 @@
+"""The CI perf-gate comparator (benchmarks/perf/check_regression.py)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+SCRIPT = (pathlib.Path(__file__).resolve().parents[2]
+          / "benchmarks" / "perf" / "check_regression.py")
+
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def payload(series, app="hpccg", nprocs=64):
+    return {"suite": "match-perf", "app_end_to_end": app,
+            "nprocs_end_to_end": nprocs,
+            "series": {name: {"value": value, "unit": unit}
+                       for name, (value, unit) in series.items()}}
+
+
+def statuses(findings):
+    return {name: status for name, status, _ in findings}
+
+
+def test_throughput_drop_beyond_threshold_fails():
+    base = payload({"p2p": (100.0, "msgs/s")})
+    ok = check_regression.compare(base, payload({"p2p": (76.0, "msgs/s")}))
+    bad = check_regression.compare(base, payload({"p2p": (74.0, "msgs/s")}))
+    assert statuses(ok)["p2p"] == "ok"
+    assert statuses(bad)["p2p"] == "fail"
+
+
+def test_wallclock_rise_beyond_threshold_fails():
+    base = payload({"e2e_wall": (10.0, "s")})
+    ok = check_regression.compare(base, payload({"e2e_wall": (12.4, "s")}))
+    bad = check_regression.compare(base, payload({"e2e_wall": (12.6, "s")}))
+    assert statuses(ok)["e2e_wall"] == "ok"
+    assert statuses(bad)["e2e_wall"] == "fail"
+
+
+def test_throughput_gain_and_wall_drop_pass():
+    base = payload({"p2p": (100.0, "msgs/s"), "e2e_wall": (10.0, "s")})
+    cand = payload({"p2p": (500.0, "msgs/s"), "e2e_wall": (1.0, "s")})
+    assert set(statuses(check_regression.compare(base, cand)).values()) \
+        == {"ok"}
+
+
+def test_sim_series_must_not_drift():
+    base = payload({"makespan": (14.5, "sim s")})
+    same = check_regression.compare(base, payload({"makespan": (14.5,
+                                                                "sim s")}))
+    drift = check_regression.compare(base, payload({"makespan": (14.6,
+                                                                 "sim s")}))
+    assert statuses(same)["makespan"] == "ok"
+    assert statuses(drift)["makespan"] == "fail"
+
+
+def test_sim_series_skipped_when_configs_differ():
+    base = payload({"makespan": (14.5, "sim s")}, nprocs=512)
+    cand = payload({"makespan": (3.0, "sim s")}, nprocs=64)
+    assert statuses(check_regression.compare(base, cand))["makespan"] \
+        == "info"
+
+
+def test_missing_series_fails_new_series_is_info():
+    base = payload({"gone": (1.0, "msgs/s")})
+    cand = payload({"brand_new": (1.0, "msgs/s")})
+    result = statuses(check_regression.compare(base, cand))
+    assert result["gone"] == "fail"
+    assert result["brand_new"] == "info"
+
+
+def test_sim_only_ignores_wallclock_regressions():
+    base = payload({"makespan": (14.5, "sim s"), "e2e_wall": (1.0, "s")})
+    cand = payload({"makespan": (14.5, "sim s"), "e2e_wall": (99.0, "s")})
+    findings = check_regression.compare(base, cand, sim_only=True)
+    assert statuses(findings) == {"makespan": "ok"}
+
+
+def test_custom_threshold():
+    base = payload({"p2p": (100.0, "msgs/s")})
+    cand = payload({"p2p": (95.0, "msgs/s")})
+    loose = check_regression.compare(base, cand, threshold=0.10)
+    tight = check_regression.compare(base, cand, threshold=0.01)
+    assert statuses(loose)["p2p"] == "ok"
+    assert statuses(tight)["p2p"] == "fail"
+
+
+@pytest.fixture
+def bench_files(tmp_path):
+    base = tmp_path / "base.json"
+    cand = tmp_path / "cand.json"
+    base.write_text(json.dumps(payload({"p2p": (100.0, "msgs/s")})))
+    cand.write_text(json.dumps(payload({"p2p": (10.0, "msgs/s")})))
+    return base, cand
+
+
+def test_main_exit_codes(bench_files, monkeypatch, capsys):
+    base, cand = bench_files
+    monkeypatch.delenv("MATCH_PERF_GATE_SKIP", raising=False)
+    assert check_regression.main(["--baseline", str(base),
+                                  "--candidate", str(cand)]) == 1
+    assert check_regression.main(["--baseline", str(base),
+                                  "--candidate", str(base)]) == 0
+    assert check_regression.main(["--baseline", str(base),
+                                  "--candidate",
+                                  str(base.parent / "nope.json")]) == 2
+    capsys.readouterr()
+
+
+def test_escape_hatch_env(bench_files, monkeypatch, capsys):
+    base, cand = bench_files
+    monkeypatch.setenv("MATCH_PERF_GATE_SKIP", "1")
+    assert check_regression.main(["--baseline", str(base),
+                                  "--candidate", str(cand)]) == 0
+    assert "skipped" in capsys.readouterr().out
+
+
+def test_wrong_schema_baseline_fails_not_passes(tmp_path, monkeypatch,
+                                                capsys):
+    """A baseline with no comparable series must fail the gate: passing
+    after comparing nothing is how a mispointed file ships regressions."""
+    monkeypatch.delenv("MATCH_PERF_GATE_SKIP", raising=False)
+    base = tmp_path / "base.json"
+    cand = tmp_path / "cand.json"
+    base.write_text(json.dumps({"not_series": {}}))
+    cand.write_text(json.dumps(payload({"p2p": (10.0, "msgs/s")})))
+    assert check_regression.main(["--baseline", str(base),
+                                  "--candidate", str(cand)]) == 1
+    assert "no comparable series" in capsys.readouterr().err
+
+
+def test_sim_only_with_nothing_comparable_fails(tmp_path, monkeypatch,
+                                                capsys):
+    monkeypatch.delenv("MATCH_PERF_GATE_SKIP", raising=False)
+    base = tmp_path / "base.json"
+    cand = tmp_path / "cand.json"
+    base.write_text(json.dumps(payload({"makespan": (14.5, "sim s")},
+                                       nprocs=512)))
+    cand.write_text(json.dumps(payload({"makespan": (3.0, "sim s")},
+                                       nprocs=64)))
+    assert check_regression.main(["--baseline", str(base),
+                                  "--candidate", str(cand),
+                                  "--sim-only"]) == 1
+    capsys.readouterr()

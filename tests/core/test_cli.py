@@ -40,3 +40,91 @@ def test_parser_rejects_bad_design():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+CAMPAIGN_ARGS = ["--app", "minivite", "--design", "reinit-fti",
+                 "--nprocs", "8", "--nnodes", "4", "--runs", "2"]
+
+
+def test_campaign_command_with_store_and_report(tmp_path, capsys):
+    store = str(tmp_path / "sweep.jsonl")
+    code = main(["campaign"] + CAMPAIGN_ARGS + ["--store", store])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "executed 2 run(s)" in out
+
+    # resume executes nothing
+    assert main(["campaign"] + CAMPAIGN_ARGS
+                + ["--store", store, "--resume"]) == 0
+    assert "executed 0 run(s)" in capsys.readouterr().out
+
+    # the store satisfies a completeness check for its own matrix
+    assert main(["campaign-report", "--store", store, "--check-complete"]
+                + CAMPAIGN_ARGS) == 0
+    assert "complete: all 2 matrix runs" in capsys.readouterr().out
+
+
+def test_campaign_report_detects_missing_runs(tmp_path, capsys):
+    store = tmp_path / "sweep.jsonl"
+    assert main(["campaign"] + CAMPAIGN_ARGS
+                + ["--store", str(store)]) == 0
+    lines = store.read_text().splitlines()
+    store.write_text(lines[0] + "\n")
+    assert main(["campaign-report", "--store", str(store),
+                 "--check-complete"] + CAMPAIGN_ARGS) == 1
+    captured = capsys.readouterr()
+    assert "INCOMPLETE" in captured.err
+
+
+def test_campaign_rejects_single_run(capsys):
+    assert main(["campaign", "--app", "minivite", "--design", "reinit-fti",
+                 "--nprocs", "8", "--nnodes", "4", "--runs", "1"]) == 2
+    assert "at least two runs" in capsys.readouterr().err
+
+
+def test_campaign_rejects_bad_shard_spec(capsys):
+    assert main(["campaign"] + CAMPAIGN_ARGS + ["--shard", "9/2"]) == 2
+    assert "shard" in capsys.readouterr().err
+
+
+def test_campaign_rejects_shard_selecting_nothing(capsys):
+    # 2 runs round-robined over 3 shards leaves shard 3/3 empty; a CI
+    # job with that typo must fail, not pass green having run nothing
+    assert main(["campaign"] + CAMPAIGN_ARGS + ["--shard", "3/3"]) == 2
+    assert "zero" in capsys.readouterr().err
+
+
+def test_campaign_report_counts_undecodable_records_as_missing(tmp_path,
+                                                               capsys):
+    import json
+
+    store = tmp_path / "s.jsonl"
+    assert main(["campaign"] + CAMPAIGN_ARGS + ["--store", str(store)]) == 0
+    lines = store.read_text().splitlines()
+    record = json.loads(lines[1])
+    record["result"] = {"v": 1}  # decodable JSON, broken payload
+    store.write_text(lines[0] + "\n" + json.dumps(record) + "\n")
+    capsys.readouterr()
+    assert main(["campaign-report", "--store", str(store),
+                 "--check-complete"] + CAMPAIGN_ARGS) == 1
+    assert "INCOMPLETE" in capsys.readouterr().err
+
+
+def test_campaign_rejects_unknown_design(capsys):
+    assert main(["campaign", "--app", "minivite", "--design", "bogus",
+                 "--runs", "2"]) == 2
+    assert "unknown design" in capsys.readouterr().err
+
+
+def test_campaign_report_check_complete_needs_matrix(tmp_path, capsys):
+    store = tmp_path / "s.jsonl"
+    assert main(["campaign"] + CAMPAIGN_ARGS + ["--store", str(store)]) == 0
+    capsys.readouterr()
+    assert main(["campaign-report", "--store", str(store),
+                 "--check-complete"]) == 2
+    # a partial flag set (no --nprocs/--runs) would silently check the
+    # wrong matrix via defaults and report a false INCOMPLETE
+    assert main(["campaign-report", "--store", str(store),
+                 "--check-complete", "--app", "minivite",
+                 "--design", "reinit-fti"]) == 2
+    assert "matrix flags" in capsys.readouterr().err

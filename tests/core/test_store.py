@@ -1,0 +1,91 @@
+"""The JSONL result store: durability, tolerance, merge errors."""
+
+import json
+
+import pytest
+
+from repro.core.store import ResultStore, merge_store_paths
+from repro.errors import ConfigurationError
+
+
+def record(key, rep=0, value=1.0):
+    return {"key": key, "rep": rep, "config": {"app": "hpccg"},
+            "result": {"total_seconds": value}}
+
+
+def write_lines(path, lines):
+    path.write_text("".join(line + "\n" for line in lines))
+
+
+def test_append_load_round_trip(tmp_path):
+    store = ResultStore(tmp_path / "s.jsonl")
+    store.append("k1", {"app": "hpccg"}, 0, {"total_seconds": 1.25})
+    store.append("k2", {"app": "hpccg"}, 1, {"total_seconds": 2.5})
+    loaded = store.load_completed()
+    assert set(loaded) == {"k1", "k2"}
+    assert loaded["k1"]["rep"] == 0
+    assert loaded["k2"]["result"]["total_seconds"] == 2.5
+    assert store.corrupt_lines == 0
+
+
+def test_floats_round_trip_exactly(tmp_path):
+    value = 0.1 + 0.2  # not representable prettily; repr round-trips
+    store = ResultStore(tmp_path / "s.jsonl")
+    store.append("k", {}, 0, {"total_seconds": value})
+    assert store.load_completed()["k"]["result"]["total_seconds"] == value
+
+
+def test_missing_file_is_empty_store(tmp_path):
+    assert ResultStore(tmp_path / "absent.jsonl").load_completed() == {}
+
+
+def test_truncated_trailing_line_skipped(tmp_path):
+    path = tmp_path / "s.jsonl"
+    good = json.dumps(record("k1"))
+    truncated = json.dumps(record("k2"))[:25]
+    write_lines(path, [good, truncated])
+    store = ResultStore(path)
+    assert set(store.load_completed()) == {"k1"}
+    assert store.corrupt_lines == 1
+
+
+def test_records_missing_fields_skipped(tmp_path):
+    path = tmp_path / "s.jsonl"
+    write_lines(path, [json.dumps({"key": "k1"}),  # no rep/config/result
+                       json.dumps(record("k2")),
+                       "not json at all"])
+    store = ResultStore(path)
+    assert set(store.load_completed()) == {"k2"}
+    assert store.corrupt_lines == 2
+
+
+def test_duplicate_key_last_wins(tmp_path):
+    path = tmp_path / "s.jsonl"
+    write_lines(path, [json.dumps(record("k", value=1.0)),
+                       json.dumps(record("k", value=9.0))])
+    loaded = ResultStore(path).load_completed()
+    assert loaded["k"]["result"]["total_seconds"] == 9.0
+
+
+def test_merge_requires_paths():
+    with pytest.raises(ConfigurationError, match="at least one"):
+        merge_store_paths([])
+
+
+def test_merge_rejects_missing_path(tmp_path):
+    with pytest.raises(ConfigurationError, match="does not exist"):
+        merge_store_paths([tmp_path / "never-ran.jsonl"])
+
+
+def test_merge_rejects_empty_store(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ConfigurationError, match="no completed runs"):
+        merge_store_paths([empty])
+
+
+def test_merge_unions_records(tmp_path):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    write_lines(a, [json.dumps(record("k1"))])
+    write_lines(b, [json.dumps(record("k2"))])
+    assert set(merge_store_paths([a, b])) == {"k1", "k2"}
