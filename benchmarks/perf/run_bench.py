@@ -19,6 +19,9 @@ determinism-checked contract):
 * ``rs_decode_MB_per_sec``           — RS decode, half the shards lost
 * ``serializer_MB_per_sec``          — checkpoint blob serialize
 * ``campaign_runs_per_sec``          — campaign-engine end-to-end run rate
+* ``faults_scenario_runs_per_sec``   — multi-fault scenario run rate
+  (scenario generation + multi-event plans + repeated node/process
+  recovery under ULFM)
 * ``e2e_hpccg_makespan_sim_sec``     — simulated makespan (must not drift)
 * ``e2e_hpccg_wallclock_sec``        — end-to-end wall-clock of that run
 
@@ -198,6 +201,27 @@ def bench_campaign(runs: int = 6) -> float:
     return runs / wall
 
 
+# -- fault scenarios -------------------------------------------------------
+def bench_faults_scenario(runs: int = 6) -> float:
+    """Multi-fault scenario throughput (runs/s): the scenario-generation
+    + multi-event plan consultation + repeated-recovery path, so the
+    perf gate covers the fault-scenario engine end to end."""
+    from repro.core.campaign import run_campaign
+    from repro.fti.config import FtiConfig
+
+    config = ExperimentConfig(app="minivite", design="ulfm-fti",
+                              nprocs=8, nnodes=4,
+                              faults="independent:2:node=1",
+                              fti=FtiConfig(level=2))
+    t0 = time.perf_counter()
+    result = run_campaign(config, runs=runs, jobs=1)
+    wall = time.perf_counter() - t0
+    assert result.all_verified, "scenario bench runs must verify"
+    assert result.node_fault_count() == runs, \
+        "every scenario bench run injects one node failure"
+    return runs / wall
+
+
 # -- end to end ------------------------------------------------------------
 def e2e_scale() -> int:
     raw = os.environ.get("MATCH_SCALES", "512")
@@ -240,6 +264,8 @@ def main(argv=None) -> int:
     record("rs_decode_MB_per_sec", decode_rate, "MB/s")
     record("serializer_MB_per_sec", bench_serializer(), "MB/s")
     record("campaign_runs_per_sec", bench_campaign(), "runs/s")
+    record("faults_scenario_runs_per_sec", bench_faults_scenario(),
+           "runs/s")
     makespan, wall = bench_end_to_end()
     record("e2e_%s_makespan_sim_sec" % e2e_app(), makespan, "sim s")
     record("e2e_%s_wallclock_sec" % e2e_app(), wall, "s")

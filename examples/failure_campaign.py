@@ -10,7 +10,12 @@ the last checkpoint the failure lands.
 Usage::
 
     python examples/failure_campaign.py [app] [--runs N] [--nprocs P] \
-        [--jobs J]
+        [--jobs J] [--faults SPEC] [--fti-level L]
+
+Try a multi-fault scenario (see docs/FAULTS.md)::
+
+    python examples/failure_campaign.py --faults independent:3:node=1 \
+        --fti-level 2
 """
 
 import argparse
@@ -18,6 +23,7 @@ import argparse
 from repro.core.campaign import run_campaign
 from repro.core.charts import bar_chart
 from repro.core.configs import DESIGN_NAMES, ExperimentConfig
+from repro.fti.config import FtiConfig
 
 
 def main():
@@ -27,12 +33,18 @@ def main():
     parser.add_argument("--nprocs", type=int, default=64)
     parser.add_argument("--jobs", type=int, default=1,
                         help="campaign-engine worker processes")
+    parser.add_argument("--faults", default="single",
+                        help="fault scenario spec (docs/FAULTS.md)")
+    parser.add_argument("--fti-level", type=int, default=1,
+                        choices=(1, 2, 3, 4),
+                        help="FTI level (node scenarios need >= 2)")
     args = parser.parse_args()
 
     means = []
     for design in DESIGN_NAMES:
         config = ExperimentConfig(app=args.app, design=design,
-                                  nprocs=args.nprocs, inject_fault=True)
+                                  nprocs=args.nprocs, faults=args.faults,
+                                  fti=FtiConfig(level=args.fti_level))
         campaign = run_campaign(config, runs=args.runs, jobs=args.jobs)
         print(campaign.report())
         print("  victims: %s ...\n" % (campaign.victims()[:5],))

@@ -24,6 +24,7 @@ __version__ = "1.0.0"
 
 _LAZY = {
     "ExperimentConfig": ("repro.core.configs", "ExperimentConfig"),
+    "FaultScenario": ("repro.faults", "FaultScenario"),
     "TABLE1": ("repro.core.configs", "TABLE1"),
     "DESIGNS": ("repro.core.designs", "DESIGNS"),
     "run_experiment": ("repro.core.harness", "run_experiment"),

@@ -33,15 +33,33 @@ def _cmd_table1(_args) -> int:
     return 0
 
 
+def _fti_config(args):
+    from .fti.config import FtiConfig
+
+    level = getattr(args, "fti_level", None)
+    return FtiConfig() if level is None else FtiConfig(level=level)
+
+
 def _cmd_run(args) -> int:
     config = ExperimentConfig(
         app=args.app, design=args.design, nprocs=args.nprocs,
-        input_size=args.input, inject_fault=args.fault, seed=args.seed)
+        input_size=args.input, seed=args.seed,
+        # an unset --fault stays None so --faults alone decides; passing
+        # both only conflicts when they actually contradict
+        inject_fault=True if args.fault else None,
+        faults=args.faults, fti=_fti_config(args))
     result = run_experiment_averaged(config, repetitions=args.reps)
     print(config.label())
     print("  " + str(result.breakdown))
     print("  verified: %s over %d repetition(s)"
           % (result.verified, result.repetitions))
+    if config.inject_fault:
+        for run in result.runs:
+            print("  faults: %s"
+                  % (", ".join("r%d@i%d%s"
+                               % (e.rank, e.iteration,
+                                  "(node)" if e.kind == "node" else "")
+                               for e in run.fault_events) or "none drawn"))
     return 0
 
 
@@ -105,7 +123,7 @@ def _campaign_configs(args):
     return campaign_matrix(
         apps=args.app.split(","), designs=_parse_designs(args.design),
         nprocs=args.nprocs, input_size=args.input, seed=args.seed,
-        nnodes=args.nnodes)
+        nnodes=args.nnodes, faults=args.faults, fti=_fti_config(args))
 
 
 def _cmd_campaign(args) -> int:
@@ -145,16 +163,19 @@ def _cmd_campaign_report(args) -> int:
         if None in (args.app, args.design, args.nprocs, args.runs):
             print("--check-complete needs the sweep's matrix flags: "
                   "--app --design --nprocs --runs (plus --input/--seed/"
-                  "--nnodes if the sweep used non-defaults)",
+                  "--nnodes/--faults/--fti-level if the sweep used "
+                  "non-defaults — all of them enter the run key)",
                   file=sys.stderr)
             return 2
         args.input = "small" if args.input is None else args.input
         args.seed = 0 if args.seed is None else args.seed
         args.nnodes = NNODES if args.nnodes is None else args.nnodes
         print("checking completeness for: app=%s design=%s nprocs=%d "
-              "input=%s seed=%d nnodes=%d runs=%d"
+              "input=%s seed=%d nnodes=%d runs=%d faults=%s fti-level=%s"
               % (args.app, args.design, args.nprocs, args.input,
-                 args.seed, args.nnodes, args.runs))
+                 args.seed, args.nnodes, args.runs,
+                 args.faults if args.faults is not None else "single",
+                 args.fti_level if args.fti_level is not None else 1))
         # key presence is not enough: a record the summary had to skip
         # (undecodable payload) must count as a hole, or an incomplete
         # sweep ships as green
@@ -202,14 +223,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table1", help="print Table I").set_defaults(
         func=_cmd_table1)
 
+    def add_fault_args(p):
+        p.add_argument("--faults", "--scenario", dest="faults",
+                       default=None, metavar="SPEC",
+                       help="fault scenario spec: none | single | "
+                            "independent:K[:node=N] | "
+                            "correlated:K[:window=W] | poisson:MTBF "
+                            "(see docs/FAULTS.md)")
+        p.add_argument("--fti-level", dest="fti_level", type=int,
+                       default=None, choices=(1, 2, 3, 4),
+                       help="FTI reliability level (node-failure "
+                            "scenarios need >= 2)")
+
     run_p = sub.add_parser("run", help="run one configuration")
     run_p.add_argument("--app", required=True)
     run_p.add_argument("--design", required=True, choices=DESIGN_NAMES)
     run_p.add_argument("--nprocs", type=int, default=64)
     run_p.add_argument("--input", default="small", choices=INPUT_SIZES)
-    run_p.add_argument("--fault", action="store_true")
+    run_p.add_argument("--fault", action="store_true",
+                       help="legacy shorthand for --faults single")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--reps", type=int, default=None)
+    add_fault_args(run_p)
     run_p.set_defaults(func=_cmd_run)
 
     fig_p = sub.add_parser("figure", help="regenerate one figure's series")
@@ -237,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="repetitions per matrix cell")
         p.add_argument("--seed", type=int,
                        default=0 if with_defaults else None)
+        # scenario flags: None means "the paper's single kill at FTI
+        # defaults", identically on both the sweep and report sides, so
+        # an omitted flag reconstructs the same run keys either way
+        add_fault_args(p)
 
     camp_p = sub.add_parser("campaign",
                             help="fault-injection campaign statistics "
@@ -260,8 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--check-complete", action="store_true",
                        help="fail unless the merged stores cover the "
                             "matrix given by --app/--design/--nprocs/"
-                            "--runs (and --input/--seed/--nnodes when "
-                            "the sweep used non-defaults)")
+                            "--runs (and --input/--seed/--nnodes/"
+                            "--faults/--fti-level when the sweep used "
+                            "non-defaults)")
     add_matrix_args(rep_p, required=False, with_defaults=False)
     rep_p.set_defaults(func=_cmd_campaign_report)
 

@@ -14,6 +14,21 @@ from .storage import NodeStorage, ParallelFileSystem
 from ..errors import ConfigurationError
 
 
+def block_placement(nprocs: int, nnodes: int) -> tuple:
+    """``(ranks_per_node, occupied_nodes)`` under the default block
+    mapping: rank ``r`` lives on node ``r // ranks_per_node``.
+
+    The single source of the placement arithmetic — shared by
+    :meth:`Cluster.place_job` and the fault-scenario node draws
+    (:mod:`repro.faults.scenarios`), so a scenario always targets the
+    node the runtime will actually kill.
+    """
+    if nprocs <= 0 or nnodes <= 0:
+        raise ConfigurationError("placement needs nprocs and nnodes > 0")
+    per_node = -(-nprocs // nnodes)  # ceil division
+    return per_node, -(-nprocs // per_node)
+
+
 class Cluster:
     """A fixed pool of nodes plus interconnect and storage.
 
@@ -47,7 +62,7 @@ class Cluster:
         """Block-map ``nprocs`` ranks onto the nodes; returns rank->node."""
         if nprocs <= 0:
             raise ConfigurationError("job needs at least one process")
-        per_node = -(-nprocs // self.nnodes)  # ceil division
+        per_node, _ = block_placement(nprocs, self.nnodes)
         if per_node > self.node_spec.cores:
             raise ConfigurationError(
                 "placement oversubscribes cores: %d ranks/node on %d cores"

@@ -71,6 +71,30 @@ def breakdown_from_dict(data: dict) -> TimeBreakdown:
     return TimeBreakdown(**data)
 
 
+def result_fingerprint(result: RunResult) -> dict:
+    """Full-precision, JSON-safe fingerprint of one run.
+
+    The single definition shared by the determinism-pin capture script
+    (``tests/data/capture_seed.py``) and the determinism regression
+    test, so the recorded and replayed sides can never drift apart.
+    ``repr()`` keeps exact float bits; the test compares exactly.
+    """
+    b = result.breakdown
+    return {
+        "total_seconds": repr(b.total_seconds),
+        "ckpt_write_seconds": repr(b.ckpt_write_seconds),
+        "recovery_seconds": repr(b.recovery_seconds),
+        "ckpt_read_seconds": repr(b.ckpt_read_seconds),
+        "verified": result.verified,
+        "ckpt_count": result.ckpt_count,
+        "recovery_episodes": result.recovery_episodes,
+        "relaunches": result.relaunches,
+        "fault_events": [[e.rank, e.iteration, e.kind]
+                         for e in result.fault_events],
+        "runtime_stats": result.details["runtime_stats"],
+    }
+
+
 def run_result_to_dict(result: RunResult) -> dict:
     """Serialize a run for the campaign result store (lossless for
     everything campaign summaries and reports consume)."""

@@ -85,6 +85,12 @@ class CampaignResult:
         return self._metric(lambda r: r.breakdown.application_seconds)
 
     @property
+    def faults_per_run(self) -> DistributionSummary:
+        """Injected events per run — the scenario's realised intensity
+        (fixed for single/independent draws, variable for Poisson)."""
+        return self._metric(lambda r: len(r.fault_events))
+
+    @property
     def all_verified(self) -> bool:
         return all(r.verified for r in self.runs)
 
@@ -93,12 +99,19 @@ class CampaignResult:
         return [(e.rank, e.iteration)
                 for r in self.runs for e in r.fault_events]
 
+    def node_fault_count(self) -> int:
+        """Total whole-node failures injected across the campaign."""
+        return sum(1 for r in self.runs for e in r.fault_events
+                   if e.kind == "node")
+
     def report(self) -> str:
         lines = ["Campaign: %s (%d runs)" % (self.config_label,
                                              len(self.runs)),
                  "  recovery: %s" % self.recovery,
                  "  total:    %s" % self.total,
                  "  app+rework: %s" % self.rework,
+                 "  faults/run: %s (node faults: %d)"
+                 % (self.faults_per_run, self.node_fault_count()),
                  "  verified: %s" % self.all_verified]
         return "\n".join(lines)
 
@@ -107,8 +120,8 @@ def _check_campaign_configs(configs) -> None:
     for config in configs:
         if not config.inject_fault:
             raise ConfigurationError(
-                "campaigns need inject_fault=True (clean runs are "
-                "deterministic; one run suffices)")
+                "campaigns need a fault-injecting scenario (clean runs "
+                "are deterministic; one run suffices)")
 
 
 def run_campaign_matrix(configs, runs: int = 20, jobs: int = 1,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 
 from ..apps import APP_REGISTRY, LULESH_PROC_COUNTS
 from ..errors import ConfigurationError
+from ..faults.scenarios import FaultScenario, parse_scenario_spec
 from ..fti.config import FtiConfig
 
 #: the evaluated designs (§V-B)
@@ -67,16 +68,28 @@ TABLE1_BY_APP = {row.app: row for row in TABLE1}
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """One cell of the paper's evaluation matrix."""
+    """One cell of the paper's evaluation matrix.
+
+    The failure regime is a first-class :class:`FaultScenario` in
+    ``faults``; ``inject_fault`` survives as the legacy shorthand for
+    the paper's single-SIGTERM scenario and is kept in sync (it is
+    always ``faults.injects`` after construction; passing a bool that
+    contradicts the scenario raises). ``faults`` accepts a
+    :class:`FaultScenario`, a serialized scenario dict, or a CLI spec
+    string like ``"independent:3:node=1"``.
+    """
 
     app: str
     design: str
     nprocs: int = 64
     input_size: str = "small"
-    inject_fault: bool = False
+    #: tri-state at construction (None = derive from ``faults``);
+    #: always a bool equal to ``faults.injects`` afterwards
+    inject_fault: bool | None = None
     seed: int = 0
     fti: FtiConfig = field(default_factory=FtiConfig)
     nnodes: int = NNODES
+    faults: FaultScenario = None
 
     def __post_init__(self):
         if self.app not in APP_REGISTRY:
@@ -95,22 +108,52 @@ class ExperimentConfig:
             raise ConfigurationError(
                 "LULESH runs only on cube process counts %s"
                 % (LULESH_PROC_COUNTS,))
+        faults = self.faults
+        if isinstance(faults, str):
+            faults = parse_scenario_spec(faults)
+        elif isinstance(faults, dict):
+            faults = FaultScenario.from_dict(faults)
+        if faults is None:
+            faults = (FaultScenario.single() if self.inject_fault
+                      else FaultScenario.none())
+        elif not isinstance(faults, FaultScenario):
+            raise ConfigurationError(
+                "faults must be a FaultScenario, scenario dict or spec "
+                "string (got %r)" % (faults,))
+        if self.inject_fault is not None \
+                and bool(self.inject_fault) != faults.injects:
+            raise ConfigurationError(
+                "inject_fault=%s contradicts the %r fault scenario; "
+                "drop one of the two" % (self.inject_fault, faults.kind))
+        object.__setattr__(self, "faults", faults)
+        object.__setattr__(self, "inject_fault", faults.injects)
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, seed=seed)
+
+    def with_faults(self, faults) -> "ExperimentConfig":
+        """A copy running under a different fault scenario."""
+        return replace(self, faults=faults, inject_fault=None)
 
     def make_app(self):
         return APP_REGISTRY[self.app].from_input(self.nprocs,
                                                  self.input_size)
 
     def label(self) -> str:
+        if not self.inject_fault:
+            suffix = ""
+        elif self.faults.kind == "single":
+            suffix = "/fault"  # the legacy label, kept stable
+        else:
+            suffix = "/fault=%s" % self.faults.label()
         return "%s/%s/p%d/%s%s" % (
             self.app, self.design.upper(), self.nprocs, self.input_size,
-            "/fault" if self.inject_fault else "")
+            suffix)
 
 
 #: bump when the run-key payload layout changes (invalidates old stores)
-RUN_KEY_SCHEMA = 1
+#: — schema 2: configs carry a canonical ``faults`` scenario
+RUN_KEY_SCHEMA = 2
 
 
 def config_to_dict(config: "ExperimentConfig") -> dict:
@@ -132,6 +175,8 @@ def config_from_dict(data: dict) -> "ExperimentConfig":
     if unknown:
         raise ConfigurationError(
             "config dict has unknown fields %s" % sorted(unknown))
+    # `faults` may be a serialized dict (or absent, for legacy payloads);
+    # __post_init__ normalises either into a FaultScenario
     return ExperimentConfig(
         fti=FtiConfig(**fti) if fti is not None else FtiConfig(), **data)
 
@@ -152,20 +197,26 @@ def run_key(config: "ExperimentConfig", rep: int) -> str:
 
 def campaign_matrix(apps, designs=DESIGN_NAMES, nprocs: int = 64,
                     input_size: str = "small", seed: int = 0,
-                    nnodes: int = NNODES):
+                    nnodes: int = NNODES, faults=None, fti=None):
     """Fault-injection configs for a campaign sweep, in stable order.
 
     Enumeration order (apps outer, designs inner) is part of the shard
     contract: ``--shard K/N`` slices this ordering, so the same flags
-    always produce the same shard membership.
+    always produce the same shard membership. ``faults`` selects the
+    scenario every cell runs under (scenario, dict or spec string;
+    default: the paper's single kill); ``fti`` overrides the checkpoint
+    policy (node-failure scenarios need ``FtiConfig(level=2)`` or
+    higher to stay recoverable).
     """
+    if faults is None:
+        faults = FaultScenario.single()
     configs = []
     for app in apps:
         for design in designs:
             configs.append(ExperimentConfig(
                 app=app, design=design, nprocs=nprocs,
-                input_size=input_size, inject_fault=True, seed=seed,
-                nnodes=nnodes))
+                input_size=input_size, seed=seed, nnodes=nnodes,
+                faults=faults, fti=fti if fti is not None else FtiConfig()))
     labels = [c.label() for c in configs]
     if len(set(labels)) != len(labels):
         raise ConfigurationError("campaign matrix has duplicate cells")

@@ -27,19 +27,29 @@ def build_cluster(config: ExperimentConfig) -> Cluster:
 
 
 def make_fault_plan(config: ExperimentConfig, app, rep: int) -> FaultPlan:
-    """The paper's injection: one SIGTERM at a random (rank, iteration)."""
-    if not config.inject_fault:
-        return FaultPlan.none()
-    return FaultPlan.single_random(
+    """Draw the repetition's fault plan from the config's scenario.
+
+    The per-repetition seed derivation (``seed * 1000003 + rep * 101 +
+    17``) predates scenarios and is shared by every kind, so the legacy
+    single-kill scenario reproduces the paper-era draws bit-for-bit.
+    """
+    return config.faults.make_plan(
         nprocs=config.nprocs, niters=app.niters,
-        seed=(config.seed * 1000003 + rep * 101 + 17))
+        seed=(config.seed * 1000003 + rep * 101 + 17),
+        nnodes=config.nnodes)
 
 
 def run_experiment(config: ExperimentConfig) -> RunResult:
-    """Run one repetition of one configuration."""
+    """Run one repetition of one configuration.
+
+    A single run is repetition 0 by definition, so this is bit-identical
+    to ``run_experiment_averaged(config, repetitions=1).runs[0]``; the
+    config's ``seed`` enters only through the fault-seed derivation, not
+    as a repetition index.
+    """
     from .engine import RunUnit, execute_unit
 
-    return execute_unit(RunUnit(config, rep=config.seed))
+    return execute_unit(RunUnit(config, rep=0))
 
 
 @dataclass

@@ -1,5 +1,8 @@
-"""Fault injection: deterministic SIGTERM-style process kills."""
+"""Fault injection: deterministic SIGTERM-style process kills and the
+scenario specs that generate multi-event plans."""
 
 from .plans import FaultEvent, FaultPlan
+from .scenarios import SCENARIO_KINDS, FaultScenario, parse_scenario_spec
 
-__all__ = ["FaultEvent", "FaultPlan"]
+__all__ = ["FaultEvent", "FaultPlan", "FaultScenario", "SCENARIO_KINDS",
+           "parse_scenario_spec"]

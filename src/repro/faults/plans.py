@@ -1,9 +1,13 @@
-"""Fault plans: which rank dies at which iteration.
+"""Fault plans: which rank (or node) dies at which iteration.
 
 The paper (§IV-D, Fig. 4) raises SIGTERM on a randomly selected MPI
 process in a randomly selected iteration of the main computation loop.
-A :class:`FaultPlan` is the deterministic, seedable version of that choice
-so experiment repetitions are reproducible.
+A :class:`FaultPlan` is the deterministic, seedable version of that
+choice so experiment repetitions are reproducible — generalised to an
+arbitrary schedule of process and whole-node kill events. Plans are
+drawn from :class:`repro.faults.scenarios.FaultScenario` specs (the
+legacy single kill, k-independent kills, correlated node bursts,
+Poisson/MTBF arrival processes).
 """
 
 from __future__ import annotations
@@ -41,8 +45,10 @@ class FaultPlan:
     """A set of scheduled process kills, consulted at every ITER_MARK."""
 
     events: tuple = ()
-    #: events that already fired (kills are one-shot)
-    _fired: set = field(default_factory=set, repr=False)
+    #: events that already fired (kills are one-shot); pure execution
+    #: state, excluded from equality so a partially consumed plan still
+    #: equals a fresh plan scheduling the same events
+    _fired: set = field(default_factory=set, repr=False, compare=False)
 
     def event_for(self, rank: int, iteration: int):
         """The armed event for this (rank, iteration), if any (one-shot)."""

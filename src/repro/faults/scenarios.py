@@ -1,0 +1,345 @@
+"""Fault scenarios: serializable specs that generate multi-event plans.
+
+The paper (§IV-D) injects exactly one SIGTERM per run; real HPC failure
+traces are multi-fault and temporally clustered, which is the regime the
+heartbeat-ring detector we ship (Bosilca et al., IJHPCA 2018 — see
+:mod:`repro.simmpi.failures`) was built for. A :class:`FaultScenario`
+is the experiment-level description of *what class of failures* a run
+faces; :meth:`FaultScenario.make_plan` turns it into a concrete,
+deterministic :class:`~repro.faults.plans.FaultPlan` for one
+``(config, repetition)`` run.
+
+Supported kinds:
+
+``none``
+    No injection (the clean baseline).
+``single``
+    The paper's injection: one SIGTERM at a uniformly random
+    ``(rank, iteration)``. Draws are bit-identical to the historical
+    :meth:`FaultPlan.single_random` path, so every legacy
+    ``inject_fault=True`` result is reproduced exactly.
+``independent``
+    ``count`` independent kills at distinct uniformly random
+    ``(rank, iteration)`` coordinates; the first ``node_count`` of them
+    fail the victim's whole node (surviving a node loss additionally
+    requires FTI level >= 2, because the node's volatile storage — and
+    thus any L1 checkpoints — is wiped).
+``correlated``
+    A spatially and temporally clustered burst of ``count`` whole-node
+    failures: distinct victim nodes whose failure iterations all land
+    within ``window`` iterations of a random anchor (the classic
+    cascading-hardware-fault trace shape).
+``poisson``
+    A Poisson arrival process mapped onto main-loop iterations: kill
+    arrivals with exponential inter-arrival times of mean
+    ``mtbf_iters`` iterations, each hitting a uniformly random rank,
+    until the run's iteration budget is exhausted. A draw may legally
+    produce zero events (the job outlives its MTBF).
+
+Scenarios are frozen, hashable and JSON-serializable (``to_dict`` /
+``from_dict``), so they participate in canonical configs, run keys and
+campaign result stores like every other config field.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, fields
+
+from .plans import FaultEvent, FaultPlan
+from ..errors import ConfigurationError
+
+#: the recognised scenario kinds, in documentation order
+SCENARIO_KINDS = ("none", "single", "independent", "correlated", "poisson")
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A serializable description of one run's failure regime."""
+
+    kind: str = "none"
+    #: number of kills (``independent``) / failed nodes (``correlated``)
+    count: int = 1
+    #: how many of an ``independent`` scenario's kills are node failures
+    node_count: int = 0
+    #: ``poisson``: mean iterations between kill arrivals
+    mtbf_iters: float = 0.0
+    #: ``correlated``: burst width in iterations (0 = ``niters // 8``)
+    window: int = 0
+    #: earliest iteration any event may target (the job always survives
+    #: at least ``min_iteration`` iterations, matching the paper's loop)
+    min_iteration: int = 1
+
+    def __post_init__(self):
+        if self.kind not in SCENARIO_KINDS:
+            raise ConfigurationError(
+                "unknown scenario kind %r (have %s)"
+                % (self.kind, SCENARIO_KINDS))
+        if self.count < 1:
+            raise ConfigurationError("scenario count must be >= 1")
+        if not 0 <= self.node_count <= self.count:
+            raise ConfigurationError(
+                "node_count must be between 0 and count")
+        if self.min_iteration < 0:
+            raise ConfigurationError("min_iteration must be >= 0")
+        if self.window < 0:
+            raise ConfigurationError("window must be >= 0")
+        if self.kind == "single" and (self.count != 1
+                                      or self.node_count != 0):
+            raise ConfigurationError(
+                "the 'single' scenario is exactly the paper's one process "
+                "kill; use 'independent' or 'correlated' for more")
+        if self.kind == "poisson":
+            # the draw loop makes O(niters / mtbf) arrivals, so the MTBF
+            # must be finite and not degenerate-small (0.01 iterations
+            # already means ~100 kill arrivals per loop iteration)
+            if not math.isfinite(self.mtbf_iters) \
+                    or self.mtbf_iters < 0.01:
+                raise ConfigurationError(
+                    "poisson scenario needs a finite mtbf_iters >= 0.01")
+        elif self.mtbf_iters:
+            raise ConfigurationError(
+                "mtbf_iters only applies to the 'poisson' kind")
+        # a field the kind ignores must stay at its default: silently
+        # accepting it would mint distinct run keys for identical runs
+        if self.kind in ("none", "poisson") and self.count != 1:
+            raise ConfigurationError(
+                "count only applies to 'independent' and 'correlated'")
+        if self.kind != "independent" and self.node_count:
+            raise ConfigurationError(
+                "node_count only applies to the 'independent' kind "
+                "('correlated' events are always whole-node)")
+        if self.kind != "correlated" and self.window:
+            raise ConfigurationError(
+                "window only applies to the 'correlated' kind")
+        if self.kind == "none" and self.min_iteration != 1:
+            raise ConfigurationError(
+                "min_iteration is meaningless without injection")
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def injects(self) -> bool:
+        """Whether this scenario injects any failures at all."""
+        return self.kind != "none"
+
+    def label(self) -> str:
+        """Compact human label used in config labels and reports."""
+        if self.kind == "none":
+            return "none"
+        if self.kind == "single":
+            return "single"
+        if self.kind == "independent":
+            suffix = "+n%d" % self.node_count if self.node_count else ""
+            return "kx%d%s" % (self.count, suffix)
+        if self.kind == "correlated":
+            return "nodes%d" % self.count
+        return "poisson%g" % self.mtbf_iters
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data) -> "FaultScenario":
+        if isinstance(data, cls):
+            return data
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                "scenario must be a dict or FaultScenario, got %r"
+                % (data,))
+        unknown = set(data) - {f.name for f in fields(cls)}
+        if unknown:
+            raise ConfigurationError(
+                "scenario dict has unknown fields %s" % sorted(unknown))
+        return cls(**data)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultScenario":
+        return cls(kind="none")
+
+    @classmethod
+    def single(cls, min_iteration: int = 1) -> "FaultScenario":
+        return cls(kind="single", min_iteration=min_iteration)
+
+    @classmethod
+    def independent(cls, count: int, node_count: int = 0,
+                    min_iteration: int = 1) -> "FaultScenario":
+        return cls(kind="independent", count=count, node_count=node_count,
+                   min_iteration=min_iteration)
+
+    @classmethod
+    def correlated_nodes(cls, count: int, window: int = 0,
+                         min_iteration: int = 1) -> "FaultScenario":
+        return cls(kind="correlated", count=count, window=window,
+                   min_iteration=min_iteration)
+
+    @classmethod
+    def poisson(cls, mtbf_iters: float,
+                min_iteration: int = 1) -> "FaultScenario":
+        return cls(kind="poisson", mtbf_iters=mtbf_iters,
+                   min_iteration=min_iteration)
+
+    # -- plan generation ---------------------------------------------------
+    def make_plan(self, nprocs: int, niters: int, seed: int,
+                  nnodes: int = 1) -> FaultPlan:
+        """Draw one concrete :class:`FaultPlan` for a run.
+
+        ``seed`` is the fully derived per-repetition seed (the harness
+        owns the ``config.seed``/``rep`` mixing); the same seed always
+        produces the same plan. ``nnodes`` is needed to resolve node
+        targets under the cluster's block placement.
+        """
+        if self.kind == "none":
+            return FaultPlan.none()
+        if nprocs <= 0 or niters <= self.min_iteration:
+            raise ConfigurationError(
+                "need nprocs > 0 and niters > min_iteration")
+        if self.kind == "single":
+            # delegate so the draw stays bit-identical to the legacy path
+            return FaultPlan.single_random(
+                nprocs, niters, seed, min_iteration=self.min_iteration)
+        rng = random.Random(seed)
+        if self.kind == "independent":
+            events = self._draw_independent(rng, nprocs, niters)
+        elif self.kind == "correlated":
+            events = self._draw_correlated(rng, nprocs, niters, nnodes)
+        else:
+            events = self._draw_poisson(rng, nprocs, niters)
+        return FaultPlan(events=tuple(
+            sorted(events, key=lambda e: (e.iteration, e.rank))))
+
+    @staticmethod
+    def _placement(nprocs: int, nnodes: int) -> tuple:
+        # the same arithmetic Cluster.place_job uses, so node draws
+        # target the nodes the runtime actually kills
+        from ..cluster.machine import block_placement
+
+        return block_placement(nprocs, max(1, nnodes))
+
+    # note: independent node-kind events pick a uniformly random victim
+    # rank; only the correlated kind consults placement (to draw
+    # *distinct* nodes), which is why it alone takes nnodes
+    def _draw_independent(self, rng, nprocs, niters) -> list:
+        events = []
+        taken = set()
+        for i in range(self.count):
+            for _ in range(64 * nprocs):
+                rank = rng.randrange(nprocs)
+                iteration = rng.randrange(self.min_iteration, niters)
+                if (rank, iteration) not in taken:
+                    break
+            else:
+                raise ConfigurationError(
+                    "cannot draw %d distinct (rank, iteration) pairs "
+                    "from a %dx%d space"
+                    % (self.count, nprocs, niters - self.min_iteration))
+            taken.add((rank, iteration))
+            kind = "node" if i < self.node_count else "process"
+            events.append(FaultEvent(rank, iteration, kind=kind))
+        return events
+
+    def _draw_correlated(self, rng, nprocs, niters, nnodes) -> list:
+        per_node, used_nodes = self._placement(nprocs, nnodes)
+        if self.count > used_nodes:
+            raise ConfigurationError(
+                "correlated scenario wants %d distinct nodes but the job "
+                "only occupies %d" % (self.count, used_nodes))
+        window = self.window or max(1, niters // 8)
+        anchor = rng.randrange(self.min_iteration, niters)
+        victims = rng.sample(range(used_nodes), self.count)
+        events = []
+        for node in victims:
+            iteration = min(niters - 1, anchor + rng.randrange(window))
+            # the node's first rank; the runtime expands a node-kind
+            # event to every co-located rank and wipes the node storage
+            events.append(FaultEvent(node * per_node, iteration,
+                                     kind="node"))
+        return events
+
+    def _draw_poisson(self, rng, nprocs, niters) -> list:
+        events = []
+        taken = set()
+        t = float(self.min_iteration)
+        while True:
+            t += rng.expovariate(1.0 / self.mtbf_iters)
+            iteration = int(math.floor(t))
+            if iteration >= niters:
+                break
+            rank = rng.randrange(nprocs)
+            if (rank, iteration) in taken:
+                continue  # arrivals collapse onto one kill per coordinate
+            taken.add((rank, iteration))
+            events.append(FaultEvent(rank, iteration))
+        return events
+
+
+def parse_scenario_spec(text: str) -> FaultScenario:
+    """Parse a CLI scenario spec into a :class:`FaultScenario`.
+
+    Grammar: ``kind[:arg][:key=value ...]`` where the optional positional
+    ``arg`` is the kind's salient parameter::
+
+        none | single
+        independent:3            three independent process kills
+        independent:3:node=1     ... one of them a whole-node failure
+        correlated:2             burst of two node failures
+        correlated:2:window=4    ... within four iterations of each other
+        poisson:12               kill arrivals with MTBF of 12 iterations
+
+    ``min_iteration=N`` is accepted by every kind.
+    """
+    parts = [p.strip() for p in str(text).split(":") if p.strip()]
+    if not parts:
+        raise ConfigurationError("empty fault scenario spec")
+    kind = parts[0]
+    if kind not in SCENARIO_KINDS:
+        raise ConfigurationError(
+            "unknown scenario kind %r (have %s)" % (kind, SCENARIO_KINDS))
+    kwargs = {"kind": kind}
+    positional = {"independent": "count", "correlated": "count",
+                  "poisson": "mtbf_iters"}
+    rest = parts[1:]
+    if rest and "=" not in rest[0]:
+        name = positional.get(kind)
+        if name is None:
+            raise ConfigurationError(
+                "scenario kind %r takes no positional argument" % kind)
+        kwargs[name] = rest[0]
+        rest = rest[1:]
+    aliases = {"node": "node_count", "nodes": "node_count",
+               "mtbf": "mtbf_iters", "min_iter": "min_iteration"}
+    for item in rest:
+        if "=" not in item:
+            raise ConfigurationError(
+                "scenario spec options must look like key=value "
+                "(got %r)" % item)
+        key, value = item.split("=", 1)
+        key = aliases.get(key, key)
+        valid = {f.name for f in fields(FaultScenario)} - {"kind"}
+        if key not in valid:
+            raise ConfigurationError(
+                "unknown scenario option %r (have %s)"
+                % (key, sorted(valid)))
+        if key in kwargs:
+            raise ConfigurationError(
+                "scenario option %r given twice (positional and "
+                "key=value)" % key)
+        kwargs[key] = value
+    for key in ("count", "node_count", "window", "min_iteration"):
+        if key in kwargs:
+            try:
+                kwargs[key] = int(kwargs[key])
+            except ValueError:
+                raise ConfigurationError(
+                    "scenario option %s needs an integer (got %r)"
+                    % (key, kwargs[key]))
+    if "mtbf_iters" in kwargs:
+        try:
+            kwargs["mtbf_iters"] = float(kwargs["mtbf_iters"])
+        except ValueError:
+            raise ConfigurationError(
+                "mtbf_iters needs a number (got %r)"
+                % (kwargs["mtbf_iters"],))
+    return FaultScenario(**kwargs)

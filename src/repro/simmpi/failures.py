@@ -92,7 +92,8 @@ class FailureLog:
         times = [self._records[r].detected_at for r in ranks
                  if r in self._records]
         if not times:
-            raise KeyError("no failed ranks among %s" % (list(ranks),))
+            raise ConfigurationError(
+                "no failed ranks among %s" % (list(ranks),))
         return min(times)
 
     def clear(self) -> None:

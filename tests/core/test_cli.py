@@ -25,7 +25,38 @@ def test_run_command_with_fault(capsys):
     code = main(["run", "--app", "minivite", "--design", "reinit-fti",
                  "--nprocs", "8", "--fault", "--reps", "1"])
     assert code == 0
-    assert "verified: True" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "verified: True" in out
+    assert "faults: r" in out  # the injected (rank, iteration) is shown
+
+
+def test_run_command_with_scenario(capsys):
+    code = main(["run", "--app", "minivite", "--design", "ulfm-fti",
+                 "--nprocs", "8", "--faults", "independent:2:node=1",
+                 "--fti-level", "2", "--reps", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fault=kx2+n1" in out
+    assert "verified: True" in out
+    assert "(node)" in out
+
+
+def test_run_command_rejects_bad_scenario(capsys):
+    code = main(["run", "--app", "minivite", "--design", "reinit-fti",
+                 "--nprocs", "8", "--faults", "meteor:3", "--reps", "1"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_campaign_with_scenario(capsys):
+    code = main(["campaign", "--app", "minivite", "--design", "reinit-fti",
+                 "--nprocs", "8", "--nnodes", "4", "--runs", "2",
+                 "--faults", "poisson:12"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fault=poisson12" in out
+    assert "faults/run:" in out
+    assert "executed 2 run(s)" in out
 
 
 def test_figure_command_unknown_id(capsys):

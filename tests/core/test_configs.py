@@ -94,3 +94,92 @@ def test_input_matrix_covers_figure8():
     assert len(cells) == 6 * 3 * 3
     assert all(c.nprocs == 64 for c in cells)
     assert all(c.inject_fault for c in cells)
+
+
+# -- fault scenarios on configs ---------------------------------------------
+def test_inject_fault_normalises_to_single_scenario():
+    from repro.faults import FaultScenario
+
+    cfg = ExperimentConfig(app="hpccg", design="reinit-fti",
+                           inject_fault=True)
+    assert cfg.faults == FaultScenario.single()
+    clean = ExperimentConfig(app="hpccg", design="reinit-fti")
+    assert clean.faults == FaultScenario.none()
+    assert not clean.inject_fault
+
+
+def test_scenario_sets_inject_fault_flag():
+    cfg = ExperimentConfig(app="hpccg", design="reinit-fti",
+                           faults="poisson:10")
+    assert cfg.inject_fault
+    assert cfg.faults.kind == "poisson"
+
+
+def test_scenario_accepts_dict_and_spec_string():
+    from repro.faults import FaultScenario
+
+    by_spec = ExperimentConfig(app="hpccg", design="ulfm-fti",
+                               faults="independent:2:node=1")
+    by_dict = ExperimentConfig(
+        app="hpccg", design="ulfm-fti",
+        faults=FaultScenario.independent(2, node_count=1).to_dict())
+    assert by_spec == by_dict
+
+
+def test_inject_fault_conflicts_with_none_scenario():
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(app="hpccg", design="reinit-fti",
+                         inject_fault=True, faults="none")
+
+
+def test_explicit_inject_fault_false_conflicts_with_scenario():
+    """An explicit inject_fault=False must not be silently overridden
+    by an injecting scenario — e.g. a 'clean baseline' built with
+    dataclasses.replace would otherwise still inject."""
+    import dataclasses
+
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(app="hpccg", design="reinit-fti",
+                         inject_fault=False, faults="poisson:10")
+    cfg = ExperimentConfig(app="hpccg", design="reinit-fti",
+                           inject_fault=True)
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(cfg, inject_fault=False)
+    # the supported way to strip injection rescopes the scenario too
+    assert not cfg.with_faults("none").inject_fault
+
+
+def test_scenario_labels_distinguish_cells():
+    base = dict(app="hpccg", design="reinit-fti")
+    legacy = ExperimentConfig(inject_fault=True, **base)
+    multi = ExperimentConfig(faults="independent:3", **base)
+    assert legacy.label().endswith("/fault")  # the historical label
+    assert "kx3" in multi.label()
+    assert legacy.label() != multi.label()
+
+
+def test_config_dict_round_trip_with_scenario():
+    from repro.core.configs import config_from_dict, config_to_dict
+
+    cfg = ExperimentConfig(app="hpccg", design="ulfm-fti",
+                           faults="correlated:2:window=5")
+    assert config_from_dict(config_to_dict(cfg)) == cfg
+
+
+def test_run_keys_differ_per_scenario():
+    from repro.core.configs import run_key
+
+    base = dict(app="hpccg", design="reinit-fti")
+    keys = {run_key(ExperimentConfig(faults=spec, **base), 0)
+            for spec in ("none", "single", "independent:2", "poisson:9")}
+    assert len(keys) == 4
+
+
+def test_with_faults_returns_rescoped_copy():
+    cfg = ExperimentConfig(app="hpccg", design="reinit-fti",
+                           inject_fault=True)
+    poisson = cfg.with_faults("poisson:7")
+    assert poisson.faults.kind == "poisson"
+    assert cfg.faults.kind == "single"  # frozen original
+    clean = cfg.with_faults("none")
+    assert not clean.inject_fault

@@ -79,3 +79,27 @@ def test_experiment_is_reproducible():
     b = run_experiment(small_config(inject_fault=True, seed=7))
     assert a.breakdown.total_seconds == b.breakdown.total_seconds
     assert a.fault_events == b.fault_events
+
+
+def test_single_run_is_repetition_zero():
+    """Regression: run_experiment once built RunUnit(config,
+    rep=config.seed), so a seeded single run silently used the wrong
+    repetition index. A single run is repetition 0 by definition and
+    must be bit-identical to a one-repetition averaged run."""
+    cfg = small_config(inject_fault=True, seed=9)
+    single = run_experiment(cfg)
+    averaged = run_experiment_averaged(cfg, repetitions=1)
+    assert single == averaged.runs[0]
+    # the old bug: rep=seed drew a different fault location
+    assert single.fault_events == averaged.runs[0].fault_events
+    assert single.breakdown == averaged.runs[0].breakdown
+
+
+def test_scenario_plan_derivation_per_repetition():
+    cfg = small_config(faults="independent:2", seed=3)
+    app = cfg.make_app()
+    plans = {make_fault_plan(cfg, app, rep=r).events for r in range(6)}
+    assert len(plans) > 1  # repetitions draw distinct multi-event plans
+    assert all(len(events) == 2 for events in plans)
+    assert (make_fault_plan(cfg, app, 4).events
+            == make_fault_plan(cfg, app, 4).events)

@@ -7,7 +7,12 @@ Run once against a known-good tree to (re)generate
 
 The determinism test replays the same pinned configurations and asserts
 bit-identical makespans, breakdowns and runtime stats, which is the
-safety net for any scheduler or matching-path rewrite.
+safety net for any scheduler, matching-path or fault-model rewrite.
+
+Each JSON entry stores the full canonical config dict next to its
+outcome, so the pinned matrix can cover arbitrary fault scenarios (the
+legacy ``inject_fault`` singles *and* multi-fault scenario configs)
+without the test hard-coding constructor arguments.
 """
 
 from __future__ import annotations
@@ -15,48 +20,61 @@ from __future__ import annotations
 import json
 import pathlib
 
-from repro.core.configs import ExperimentConfig
+from repro.core.breakdown import result_fingerprint
+from repro.core.configs import ExperimentConfig, config_to_dict
 from repro.core.harness import run_experiment
+from repro.fti.config import FtiConfig
 
 HERE = pathlib.Path(__file__).parent
 
-#: the pinned configuration matrix (kept cheap: 64 ranks, small input)
+#: the pinned configuration matrix (kept cheap: 64 ranks, small input,
+#: plus a few 8-rank scenario configs)
 PINNED = [
-    {"app": "hpccg", "design": "restart-fti", "inject_fault": False},
-    {"app": "hpccg", "design": "reinit-fti", "inject_fault": False},
-    {"app": "hpccg", "design": "ulfm-fti", "inject_fault": False},
-    {"app": "hpccg", "design": "restart-fti", "inject_fault": True},
-    {"app": "hpccg", "design": "reinit-fti", "inject_fault": True},
-    {"app": "hpccg", "design": "ulfm-fti", "inject_fault": True},
-    {"app": "minife", "design": "ulfm-fti", "inject_fault": True},
-    {"app": "minivite", "design": "reinit-fti", "inject_fault": True},
+    # the paper-era single-kill matrix: these draws must never change
+    dict(app="hpccg", design="restart-fti", nprocs=64, seed=7,
+         inject_fault=False),
+    dict(app="hpccg", design="reinit-fti", nprocs=64, seed=7,
+         inject_fault=False),
+    dict(app="hpccg", design="ulfm-fti", nprocs=64, seed=7,
+         inject_fault=False),
+    dict(app="hpccg", design="restart-fti", nprocs=64, seed=7,
+         inject_fault=True),
+    dict(app="hpccg", design="reinit-fti", nprocs=64, seed=7,
+         inject_fault=True),
+    dict(app="hpccg", design="ulfm-fti", nprocs=64, seed=7,
+         inject_fault=True),
+    dict(app="minife", design="ulfm-fti", nprocs=64, seed=7,
+         inject_fault=True),
+    dict(app="minivite", design="reinit-fti", nprocs=64, seed=7,
+         inject_fault=True),
+    # multi-fault scenarios (the ISSUE 3 acceptance shapes)
+    dict(app="hpccg", design="ulfm-fti", nprocs=64, seed=7,
+         faults="independent:3:node=1", fti=FtiConfig(level=2)),
+    # MTBF 5 over minivite's 20 iterations: seed 7 draws four arrivals
+    # (including a repeat kill of one rank), so the pin actually
+    # exercises the multi-event poisson recovery path
+    dict(app="minivite", design="reinit-fti", nprocs=8, nnodes=4, seed=7,
+         faults="poisson:5"),
+    dict(app="minivite", design="restart-fti", nprocs=8, nnodes=4, seed=7,
+         faults="correlated:2:window=6", fti=FtiConfig(level=3)),
 ]
 
 
-def config_key(spec: dict) -> str:
-    return "%s/%s/%s" % (spec["app"], spec["design"],
-                         "fault" if spec["inject_fault"] else "nofault")
-
-
-def run_pinned(spec: dict) -> dict:
-    result = run_experiment(ExperimentConfig(nprocs=64, seed=7, **spec))
-    b = result.breakdown
-    return {
-        # repr() keeps full float precision; the test compares exactly
-        "total_seconds": repr(b.total_seconds),
-        "ckpt_write_seconds": repr(b.ckpt_write_seconds),
-        "recovery_seconds": repr(b.recovery_seconds),
-        "ckpt_read_seconds": repr(b.ckpt_read_seconds),
-        "verified": result.verified,
-        "ckpt_count": result.ckpt_count,
-        "recovery_episodes": result.recovery_episodes,
-        "relaunches": result.relaunches,
-        "runtime_stats": result.details["runtime_stats"],
-    }
+def outcome_of(config: ExperimentConfig) -> dict:
+    return result_fingerprint(run_experiment(config))
 
 
 def main() -> None:
-    reference = {config_key(spec): run_pinned(spec) for spec in PINNED}
+    reference = {}
+    for spec in PINNED:
+        config = ExperimentConfig(**spec)
+        key = config.label()
+        if key in reference:
+            raise SystemExit("duplicate pinned label %r" % key)
+        reference[key] = {
+            "config": config_to_dict(config),
+            "outcome": outcome_of(config),
+        }
     out = HERE / "determinism_seed.json"
     out.write_text(json.dumps(reference, indent=2, sort_keys=True) + "\n")
     print("wrote %s (%d configs)" % (out, len(reference)))

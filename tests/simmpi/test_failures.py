@@ -61,7 +61,14 @@ def test_earliest_detection(log):
     log.record(1, 10.0)
     log.record(2, 5.0)
     assert log.earliest_detection([1, 2]) == log.record_for(2).detected_at
-    with pytest.raises(KeyError):
+
+
+def test_earliest_detection_without_failures_is_config_error(log):
+    # the library-wide error taxonomy, not a bare KeyError
+    with pytest.raises(ConfigurationError):
+        log.earliest_detection([0, 3])
+    log.record(1, 10.0)
+    with pytest.raises(ConfigurationError):
         log.earliest_detection([0, 3])
 
 

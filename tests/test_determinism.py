@@ -7,8 +7,12 @@ Two layers:
 2. **Pinned seed values**: a recorded reference
    (``tests/data/determinism_seed.json``, captured with
    ``tests/data/capture_seed.py``) pins the exact simulated outcomes a
-   known-good tree produced. Any change to scheduling order, message
-   matching or cost arithmetic that shifts a single float fails here.
+   known-good tree produced — for the paper-era single-kill configs
+   *and* for multi-fault scenario configs. Any change to scheduling
+   order, message matching, cost arithmetic or the fault draws that
+   shifts a single float fails here; in particular, the legacy
+   ``inject_fault=True`` draws must stay bit-identical across fault-model
+   refactors.
 """
 
 from __future__ import annotations
@@ -18,26 +22,17 @@ import pathlib
 
 import pytest
 
-from repro.core.configs import ExperimentConfig
+from repro.core.breakdown import result_fingerprint
+from repro.core.configs import ExperimentConfig, config_from_dict
 from repro.core.harness import run_experiment
 
 SEED_FILE = pathlib.Path(__file__).parent / "data" / "determinism_seed.json"
 
 
 def _outcome(config: ExperimentConfig) -> dict:
-    result = run_experiment(config)
-    b = result.breakdown
-    return {
-        "total_seconds": repr(b.total_seconds),
-        "ckpt_write_seconds": repr(b.ckpt_write_seconds),
-        "recovery_seconds": repr(b.recovery_seconds),
-        "ckpt_read_seconds": repr(b.ckpt_read_seconds),
-        "verified": result.verified,
-        "ckpt_count": result.ckpt_count,
-        "recovery_episodes": result.recovery_episodes,
-        "relaunches": result.relaunches,
-        "runtime_stats": result.details["runtime_stats"],
-    }
+    # the same fingerprint builder the capture script records with, so
+    # the two sides cannot drift apart field-by-field
+    return result_fingerprint(run_experiment(config))
 
 
 @pytest.mark.parametrize("inject_fault", [False, True],
@@ -48,15 +43,20 @@ def test_identical_config_runs_twice_identically(inject_fault):
     assert _outcome(config) == _outcome(config)
 
 
-def _pinned_configs():
+def test_scenario_config_runs_twice_identically():
+    config = ExperimentConfig(app="minivite", design="ulfm-fti", nprocs=8,
+                              nnodes=4, seed=3, faults="independent:2")
+    assert _outcome(config) == _outcome(config)
+
+
+def _pinned_keys():
     reference = json.loads(SEED_FILE.read_text())
     return sorted(reference)
 
 
-@pytest.mark.parametrize("key", _pinned_configs())
+@pytest.mark.parametrize("key", _pinned_keys())
 def test_outcome_matches_recorded_seed(key):
-    reference = json.loads(SEED_FILE.read_text())[key]
-    app, design, fault = key.split("/")
-    config = ExperimentConfig(app=app, design=design, nprocs=64, seed=7,
-                              inject_fault=(fault == "fault"))
-    assert _outcome(config) == reference
+    entry = json.loads(SEED_FILE.read_text())[key]
+    config = config_from_dict(entry["config"])
+    assert config.label() == key
+    assert _outcome(config) == entry["outcome"]

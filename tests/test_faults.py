@@ -40,6 +40,45 @@ def test_reset_rearms():
     assert plan.should_kill(2, 5)
 
 
+def test_multi_event_one_shot_firing_is_per_event():
+    events = (FaultEvent(2, 5), FaultEvent(4, 5), FaultEvent(2, 9))
+    plan = FaultPlan(events=events)
+    assert plan.should_kill(2, 5)
+    # firing one event must not disarm the others
+    assert plan.should_kill(4, 5)
+    assert plan.should_kill(2, 9)
+    # each fired exactly once
+    assert not plan.should_kill(2, 5)
+    assert not plan.should_kill(4, 5)
+    assert not plan.should_kill(2, 9)
+
+
+def test_multi_event_reset_replays_every_event():
+    events = (FaultEvent(1, 3), FaultEvent(6, 11))
+    plan = FaultPlan(events=events)
+    assert plan.should_kill(1, 3) and plan.should_kill(6, 11)
+    plan.reset()
+    for event in events:
+        assert plan.should_kill(event.rank, event.iteration)
+
+
+def test_fired_state_excluded_from_equality():
+    """A partially consumed plan equals a fresh plan with the same
+    events; reset() restores full equality of behaviour too."""
+    events = (FaultEvent(2, 5), FaultEvent(3, 8))
+    consumed = FaultPlan(events=events)
+    fresh = FaultPlan(events=events)
+    assert consumed == fresh
+    consumed.should_kill(2, 5)
+    assert consumed == fresh          # _fired is execution state
+    assert consumed.should_kill(3, 8)
+    assert consumed == fresh
+    consumed.reset()
+    assert consumed == fresh
+    assert consumed.should_kill(2, 5)  # behaves like fresh again
+    assert FaultPlan(events=events) != FaultPlan(events=events[:1])
+
+
 def test_single_random_is_deterministic_per_seed():
     a = FaultPlan.single_random(64, 40, seed=9)
     b = FaultPlan.single_random(64, 40, seed=9)

@@ -1,0 +1,219 @@
+"""Fault scenarios: spec validation, deterministic draws, serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, FaultScenario, parse_scenario_spec
+
+
+# -- validation -------------------------------------------------------------
+def test_kind_validation():
+    with pytest.raises(ConfigurationError):
+        FaultScenario(kind="meteor")
+
+
+def test_single_rejects_multi_fault_parameters():
+    with pytest.raises(ConfigurationError):
+        FaultScenario(kind="single", count=2)
+    with pytest.raises(ConfigurationError):
+        FaultScenario(kind="single", node_count=1)
+
+
+def test_poisson_needs_mtbf():
+    with pytest.raises(ConfigurationError):
+        FaultScenario(kind="poisson")
+    with pytest.raises(ConfigurationError):
+        FaultScenario(kind="independent", mtbf_iters=3.0)
+
+
+def test_poisson_rejects_degenerate_mtbf():
+    """nan/inf would crash the draw loop; a denormal-tiny MTBF would
+    hang it (O(niters/mtbf) arrivals). All must fail fast as config
+    errors — CLI-reachable via --faults poisson:nan etc."""
+    for bad in (float("nan"), float("inf"), 1e-9, 0.0, -1.0):
+        with pytest.raises(ConfigurationError):
+            FaultScenario(kind="poisson", mtbf_iters=bad)
+    for bad_spec in ("poisson:nan", "poisson:inf", "poisson:1e999",
+                     "poisson:1e-9"):
+        with pytest.raises(ConfigurationError):
+            parse_scenario_spec(bad_spec)
+
+
+def test_node_count_bounded_by_count():
+    with pytest.raises(ConfigurationError):
+        FaultScenario(kind="independent", count=2, node_count=3)
+
+
+def test_ignored_fields_rejected_for_run_key_hygiene():
+    """A field the kind ignores must not mint a distinct config."""
+    with pytest.raises(ConfigurationError):
+        FaultScenario(kind="poisson", mtbf_iters=5.0, count=3)
+    with pytest.raises(ConfigurationError):
+        FaultScenario(kind="correlated", count=2, node_count=1)
+    with pytest.raises(ConfigurationError):
+        FaultScenario(kind="poisson", mtbf_iters=5.0, node_count=1)
+    with pytest.raises(ConfigurationError):
+        FaultScenario(kind="independent", count=2, window=3)
+    with pytest.raises(ConfigurationError):
+        FaultScenario(kind="none", count=2)
+    with pytest.raises(ConfigurationError):
+        FaultScenario(kind="none", min_iteration=5)
+
+
+def test_injects_property():
+    assert not FaultScenario.none().injects
+    assert FaultScenario.single().injects
+    assert FaultScenario.independent(3).injects
+    assert FaultScenario.poisson(10.0).injects
+
+
+# -- legacy identity --------------------------------------------------------
+def test_single_scenario_reproduces_legacy_draw():
+    """The scenario path must be bit-identical to the paper-era
+    FaultPlan.single_random for every seed."""
+    for seed in range(25):
+        legacy = FaultPlan.single_random(64, 40, seed=seed)
+        scenario = FaultScenario.single().make_plan(64, 40, seed=seed)
+        assert scenario.events == legacy.events
+
+
+# -- deterministic draws ----------------------------------------------------
+def test_plans_deterministic_per_seed():
+    for scenario in (FaultScenario.independent(3, node_count=1),
+                     FaultScenario.correlated_nodes(2, window=5),
+                     FaultScenario.poisson(8.0)):
+        a = scenario.make_plan(16, 30, seed=11, nnodes=4)
+        b = scenario.make_plan(16, 30, seed=11, nnodes=4)
+        assert a.events == b.events
+
+
+def test_independent_draws_distinct_coordinates():
+    plan = FaultScenario.independent(6).make_plan(8, 12, seed=3, nnodes=4)
+    coords = [(e.rank, e.iteration) for e in plan.events]
+    assert len(coords) == 6
+    assert len(set(coords)) == 6
+
+
+def test_independent_node_count_marks_node_events():
+    plan = FaultScenario.independent(4, node_count=2).make_plan(
+        16, 30, seed=5, nnodes=4)
+    kinds = sorted(e.kind for e in plan.events)
+    assert kinds == ["node", "node", "process", "process"]
+
+
+def test_correlated_hits_distinct_nodes_within_window():
+    scenario = FaultScenario.correlated_nodes(3, window=4)
+    plan = scenario.make_plan(16, 40, seed=9, nnodes=4)
+    assert len(plan.events) == 3
+    assert all(e.kind == "node" for e in plan.events)
+    per_node = 4  # 16 ranks over 4 nodes, block placement
+    nodes = {e.rank // per_node for e in plan.events}
+    assert len(nodes) == 3
+    iterations = [e.iteration for e in plan.events]
+    assert max(iterations) - min(iterations) < 4
+
+
+def test_correlated_rejects_more_nodes_than_occupied():
+    with pytest.raises(ConfigurationError):
+        FaultScenario.correlated_nodes(5).make_plan(16, 30, seed=1,
+                                                    nnodes=4)
+
+
+def test_poisson_respects_iteration_budget_and_mtbf():
+    scenario = FaultScenario.poisson(5.0)
+    counts = []
+    for seed in range(40):
+        plan = scenario.make_plan(32, 50, seed=seed)
+        counts.append(plan.nfaults)
+        for event in plan.events:
+            assert 1 <= event.iteration < 50
+            assert 0 <= event.rank < 32
+    mean = sum(counts) / len(counts)
+    # ~ (50 - 1) / 5 arrivals expected; generous envelope
+    assert 4.0 < mean < 16.0
+    assert any(c != counts[0] for c in counts)  # intensity varies
+
+
+def test_events_sorted_by_iteration():
+    plan = FaultScenario.independent(5).make_plan(16, 40, seed=2, nnodes=4)
+    iterations = [e.iteration for e in plan.events]
+    assert iterations == sorted(iterations)
+
+
+@given(st.integers(min_value=2, max_value=128),
+       st.integers(min_value=4, max_value=60),
+       st.integers())
+def test_independent_always_in_bounds(nprocs, niters, seed):
+    count = min(3, nprocs)
+    plan = FaultScenario.independent(count).make_plan(
+        nprocs, niters, seed=seed, nnodes=4)
+    assert plan.nfaults == count
+    for event in plan.events:
+        assert 0 <= event.rank < nprocs
+        assert 1 <= event.iteration < niters
+
+
+# -- serialization ----------------------------------------------------------
+def test_dict_round_trip():
+    for scenario in (FaultScenario.none(), FaultScenario.single(),
+                     FaultScenario.independent(3, node_count=1),
+                     FaultScenario.correlated_nodes(2, window=7),
+                     FaultScenario.poisson(12.5)):
+        assert FaultScenario.from_dict(scenario.to_dict()) == scenario
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ConfigurationError):
+        FaultScenario.from_dict({"kind": "single", "color": "red"})
+
+
+# -- CLI spec parsing -------------------------------------------------------
+def test_parse_specs():
+    assert parse_scenario_spec("none") == FaultScenario.none()
+    assert parse_scenario_spec("single") == FaultScenario.single()
+    assert (parse_scenario_spec("independent:3")
+            == FaultScenario.independent(3))
+    assert (parse_scenario_spec("independent:3:node=1")
+            == FaultScenario.independent(3, node_count=1))
+    assert (parse_scenario_spec("correlated:2:window=4")
+            == FaultScenario.correlated_nodes(2, window=4))
+    assert parse_scenario_spec("poisson:12") == FaultScenario.poisson(12.0)
+    assert (parse_scenario_spec("poisson:mtbf=8.5:min_iteration=2")
+            == FaultScenario.poisson(8.5, min_iteration=2))
+
+
+def test_parse_rejects_garbage():
+    for bad in ("", "meteor", "single:3", "independent:x",
+                "poisson", "independent:3:warp=9", "correlated:2:window"):
+        with pytest.raises(ConfigurationError):
+            parse_scenario_spec(bad)
+
+
+def test_parse_rejects_duplicate_positional_and_keyword():
+    for bad in ("poisson:12:mtbf=5", "independent:2:count=3",
+                "correlated:2:count=4"):
+        with pytest.raises(ConfigurationError):
+            parse_scenario_spec(bad)
+
+
+def test_scenario_placement_matches_cluster():
+    """Node draws must agree with where Cluster actually places ranks."""
+    from repro.cluster import Cluster
+
+    for nprocs, nnodes in ((8, 4), (16, 4), (9, 4), (64, 32), (5, 8)):
+        cluster = Cluster(nnodes=nnodes)
+        placement = cluster.place_job(nprocs)
+        per_node, used = FaultScenario._placement(nprocs, nnodes)
+        assert used == len({n for n in placement.values()})
+        for rank, node in placement.items():
+            assert rank // per_node == node
+
+
+def test_labels_are_compact_and_distinct():
+    labels = {s.label() for s in (
+        FaultScenario.none(), FaultScenario.single(),
+        FaultScenario.independent(3),
+        FaultScenario.independent(3, node_count=1),
+        FaultScenario.correlated_nodes(2), FaultScenario.poisson(10.0))}
+    assert len(labels) == 6
