@@ -47,7 +47,7 @@ import numpy as np  # noqa: E402
 
 from repro.cluster.machine import Cluster  # noqa: E402
 from repro.core.configs import ExperimentConfig  # noqa: E402
-from repro.core.harness import run_experiment  # noqa: E402
+from repro.api import run_single  # noqa: E402
 from repro.fti.rs_encoding import ReedSolomonCode, pad_to_equal_length  # noqa: E402
 from repro.fti.serializer import ProtectedSet, ScalarRef  # noqa: E402
 from repro.simmpi import ops  # noqa: E402
@@ -190,12 +190,13 @@ def bench_campaign(runs: int = 6) -> float:
     """End-to-end campaign throughput (runs/s) through the engine's
     serial path: harness + design + store-free engine overhead on a
     small fault-injection matrix."""
-    from repro.core.campaign import run_campaign
+    from repro.api import Campaign
 
     config = ExperimentConfig(app="minivite", design="reinit-fti",
                               nprocs=8, nnodes=4, inject_fault=True)
     t0 = time.perf_counter()
-    result = run_campaign(config, runs=runs, jobs=1)
+    session = Campaign.from_configs([config]).reps(runs).run()
+    [result] = session.campaigns().values()
     wall = time.perf_counter() - t0
     assert result.all_verified, "campaign bench runs must verify"
     return runs / wall
@@ -206,7 +207,7 @@ def bench_faults_scenario(runs: int = 6) -> float:
     """Multi-fault scenario throughput (runs/s): the scenario-generation
     + multi-event plan consultation + repeated-recovery path, so the
     perf gate covers the fault-scenario engine end to end."""
-    from repro.core.campaign import run_campaign
+    from repro.api import Campaign
     from repro.fti.config import FtiConfig
 
     config = ExperimentConfig(app="minivite", design="ulfm-fti",
@@ -214,7 +215,8 @@ def bench_faults_scenario(runs: int = 6) -> float:
                               faults="independent:2:node=1",
                               fti=FtiConfig(level=2))
     t0 = time.perf_counter()
-    result = run_campaign(config, runs=runs, jobs=1)
+    session = Campaign.from_configs([config]).reps(runs).run()
+    [result] = session.campaigns().values()
     wall = time.perf_counter() - t0
     assert result.all_verified, "scenario bench runs must verify"
     assert result.node_fault_count() == runs, \
@@ -237,7 +239,7 @@ def bench_end_to_end() -> tuple:
     config = ExperimentConfig(app=e2e_app(), design="restart-fti",
                               nprocs=e2e_scale(), inject_fault=False)
     t0 = time.perf_counter()
-    result = run_experiment(config)
+    result = run_single(config)
     wall = time.perf_counter() - t0
     return result.breakdown.total_seconds, wall
 

@@ -15,12 +15,8 @@ Usage::
 
 import argparse
 
-from repro.core.configs import (
-    DESIGN_NAMES,
-    ExperimentConfig,
-    valid_proc_counts,
-)
-from repro.core.harness import run_experiment_averaged
+from repro import Campaign
+from repro.core.configs import DESIGN_NAMES, valid_proc_counts
 from repro.core.report import (
     format_breakdown_series,
     format_recovery_series,
@@ -35,12 +31,19 @@ def main():
                         help="fault repetitions (paper uses 5)")
     args = parser.parse_args()
 
+    session = (Campaign()
+               .apps(args.app)
+               .designs(*DESIGN_NAMES)
+               .nprocs(*valid_proc_counts(args.app))
+               .faults("single")
+               .reps(args.reps)
+               .run())
     rows, recovery = [], {}
     for nprocs in valid_proc_counts(args.app):
         for design in DESIGN_NAMES:
-            config = ExperimentConfig(app=args.app, design=design,
-                                      nprocs=nprocs, inject_fault=True)
-            result = run_experiment_averaged(config, repetitions=args.reps)
+            config = next(c for c in session.configs
+                          if c.design == design and c.nprocs == nprocs)
+            result = session.averaged(config)
             rows.append((nprocs, design, result.breakdown))
             recovery.setdefault(design, []).append(
                 result.breakdown.recovery_seconds)

@@ -20,10 +20,9 @@ Try a multi-fault scenario (see docs/FAULTS.md)::
 
 import argparse
 
-from repro.core.campaign import run_campaign
+from repro import Campaign
 from repro.core.charts import bar_chart
-from repro.core.configs import DESIGN_NAMES, ExperimentConfig
-from repro.fti.config import FtiConfig
+from repro.core.configs import DESIGN_NAMES
 
 
 def main():
@@ -40,15 +39,21 @@ def main():
                         help="FTI level (node scenarios need >= 2)")
     args = parser.parse_args()
 
+    session = (Campaign()
+               .apps(args.app)
+               .designs(*DESIGN_NAMES)
+               .nprocs(args.nprocs)
+               .faults(args.faults)
+               .fti(level=args.fti_level)
+               .reps(args.runs)
+               .jobs(args.jobs)
+               .run())
     means = []
-    for design in DESIGN_NAMES:
-        config = ExperimentConfig(app=args.app, design=design,
-                                  nprocs=args.nprocs, faults=args.faults,
-                                  fti=FtiConfig(level=args.fti_level))
-        campaign = run_campaign(config, runs=args.runs, jobs=args.jobs)
+    for config in session.configs:
+        campaign = session.campaigns()[config.label()]
         print(campaign.report())
         print("  victims: %s ...\n" % (campaign.victims()[:5],))
-        means.append((design.upper(), campaign.recovery.mean))
+        means.append((config.design.upper(), campaign.recovery.mean))
 
     print(bar_chart("Mean recovery time across %d runs (%s, %d procs)"
                     % (args.runs, args.app, args.nprocs), means))

@@ -3,32 +3,39 @@
 
 Runs HPCCG at the paper's default configuration (64 processes on 32
 nodes, small input) with a single injected process failure, under each
-of the three designs, and prints the execution-time breakdown plus the
-headline recovery ratios.
+of the three designs — built and executed through the ``repro.api``
+facade — and prints the execution-time breakdown plus the headline
+recovery ratios.
 
 Usage::
 
     python examples/quickstart.py
 """
 
-from repro import ExperimentConfig, run_experiment
+from repro import Campaign
 from repro.core.report import summarize_ratios
 
 
 def main():
     print("MATCH quickstart: HPCCG, 64 processes, one injected failure\n")
+    campaign = (Campaign()
+                .apps("hpccg")
+                .designs("restart-fti", "reinit-fti", "ulfm-fti")
+                .nprocs(64)
+                .faults("single")
+                .seed(1)
+                .reps(1))
+    session = campaign.run()
     recovery = {}
-    for design in ("restart-fti", "reinit-fti", "ulfm-fti"):
-        config = ExperimentConfig(app="hpccg", design=design, nprocs=64,
-                                  input_size="small", inject_fault=True,
-                                  seed=1)
-        result = run_experiment(config)
+    for config in session.configs:
+        result = session.run_results(config)[0]
         b = result.breakdown
-        recovery[design] = [b.recovery_seconds]
+        recovery[config.design] = [b.recovery_seconds]
         print("%-12s total %7.2fs | app %7.2fs | ckpt %5.2fs | "
               "recovery %5.2fs | verified=%s"
-              % (design.upper(), b.total_seconds, b.application_seconds,
-                 b.ckpt_write_seconds, b.recovery_seconds, result.verified))
+              % (config.design.upper(), b.total_seconds,
+                 b.application_seconds, b.ckpt_write_seconds,
+                 b.recovery_seconds, result.verified))
         fault = result.fault_events[0]
         print("             (SIGTERM on rank %d at iteration %d, "
               "%d recovery episode(s))"

@@ -12,12 +12,8 @@ Usage::
 
 import argparse
 
-from repro.core.configs import (
-    DESIGN_NAMES,
-    ExperimentConfig,
-    valid_proc_counts,
-)
-from repro.core.harness import run_experiment
+from repro import Campaign
+from repro.core.configs import DESIGN_NAMES, valid_proc_counts
 from repro.core.report import format_breakdown_series
 
 
@@ -26,12 +22,18 @@ def main():
     parser.add_argument("app", nargs="?", default="hpccg")
     args = parser.parse_args()
 
+    session = (Campaign()
+               .apps(args.app)
+               .designs(*DESIGN_NAMES)
+               .nprocs(*valid_proc_counts(args.app))
+               .run())
     rows = []
     for nprocs in valid_proc_counts(args.app):
         for design in DESIGN_NAMES:
-            config = ExperimentConfig(app=args.app, design=design,
-                                      nprocs=nprocs)
-            rows.append((nprocs, design, run_experiment(config).breakdown))
+            config = next(c for c in session.configs
+                          if c.design == design and c.nprocs == nprocs)
+            rows.append((nprocs, design,
+                         session.run_results(config)[0].breakdown))
 
     print(format_breakdown_series(
         "Scaling study (%s, small input, no failures)" % args.app, rows))

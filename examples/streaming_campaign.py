@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Streaming campaign: live progress from the Session event stream.
+
+Sweeps a small matrix (two apps x three designs) under a multi-fault
+scenario, consuming the typed ``repro.core.events`` as they happen —
+the same stream the CLI's ``campaign --progress`` renders — then
+prints the distribution summaries.
+
+Usage::
+
+    python examples/streaming_campaign.py [--jobs N]
+"""
+
+import argparse
+import sys
+
+from repro import Campaign
+from repro.api import (
+    CampaignFinished,
+    CampaignStarted,
+    UnitCompleted,
+    UnitSkipped,
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial)")
+    parser.add_argument("--runs", type=int, default=4,
+                        help="repetitions per matrix cell")
+    args = parser.parse_args(argv)
+
+    session = (Campaign()
+               .apps("minivite", "hpccg")
+               .designs("restart-fti", "reinit-fti", "ulfm-fti")
+               .nprocs(8)
+               .nnodes(4)
+               .faults("independent:2")
+               .reps(args.runs)
+               .jobs(args.jobs)
+               .session())
+
+    for event in session.stream():
+        if isinstance(event, CampaignStarted):
+            print("campaign: %d runs (%d to execute, %d resumed, "
+                  "jobs=%d)" % (event.total, event.pending,
+                                event.resumed, event.jobs))
+        elif isinstance(event, (UnitCompleted, UnitSkipped)):
+            tag = "skip" if isinstance(event, UnitSkipped) else "done"
+            print("  [%2d/%2d] %s %s rep %d"
+                  % (event.completed, event.total, tag,
+                     event.unit.config.label(), event.unit.rep))
+        elif isinstance(event, CampaignFinished):
+            print("finished: %d executed, %d skipped\n"
+                  % (event.executed, event.skipped))
+
+    for summary in session.campaigns().values():
+        print(summary.report())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,493 @@
+"""The unified facade: build a campaign fluently, execute it streaming.
+
+The paper's evaluation is one conceptual object — "run this matrix of
+(app, design, scale, input, fault scenario) cells and report the
+breakdowns". This module is that object's API:
+
+* :class:`Campaign` — a fluent, validated builder for the matrix and
+  its execution policy (repetitions, worker processes, result store,
+  shard, plugin modules).
+* :class:`Session` — executes a campaign through the engine and
+  **streams** typed :mod:`repro.core.events` (unit started / completed
+  / skipped, with progress counts), then answers questions about the
+  results: per-config runs, paper-style five-run averages, campaign
+  distribution summaries.
+
+Quickstart::
+
+    from repro.api import Campaign
+
+    session = (Campaign()
+               .apps("hpccg", "minife")
+               .designs("reinit-fti")
+               .nprocs(64, 128)
+               .faults("independent:3")
+               .reps(5)
+               .session())
+    for event in session.stream():
+        print(event)                      # live progress
+    for label, summary in session.campaigns().items():
+        print(summary.report())
+
+Everything the legacy entry points did routes through here:
+:func:`repro.core.harness.run_experiment`,
+:func:`~repro.core.harness.run_experiment_averaged` and
+:func:`repro.core.campaign.run_campaign_matrix` are deprecation shims
+over this facade with bit-identical results, and the CLI commands are
+thin adapters. Extension points (new apps, designs, scenario kinds,
+store backends, report renderers) are registries — see
+:mod:`repro.registry` and docs/API.md.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .core.breakdown import average_breakdowns
+from .core.configs import (
+    DEFAULT_REPETITIONS,
+    DESIGN_NAMES,
+    NNODES,
+    ExperimentConfig,
+    config_to_dict,
+)
+from .core.engine import CampaignEngine, RunUnit, import_plugins
+from .core.events import (  # noqa: F401  (re-exported for consumers)
+    CampaignFinished,
+    CampaignStarted,
+    RunEvent,
+    UnitCompleted,
+    UnitFailed,
+    UnitSkipped,
+    UnitStarted,
+)
+from .errors import ConfigurationError
+from .fti.config import FtiConfig
+
+
+def _config_key(config: ExperimentConfig) -> str:
+    """Canonical identity of a config (label() is deliberately lossy)."""
+    return json.dumps(config_to_dict(config), sort_keys=True,
+                      separators=(",", ":"))
+
+
+class Campaign:
+    """Fluent builder for an evaluation matrix plus execution policy.
+
+    Matrix methods (:meth:`apps`, :meth:`designs`, :meth:`nprocs`,
+    :meth:`inputs`) each take one or more values; :meth:`configs`
+    enumerates their cross product in the documented stable order
+    (apps outer, then designs, then nprocs, then inputs — the shard
+    contract). Scalar methods (:meth:`faults`, :meth:`seed`,
+    :meth:`nnodes`, :meth:`fti`) apply to every cell. Execution
+    methods (:meth:`reps`, :meth:`jobs`, :meth:`store`,
+    :meth:`resume`, :meth:`shard`, :meth:`plugins`) configure the
+    engine.
+
+    Every method returns a **new** ``Campaign`` (the builder is
+    immutable), so partial matrices can be shared and forked::
+
+        base = Campaign().apps("hpccg").designs(*DESIGN_NAMES)
+        clean = base.faults("none")
+        faulty = base.faults("single").reps(5)
+
+    Validation happens at :meth:`configs` time through
+    :class:`~repro.core.configs.ExperimentConfig`, so unknown names
+    raise :class:`ConfigurationError` messages naming the registered
+    entries.
+    """
+
+    _FIELDS = dict(apps=(), designs=(), nprocs=(64,), inputs=("small",),
+                   faults=None, fti=None, seed=0, nnodes=NNODES,
+                   reps=None, jobs=1, store=None, resume=False,
+                   shard=None, plugins=(), explicit_configs=None)
+
+    def __init__(self, **state):
+        unknown = set(state) - set(self._FIELDS)
+        if unknown:
+            raise ConfigurationError(
+                "unknown campaign fields %s" % sorted(unknown))
+        self._state = dict(self._FIELDS)
+        self._state.update(state)
+
+    #: builder fields that shape the configs themselves; meaningless —
+    #: and therefore rejected — once from_configs supplied finished ones
+    _CONFIG_FIELDS = frozenset({"apps", "designs", "nprocs", "inputs",
+                                "faults", "fti", "seed", "nnodes"})
+
+    def _with(self, **changes) -> "Campaign":
+        if self._state["explicit_configs"] is not None:
+            rejected = sorted(set(changes) & self._CONFIG_FIELDS)
+            if rejected:
+                raise ConfigurationError(
+                    "a from_configs campaign carries finished configs; "
+                    "%s cannot be changed through the builder — rebuild "
+                    "the ExperimentConfigs instead (e.g. with_faults/"
+                    "with_seed/dataclasses.replace)" % ", ".join(rejected))
+        state = dict(self._state)
+        state.update(changes)
+        return Campaign(**state)
+
+    @classmethod
+    def from_configs(cls, configs) -> "Campaign":
+        """A campaign over an explicit, already-built config list —
+        for irregular matrices the cross product cannot express (e.g.
+        per-app scaling sizes).
+
+        Execution-policy methods (reps/jobs/store/resume/shard/plugins)
+        still apply; config-shaping methods (apps/designs/nprocs/inputs/
+        faults/fti/seed/nnodes) raise, because silently ignoring them
+        would run a different experiment than the caller asked for.
+        """
+        configs = list(configs)
+        for config in configs:
+            if not isinstance(config, ExperimentConfig):
+                raise ConfigurationError(
+                    "from_configs takes ExperimentConfig objects "
+                    "(got %r)" % (config,))
+        return cls(explicit_configs=tuple(configs))
+
+    # -- matrix axes --------------------------------------------------------
+    def apps(self, *names) -> "Campaign":
+        """The proxy applications to sweep (any ``app`` registry name)."""
+        return self._with(apps=tuple(names))
+
+    def designs(self, *names) -> "Campaign":
+        """The recovery designs to sweep (any ``design`` registry
+        name; default: all three paper designs)."""
+        return self._with(designs=tuple(names))
+
+    def nprocs(self, *counts) -> "Campaign":
+        """The scaling sizes to sweep (default: the paper's 64)."""
+        return self._with(nprocs=tuple(int(c) for c in counts))
+
+    def inputs(self, *sizes) -> "Campaign":
+        """The input problem sizes to sweep (default: small)."""
+        return self._with(inputs=tuple(sizes))
+
+    # -- per-cell scalars ---------------------------------------------------
+    def faults(self, scenario) -> "Campaign":
+        """The fault scenario every cell runs under: a spec string
+        (``"independent:3:node=1"``), scenario dict or
+        :class:`~repro.faults.scenarios.FaultScenario`. ``None`` means
+        no injection."""
+        return self._with(faults=scenario)
+
+    def fti(self, config=None, *, level=None) -> "Campaign":
+        """The checkpoint policy: an
+        :class:`~repro.fti.config.FtiConfig`, or just ``level=N``
+        (node-failure scenarios need level >= 2)."""
+        if config is not None and level is not None:
+            raise ConfigurationError(
+                "pass fti(config) or fti(level=N), not both")
+        if level is not None:
+            config = FtiConfig(level=level)
+        return self._with(fti=config)
+
+    def seed(self, seed: int) -> "Campaign":
+        """Base seed mixed into every repetition's fault draw."""
+        return self._with(seed=int(seed))
+
+    def nnodes(self, nnodes: int) -> "Campaign":
+        """Cluster node count (default: the paper's 32)."""
+        return self._with(nnodes=int(nnodes))
+
+    # -- execution policy ---------------------------------------------------
+    def reps(self, reps) -> "Campaign":
+        """Repetitions per cell. ``None`` (the default) means the
+        paper's convention per cell: five for fault-injecting configs,
+        one for deterministic clean runs."""
+        if reps is not None:
+            reps = int(reps)
+            if reps < 1:
+                raise ConfigurationError(
+                    "a campaign needs at least one repetition per cell")
+        return self._with(reps=reps)
+
+    #: alias matching the CLI's --runs vocabulary
+    runs = reps
+
+    def jobs(self, jobs: int) -> "Campaign":
+        """Worker processes (1 = serial in-process)."""
+        return self._with(jobs=int(jobs))
+
+    def store(self, store) -> "Campaign":
+        """Result store: a path, ``"backend:location"`` spec or store
+        object (see :mod:`repro.core.store`)."""
+        return self._with(store=store)
+
+    def resume(self, resume: bool = True) -> "Campaign":
+        """Skip runs already present in the store."""
+        return self._with(resume=bool(resume))
+
+    def shard(self, shard) -> "Campaign":
+        """Run only shard K of N (``"K/N"`` or ``(K, N)``)."""
+        return self._with(shard=shard)
+
+    def plugins(self, *modules) -> "Campaign":
+        """Self-registering extension modules imported before execution
+        — in this process *and* in every spawned worker, so registered
+        apps/designs/scenario kinds resolve under ``jobs > 1`` too."""
+        return self._with(plugins=tuple(modules))
+
+    # -- enumeration --------------------------------------------------------
+    def configs(self) -> list:
+        """The matrix cells in stable order (validated on every call)."""
+        import_plugins(self._state["plugins"])
+        if self._state["explicit_configs"] is not None:
+            return list(self._state["explicit_configs"])
+        if not self._state["apps"]:
+            raise ConfigurationError(
+                "campaign has no apps (call .apps(...) or "
+                ".from_configs(...))")
+        designs = self._state["designs"] or DESIGN_NAMES
+        fti = self._state["fti"]
+        cells = []
+        for app in self._state["apps"]:
+            for design in designs:
+                for nprocs in self._state["nprocs"]:
+                    for input_size in self._state["inputs"]:
+                        cells.append(ExperimentConfig(
+                            app=app, design=design, nprocs=nprocs,
+                            input_size=input_size,
+                            seed=self._state["seed"],
+                            nnodes=self._state["nnodes"],
+                            faults=self._state["faults"],
+                            fti=fti if fti is not None else FtiConfig()))
+        return cells
+
+    def reps_for(self, config: ExperimentConfig) -> int:
+        """Resolved repetition count for one cell (the paper's
+        defaults when :meth:`reps` was not called)."""
+        reps = self._state["reps"]
+        if reps is not None:
+            return reps
+        return DEFAULT_REPETITIONS if config.inject_fault else 1
+
+    # -- execution ----------------------------------------------------------
+    def session(self, engine: CampaignEngine = None) -> "Session":
+        """An executable :class:`Session` over this campaign."""
+        return Session(self, engine=engine)
+
+    def stream(self):
+        """Shorthand: build a session and stream its events."""
+        return self.session().stream()
+
+    def run(self) -> "Session":
+        """Shorthand: build a session, drain it, return it."""
+        return self.session().run()
+
+
+class Session:
+    """One execution of a :class:`Campaign` plus result access.
+
+    :meth:`stream` yields the engine's typed events while executing;
+    :meth:`run` drains the stream. Both are idempotent — once finished,
+    the result accessors (:meth:`run_results`, :meth:`averaged`,
+    :meth:`campaigns`) answer from the collected results, and a second
+    ``stream()`` replays nothing (the work is done).
+    """
+
+    def __init__(self, campaign: Campaign, engine: CampaignEngine = None):
+        self.campaign = campaign
+        self.configs = campaign.configs()
+        state = campaign._state
+        self._cells = [(config, campaign.reps_for(config))
+                       for config in self.configs]
+        self.units = []
+        self._cell_index = {}
+        for config, reps in self._cells:
+            self._cell_index[_config_key(config)] = (len(self.units), reps)
+            self.units.extend(RunUnit(config, rep) for rep in range(reps))
+        if engine is None:
+            engine = CampaignEngine(
+                jobs=state["jobs"], store_path=state["store"],
+                resume=state["resume"], shard=state["shard"],
+                plugins=state["plugins"])
+        self.engine = engine
+        self.results = None
+        self._active = None
+        self._failure = None
+
+    # -- execution ----------------------------------------------------------
+    def stream(self):
+        """Execute, yielding :mod:`repro.core.events` as they happen.
+
+        Idempotent and resumable: a consumer that stops iterating
+        mid-stream has not lost the work — the next ``stream()`` (or
+        ``run()``) continues the same underlying execution from where
+        it paused rather than re-running completed units. A session
+        whose execution raised is *failed*: further ``stream()``/
+        ``run()``/accessor calls raise rather than pretending the sweep
+        completed (build a new session to retry; with a store attached,
+        it resumes past the finished units).
+        """
+        while self.results is None:
+            self._check_not_failed()
+            if self._active is None:
+                self._active = self.engine.stream(self.units)
+            try:
+                event = next(self._active)
+            except StopIteration:
+                break
+            except Exception as exc:
+                self._failure = exc
+                raise
+            if isinstance(event, CampaignFinished):
+                self.results = event.results
+            yield event
+
+    def _check_not_failed(self) -> None:
+        if self._failure is not None:
+            raise ConfigurationError(
+                "this session's execution failed (%r); build a new "
+                "session to retry — with a result store attached it "
+                "resumes past the completed units" % (self._failure,))
+
+    def run(self) -> "Session":
+        """Execute to completion (draining :meth:`stream`)."""
+        for _ in self.stream():
+            pass
+        return self
+
+    # -- engine bookkeeping -------------------------------------------------
+    @property
+    def executed(self) -> int:
+        """Units actually run by the last execution."""
+        return self.engine.executed
+
+    @property
+    def skipped(self) -> int:
+        """Units satisfied from the resume store."""
+        return self.engine.skipped
+
+    # -- result access ------------------------------------------------------
+    def _require_results(self) -> dict:
+        if self.results is None:
+            self.run()
+        if self.results is None:
+            # the engine stream ended without a CampaignFinished (a
+            # failure unwound it): never hand accessors a None to crash
+            # on downstream
+            self._check_not_failed()
+            raise ConfigurationError(
+                "session execution did not complete; no results "
+                "available")
+        return self.results
+
+    def _cell_units(self, config: ExperimentConfig) -> list:
+        try:
+            offset, reps = self._cell_index[_config_key(config)]
+        except KeyError:
+            raise ConfigurationError(
+                "config %s is not part of this session's campaign"
+                % config.label()) from None
+        return self.units[offset:offset + reps]
+
+    def run_results(self, config: ExperimentConfig) -> list:
+        """The config's :class:`RunResult` list in repetition order
+        (possibly shorter under a shard that skipped repetitions)."""
+        results = self._require_results()
+        return [results[u.key] for u in self._cell_units(config)
+                if u.key in results]
+
+    def averaged(self, config: ExperimentConfig):
+        """The paper's five-run average for one cell, as the legacy
+        :class:`~repro.core.harness.AveragedResult` (bit-identical:
+        same runs, same averaging order)."""
+        from .core.harness import AveragedResult
+
+        runs = self.run_results(config)
+        if not runs:
+            raise ConfigurationError(
+                "no runs for %s in this session (sharded out?)"
+                % config.label())
+        return AveragedResult(
+            config_label=config.label(),
+            breakdown=average_breakdowns(r.breakdown for r in runs),
+            repetitions=len(runs),
+            runs=runs,
+        )
+
+    def campaigns(self) -> dict:
+        """``{label: CampaignResult}`` in matrix order, exactly as the
+        legacy :func:`~repro.core.campaign.run_campaign_matrix`
+        summarised: runs in repetition order, configs with zero runs in
+        this shard omitted. Labels must be unambiguous — two configs
+        ``label()`` cannot distinguish (differing only in seed, nnodes
+        or fti) raise rather than silently overwrite each other's row.
+        """
+        from .core.campaign import CampaignResult
+
+        self._require_results()
+        summaries = {}
+        for config, _reps in self._cells:
+            runs = self.run_results(config)
+            if runs:
+                label = config.label()
+                if label in summaries:
+                    raise ConfigurationError(
+                        "campaign configs produce duplicate labels "
+                        "(label() omits seed/nnodes/fti, so vary only "
+                        "fields it shows — or summarise via "
+                        "run_results() per config)")
+                summaries[label] = CampaignResult(
+                    config_label=label, runs=runs)
+        return summaries
+
+
+# -- campaign-mode validation ------------------------------------------------
+def check_campaign(configs, runs: int) -> None:
+    """The distribution-campaign prerequisites shared by the legacy
+    :func:`~repro.core.campaign.run_campaign_matrix` and the CLI
+    ``campaign`` adapter: at least two runs per cell, fault-injecting
+    configs only, and unambiguous labels."""
+    configs = list(configs)
+    if not configs:
+        raise ConfigurationError("campaign matrix is empty")
+    if runs is None or runs < 2:
+        raise ConfigurationError(
+            "a campaign needs at least two runs per cell (distributions "
+            "from one sample would report std=0.0)")
+    for config in configs:
+        if not config.inject_fault:
+            raise ConfigurationError(
+                "campaigns need a fault-injecting scenario (clean runs "
+                "are deterministic; one run suffices)")
+    labels = [c.label() for c in configs]
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError(
+            "campaign configs produce duplicate labels (label() omits "
+            "seed/nnodes/fti, so vary only fields it shows — or sweep "
+            "the others in separate invocations)")
+
+
+# -- one-config conveniences -------------------------------------------------
+def run_single(config: ExperimentConfig):
+    """One repetition (rep 0) of one configuration — the facade's form
+    of the legacy ``run_experiment``."""
+    session = Campaign.from_configs([config]).reps(1).session()
+    return session.run().run_results(config)[0]
+
+
+def run_averaged(config: ExperimentConfig, repetitions=None):
+    """The paper's averaged repetitions for one configuration — the
+    facade's form of the legacy ``run_experiment_averaged``."""
+    session = Campaign.from_configs([config]).reps(repetitions).session()
+    return session.run().averaged(config)
+
+
+__all__ = [
+    "Campaign",
+    "CampaignFinished",
+    "CampaignStarted",
+    "RunEvent",
+    "Session",
+    "UnitCompleted",
+    "UnitFailed",
+    "UnitSkipped",
+    "UnitStarted",
+    "check_campaign",
+    "run_averaged",
+    "run_single",
+]

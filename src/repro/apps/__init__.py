@@ -1,5 +1,22 @@
-"""The six MATCH proxy applications (paper §II-B)."""
+"""The six MATCH proxy applications (paper §II-B).
 
+``APP_REGISTRY`` is the ``app`` :class:`repro.registry.Registry`: it
+maps app names to :class:`~repro.apps.base.ProxyApp` subclasses and is
+the single source the config layer validates against. Registering a new
+workload takes one decorator and no core edits::
+
+    from repro.apps import APP_REGISTRY
+    from repro.apps.base import ProxyApp
+
+    @APP_REGISTRY.register("toy")
+    class Toy(ProxyApp):
+        ...  # must provide from_input(nprocs, input_size)
+
+(equivalently ``@repro.registry.register("app", "toy")``).
+"""
+
+from ..errors import ConfigurationError
+from ..registry import Registry
 from .amg import AMG_INPUTS, Amg, AmgParams
 from .base import AppState, ProxyApp, deterministic_rng, halo_exchange_1d
 from .comd import COMD_INPUTS, Comd, ComdParams
@@ -8,15 +25,21 @@ from .lulesh import LULESH_INPUTS, LULESH_PROC_COUNTS, Lulesh, LuleshParams
 from .minife import MINIFE_INPUTS, Minife, MinifeParams
 from .minivite import MINIVITE_INPUTS, Minivite, MiniviteParams
 
-#: registry used by the experiment harness
-APP_REGISTRY = {
-    "amg": Amg,
-    "comd": Comd,
-    "hpccg": Hpccg,
-    "lulesh": Lulesh,
-    "minife": Minife,
-    "minivite": Minivite,
-}
+
+def _check_app(name, cls):
+    # configs call from_input at matrix-build time; catching a missing
+    # hook at registration keeps the failure at the plugin's import
+    if not callable(getattr(cls, "from_input", None)):
+        raise ConfigurationError(
+            "app %r must provide a from_input(nprocs, input_size) "
+            "constructor" % name)
+
+
+#: registry used by the experiment harness (the ``app`` registry)
+APP_REGISTRY = Registry("app", validate=_check_app)
+for _cls in (Amg, Comd, Hpccg, Lulesh, Minife, Minivite):
+    APP_REGISTRY.add(_cls.name, _cls)
+del _cls
 
 __all__ = [
     "AMG_INPUTS",

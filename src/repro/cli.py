@@ -1,9 +1,18 @@
 """Command-line entry point: run MATCH experiments from a shell.
 
+Every command is a thin adapter over the :mod:`repro.api` facade: it
+parses flags into a :class:`repro.api.Campaign`, executes through a
+:class:`repro.api.Session` (consuming the typed event stream — pass
+``--progress`` to ``campaign`` to watch it live), and renders with the
+registered report renderers.
+
 Examples::
 
     match-bench table1
-    match-bench run --app hpccg --design reinit-fti --nprocs 64 --fault
+    match-bench run --app hpccg --design reinit-fti --nprocs 64 \
+        --faults single
+    match-bench campaign --app minivite,hpccg --design all --nprocs 8 \
+        --nnodes 4 --runs 10 --jobs 4 --progress
     match-bench figure --id 7 --app hpccg
 """
 
@@ -11,15 +20,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 
 from .core.configs import (
     DESIGN_NAMES,
     INPUT_SIZES,
     NNODES,
-    ExperimentConfig,
     valid_proc_counts,
 )
-from .core.harness import run_experiment_averaged
 from .core.report import (
     format_breakdown_series,
     format_recovery_series,
@@ -33,22 +41,55 @@ def _cmd_table1(_args) -> int:
     return 0
 
 
-def _fti_config(args):
-    from .fti.config import FtiConfig
+def _base_campaign(args):
+    """The Campaign fields shared by every experiment-running command."""
+    from .api import Campaign
 
-    level = getattr(args, "fti_level", None)
-    return FtiConfig() if level is None else FtiConfig(level=level)
+    campaign = Campaign()
+    if getattr(args, "fti_level", None) is not None:
+        campaign = campaign.fti(level=args.fti_level)
+    if getattr(args, "seed", None) is not None:
+        campaign = campaign.seed(args.seed)
+    if getattr(args, "nnodes", None) is not None:
+        campaign = campaign.nnodes(args.nnodes)
+    return campaign
+
+
+def _run_config(args):
+    """The single config the ``run`` command describes.
+
+    ``--fault`` is the deprecated alias for ``--faults single`` — it is
+    routed through the scenario spec so the CLI has exactly one
+    fault-spec path, and contradictions (``--fault --faults none``)
+    still fail loudly.
+    """
+    faults = args.faults
+    if args.fault:
+        # stderr print for real CLI users (default warning filters
+        # suppress DeprecationWarning outside __main__); warnings.warn
+        # for programmatic callers and tests
+        print("warning: --fault is deprecated; use --faults single",
+              file=sys.stderr)
+        warnings.warn(
+            "--fault is deprecated; use --faults single",
+            DeprecationWarning, stacklevel=2)
+        if faults is None:
+            faults = "single"
+    campaign = (_base_campaign(args).apps(args.app).designs(args.design)
+                .nprocs(args.nprocs).inputs(args.input).faults(faults))
+    config = campaign.configs()[0]
+    if args.fault and not config.inject_fault:
+        raise ConfigurationError(
+            "--fault contradicts the non-injecting --faults %r scenario; "
+            "drop one of the two" % (args.faults,))
+    return config
 
 
 def _cmd_run(args) -> int:
-    config = ExperimentConfig(
-        app=args.app, design=args.design, nprocs=args.nprocs,
-        input_size=args.input, seed=args.seed,
-        # an unset --fault stays None so --faults alone decides; passing
-        # both only conflicts when they actually contradict
-        inject_fault=True if args.fault else None,
-        faults=args.faults, fti=_fti_config(args))
-    result = run_experiment_averaged(config, repetitions=args.reps)
+    from .api import run_averaged
+
+    config = _run_config(args)
+    result = run_averaged(config, args.reps)
     print(config.label())
     print("  " + str(result.breakdown))
     print("  verified: %s over %d repetition(s)"
@@ -63,18 +104,38 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _figure_session(args, nprocs_list, input_list, inject_fault):
+    """One Session covering a whole figure's (x, design) cells."""
+    from .api import Campaign
+
+    campaign = (Campaign().apps(args.app).designs(*DESIGN_NAMES)
+                .nprocs(*nprocs_list).inputs(*input_list)
+                .faults("single" if inject_fault else None)
+                .reps(args.reps))
+    return campaign.run()
+
+
+def _figure_cell(session, **cell):
+    # look the cell's config up in the session rather than re-deriving
+    # it from ExperimentConfig defaults, so the builder's defaults are
+    # the single source of truth
+    config = next(c for c in session.configs
+                  if all(getattr(c, name) == value
+                         for name, value in cell.items()))
+    return session.averaged(config)
+
+
 def _cmd_figure(args) -> int:
     fig = args.id
     app = args.app
     if fig in (5, 6, 7):
         xs = valid_proc_counts(app)
+        session = _figure_session(args, xs, ("small",), fig in (6, 7))
         rows = []
         for nprocs in xs:
             for design in DESIGN_NAMES:
-                config = ExperimentConfig(
-                    app=app, design=design, nprocs=nprocs,
-                    inject_fault=fig in (6, 7))
-                res = run_experiment_averaged(config, repetitions=args.reps)
+                res = _figure_cell(session, design=design,
+                                   nprocs=nprocs)
                 rows.append((nprocs, design,
                              res.breakdown.recovery_seconds if fig == 7
                              else res.breakdown))
@@ -84,13 +145,12 @@ def _cmd_figure(args) -> int:
             print(format_breakdown_series("Figure %d (%s)" % (fig, app),
                                           rows))
     elif fig in (8, 9, 10):
+        session = _figure_session(args, (64,), INPUT_SIZES, fig in (9, 10))
         rows = []
         for input_size in INPUT_SIZES:
             for design in DESIGN_NAMES:
-                config = ExperimentConfig(
-                    app=app, design=design, nprocs=64,
-                    input_size=input_size, inject_fault=fig in (9, 10))
-                res = run_experiment_averaged(config, repetitions=args.reps)
+                res = _figure_cell(session, design=design, nprocs=64,
+                                   input_size=input_size)
                 rows.append((input_size, design,
                              res.breakdown.recovery_seconds if fig == 10
                              else res.breakdown))
@@ -117,31 +177,43 @@ def _parse_designs(value: str):
     return designs
 
 
-def _campaign_configs(args):
-    from .core.configs import campaign_matrix
-
-    return campaign_matrix(
-        apps=args.app.split(","), designs=_parse_designs(args.design),
-        nprocs=args.nprocs, input_size=args.input, seed=args.seed,
-        nnodes=args.nnodes, faults=args.faults, fti=_fti_config(args))
+def _matrix_campaign(args):
+    """The Campaign a ``campaign``-shaped flag set describes."""
+    campaign = (_base_campaign(args)
+                .apps(*args.app.split(","))
+                .designs(*_parse_designs(args.design))
+                .faults(args.faults if args.faults is not None
+                        else "single"))
+    if args.nprocs is not None:
+        campaign = campaign.nprocs(args.nprocs)
+    if args.input is not None:
+        campaign = campaign.inputs(args.input)
+    return campaign
 
 
 def _cmd_campaign(args) -> int:
-    from .core.campaign import run_campaign_matrix
-    from .core.engine import CampaignEngine
+    from .api import UnitCompleted, UnitSkipped, check_campaign
     from .core.report import format_campaign_matrix
 
-    engine = CampaignEngine(jobs=args.jobs, store_path=args.store,
-                            resume=args.resume, shard=args.shard)
-    summaries = run_campaign_matrix(_campaign_configs(args),
-                                    runs=args.runs, engine=engine)
+    campaign = (_matrix_campaign(args).reps(args.runs).jobs(args.jobs)
+                .store(args.store).resume(args.resume).shard(args.shard))
+    check_campaign(campaign.configs(), args.runs)
+    session = campaign.session()
+    for event in session.stream():
+        if args.progress and isinstance(event, (UnitCompleted,
+                                                UnitSkipped)):
+            tag = "skip" if isinstance(event, UnitSkipped) else "done"
+            print("[%d/%d] %s %s rep %d"
+                  % (event.completed, event.total, tag,
+                     event.unit.config.label(), event.unit.rep))
+    summaries = session.campaigns()
     for result in summaries.values():
         print(result.report())
     if len(summaries) > 1:
         print()
         print(format_campaign_matrix(summaries))
     print("engine: executed %d run(s), skipped %d already-stored run(s)"
-          % (engine.executed, engine.skipped))
+          % (session.executed, session.skipped))
     return 0
 
 
@@ -149,12 +221,12 @@ def _cmd_campaign_report(args) -> int:
     from .core.breakdown import try_run_result_from_dict
     from .core.campaign import campaign_results_from_records
     from .core.engine import campaign_units
-    from .core.report import format_campaign_matrix
+    from .core.report import render_campaign
     from .core.store import merge_store_paths
 
     records = merge_store_paths(args.store)
-    print(format_campaign_matrix(campaign_results_from_records(records),
-                                 title="Merged campaign stores"))
+    print(render_campaign(campaign_results_from_records(records),
+                          fmt=args.format, title="Merged campaign stores"))
     if args.check_complete:
         # run keys hash the full config: a completeness check against
         # the wrong matrix silently reports INCOMPLETE (or worse,
@@ -182,7 +254,8 @@ def _cmd_campaign_report(args) -> int:
         usable = {key for key, record in records.items()
                   if try_run_result_from_dict(record["result"])
                   is not None}
-        expected = campaign_units(_campaign_configs(args), args.runs)
+        expected = campaign_units(_matrix_campaign(args).configs(),
+                                  args.runs)
         missing = [u for u in expected if u.key not in usable]
         if missing:
             print("INCOMPLETE: %d of %d runs missing from the merged "
@@ -197,16 +270,19 @@ def _cmd_campaign_report(args) -> int:
 
 
 def _cmd_chart(args) -> int:
+    from .api import Campaign
     from .core.charts import figure_chart
 
+    xs = valid_proc_counts(args.app)
+    session = (Campaign().apps(args.app).designs(*DESIGN_NAMES)
+               .nprocs(*xs).faults("single" if args.fault else None)
+               .reps(args.reps).run())
     cells = []
-    for nprocs in valid_proc_counts(args.app):
+    for nprocs in xs:
         for design in DESIGN_NAMES:
-            config = ExperimentConfig(app=args.app, design=design,
-                                      nprocs=nprocs,
-                                      inject_fault=args.fault)
-            res = run_experiment_averaged(config, repetitions=args.reps)
-            cells.append((nprocs, design, res.breakdown))
+            cells.append((nprocs, design,
+                          _figure_cell(session, design=design,
+                                       nprocs=nprocs).breakdown))
     print(figure_chart("%s: breakdown by scaling size%s"
                        % (args.app, " (with failure)" if args.fault else ""),
                        cells))
@@ -241,7 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--nprocs", type=int, default=64)
     run_p.add_argument("--input", default="small", choices=INPUT_SIZES)
     run_p.add_argument("--fault", action="store_true",
-                       help="legacy shorthand for --faults single")
+                       help="deprecated: routed through --faults single")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--reps", type=int, default=None)
     add_fault_args(run_p)
@@ -284,11 +360,15 @@ def build_parser() -> argparse.ArgumentParser:
     camp_p.add_argument("--jobs", type=int, default=1,
                         help="worker processes (1 = serial in-process)")
     camp_p.add_argument("--store", default=None,
-                        help="JSONL result store for resume/merge")
+                        help="result store for resume/merge: a JSONL "
+                             "path or backend:location spec")
     camp_p.add_argument("--resume", action="store_true",
                         help="skip runs already present in --store")
     camp_p.add_argument("--shard", default=None, metavar="K/N",
                         help="run only shard K of N of the matrix")
+    camp_p.add_argument("--progress", action="store_true",
+                        help="print one line per completed run (the "
+                             "session's live event stream)")
     camp_p.set_defaults(func=_cmd_campaign)
 
     rep_p = sub.add_parser("campaign-report",
@@ -296,6 +376,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "campaign matrix")
     rep_p.add_argument("--store", nargs="+", required=True,
                        help="one or more JSONL result stores (shards)")
+    rep_p.add_argument("--format", default="matrix",
+                       help="report renderer: matrix | report | csv "
+                            "(or any registered renderer)")
     rep_p.add_argument("--check-complete", action="store_true",
                        help="fail unless the merged stores cover the "
                             "matrix given by --app/--design/--nprocs/"

@@ -11,6 +11,12 @@ fan out across worker processes (``jobs``), persist completed runs to a
 resumable store (``store_path``/``resume``) and restrict itself to one
 shard of the matrix (``shard``) — with summaries bit-identical to the
 serial path in every mode.
+
+``run_campaign_matrix`` / ``run_campaign`` are **deprecation shims**
+over the :mod:`repro.api` facade (build a
+:class:`repro.api.Campaign`, call :meth:`~repro.api.Session.campaigns`)
+with bit-identical summaries; the distribution classes here remain the
+canonical result types.
 """
 
 from __future__ import annotations
@@ -18,10 +24,11 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import warnings
 from dataclasses import dataclass, field
 
 from .configs import ExperimentConfig, config_from_dict
-from .engine import CampaignEngine, campaign_units
+from .engine import CampaignEngine
 from ..errors import ConfigurationError
 
 
@@ -116,14 +123,6 @@ class CampaignResult:
         return "\n".join(lines)
 
 
-def _check_campaign_configs(configs) -> None:
-    for config in configs:
-        if not config.inject_fault:
-            raise ConfigurationError(
-                "campaigns need a fault-injecting scenario (clean runs "
-                "are deterministic; one run suffices)")
-
-
 def run_campaign_matrix(configs, runs: int = 20, jobs: int = 1,
                         store_path=None, resume: bool = False,
                         shard=None, engine: CampaignEngine = None) -> dict:
@@ -134,51 +133,50 @@ def run_campaign_matrix(configs, runs: int = 20, jobs: int = 1,
     the exact floating-point sums) the serial path produces, whatever
     ``jobs``/``shard``/``resume`` were used. Sharded invocations only
     include configurations that had at least one run in the shard.
+
+    .. deprecated:: 1.1
+       Shim over :class:`repro.api.Campaign` /
+       :meth:`repro.api.Session.campaigns` (bit-identical summaries).
     """
+    warnings.warn(
+        "run_campaign_matrix is deprecated; use repro.api.Campaign "
+        "(see docs/API.md)", DeprecationWarning, stacklevel=2)
+    return _campaign_matrix_impl(configs, runs, jobs, store_path,
+                                 resume, shard, engine)
+
+
+def _campaign_matrix_impl(configs, runs, jobs, store_path, resume,
+                          shard, engine) -> dict:
+    from ..api import Campaign, check_campaign
+
     configs = list(configs)
-    if not configs:
-        raise ConfigurationError("campaign matrix is empty")
-    if runs < 2:
-        raise ConfigurationError(
-            "a campaign needs at least two runs per cell (distributions "
-            "from one sample would report std=0.0)")
-    _check_campaign_configs(configs)
-    labels = [c.label() for c in configs]
-    if len(set(labels)) != len(labels):
-        raise ConfigurationError(
-            "campaign configs produce duplicate labels (label() omits "
-            "seed/nnodes/fti, so vary only fields it shows — or sweep "
-            "the others in separate invocations)")
-    if engine is None:
-        engine = CampaignEngine(jobs=jobs, store_path=store_path,
-                                resume=resume, shard=shard)
-    elif jobs != 1 or store_path is not None or resume or shard is not None:
+    check_campaign(configs, runs)
+    if engine is not None and (jobs != 1 or store_path is not None
+                               or resume or shard is not None):
         raise ConfigurationError(
             "pass execution options either via engine= or as keyword "
             "arguments, not both (the keywords would be silently "
             "ignored)")
-    units = campaign_units(configs, runs)
-    results = engine.run(units)
-    summaries = {}
-    for i, config in enumerate(configs):
-        # units are config-major; reuse them so their memoised keys
-        # serve both execution and summarisation
-        cell = units[i * runs:(i + 1) * runs]
-        runs_for_config = [results[u.key] for u in cell
-                           if u.key in results]
-        if runs_for_config:
-            summaries[config.label()] = CampaignResult(
-                config_label=config.label(), runs=runs_for_config)
-    return summaries
+    campaign = (Campaign.from_configs(configs).reps(runs).jobs(jobs)
+                .store(store_path).resume(resume).shard(shard))
+    return campaign.session(engine=engine).run().campaigns()
 
 
 def run_campaign(config: ExperimentConfig, runs: int = 20, jobs: int = 1,
                  store_path=None, resume: bool = False,
                  shard=None) -> CampaignResult:
-    """Run ``runs`` seeded repetitions of a fault-injected configuration."""
-    summaries = run_campaign_matrix([config], runs=runs, jobs=jobs,
-                                    store_path=store_path, resume=resume,
-                                    shard=shard)
+    """Run ``runs`` seeded repetitions of a fault-injected configuration.
+
+    .. deprecated:: 1.1
+       Shim over :class:`repro.api.Campaign` (bit-identical summaries).
+    """
+    # own warning (not the matrix shim's) so the attribution points at
+    # the function the caller actually used
+    warnings.warn(
+        "run_campaign is deprecated; use repro.api.Campaign "
+        "(see docs/API.md)", DeprecationWarning, stacklevel=2)
+    summaries = _campaign_matrix_impl([config], runs, jobs, store_path,
+                                      resume, shard, engine=None)
     # a shard that selects zero units already raised inside the engine,
     # so the single config's label is always present
     return summaries[config.label()]

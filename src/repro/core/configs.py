@@ -17,7 +17,9 @@ from ..errors import ConfigurationError
 from ..faults.scenarios import FaultScenario, parse_scenario_spec
 from ..fti.config import FtiConfig
 
-#: the evaluated designs (§V-B)
+#: the paper's evaluated designs (§V-B) — the canonical trio; custom
+#: designs registered in the ``design`` registry are equally valid in
+#: configs, they just are not part of the default matrices
 DESIGN_NAMES = ("restart-fti", "reinit-fti", "ulfm-fti")
 
 #: the evaluated scaling sizes, all on 32 nodes (§V-B)
@@ -92,13 +94,13 @@ class ExperimentConfig:
     faults: FaultScenario = None
 
     def __post_init__(self):
-        if self.app not in APP_REGISTRY:
-            raise ConfigurationError(
-                "unknown app %r (have %s)" % (self.app,
-                                              sorted(APP_REGISTRY)))
-        if self.design not in DESIGN_NAMES:
-            raise ConfigurationError(
-                "unknown design %r (have %s)" % (self.design, DESIGN_NAMES))
+        # registry lookups (not membership in the paper's tuples) so a
+        # plugin-registered app or design is a first-class config value;
+        # .resolve raises ConfigurationError naming the known entries
+        APP_REGISTRY.resolve(self.app)
+        from .designs import DESIGNS
+
+        DESIGNS.resolve(self.design)
         if self.input_size not in INPUT_SIZES:
             raise ConfigurationError("unknown input size %r"
                                      % (self.input_size,))

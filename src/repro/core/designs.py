@@ -27,11 +27,25 @@ from ..recovery import (
     RestartRecovery,
     UlfmRecovery,
 )
+from ..registry import Registry
 from ..simmpi.errhandler import ErrHandler
 from ..simmpi.runtime import Runtime
 
 #: safety valve against pathological restart loops
 MAX_RELAUNCHES = 8
+
+
+def _check_design(name, cls):
+    if not callable(getattr(cls, "run_job", None)):
+        raise ConfigurationError(
+            "design %r must provide run_job(app, fti_config, fault_plan, "
+            "label=...)" % name)
+
+
+#: the ``design`` registry: name -> DesignBase subclass. A custom
+#: recovery design registers itself the same way the built-ins do:
+#: ``@DESIGNS.register("my-design")`` on a class taking a Cluster.
+DESIGNS = Registry("design", validate=_check_design)
 
 
 def _resilient_body(mpi, app: ProxyApp, fti: Fti):
@@ -121,6 +135,7 @@ class DesignBase:
         )
 
 
+@DESIGNS.register("restart-fti")
 class RestartFti(DesignBase):
     """RESTART-FTI: FTI checkpointing + full job restart (Figure 1)."""
 
@@ -149,6 +164,7 @@ class RestartFti(DesignBase):
         return episodes
 
 
+@DESIGNS.register("reinit-fti")
 class ReinitFti(DesignBase):
     """REINIT-FTI: FTI checkpointing + Reinit global restart (Figure 2)."""
 
@@ -180,6 +196,7 @@ class ReinitFti(DesignBase):
         return episodes
 
 
+@DESIGNS.register("ulfm-fti")
 class UlfmFti(DesignBase):
     """ULFM-FTI: FTI checkpointing + ULFM non-shrinking recovery (Fig. 3)."""
 
@@ -219,10 +236,3 @@ class UlfmFti(DesignBase):
         self.ulfm.reset_stats()
         self.ulfm.clear_intervals()
         return episodes
-
-
-DESIGNS = {
-    "restart-fti": RestartFti,
-    "reinit-fti": ReinitFti,
-    "ulfm-fti": UlfmFti,
-}

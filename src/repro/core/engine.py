@@ -41,8 +41,34 @@ from .configs import (
     config_to_dict,
     run_key,
 )
-from .store import ResultStore
+from .events import (
+    CampaignFinished,
+    CampaignStarted,
+    UnitCompleted,
+    UnitFailed,
+    UnitSkipped,
+    UnitStarted,
+)
+from .store import open_store
 from ..errors import ConfigurationError
+
+
+def import_plugins(modules) -> None:
+    """Import self-registering extension modules by name.
+
+    Registrations live in module state, so a plugin must be imported in
+    every process that resolves registry names — the engine calls this
+    in each spawned worker (and :class:`repro.api.Session` calls it in
+    the driving process) with the campaign's ``plugins`` list.
+    """
+    import importlib
+
+    for module in modules:
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            raise ConfigurationError(
+                "cannot import plugin module %r: %s" % (module, exc))
 
 
 @dataclass(frozen=True)
@@ -110,10 +136,21 @@ def execute_unit(unit: RunUnit) -> RunResult:
 
 
 def _pool_worker(payload: dict):
-    """Top-level (spawn-picklable) worker: payload in, result dict out."""
-    config = config_from_dict(payload["config"])
-    result = execute_unit(RunUnit(config, payload["rep"]))
-    return payload["key"], run_result_to_dict(result)
+    """Top-level (spawn-picklable) worker: payload in, a status-tagged
+    result out.
+
+    Exceptions are caught and shipped back as ``("error", exc)`` rather
+    than raised, so the parent can attribute the failure to its unit
+    (emit :class:`UnitFailed`) before re-raising the original exception
+    — a bare raise out of ``imap_unordered`` would lose the unit.
+    """
+    import_plugins(payload.get("plugins", ()))
+    try:
+        config = config_from_dict(payload["config"])
+        result = execute_unit(RunUnit(config, payload["rep"]))
+    except Exception as exc:
+        return payload["key"], ("error", exc)
+    return payload["key"], ("ok", run_result_to_dict(result))
 
 
 class CampaignEngine:
@@ -125,7 +162,7 @@ class CampaignEngine:
     """
 
     def __init__(self, jobs: int = 1, store_path=None, resume: bool = False,
-                 shard=None):
+                 shard=None, plugins=()):
         if jobs < 1:
             raise ConfigurationError("--jobs must be >= 1")
         if resume and store_path is None:
@@ -133,8 +170,11 @@ class CampaignEngine:
                 "--resume needs a result store (--store PATH) to resume "
                 "from")
         self.jobs = jobs
-        self.store = ResultStore(store_path) if store_path else None
+        # store_path may be a path, a "backend:location" spec, or an
+        # already-built store object (see repro.core.store.open_store)
+        self.store = open_store(store_path)
         self.resume = resume
+        self.plugins = tuple(plugins)
         if shard is None:
             self.shard = None
         else:
@@ -182,9 +222,14 @@ class CampaignEngine:
         return done
 
     # -- driver -------------------------------------------------------------
-    def run(self, units) -> dict:
-        """Execute ``units`` (minus shard filter and resumed runs);
-        returns ``{key: RunResult}`` for every selected unit."""
+    def stream(self, units):
+        """Execute ``units`` (minus shard filter and resumed runs) as a
+        generator of typed :mod:`repro.core.events`.
+
+        This is the single execution driver; :meth:`run` is just a
+        consumer that drains it. A unit that raises emits
+        :class:`UnitFailed` and then re-raises, ending the stream.
+        """
         units = list(units)
         if self.shard is not None:
             sharded = shard_units(units, *self.shard)
@@ -202,22 +247,65 @@ class CampaignEngine:
         pending = [u for u in units if u.key not in done]
         self.skipped = len(units) - len(pending)
         self.executed = len(pending)
-        results = {u.key: done[u.key] for u in units if u.key in done}
+        total = len(units)
+        yield CampaignStarted(total=total, pending=len(pending),
+                              resumed=self.skipped, jobs=self.jobs)
+        results = {}
+        completed = 0
+        for unit in units:
+            if unit.key in done:
+                results[unit.key] = done[unit.key]
+                completed += 1
+                yield UnitSkipped(unit=unit, result=done[unit.key],
+                                  completed=completed, total=total)
         if self.jobs == 1 or len(pending) <= 1:
             for unit in pending:
-                result = execute_unit(unit)
+                yield UnitStarted(unit=unit, completed=completed,
+                                  total=total)
+                try:
+                    result = execute_unit(unit)
+                except Exception as exc:
+                    yield UnitFailed(unit=unit, error=repr(exc),
+                                     completed=completed, total=total)
+                    raise
                 self._record(unit, run_result_to_dict(result))
                 results[unit.key] = result
+                completed += 1
+                yield UnitCompleted(unit=unit, result=result,
+                                    completed=completed, total=total)
         else:
             by_key = {u.key: u for u in pending}
             payloads = [{"key": u.key, "rep": u.rep,
-                         "config": config_to_dict(u.config)}
+                         "config": config_to_dict(u.config),
+                         "plugins": list(self.plugins)}
                         for u in pending]
             ctx = multiprocessing.get_context("spawn")
             nworkers = min(self.jobs, len(pending))
             with ctx.Pool(processes=nworkers, maxtasksperchild=1) as pool:
-                for key, result_dict in pool.imap_unordered(_pool_worker,
-                                                            payloads):
-                    self._record(by_key[key], result_dict)
-                    results[key] = run_result_from_dict(result_dict)
+                for unit in pending:
+                    yield UnitStarted(unit=unit, completed=completed,
+                                      total=total)
+                for key, (status, outcome) in pool.imap_unordered(
+                        _pool_worker, payloads):
+                    if status == "error":
+                        yield UnitFailed(unit=by_key[key],
+                                         error=repr(outcome),
+                                         completed=completed, total=total)
+                        raise outcome
+                    self._record(by_key[key], outcome)
+                    results[key] = run_result_from_dict(outcome)
+                    completed += 1
+                    yield UnitCompleted(unit=by_key[key],
+                                        result=results[key],
+                                        completed=completed, total=total)
+        yield CampaignFinished(results=results, executed=self.executed,
+                               skipped=self.skipped)
+
+    def run(self, units) -> dict:
+        """Execute ``units``; returns ``{key: RunResult}`` for every
+        selected unit (drains :meth:`stream`, discarding the events)."""
+        results = {}
+        for event in self.stream(units):
+            if isinstance(event, CampaignFinished):
+                results = event.results
         return results

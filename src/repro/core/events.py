@@ -1,0 +1,110 @@
+"""Typed run events: the campaign engine's streaming protocol.
+
+:meth:`repro.core.engine.CampaignEngine.stream` (and therefore
+:meth:`repro.api.Session.stream`) yields these instead of returning a
+post-hoc record list, so live CLI progress, result stores and report
+pipelines all consume one event stream. The sequence for a sweep is::
+
+    CampaignStarted
+    (UnitSkipped | UnitStarted UnitCompleted | UnitStarted UnitFailed)*
+    CampaignFinished
+
+Events are frozen dataclasses; ``completed``/``total`` carry monotonic
+progress counts so a consumer can render ``[12/96]`` without keeping
+its own tally. Under parallel execution (``jobs > 1``) the engine
+submits the whole pending list to the worker pool at once, so every
+:class:`UnitStarted` is emitted up front (each carrying the
+submission-time ``completed`` count — the resumed-skip total) and
+:class:`UnitCompleted` events then arrive in completion order; a
+progress UI should key on completions, treating parallel starts as
+"queued". The final result *set* is bit-identical to the serial path,
+only the event interleaving differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """Base class for every event the engine streams."""
+
+
+@dataclass(frozen=True)
+class CampaignStarted(RunEvent):
+    """The sweep is about to execute.
+
+    ``total`` counts the units selected for this invocation (after
+    shard filtering); ``pending`` of them will actually run, the rest
+    are satisfied from the resume store.
+    """
+
+    total: int
+    pending: int
+    resumed: int
+    jobs: int = 1
+
+
+@dataclass(frozen=True)
+class UnitStarted(RunEvent):
+    """One run unit began executing (serial) or was submitted to a
+    worker (parallel)."""
+
+    unit: object
+    completed: int
+    total: int
+
+
+@dataclass(frozen=True)
+class UnitCompleted(RunEvent):
+    """One run unit finished; ``result`` is its :class:`RunResult`."""
+
+    unit: object
+    result: object
+    completed: int
+    total: int
+
+
+@dataclass(frozen=True)
+class UnitSkipped(RunEvent):
+    """One run unit was already in the resume store; ``result`` is the
+    stored :class:`RunResult`."""
+
+    unit: object
+    result: object
+    completed: int
+    total: int
+
+
+@dataclass(frozen=True)
+class UnitFailed(RunEvent):
+    """One run unit raised; the exception is re-raised right after this
+    event, so the stream ends here — the event exists to let consumers
+    attribute the failure to a unit before the traceback unwinds."""
+
+    unit: object
+    error: str
+    completed: int
+    total: int
+
+
+@dataclass(frozen=True)
+class CampaignFinished(RunEvent):
+    """The sweep completed; ``results`` maps every selected unit's
+    run key to its :class:`RunResult`."""
+
+    results: dict = field(repr=False)
+    executed: int = 0
+    skipped: int = 0
+
+
+__all__ = [
+    "CampaignFinished",
+    "CampaignStarted",
+    "RunEvent",
+    "UnitCompleted",
+    "UnitFailed",
+    "UnitSkipped",
+    "UnitStarted",
+]

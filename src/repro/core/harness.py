@@ -9,16 +9,29 @@ distinct seed.
 Execution itself lives in :func:`repro.core.engine.execute_unit` — the
 single run path shared with parallel/sharded campaigns — while this
 module keeps the seed-derivation and averaging conventions.
+
+``run_experiment`` / ``run_experiment_averaged`` are **deprecation
+shims** over the :mod:`repro.api` facade: they produce bit-identical
+results (guarded by the determinism pins in
+``tests/data/determinism_seed.json``) and will keep working, but new
+code should build a :class:`repro.api.Campaign` instead.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
-from .breakdown import RunResult, TimeBreakdown, average_breakdowns
-from .configs import DEFAULT_REPETITIONS, ExperimentConfig
+from .breakdown import RunResult, TimeBreakdown
+from .configs import ExperimentConfig
 from ..cluster.machine import Cluster
 from ..faults.plans import FaultPlan
+
+
+def _deprecated(legacy: str, modern: str) -> None:
+    warnings.warn(
+        "%s is deprecated; use %s (see docs/API.md)" % (legacy, modern),
+        DeprecationWarning, stacklevel=3)
 
 
 def build_cluster(config: ExperimentConfig) -> Cluster:
@@ -46,10 +59,14 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
     to ``run_experiment_averaged(config, repetitions=1).runs[0]``; the
     config's ``seed`` enters only through the fault-seed derivation, not
     as a repetition index.
-    """
-    from .engine import RunUnit, execute_unit
 
-    return execute_unit(RunUnit(config, rep=0))
+    .. deprecated:: 1.1
+       Shim over :func:`repro.api.run_single` (bit-identical).
+    """
+    from ..api import run_single
+
+    _deprecated("run_experiment", "repro.api.run_single / Campaign")
+    return run_single(config)
 
 
 @dataclass
@@ -76,16 +93,13 @@ def run_experiment_averaged(config: ExperimentConfig,
 
     Deterministic (no-fault) configurations collapse to one run since
     every repetition would be bit-identical.
-    """
-    from .engine import RunUnit, execute_unit
 
-    if repetitions is None:
-        repetitions = DEFAULT_REPETITIONS if config.inject_fault else 1
-    runs = [execute_unit(RunUnit(config, rep))
-            for rep in range(repetitions)]
-    return AveragedResult(
-        config_label=config.label(),
-        breakdown=average_breakdowns(r.breakdown for r in runs),
-        repetitions=repetitions,
-        runs=runs,
-    )
+    .. deprecated:: 1.1
+       Shim over :func:`repro.api.run_averaged` (bit-identical: same
+       units, same execution path, same averaging order).
+    """
+    from ..api import run_averaged
+
+    _deprecated("run_experiment_averaged",
+                "repro.api.run_averaged / Campaign")
+    return run_averaged(config, repetitions)

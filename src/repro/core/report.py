@@ -3,12 +3,24 @@
 Each figure becomes a text table with one row per (scale-or-input,
 design) and stacked-bar columns (Application / Write Checkpoints /
 Recovery), which is exactly the data behind the paper's bar charts.
+
+Campaign-summary *renderers* are registry-driven: ``RENDERERS`` is the
+``renderer`` :class:`repro.registry.Registry`, mapping format names to
+``render(summaries, title=...) -> str`` callables over a
+``{label: CampaignResult}`` mapping. The CLI's ``campaign-report
+--format`` flag and :func:`render_campaign` resolve through it, so a
+new output format (HTML, JSON lines, a plotting hook) is one
+registered function away.
 """
 
 from __future__ import annotations
 
 from .breakdown import TimeBreakdown
 from .configs import TABLE1
+from ..registry import Registry
+
+#: the ``renderer`` registry: format name -> render(summaries, title=...)
+RENDERERS = Registry("renderer", noun="report renderer")
 
 
 def format_breakdown_series(title: str, rows: list,
@@ -53,6 +65,7 @@ def format_table1() -> str:
     return "\n".join(lines)
 
 
+@RENDERERS.register("matrix")
 def format_campaign_matrix(summaries: dict, title: str = "Campaign matrix",
                            ) -> str:
     """Render ``{label: CampaignResult}`` (e.g. a merged store) as rows.
@@ -76,6 +89,36 @@ def format_campaign_matrix(summaries: dict, title: str = "Campaign matrix",
                         recovery.std, total.mean, total.std,
                         result.all_verified))
     return "\n".join(lines)
+
+
+@RENDERERS.register("report")
+def format_campaign_reports(summaries: dict,
+                            title: str = "Campaign matrix") -> str:
+    """One full per-configuration report block per campaign row."""
+    return "\n\n".join(result.report() for result in summaries.values())
+
+
+@RENDERERS.register("csv")
+def format_campaign_csv(summaries: dict,
+                        title: str = "Campaign matrix") -> str:
+    """Machine-readable rows (spreadsheet / pandas-ready)."""
+    lines = ["label,runs,faults_per_run_mean,recovery_mean,recovery_std,"
+             "total_mean,total_std,rework_mean,verified"]
+    for label, result in summaries.items():
+        recovery, total, rework = (result.recovery, result.total,
+                                   result.rework)
+        lines.append("%s,%d,%r,%r,%r,%r,%r,%r,%s"
+                     % (label, len(result.runs),
+                        result.faults_per_run.mean, recovery.mean,
+                        recovery.std, total.mean, total.std, rework.mean,
+                        result.all_verified))
+    return "\n".join(lines)
+
+
+def render_campaign(summaries: dict, fmt: str = "matrix",
+                    title: str = "Campaign matrix") -> str:
+    """Render ``{label: CampaignResult}`` with a registered renderer."""
+    return RENDERERS.resolve(fmt)(summaries, title=title)
 
 
 def summarize_ratios(recovery: dict) -> str:

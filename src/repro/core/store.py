@@ -12,6 +12,13 @@ or in-memory state, only the keys::
 ``load_completed`` tolerates a truncated or corrupt trailing line (the
 signature of a mid-write kill) by skipping undecodable lines and
 counting them in :attr:`ResultStore.corrupt_lines`.
+
+Store *backends* are registry-driven: ``STORES`` is the ``store``
+:class:`repro.registry.Registry`, mapping backend names to classes with
+the ``append``/``load_completed`` protocol. :func:`open_store` resolves
+a ``"backend:location"`` spec (a bare path means ``jsonl``), so the
+engine, CLI and :class:`repro.api.Campaign` accept any registered
+backend without caring which one they got.
 """
 
 from __future__ import annotations
@@ -21,8 +28,22 @@ import os
 import pathlib
 
 from ..errors import ConfigurationError
+from ..registry import Registry
 
 
+def _check_store(name, cls):
+    for hook in ("append", "load_completed"):
+        if not callable(getattr(cls, hook, None)):
+            raise ConfigurationError(
+                "store backend %r must provide %s()" % (name, hook))
+
+
+#: the ``store`` registry: backend name -> store class taking one
+#: location argument
+STORES = Registry("store", validate=_check_store, noun="store backend")
+
+
+@STORES.register("jsonl")
 class ResultStore:
     """Append-only JSONL store of completed campaign runs."""
 
@@ -71,26 +92,82 @@ class ResultStore:
         return records
 
 
-def merge_store_paths(paths) -> dict:
+@STORES.register("memory")
+class MemoryStore:
+    """In-process store backend: the JSONL record layout without disk.
+
+    Useful for embedding (collect a streaming session's records for
+    later summarisation) and for tests. The engine records completed
+    runs from the parent process, so it works under ``jobs > 1`` too;
+    being process-local, it simply has nothing to resume from after an
+    interpreter restart.
+    """
+
+    def __init__(self, location=""):
+        self.location = str(location)
+        self.corrupt_lines = 0
+        self._records: dict = {}
+
+    def append(self, key: str, config_dict: dict, rep: int,
+               result_dict: dict) -> None:
+        # round-trip through JSON so stored payloads are exactly what a
+        # JSONL backend would return on load (no live object aliasing)
+        record = {"key": key, "rep": int(rep), "config": config_dict,
+                  "result": result_dict}
+        self._records[key] = json.loads(json.dumps(record))
+
+    def load_completed(self) -> dict:
+        self.corrupt_lines = 0
+        return dict(self._records)
+
+
+def open_store(spec):
+    """Resolve a store spec into a backend instance.
+
+    ``spec`` may already be a store object (anything with ``append`` and
+    ``load_completed``), a ``"backend:location"`` string naming any
+    registered backend, or a bare filesystem path (the ``jsonl``
+    default). A path containing ``:`` only routes to a backend when the
+    prefix actually names one, so ordinary paths never misparse.
+    """
+    if spec is None:
+        return None
+    if callable(getattr(spec, "append", None)) \
+            and callable(getattr(spec, "load_completed", None)):
+        return spec
+    text = str(spec)
+    if ":" in text:
+        backend, _, location = text.partition(":")
+        if backend in STORES:
+            return STORES.resolve(backend)(location)
+    return STORES.resolve("jsonl")(text)
+
+
+def merge_store_paths(specs) -> dict:
     """Union the records of several stores (e.g. one per shard).
 
-    Raises :class:`ConfigurationError` when given no paths, a missing
-    path, or a store with zero decodable records — an empty input is
-    almost always a sweep that never ran, and silently summarising
-    nothing would report std=0.0 distributions that look real.
+    Each entry is anything :func:`open_store` accepts — a path, a
+    ``backend:location`` spec, or a store object — so the same
+    ``--store`` argument works on the sweep and report sides. Raises
+    :class:`ConfigurationError` when given no stores, a missing path,
+    or a store with zero decodable records — an empty input is almost
+    always a sweep that never ran, and silently summarising nothing
+    would report std=0.0 distributions that look real.
     """
-    paths = [pathlib.Path(p) for p in paths]
-    if not paths:
+    specs = list(specs)
+    if not specs:
         raise ConfigurationError(
             "store merge needs at least one result-store path")
     merged = {}
-    for path in paths:
-        if not path.exists():
+    for spec in specs:
+        store = open_store(spec)
+        path = getattr(store, "path", None)
+        if path is not None and not pathlib.Path(path).exists():
             raise ConfigurationError(
                 "result store %s does not exist (shard never ran?)" % path)
-        records = ResultStore(path).load_completed()
+        records = store.load_completed()
         if not records:
             raise ConfigurationError(
-                "result store %s holds no completed runs" % path)
+                "result store %s holds no completed runs" % (spec,))
         merged.update(records)
     return merged

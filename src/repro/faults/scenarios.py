@@ -9,7 +9,27 @@ faces; :meth:`FaultScenario.make_plan` turns it into a concrete,
 deterministic :class:`~repro.faults.plans.FaultPlan` for one
 ``(config, repetition)`` run.
 
-Supported kinds:
+Scenario *kinds* are registry-driven: each is a :class:`ScenarioKind`
+in the ``scenario`` :class:`repro.registry.Registry` (``SCENARIOS``),
+which owns the kind's validation, label, spec grammar and plan draw. A
+new failure regime is a self-registering class — no core edits::
+
+    from repro.faults.plans import FaultEvent
+    from repro.faults.scenarios import SCENARIOS, ScenarioKind
+
+    @SCENARIOS.register("stride")
+    class StrideKind(ScenarioKind):
+        spec_positional = "count"          # "stride:4" sets count=4
+        uses = frozenset({"count", "min_iteration"})
+
+        def draw(self, scenario, rng, nprocs, niters, nnodes):
+            step = max(1, (niters - scenario.min_iteration)
+                       // scenario.count)
+            return [FaultEvent(rng.randrange(nprocs), i)
+                    for i in range(scenario.min_iteration, niters, step)
+                    ][:scenario.count]
+
+Built-in kinds:
 
 ``none``
     No injection (the clean baseline).
@@ -38,7 +58,12 @@ Supported kinds:
 
 Scenarios are frozen, hashable and JSON-serializable (``to_dict`` /
 ``from_dict``), so they participate in canonical configs, run keys and
-campaign result stores like every other config field.
+campaign result stores like every other config field. Custom kinds
+reuse the same generic parameter fields (``count``, ``window``, ...)
+so serialization and run keys need no per-kind code; a field the kind
+does not list in :attr:`ScenarioKind.uses` must stay at its default
+(silently accepting it would mint distinct run keys for identical
+runs).
 """
 
 from __future__ import annotations
@@ -49,8 +74,57 @@ from dataclasses import dataclass, fields
 
 from .plans import FaultEvent, FaultPlan
 from ..errors import ConfigurationError
+from ..registry import Registry
 
-#: the recognised scenario kinds, in documentation order
+
+class ScenarioKind:
+    """Behaviour of one scenario kind (one ``scenario`` registry entry).
+
+    Subclasses override :meth:`draw` (and usually :attr:`uses`,
+    :attr:`spec_positional`, :meth:`label`); kinds with a bespoke draw
+    procedure (``single``'s legacy-identical path) override
+    :meth:`make_plan` wholesale.
+    """
+
+    #: whether runs under this kind inject any failures at all
+    injects = True
+    #: FaultScenario field the spec grammar's positional argument maps
+    #: to (``"independent:3"`` -> ``count=3``); None = no positional
+    spec_positional = None
+    #: generic FaultScenario fields this kind consumes; any *other*
+    #: field passed with a non-default value is rejected for run-key
+    #: hygiene
+    uses = frozenset()
+
+    def validate(self, scenario: "FaultScenario") -> None:
+        """Kind-specific checks beyond the generic bounds."""
+
+    def label(self, scenario: "FaultScenario") -> str:
+        """Compact human label used in config labels and reports."""
+        return scenario.kind
+
+    def make_plan(self, scenario: "FaultScenario", nprocs: int,
+                  niters: int, seed: int, nnodes: int) -> FaultPlan:
+        """Default draw protocol: one seeded RNG, events sorted into
+        the runtime's (iteration, rank) injection order."""
+        rng = random.Random(seed)
+        events = self.draw(scenario, rng, nprocs, niters, nnodes)
+        return FaultPlan(events=tuple(
+            sorted(events, key=lambda e: (e.iteration, e.rank))))
+
+    def draw(self, scenario: "FaultScenario", rng: random.Random,
+             nprocs: int, niters: int, nnodes: int) -> list:
+        """Produce the kind's :class:`FaultEvent` list for one run."""
+        raise NotImplementedError(
+            "scenario kind %r must implement draw() or make_plan()"
+            % (scenario.kind,))
+
+
+#: the ``scenario`` registry: kind name -> ScenarioKind instance
+SCENARIOS = Registry("scenario", instantiate=True, noun="scenario kind")
+
+#: the built-in scenario kinds, in documentation order (the registry
+#: may hold more once plugins are imported)
 SCENARIO_KINDS = ("none", "single", "independent", "correlated", "poisson")
 
 
@@ -72,10 +146,7 @@ class FaultScenario:
     min_iteration: int = 1
 
     def __post_init__(self):
-        if self.kind not in SCENARIO_KINDS:
-            raise ConfigurationError(
-                "unknown scenario kind %r (have %s)"
-                % (self.kind, SCENARIO_KINDS))
+        handler = SCENARIOS.resolve(self.kind)
         if self.count < 1:
             raise ConfigurationError("scenario count must be >= 1")
         if not 0 <= self.node_count <= self.count:
@@ -85,56 +156,28 @@ class FaultScenario:
             raise ConfigurationError("min_iteration must be >= 0")
         if self.window < 0:
             raise ConfigurationError("window must be >= 0")
-        if self.kind == "single" and (self.count != 1
-                                      or self.node_count != 0):
-            raise ConfigurationError(
-                "the 'single' scenario is exactly the paper's one process "
-                "kill; use 'independent' or 'correlated' for more")
-        if self.kind == "poisson":
-            # the draw loop makes O(niters / mtbf) arrivals, so the MTBF
-            # must be finite and not degenerate-small (0.01 iterations
-            # already means ~100 kill arrivals per loop iteration)
-            if not math.isfinite(self.mtbf_iters) \
-                    or self.mtbf_iters < 0.01:
-                raise ConfigurationError(
-                    "poisson scenario needs a finite mtbf_iters >= 0.01")
-        elif self.mtbf_iters:
-            raise ConfigurationError(
-                "mtbf_iters only applies to the 'poisson' kind")
         # a field the kind ignores must stay at its default: silently
         # accepting it would mint distinct run keys for identical runs
-        if self.kind in ("none", "poisson") and self.count != 1:
-            raise ConfigurationError(
-                "count only applies to 'independent' and 'correlated'")
-        if self.kind != "independent" and self.node_count:
-            raise ConfigurationError(
-                "node_count only applies to the 'independent' kind "
-                "('correlated' events are always whole-node)")
-        if self.kind != "correlated" and self.window:
-            raise ConfigurationError(
-                "window only applies to the 'correlated' kind")
-        if self.kind == "none" and self.min_iteration != 1:
-            raise ConfigurationError(
-                "min_iteration is meaningless without injection")
+        for spec in fields(self):
+            if spec.name == "kind" or spec.name in handler.uses:
+                continue
+            if getattr(self, spec.name) != spec.default:
+                raise ConfigurationError(
+                    "scenario field %r does not apply to the %r kind "
+                    "(it must stay at its default, %r, so identical "
+                    "runs share one run key)"
+                    % (spec.name, self.kind, spec.default))
+        handler.validate(self)
 
     # -- queries -----------------------------------------------------------
     @property
     def injects(self) -> bool:
         """Whether this scenario injects any failures at all."""
-        return self.kind != "none"
+        return SCENARIOS.resolve(self.kind).injects
 
     def label(self) -> str:
         """Compact human label used in config labels and reports."""
-        if self.kind == "none":
-            return "none"
-        if self.kind == "single":
-            return "single"
-        if self.kind == "independent":
-            suffix = "+n%d" % self.node_count if self.node_count else ""
-            return "kx%d%s" % (self.count, suffix)
-        if self.kind == "correlated":
-            return "nodes%d" % self.count
-        return "poisson%g" % self.mtbf_iters
+        return SCENARIOS.resolve(self.kind).label(self)
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
@@ -191,24 +234,13 @@ class FaultScenario:
         produces the same plan. ``nnodes`` is needed to resolve node
         targets under the cluster's block placement.
         """
-        if self.kind == "none":
+        handler = SCENARIOS.resolve(self.kind)
+        if not handler.injects:
             return FaultPlan.none()
         if nprocs <= 0 or niters <= self.min_iteration:
             raise ConfigurationError(
                 "need nprocs > 0 and niters > min_iteration")
-        if self.kind == "single":
-            # delegate so the draw stays bit-identical to the legacy path
-            return FaultPlan.single_random(
-                nprocs, niters, seed, min_iteration=self.min_iteration)
-        rng = random.Random(seed)
-        if self.kind == "independent":
-            events = self._draw_independent(rng, nprocs, niters)
-        elif self.kind == "correlated":
-            events = self._draw_correlated(rng, nprocs, niters, nnodes)
-        else:
-            events = self._draw_poisson(rng, nprocs, niters)
-        return FaultPlan(events=tuple(
-            sorted(events, key=lambda e: (e.iteration, e.rank))))
+        return handler.make_plan(self, nprocs, niters, seed, nnodes)
 
     @staticmethod
     def _placement(nprocs: int, nnodes: int) -> tuple:
@@ -218,37 +250,92 @@ class FaultScenario:
 
         return block_placement(nprocs, max(1, nnodes))
 
+
+# -- built-in kinds ---------------------------------------------------------
+@SCENARIOS.register("none")
+class NoneKind(ScenarioKind):
+    """No injection: the clean baseline (no field applies, not even
+    ``min_iteration`` — it is meaningless without injection)."""
+
+    injects = False
+
+    def make_plan(self, scenario, nprocs, niters, seed, nnodes):
+        return FaultPlan.none()
+
+
+@SCENARIOS.register("single")
+class SingleKind(ScenarioKind):
+    """The paper's single SIGTERM; draws delegate to the historical
+    :meth:`FaultPlan.single_random` path so every legacy
+    ``inject_fault=True`` result stays bit-identical."""
+
+    uses = frozenset({"min_iteration"})
+
+    def label(self, scenario):
+        return "single"
+
+    def make_plan(self, scenario, nprocs, niters, seed, nnodes):
+        return FaultPlan.single_random(
+            nprocs, niters, seed, min_iteration=scenario.min_iteration)
+
+
+@SCENARIOS.register("independent")
+class IndependentKind(ScenarioKind):
+    """``count`` independent kills at distinct coordinates; the first
+    ``node_count`` of them take out the victim's whole node."""
+
+    spec_positional = "count"
+    uses = frozenset({"count", "node_count", "min_iteration"})
+
+    def label(self, scenario):
+        suffix = "+n%d" % scenario.node_count if scenario.node_count \
+            else ""
+        return "kx%d%s" % (scenario.count, suffix)
+
     # note: independent node-kind events pick a uniformly random victim
     # rank; only the correlated kind consults placement (to draw
-    # *distinct* nodes), which is why it alone takes nnodes
-    def _draw_independent(self, rng, nprocs, niters) -> list:
+    # *distinct* nodes), which is why it alone uses nnodes
+    def draw(self, scenario, rng, nprocs, niters, nnodes):
         events = []
         taken = set()
-        for i in range(self.count):
+        for i in range(scenario.count):
             for _ in range(64 * nprocs):
                 rank = rng.randrange(nprocs)
-                iteration = rng.randrange(self.min_iteration, niters)
+                iteration = rng.randrange(scenario.min_iteration, niters)
                 if (rank, iteration) not in taken:
                     break
             else:
                 raise ConfigurationError(
                     "cannot draw %d distinct (rank, iteration) pairs "
                     "from a %dx%d space"
-                    % (self.count, nprocs, niters - self.min_iteration))
+                    % (scenario.count, nprocs,
+                       niters - scenario.min_iteration))
             taken.add((rank, iteration))
-            kind = "node" if i < self.node_count else "process"
+            kind = "node" if i < scenario.node_count else "process"
             events.append(FaultEvent(rank, iteration, kind=kind))
         return events
 
-    def _draw_correlated(self, rng, nprocs, niters, nnodes) -> list:
-        per_node, used_nodes = self._placement(nprocs, nnodes)
-        if self.count > used_nodes:
+
+@SCENARIOS.register("correlated")
+class CorrelatedKind(ScenarioKind):
+    """A clustered burst of ``count`` whole-node failures within
+    ``window`` iterations of a random anchor."""
+
+    spec_positional = "count"
+    uses = frozenset({"count", "window", "min_iteration"})
+
+    def label(self, scenario):
+        return "nodes%d" % scenario.count
+
+    def draw(self, scenario, rng, nprocs, niters, nnodes):
+        per_node, used_nodes = FaultScenario._placement(nprocs, nnodes)
+        if scenario.count > used_nodes:
             raise ConfigurationError(
                 "correlated scenario wants %d distinct nodes but the job "
-                "only occupies %d" % (self.count, used_nodes))
-        window = self.window or max(1, niters // 8)
-        anchor = rng.randrange(self.min_iteration, niters)
-        victims = rng.sample(range(used_nodes), self.count)
+                "only occupies %d" % (scenario.count, used_nodes))
+        window = scenario.window or max(1, niters // 8)
+        anchor = rng.randrange(scenario.min_iteration, niters)
+        victims = rng.sample(range(used_nodes), scenario.count)
         events = []
         for node in victims:
             iteration = min(niters - 1, anchor + rng.randrange(window))
@@ -258,12 +345,32 @@ class FaultScenario:
                                      kind="node"))
         return events
 
-    def _draw_poisson(self, rng, nprocs, niters) -> list:
+
+@SCENARIOS.register("poisson")
+class PoissonKind(ScenarioKind):
+    """Exponential inter-arrival kills with mean ``mtbf_iters``."""
+
+    spec_positional = "mtbf_iters"
+    uses = frozenset({"mtbf_iters", "min_iteration"})
+
+    def label(self, scenario):
+        return "poisson%g" % scenario.mtbf_iters
+
+    def validate(self, scenario):
+        # the draw loop makes O(niters / mtbf) arrivals, so the MTBF
+        # must be finite and not degenerate-small (0.01 iterations
+        # already means ~100 kill arrivals per loop iteration)
+        if not math.isfinite(scenario.mtbf_iters) \
+                or scenario.mtbf_iters < 0.01:
+            raise ConfigurationError(
+                "poisson scenario needs a finite mtbf_iters >= 0.01")
+
+    def draw(self, scenario, rng, nprocs, niters, nnodes):
         events = []
         taken = set()
-        t = float(self.min_iteration)
+        t = float(scenario.min_iteration)
         while True:
-            t += rng.expovariate(1.0 / self.mtbf_iters)
+            t += rng.expovariate(1.0 / scenario.mtbf_iters)
             iteration = int(math.floor(t))
             if iteration >= niters:
                 break
@@ -275,11 +382,19 @@ class FaultScenario:
         return events
 
 
+# -- CLI spec grammar -------------------------------------------------------
+#: per-field coercion applied to key=value spec options (custom kinds
+#: reuse the same generic fields, so the grammar needs no per-kind code)
+_FIELD_COERCIONS = {"count": int, "node_count": int, "window": int,
+                    "min_iteration": int, "mtbf_iters": float}
+
+
 def parse_scenario_spec(text: str) -> FaultScenario:
     """Parse a CLI scenario spec into a :class:`FaultScenario`.
 
     Grammar: ``kind[:arg][:key=value ...]`` where the optional positional
-    ``arg`` is the kind's salient parameter::
+    ``arg`` is the kind's salient parameter (declared by the kind's
+    :attr:`ScenarioKind.spec_positional`)::
 
         none | single
         independent:3            three independent process kills
@@ -288,21 +403,18 @@ def parse_scenario_spec(text: str) -> FaultScenario:
         correlated:2:window=4    ... within four iterations of each other
         poisson:12               kill arrivals with MTBF of 12 iterations
 
-    ``min_iteration=N`` is accepted by every kind.
+    ``min_iteration=N`` is accepted by every kind. Registered plugin
+    kinds parse with the same grammar.
     """
     parts = [p.strip() for p in str(text).split(":") if p.strip()]
     if not parts:
         raise ConfigurationError("empty fault scenario spec")
     kind = parts[0]
-    if kind not in SCENARIO_KINDS:
-        raise ConfigurationError(
-            "unknown scenario kind %r (have %s)" % (kind, SCENARIO_KINDS))
+    handler = SCENARIOS.resolve(kind)
     kwargs = {"kind": kind}
-    positional = {"independent": "count", "correlated": "count",
-                  "poisson": "mtbf_iters"}
     rest = parts[1:]
     if rest and "=" not in rest[0]:
-        name = positional.get(kind)
+        name = handler.spec_positional
         if name is None:
             raise ConfigurationError(
                 "scenario kind %r takes no positional argument" % kind)
@@ -327,19 +439,13 @@ def parse_scenario_spec(text: str) -> FaultScenario:
                 "scenario option %r given twice (positional and "
                 "key=value)" % key)
         kwargs[key] = value
-    for key in ("count", "node_count", "window", "min_iteration"):
+    for key, coerce in _FIELD_COERCIONS.items():
         if key in kwargs:
             try:
-                kwargs[key] = int(kwargs[key])
+                kwargs[key] = coerce(kwargs[key])
             except ValueError:
                 raise ConfigurationError(
-                    "scenario option %s needs an integer (got %r)"
-                    % (key, kwargs[key]))
-    if "mtbf_iters" in kwargs:
-        try:
-            kwargs["mtbf_iters"] = float(kwargs["mtbf_iters"])
-        except ValueError:
-            raise ConfigurationError(
-                "mtbf_iters needs a number (got %r)"
-                % (kwargs["mtbf_iters"],))
+                    "scenario option %s needs %s (got %r)"
+                    % (key, "an integer" if coerce is int else "a number",
+                       kwargs[key]))
     return FaultScenario(**kwargs)

@@ -1,0 +1,221 @@
+"""Uniform registry framework: the repo's extension points.
+
+Every pluggable axis of the benchmark suite — proxy applications,
+recovery designs, fault-scenario kinds, result-store backends and
+report renderers — is a named :class:`Registry`. A new workload or
+scenario kind is a self-registering module: import it (directly, or via
+``Campaign.plugins()``) and its ``@register(...)`` decorations make it
+available everywhere a built-in would be, with no core edits.
+
+Quick tour::
+
+    from repro.registry import register, registry
+
+    @register("app", "toy")            # by kind name ...
+    class Toy(ProxyApp): ...
+
+    from repro.faults.scenarios import SCENARIOS
+
+    @SCENARIOS.register("stride")      # ... or on the registry object
+    class StrideKind(ScenarioKind): ...
+
+    registry("app").names()            # ('amg', ..., 'toy')
+
+The five built-in registries live in their natural modules (importing a
+registry never drags in unrelated subsystems):
+
+========== ============================== ===========================
+kind        module                         registry object
+========== ============================== ===========================
+app         :mod:`repro.apps`              ``APP_REGISTRY``
+design      :mod:`repro.core.designs`      ``DESIGNS``
+scenario    :mod:`repro.faults.scenarios`  ``SCENARIOS``
+store       :mod:`repro.core.store`        ``STORES``
+renderer    :mod:`repro.core.report`       ``RENDERERS``
+========== ============================== ===========================
+
+Registrations are per-process. Parallel campaign workers are fresh
+``spawn`` interpreters, so plugin modules must be importable by name and
+passed via :meth:`repro.api.Campaign.plugins` (the engine re-imports
+them in every worker). See docs/API.md for the end-to-end recipe.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from .errors import ConfigurationError
+
+#: where each built-in registry kind is defined; importing the module
+#: (lazily, in :func:`registry`) creates and populates the registry
+_BUILTIN_MODULES = {
+    "app": "repro.apps",
+    "design": "repro.core.designs",
+    "scenario": "repro.faults.scenarios",
+    "store": "repro.core.store",
+    "renderer": "repro.core.report",
+}
+
+#: kind -> Registry, populated as Registry instances are constructed
+_CATALOG: dict = {}
+
+
+class Registry(Mapping):
+    """A named mapping of string keys to registered extension objects.
+
+    Behaves as a read-only :class:`~collections.abc.Mapping` (so legacy
+    idioms like ``name in APP_REGISTRY``, ``sorted(APP_REGISTRY)`` and
+    ``APP_REGISTRY[name]`` keep working verbatim), plus:
+
+    * :meth:`register` — decorator (or direct call via :meth:`add`)
+      that adds an entry; duplicate names raise unless ``replace=True``.
+    * :meth:`resolve` (and ``[]`` indexing) — lookup raising
+      :class:`ConfigurationError` that names the known entries, so a
+      typo'd CLI flag or config field produces an actionable message
+      instead of a ``KeyError``. (:meth:`get` keeps the standard
+      ``Mapping.get`` return-a-default semantics.)
+
+    ``instantiate=True`` stores ``cls()`` when a class is registered —
+    used for scenario kinds, whose hooks are instance methods.
+    ``validate`` is an optional ``(name, obj) -> None`` protocol check
+    run at registration time, so a plugin missing a required hook fails
+    at import, not mid-campaign.
+    """
+
+    def __init__(self, kind: str, instantiate: bool = False,
+                 validate=None, noun: str | None = None):
+        if kind in _CATALOG:
+            # silently replacing the catalog entry would hijack
+            # register()/registry() away from the registry the rest of
+            # the code validates against
+            raise ConfigurationError(
+                "a registry of kind %r already exists; use "
+                "repro.registry.registry(%r) to get it" % (kind, kind))
+        self.kind = kind
+        #: how entries are described in error messages ("store backend"
+        #: reads better than "store"); defaults to the kind itself
+        self.noun = noun or kind
+        self._instantiate = instantiate
+        self._validate = validate
+        self._entries: dict = {}
+        _CATALOG[kind] = self
+
+    # -- registration -------------------------------------------------------
+    def register(self, name: str | None = None, *, replace: bool = False):
+        """Decorator form: ``@REG.register("name")`` (or bare
+        ``@REG.register()`` to use the object's ``name`` attribute)."""
+        def decorate(obj):
+            self.add(self._derive_name(name, obj), obj, replace=replace)
+            return obj
+        return decorate
+
+    def add(self, name: str, obj, *, replace: bool = False) -> None:
+        """Direct registration (the decorator's workhorse)."""
+        if not name or not isinstance(name, str):
+            raise ConfigurationError(
+                "%s registration needs a non-empty string name (got %r)"
+                % (self.noun, name))
+        if name in self._entries and not replace:
+            raise ConfigurationError(
+                "%s %r is already registered; pass replace=True to "
+                "override it deliberately" % (self.noun, name))
+        value = obj() if self._instantiate and isinstance(obj, type) \
+            else obj
+        if self._validate is not None:
+            self._validate(name, value)
+        self._entries[name] = value
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (primarily for test teardown)."""
+        if name not in self._entries:
+            raise ConfigurationError(
+                "cannot unregister unknown %s %r" % (self.noun, name))
+        del self._entries[name]
+
+    @staticmethod
+    def _derive_name(name, obj):
+        if name is not None:
+            return name
+        derived = getattr(obj, "name", None)
+        if isinstance(derived, str) and derived:
+            return derived
+        return getattr(obj, "__name__", "").lower()
+
+    # -- lookup -------------------------------------------------------------
+    def resolve(self, name: str):
+        """The entry for ``name``; unknown names raise a
+        :class:`ConfigurationError` listing what is registered.
+
+        (``[]`` indexing does the same; :meth:`get` keeps the standard
+        ``Mapping.get`` return-a-default semantics.)
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(
+                "unknown %s %r (have %s)"
+                % (self.noun, name, sorted(self._entries))) from None
+
+    def get(self, name: str, default=None):
+        """Standard ``Mapping.get``: the entry, or ``default`` when
+        ``name`` is not registered (never raises)."""
+        return self._entries.get(name, default)
+
+    def names(self) -> tuple:
+        """Registered names in registration order."""
+        return tuple(self._entries)
+
+    # -- Mapping protocol ---------------------------------------------------
+    def __getitem__(self, name):
+        return self.resolve(name)
+
+    def __contains__(self, name):
+        # Mapping's default __contains__ expects KeyError from
+        # __getitem__; ours raises ConfigurationError, so membership
+        # must consult the entries directly
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __repr__(self):
+        return "Registry(%r, %d entries)" % (self.kind, len(self._entries))
+
+
+def registry(kind: str) -> Registry:
+    """The registry for ``kind``, importing its owning module on first
+    use so ``repro.registry`` stays dependency-free."""
+    if kind not in _CATALOG and kind in _BUILTIN_MODULES:
+        import importlib
+
+        importlib.import_module(_BUILTIN_MODULES[kind])
+    try:
+        return _CATALOG[kind]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown registry kind %r (have %s)"
+            % (kind, sorted(set(_CATALOG) | set(_BUILTIN_MODULES)))) \
+            from None
+
+
+def register(kind: str, name: str | None = None, *,
+             replace: bool = False):
+    """Top-level decorator: ``@register("app", "toy")`` == looking up
+    the ``app`` registry and calling its :meth:`Registry.register`."""
+    return registry(kind).register(name, replace=replace)
+
+
+def registry_kinds() -> tuple:
+    """Every known registry kind (built-in or plugin-created)."""
+    return tuple(sorted(set(_CATALOG) | set(_BUILTIN_MODULES)))
+
+
+__all__ = [
+    "Registry",
+    "register",
+    "registry",
+    "registry_kinds",
+]

@@ -41,6 +41,30 @@ def test_run_command_with_scenario(capsys):
     assert "(node)" in out
 
 
+def test_run_fault_flag_is_deprecated_alias(capsys):
+    """--fault routes through --faults single: one warning, identical
+    output."""
+    args = ["run", "--app", "minivite", "--design", "reinit-fti",
+            "--nprocs", "8", "--reps", "1"]
+    with pytest.warns(DeprecationWarning, match="--faults single"):
+        assert main(args + ["--fault"]) == 0
+    legacy = capsys.readouterr()
+    # real CLI users see the notice too (default filters would hide
+    # the DeprecationWarning outside __main__)
+    assert "deprecated" in legacy.err
+    assert main(args + ["--faults", "single"]) == 0
+    assert capsys.readouterr().out == legacy.out
+
+
+def test_run_fault_flag_conflicts_with_none_scenario(capsys):
+    with pytest.warns(DeprecationWarning):
+        code = main(["run", "--app", "minivite", "--design", "reinit-fti",
+                     "--nprocs", "8", "--fault", "--faults", "none",
+                     "--reps", "1"])
+    assert code == 2
+    assert "contradicts" in capsys.readouterr().err
+
+
 def test_run_command_rejects_bad_scenario(capsys):
     code = main(["run", "--app", "minivite", "--design", "reinit-fti",
                  "--nprocs", "8", "--faults", "meteor:3", "--reps", "1"])
@@ -93,6 +117,42 @@ def test_campaign_command_with_store_and_report(tmp_path, capsys):
     assert main(["campaign-report", "--store", store, "--check-complete"]
                 + CAMPAIGN_ARGS) == 0
     assert "complete: all 2 matrix runs" in capsys.readouterr().out
+
+
+def test_campaign_progress_streams_events(capsys):
+    assert main(["campaign"] + CAMPAIGN_ARGS + ["--progress"]) == 0
+    out = capsys.readouterr().out
+    assert "[1/2] done" in out
+    assert "[2/2] done" in out
+    assert "rep 1" in out
+
+
+def test_campaign_report_format_renderers(tmp_path, capsys):
+    store = str(tmp_path / "sweep.jsonl")
+    assert main(["campaign"] + CAMPAIGN_ARGS + ["--store", store]) == 0
+    capsys.readouterr()
+    assert main(["campaign-report", "--store", store,
+                 "--format", "csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("label,runs,")
+    assert main(["campaign-report", "--store", store,
+                 "--format", "report"]) == 0
+    assert "recovery:" in capsys.readouterr().out
+    assert main(["campaign-report", "--store", store,
+                 "--format", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown report renderer" in err and "matrix" in err
+
+
+def test_campaign_report_accepts_backend_spec(tmp_path, capsys):
+    """The same backend:location --store spec works on both the sweep
+    and report sides."""
+    store = str(tmp_path / "sweep.jsonl")
+    assert main(["campaign"] + CAMPAIGN_ARGS
+                + ["--store", "jsonl:" + store]) == 0
+    capsys.readouterr()
+    assert main(["campaign-report", "--store", "jsonl:" + store]) == 0
+    assert "Merged campaign stores" in capsys.readouterr().out
 
 
 def test_campaign_report_detects_missing_runs(tmp_path, capsys):

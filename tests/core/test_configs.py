@@ -175,6 +175,96 @@ def test_run_keys_differ_per_scenario():
     assert len(keys) == 4
 
 
+# -- serialization round-trips (the store/worker boundary contract) ---------
+def _round_trip_config(**kwargs):
+    from repro.core.configs import config_from_dict, config_to_dict
+
+    cfg = ExperimentConfig(**kwargs)
+    rebuilt = config_from_dict(config_to_dict(cfg))
+    assert rebuilt == cfg
+    # and the dict itself is stable across one more cycle
+    assert config_to_dict(rebuilt) == config_to_dict(cfg)
+    return cfg
+
+
+def test_config_round_trip_every_scenario_kind():
+    base = dict(app="hpccg", design="reinit-fti", nprocs=8, nnodes=4)
+    for spec in ("none", "single", "independent:3:node=1",
+                 "correlated:2:window=5", "poisson:9.5"):
+        _round_trip_config(faults=spec, **base)
+
+
+def test_config_round_trip_nondefault_fields():
+    from repro.fti.config import FtiConfig
+
+    _round_trip_config(app="lulesh", design="ulfm-fti", nprocs=512,
+                      input_size="large", seed=42, nnodes=16,
+                      fti=FtiConfig(level=3), faults="single")
+
+
+def test_config_from_dict_rejects_unknown_keys():
+    from repro.core.configs import config_from_dict, config_to_dict
+
+    data = config_to_dict(ExperimentConfig(app="hpccg",
+                                           design="reinit-fti"))
+    data["colour"] = "red"
+    with pytest.raises(ConfigurationError) as err:
+        config_from_dict(data)
+    assert "colour" in str(err.value)
+    # several unknown keys are all named, not just the first
+    data["flavour"] = "sour"
+    with pytest.raises(ConfigurationError) as err:
+        config_from_dict(data)
+    assert "colour" in str(err.value) and "flavour" in str(err.value)
+
+
+def test_config_from_dict_rejects_malformed_scenario_dicts():
+    from repro.core.configs import config_from_dict, config_to_dict
+
+    base = config_to_dict(ExperimentConfig(app="hpccg",
+                                           design="reinit-fti"))
+    for bad_faults in (
+            {"kind": "meteor"},              # unregistered kind
+            {"kind": "single", "colour": 1},  # unknown scenario field
+            {"kind": "poisson"},             # missing required mtbf
+            {"kind": "independent", "count": 0},  # out-of-range value
+            17,                              # not a dict at all
+            ["single"],
+    ):
+        data = dict(base)
+        data["faults"] = bad_faults
+        with pytest.raises(ConfigurationError):
+            config_from_dict(data)
+
+
+def test_config_from_dict_accepts_legacy_payload_without_faults():
+    """Schema-1 payloads (no ``faults`` key) must still deserialize:
+    the scenario derives from ``inject_fault`` exactly as legacy
+    construction did."""
+    from repro.core.configs import config_from_dict, config_to_dict
+    from repro.faults import FaultScenario
+
+    data = config_to_dict(ExperimentConfig(app="hpccg",
+                                           design="reinit-fti",
+                                           inject_fault=True))
+    del data["faults"]
+    rebuilt = config_from_dict(data)
+    assert rebuilt.faults == FaultScenario.single()
+    assert rebuilt.inject_fault
+
+
+def test_config_from_dict_rejects_contradictory_legacy_flag():
+    from repro.core.configs import config_from_dict, config_to_dict
+    from repro.faults import FaultScenario
+
+    data = config_to_dict(ExperimentConfig(app="hpccg",
+                                           design="reinit-fti"))
+    data["inject_fault"] = True
+    data["faults"] = FaultScenario.none().to_dict()
+    with pytest.raises(ConfigurationError, match="contradicts"):
+        config_from_dict(data)
+
+
 def test_with_faults_returns_rescoped_copy():
     cfg = ExperimentConfig(app="hpccg", design="reinit-fti",
                            inject_fault=True)

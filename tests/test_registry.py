@@ -1,0 +1,166 @@
+"""The registry framework: registration, lookup, protocol checks."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.registry import Registry, register, registry, registry_kinds
+
+
+def test_registry_mapping_protocol():
+    reg = Registry("widget")
+    reg.add("a", 1)
+    reg.add("b", 2)
+    assert "a" in reg
+    assert sorted(reg) == ["a", "b"]
+    assert len(reg) == 2
+    assert reg["a"] == 1
+    assert reg.names() == ("a", "b")  # registration order
+
+
+def test_registry_decorator_uses_name_attribute():
+    reg = Registry("widget-named")
+
+    @reg.register()
+    class Thing:
+        name = "thing-one"
+
+    @reg.register("explicit")
+    class Other:
+        pass
+
+    assert reg.resolve("thing-one") is Thing
+    assert reg.resolve("explicit") is Other
+
+
+def test_registry_duplicate_rejected_unless_replace():
+    reg = Registry("widget-dup")
+    reg.add("x", 1)
+    with pytest.raises(ConfigurationError, match="already registered"):
+        reg.add("x", 2)
+    reg.add("x", 2, replace=True)
+    assert reg["x"] == 2
+
+
+def test_registry_resolve_unknown_name_lists_known():
+    reg = Registry("widget-unknown")
+    reg.add("alpha", 1)
+    with pytest.raises(ConfigurationError) as err:
+        reg.resolve("beta")
+    assert "unknown widget-unknown 'beta'" in str(err.value)
+    assert "alpha" in str(err.value)
+
+
+def test_registry_get_keeps_mapping_semantics():
+    """dict idioms must keep working verbatim: get() returns a default
+    for missing names instead of raising (resolve()/[] raise)."""
+    reg = Registry("widget-get")
+    reg.add("a", 1)
+    assert reg.get("a") == 1
+    assert reg.get("missing") is None
+    assert reg.get("missing", "fallback") == "fallback"
+    with pytest.raises(ConfigurationError):
+        reg["missing"]
+
+
+def test_registry_unregister():
+    reg = Registry("widget-rm")
+    reg.add("gone", 1)
+    reg.unregister("gone")
+    assert "gone" not in reg
+    with pytest.raises(ConfigurationError):
+        reg.unregister("gone")
+
+
+def test_registry_instantiate_stores_instances():
+    reg = Registry("widget-inst", instantiate=True)
+
+    @reg.register("w")
+    class Widget:
+        pass
+
+    assert isinstance(reg["w"], Widget)
+
+
+def test_registry_validate_runs_at_registration():
+    def needs_run(name, obj):
+        if not callable(getattr(obj, "run", None)):
+            raise ConfigurationError("%s must have run()" % name)
+
+    reg = Registry("widget-val", validate=needs_run)
+    with pytest.raises(ConfigurationError, match="must have run"):
+        reg.add("bad", object())
+
+
+def test_registry_duplicate_kind_rejected():
+    """Constructing a second registry of an existing kind would hijack
+    register()/registry() away from the one the core validates
+    against."""
+    Registry("widget-kind-once")
+    with pytest.raises(ConfigurationError, match="already exists"):
+        Registry("widget-kind-once")
+    registry("app")  # materialise the built-in app registry
+    with pytest.raises(ConfigurationError, match="already exists"):
+        Registry("app")
+
+
+def test_registry_rejects_bad_names():
+    reg = Registry("widget-name")
+    for bad in ("", None, 3):
+        with pytest.raises(ConfigurationError):
+            reg.add(bad, 1)
+
+
+# -- the built-in registries ------------------------------------------------
+def test_builtin_registries_resolve():
+    assert set(registry_kinds()) >= {"app", "design", "scenario",
+                                     "store", "renderer"}
+    assert sorted(registry("app")) == ["amg", "comd", "hpccg", "lulesh",
+                                       "minife", "minivite"]
+    assert sorted(registry("design")) == ["reinit-fti", "restart-fti",
+                                          "ulfm-fti"]
+    assert set(registry("store")) >= {"jsonl", "memory"}
+    assert set(registry("renderer")) >= {"matrix", "report", "csv"}
+
+
+def test_builtin_scenario_registry_matches_kinds_tuple():
+    from repro.faults.scenarios import SCENARIO_KINDS
+
+    names = registry("scenario").names()
+    assert tuple(names[:len(SCENARIO_KINDS)]) == SCENARIO_KINDS
+
+
+def test_registry_function_rejects_unknown_kind():
+    with pytest.raises(ConfigurationError, match="unknown registry kind"):
+        registry("frobnicator")
+
+
+def test_toplevel_register_decorator_roundtrip():
+    reg = registry("renderer")
+
+    @register("renderer", "test-null")
+    def render_nothing(summaries, title="x"):
+        return ""
+
+    try:
+        assert reg.resolve("test-null") is render_nothing
+    finally:
+        reg.unregister("test-null")
+
+
+def test_app_registry_validates_protocol():
+    from repro.apps import APP_REGISTRY
+
+    class NotAnApp:
+        pass
+
+    with pytest.raises(ConfigurationError, match="from_input"):
+        APP_REGISTRY.add("broken", NotAnApp)
+    assert "broken" not in APP_REGISTRY
+
+
+def test_design_registry_is_the_designs_mapping():
+    from repro.core.designs import DESIGNS, ReinitFti
+
+    assert DESIGNS["reinit-fti"] is ReinitFti
+    with pytest.raises(ConfigurationError, match="unknown design"):
+        DESIGNS["warp-drive"]
