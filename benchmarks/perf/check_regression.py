@@ -67,7 +67,18 @@ def compare(baseline: dict, candidate: dict, threshold: float = 0.25,
 
     for name in sorted(set(base_series) | set(cand_series)):
         if name not in base_series:
-            findings.append((name, "info", "new series (no baseline)"))
+            # a series on its first appearance has no baseline to gate
+            # against: report it informationally (never fail) so adding
+            # a benchmark does not need a same-commit baseline update —
+            # the next baseline refresh picks it up. Under --sim-only,
+            # new non-sim series are outside the comparison's scope
+            # entirely, so they are not even reported.
+            if sim_only and \
+                    classify(cand_series[name].get("unit", "")) != "sim":
+                continue
+            findings.append((name, "info",
+                             "new series (no baseline; informational "
+                             "on first appearance)"))
             continue
         base = base_series[name]
         kind = classify(base.get("unit", ""))

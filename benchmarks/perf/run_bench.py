@@ -22,6 +22,8 @@ determinism-checked contract):
 * ``faults_scenario_runs_per_sec``   — multi-fault scenario run rate
   (scenario generation + multi-event plans + repeated node/process
   recovery under ULFM)
+* ``advise_queries_per_sec``         — analytic design-advisor query rate
+  (full design × level ranking per query, repro.modeling)
 * ``e2e_hpccg_makespan_sim_sec``     — simulated makespan (must not drift)
 * ``e2e_hpccg_wallclock_sec``        — end-to-end wall-clock of that run
 
@@ -224,6 +226,22 @@ def bench_faults_scenario(runs: int = 6) -> float:
     return runs / wall
 
 
+# -- design advisor --------------------------------------------------------
+def bench_advise(queries: int = 200) -> float:
+    """Advisor throughput (queries/s): each query prices and ranks the
+    full designs × levels matrix for a workload/MTBF — the modeling hot
+    path behind `match-bench advise` and ``interval="auto"``."""
+    from repro.modeling.advisor import advise
+
+    mtbfs = ("30m", "1h", "4h", "1d")
+    advise("hpccg", 512, "4h")  # warm the registries outside the clock
+    t0 = time.perf_counter()
+    for i in range(queries):
+        rows = advise("hpccg", 512, mtbfs[i % len(mtbfs)])
+        assert rows, "advise produced no ranking"
+    return queries / (time.perf_counter() - t0)
+
+
 # -- end to end ------------------------------------------------------------
 def e2e_scale() -> int:
     raw = os.environ.get("MATCH_SCALES", "512")
@@ -268,6 +286,7 @@ def main(argv=None) -> int:
     record("campaign_runs_per_sec", bench_campaign(), "runs/s")
     record("faults_scenario_runs_per_sec", bench_faults_scenario(),
            "runs/s")
+    record("advise_queries_per_sec", bench_advise(), "queries/s")
     makespan, wall = bench_end_to_end()
     record("e2e_%s_makespan_sim_sec" % e2e_app(), makespan, "sim s")
     record("e2e_%s_wallclock_sec" % e2e_app(), wall, "s")

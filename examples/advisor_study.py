@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Advisor study: sweep MTBF x scale analytically, then spot-check.
+
+Part 1 costs nothing: for every (MTBF, nprocs) cell the analytic
+advisor (docs/MODELING.md) picks the best (design, FTI level,
+checkpoint interval) and prints the winner with its predicted makespan
+— a design-space sweep the simulator would take hours to run, answered
+in milliseconds.
+
+Part 2 (``--validate``) holds the model accountable: it runs a small
+*simulated* campaign under a Poisson scenario and prints the
+predicted-vs-simulated matrix with per-cell relative error.
+
+Usage::
+
+    python examples/advisor_study.py [app] [--mtbfs 30m,1h,4h,1d]
+        [--nprocs 64,128,256,512] [--validate] [--reps N]
+"""
+
+import argparse
+
+from repro.core.configs import DESIGN_NAMES, valid_proc_counts
+from repro.modeling import advise, validate_model
+from repro.modeling.advisor import parse_mtbf
+
+
+def analytic_sweep(app, mtbfs, nprocs_list):
+    print("Best (design, level, interval) per MTBF x scale — %s, "
+          "analytic model:" % app)
+    header = "%-8s" % "MTBF"
+    for nprocs in nprocs_list:
+        header += " | %-26s" % ("%d ranks" % nprocs)
+    print(header)
+    print("-" * len(header))
+    for mtbf in mtbfs:
+        row = "%-8s" % mtbf
+        for nprocs in nprocs_list:
+            best = advise(app, nprocs, mtbf)[0]
+            row += " | %-11s L%d i=%-3d %6.1fs" % (
+                best.design, best.fti_level, best.interval,
+                best.makespan)
+        print(row)
+    print()
+    print("(i = checkpoint interval in iterations; makespan is the "
+          "predicted E[T])")
+
+
+def validation_matrix(app, nprocs_list, reps):
+    mtbf_iters = 20
+    print()
+    print("Predicted vs simulated (poisson:%d, %d rep(s)/cell):"
+          % (mtbf_iters, reps))
+    report = validate_model(app=app, nprocs=tuple(nprocs_list),
+                            designs=DESIGN_NAMES,
+                            faults="poisson:%d" % mtbf_iters, reps=reps)
+    print(report.report())
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("app", nargs="?", default="hpccg")
+    parser.add_argument("--mtbfs", default="30m,1h,4h,1d",
+                        help="comma-separated MTBF sweep (s/m/h/d)")
+    parser.add_argument("--nprocs", default=None,
+                        help="comma-separated scales (default: the "
+                             "app's Table I sizes)")
+    parser.add_argument("--validate", action="store_true",
+                        help="also run the simulated spot-check matrix")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="repetitions per validation cell")
+    args = parser.parse_args()
+
+    mtbfs = [m.strip() for m in args.mtbfs.split(",")]
+    for mtbf in mtbfs:
+        parse_mtbf(mtbf)  # fail fast on typos
+    if args.nprocs:
+        nprocs_list = [int(p) for p in args.nprocs.split(",")]
+    else:
+        nprocs_list = list(valid_proc_counts(args.app))
+
+    analytic_sweep(args.app, mtbfs, nprocs_list)
+    if args.validate:
+        # keep the simulated matrix affordable: at most two scales
+        validation_matrix(args.app, nprocs_list[:2], args.reps)
+
+
+if __name__ == "__main__":
+    main()

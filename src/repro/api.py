@@ -99,8 +99,9 @@ class Campaign:
 
     _FIELDS = dict(apps=(), designs=(), nprocs=(64,), inputs=("small",),
                    faults=None, fti=None, seed=0, nnodes=NNODES,
-                   reps=None, jobs=1, store=None, resume=False,
-                   shard=None, plugins=(), explicit_configs=None)
+                   interval=None, reps=None, jobs=1, store=None,
+                   resume=False, shard=None, plugins=(),
+                   explicit_configs=None)
 
     def __init__(self, **state):
         unknown = set(state) - set(self._FIELDS)
@@ -113,7 +114,8 @@ class Campaign:
     #: builder fields that shape the configs themselves; meaningless —
     #: and therefore rejected — once from_configs supplied finished ones
     _CONFIG_FIELDS = frozenset({"apps", "designs", "nprocs", "inputs",
-                                "faults", "fti", "seed", "nnodes"})
+                                "faults", "fti", "seed", "nnodes",
+                                "interval"})
 
     def _with(self, **changes) -> "Campaign":
         if self._state["explicit_configs"] is not None:
@@ -184,6 +186,13 @@ class Campaign:
             config = FtiConfig(level=level)
         return self._with(fti=config)
 
+    def interval(self, interval) -> "Campaign":
+        """The checkpoint interval every cell runs at: an int stride or
+        ``"auto"`` (the Daly optimum for each cell's own scenario and
+        scale, via the ``model`` registry). ``None`` keeps the paper's
+        every-ten-iterations default (or whatever :meth:`fti` set)."""
+        return self._with(interval=interval)
+
     def seed(self, seed: int) -> "Campaign":
         """Base seed mixed into every repetition's fault draw."""
         return self._with(seed=int(seed))
@@ -253,6 +262,7 @@ class Campaign:
                             seed=self._state["seed"],
                             nnodes=self._state["nnodes"],
                             faults=self._state["faults"],
+                            interval=self._state["interval"],
                             fti=fti if fti is not None else FtiConfig()))
         return cells
 
@@ -263,6 +273,22 @@ class Campaign:
         if reps is not None:
             return reps
         return DEFAULT_REPETITIONS if config.inject_fault else 1
+
+    # -- pre-flight estimation ----------------------------------------------
+    def predict(self, model="analytic") -> list:
+        """Pre-flight cost estimate: ``(config, MakespanPrediction)``
+        per matrix cell, without simulating anything.
+
+        Prices every cell through the ``model`` registry
+        (:mod:`repro.modeling`) in microseconds — the CLI's
+        ``campaign --estimate`` prints this before launching, and the
+        total predicted virtual cost of the sweep is
+        ``sum(p.total_seconds * reps_for(c) for c, p in ...)``.
+        """
+        from .modeling.makespan import predict
+
+        return [(config, predict(config, model=model))
+                for config in self.configs()]
 
     # -- execution ----------------------------------------------------------
     def session(self, engine: CampaignEngine = None) -> "Session":
@@ -408,6 +434,40 @@ class Session:
             repetitions=len(runs),
             runs=runs,
         )
+
+    def advise(self, mtbf, *, objective: str = "makespan",
+               levels=(1, 2, 3, 4), calibrate: bool = True) -> dict:
+        """Design advice calibrated on this session's own results.
+
+        Fits a :class:`~repro.modeling.fit.CalibratedModel` on the
+        session's completed runs (``calibrate=False`` uses the raw
+        analytic model), then ranks (design, level, interval)
+        combinations for every distinct workload cell the session ran
+        — one entry per (app, nprocs, input, nnodes) combination, keyed
+        ``"app/pN/input"`` (plus ``"/nM"`` for a non-default node
+        count), each list best-first by ``objective`` — see
+        :func:`repro.modeling.advisor.advise`.
+        """
+        from .modeling.advisor import advise as advise_rows
+        from .modeling.fit import CalibratedModel, fit_session
+
+        self._require_results()
+        model = "analytic"
+        if calibrate:
+            model = CalibratedModel(fit_session(self))
+        advice = {}
+        for config in self.configs:
+            label = "%s/p%d/%s" % (config.app, config.nprocs,
+                                   config.input_size)
+            if config.nnodes != NNODES:
+                label += "/n%d" % config.nnodes
+            if label in advice:
+                continue
+            advice[label] = advise_rows(
+                config.app, config.nprocs, mtbf,
+                input_size=config.input_size, nnodes=config.nnodes,
+                objective=objective, levels=levels, model=model)
+        return advice
 
     def campaigns(self) -> dict:
         """``{label: CampaignResult}`` in matrix order, exactly as the

@@ -14,6 +14,8 @@ Examples::
     match-bench campaign --app minivite,hpccg --design all --nprocs 8 \
         --nnodes 4 --runs 10 --jobs 4 --progress
     match-bench figure --id 7 --app hpccg
+    match-bench advise --app hpccg --nprocs 512 --mtbf 4h
+    match-bench model-validate --app hpccg --nprocs 64,256
 """
 
 from __future__ import annotations
@@ -52,7 +54,21 @@ def _base_campaign(args):
         campaign = campaign.seed(args.seed)
     if getattr(args, "nnodes", None) is not None:
         campaign = campaign.nnodes(args.nnodes)
+    if getattr(args, "interval", None) is not None:
+        campaign = campaign.interval(_parse_interval(args.interval))
     return campaign
+
+
+def _parse_interval(value):
+    """CLI ``--interval`` values: an int stride or the string 'auto'."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise ConfigurationError(
+            "--interval takes an integer stride or 'auto' (got %r)"
+            % (value,))
 
 
 def _run_config(args):
@@ -198,6 +214,17 @@ def _cmd_campaign(args) -> int:
     campaign = (_matrix_campaign(args).reps(args.runs).jobs(args.jobs)
                 .store(args.store).resume(args.resume).shard(args.shard))
     check_campaign(campaign.configs(), args.runs)
+    if args.estimate:
+        total = 0.0
+        print("pre-flight estimate (analytic model, %d rep(s)/cell):"
+              % args.runs)
+        for config, prediction in campaign.predict():
+            total += prediction.total_seconds * args.runs
+            print("  %-44s E[T]=%8.2fs  eff=%5.1f%%"
+                  % (config.label(), prediction.total_seconds,
+                     100.0 * prediction.efficiency))
+        print("  predicted virtual cost of the sweep: %.2f sim-seconds"
+              % total)
     session = campaign.session()
     for event in session.stream():
         if args.progress and isinstance(event, (UnitCompleted,
@@ -269,6 +296,40 @@ def _cmd_campaign_report(args) -> int:
     return 0
 
 
+def _cmd_advise(args) -> int:
+    import time
+
+    from .modeling import MODELS  # noqa: F401  (imports the registry)
+    from .modeling.advisor import advise, format_advice
+
+    levels = tuple(int(v) for v in args.levels.split(","))
+    t0 = time.perf_counter()
+    rows = advise(args.app, args.nprocs, args.mtbf,
+                  input_size=args.input, nnodes=args.nnodes,
+                  designs=_parse_designs(args.design), levels=levels,
+                  objective=args.objective, model=args.model)
+    model_ms = (time.perf_counter() - t0) * 1e3
+    print(format_advice(
+        rows, title="Advice for %s at %d ranks, MTBF %s (objective: %s)"
+        % (args.app, args.nprocs, args.mtbf, args.objective)))
+    print("model time: %.2f ms (%d cells)" % (model_ms, len(rows)))
+    return 0
+
+
+def _cmd_model_validate(args) -> int:
+    from .modeling.validate import validate_model
+
+    report = validate_model(
+        app=args.app, nprocs=tuple(int(p) for p in
+                                   args.nprocs.split(",")),
+        designs=_parse_designs(args.design), faults=args.faults,
+        reps=args.runs, input_size=args.input, nnodes=args.nnodes,
+        model=args.model, error_budget=args.budget, jobs=args.jobs,
+        seed=args.seed, calibrate=args.calibrate)
+    print(report.report())
+    return 0 if report.within_budget else 1
+
+
 def _cmd_chart(args) -> int:
     from .api import Campaign
     from .core.charts import figure_chart
@@ -310,6 +371,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None, choices=(1, 2, 3, 4),
                        help="FTI reliability level (node-failure "
                             "scenarios need >= 2)")
+        p.add_argument("--interval", default=None, metavar="N|auto",
+                       help="checkpoint interval in iterations, or "
+                            "'auto' for the Daly optimum under the "
+                            "configured fault scenario (docs/MODELING.md)")
 
     run_p = sub.add_parser("run", help="run one configuration")
     run_p.add_argument("--app", required=True)
@@ -369,7 +434,57 @@ def build_parser() -> argparse.ArgumentParser:
     camp_p.add_argument("--progress", action="store_true",
                         help="print one line per completed run (the "
                              "session's live event stream)")
+    camp_p.add_argument("--estimate", action="store_true",
+                        help="print the analytic pre-flight cost "
+                             "estimate (predicted makespan per cell) "
+                             "before launching")
     camp_p.set_defaults(func=_cmd_campaign)
+
+    adv_p = sub.add_parser("advise",
+                           help="rank (design, FTI level, interval) "
+                                "combinations analytically for a "
+                                "workload and MTBF")
+    adv_p.add_argument("--app", required=True)
+    adv_p.add_argument("--nprocs", type=int, default=64)
+    adv_p.add_argument("--mtbf", required=True,
+                       help="machine MTBF: seconds or a suffixed value "
+                            "like 30m / 4h / 1d (or 'inf')")
+    adv_p.add_argument("--input", default="small", choices=INPUT_SIZES)
+    adv_p.add_argument("--nnodes", type=int, default=NNODES)
+    adv_p.add_argument("--design", default="all",
+                       help="design, comma-separated list, or 'all'")
+    adv_p.add_argument("--levels", default="1,2,3,4",
+                       help="comma-separated FTI levels to consider")
+    adv_p.add_argument("--objective", default="makespan",
+                       choices=("makespan", "efficiency", "recovery"))
+    adv_p.add_argument("--model", default="analytic",
+                       help="cost model (any registered 'model' entry)")
+    adv_p.set_defaults(func=_cmd_advise)
+
+    val_p = sub.add_parser("model-validate",
+                           help="run a small campaign and check the "
+                                "analytic predictions against it")
+    val_p.add_argument("--app", default="hpccg")
+    val_p.add_argument("--nprocs", default="64,256",
+                       help="comma-separated scaling sizes")
+    val_p.add_argument("--design", default="all",
+                       help="design, comma-separated list, or 'all'")
+    val_p.add_argument("--faults", default="poisson:20", metavar="SPEC",
+                       help="fault scenario the campaign runs under")
+    val_p.add_argument("--input", default="small", choices=INPUT_SIZES)
+    val_p.add_argument("--nnodes", type=int, default=NNODES)
+    val_p.add_argument("--runs", type=int, default=2,
+                       help="repetitions per cell")
+    val_p.add_argument("--seed", type=int, default=0)
+    val_p.add_argument("--jobs", type=int, default=1)
+    val_p.add_argument("--budget", type=float, default=0.25,
+                       help="max per-cell relative error (default 0.25)")
+    val_p.add_argument("--model", default="analytic",
+                       help="cost model (any registered 'model' entry)")
+    val_p.add_argument("--calibrate", action="store_true",
+                       help="fit a calibrated model on the campaign "
+                            "first and validate that instead")
+    val_p.set_defaults(func=_cmd_model_validate)
 
     rep_p = sub.add_parser("campaign-report",
                            help="merge result stores and print the "

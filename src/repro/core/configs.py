@@ -79,6 +79,17 @@ class ExperimentConfig:
     contradicts the scenario raises). ``faults`` accepts a
     :class:`FaultScenario`, a serialized scenario dict, or a CLI spec
     string like ``"independent:3:node=1"``.
+
+    The checkpoint interval has one canonical home —
+    ``fti.ckpt_stride`` — and ``interval`` is the config-level way to
+    set it: an ``int`` overrides the stride, the string ``"auto"``
+    resolves the Young/Daly-optimal stride for this config's scenario
+    through the ``model`` registry (:mod:`repro.modeling`), and
+    ``None`` (the default) keeps whatever ``fti`` says. After
+    construction ``interval`` always equals ``fti.ckpt_stride``, and it
+    never enters the run-key payload (the stride inside ``fti``
+    already does), so the legacy implicit interval and an explicit
+    ``interval=10`` produce bit-identical run keys.
     """
 
     app: str
@@ -92,6 +103,10 @@ class ExperimentConfig:
     fti: FtiConfig = field(default_factory=FtiConfig)
     nnodes: int = NNODES
     faults: FaultScenario = None
+    #: canonical checkpoint interval: None (keep ``fti.ckpt_stride``),
+    #: an int stride, or ``"auto"`` (Young/Daly via the model registry);
+    #: always an int equal to ``fti.ckpt_stride`` after construction
+    interval: int | str | None = None
 
     def __post_init__(self):
         # registry lookups (not membership in the paper's tuples) so a
@@ -129,6 +144,36 @@ class ExperimentConfig:
                 "drop one of the two" % (self.inject_fault, faults.kind))
         object.__setattr__(self, "faults", faults)
         object.__setattr__(self, "inject_fault", faults.injects)
+        self._resolve_interval()
+
+    def _resolve_interval(self) -> None:
+        """Normalise ``interval`` into ``fti.ckpt_stride`` (see the
+        class docstring): afterwards the two always agree, so the run
+        key — which hashes only ``fti`` — is identical however the
+        stride was spelled."""
+        interval = self.interval
+        if interval is None:
+            object.__setattr__(self, "interval", self.fti.ckpt_stride)
+            return
+        if interval == "auto":
+            from ..modeling.interval import auto_stride
+
+            interval = auto_stride(self)
+        elif isinstance(interval, bool) or not isinstance(interval, int):
+            raise ConfigurationError(
+                "interval must be None, an int stride or 'auto' "
+                "(got %r)" % (interval,))
+        if interval < 1:
+            raise ConfigurationError("interval must be >= 1")
+        default_stride = FtiConfig().ckpt_stride
+        if self.fti.ckpt_stride not in (default_stride, interval):
+            raise ConfigurationError(
+                "interval=%d contradicts fti.ckpt_stride=%d; set the "
+                "stride through one of the two" % (interval,
+                                                   self.fti.ckpt_stride))
+        object.__setattr__(self, "fti",
+                           replace(self.fti, ckpt_stride=interval))
+        object.__setattr__(self, "interval", interval)
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, seed=seed)
@@ -136,6 +181,22 @@ class ExperimentConfig:
     def with_faults(self, faults) -> "ExperimentConfig":
         """A copy running under a different fault scenario."""
         return replace(self, faults=faults, inject_fault=None)
+
+    def with_interval(self, interval) -> "ExperimentConfig":
+        """A copy checkpointing at a different interval (int or
+        ``"auto"``); the stride inside ``fti`` follows along.
+
+        ``None`` is rejected rather than treated as "keep": the stride
+        reset below would silently turn it into the default stride,
+        and a caller plumbing an unset optional through here should
+        hear about it."""
+        if interval is None:
+            raise ConfigurationError(
+                "with_interval needs an int stride or 'auto' (to keep "
+                "the current interval, keep the config)")
+        return replace(
+            self, interval=interval,
+            fti=replace(self.fti, ckpt_stride=FtiConfig().ckpt_stride))
 
     def make_app(self):
         return APP_REGISTRY[self.app].from_input(self.nprocs,
@@ -154,7 +215,10 @@ class ExperimentConfig:
 
 
 #: bump when the run-key payload layout changes (invalidates old stores)
-#: — schema 2: configs carry a canonical ``faults`` scenario
+#: — schema 2: configs carry a canonical ``faults`` scenario. The
+#: ``interval`` field deliberately did NOT bump it: the stride it sets
+#: already lives in the payload as ``fti.ckpt_stride``, so the field is
+#: dropped from the payload and schema-2 keys stay valid.
 RUN_KEY_SCHEMA = 2
 
 
@@ -163,9 +227,15 @@ def config_to_dict(config: "ExperimentConfig") -> dict:
 
     The inverse of :func:`config_from_dict`; the pair is how configs
     cross process boundaries (campaign workers) and land in result
-    stores.
+    stores. ``interval`` is omitted: after construction it always
+    equals ``fti.ckpt_stride`` (which *is* in the payload), so keeping
+    it out makes the legacy implicit interval, ``interval=N`` and a
+    resolved ``interval="auto"`` map to the same run keys — and legacy
+    payloads without the key round-trip unchanged.
     """
-    return dataclasses.asdict(config)
+    data = dataclasses.asdict(config)
+    del data["interval"]
+    return data
 
 
 def config_from_dict(data: dict) -> "ExperimentConfig":

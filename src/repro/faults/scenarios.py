@@ -11,8 +11,9 @@ deterministic :class:`~repro.faults.plans.FaultPlan` for one
 
 Scenario *kinds* are registry-driven: each is a :class:`ScenarioKind`
 in the ``scenario`` :class:`repro.registry.Registry` (``SCENARIOS``),
-which owns the kind's validation, label, spec grammar and plan draw. A
-new failure regime is a self-registering class — no core edits::
+which owns the kind's validation, label, spec grammar, hazard rate and
+plan draw. A new failure regime is a self-registering class — no core
+edits::
 
     from repro.faults.plans import FaultEvent
     from repro.faults.scenarios import SCENARIOS, ScenarioKind
@@ -102,6 +103,24 @@ class ScenarioKind:
     def label(self, scenario: "FaultScenario") -> str:
         """Compact human label used in config labels and reports."""
         return scenario.kind
+
+    def rate(self, scenario: "FaultScenario", niters: int) -> float:
+        """Hazard rate: expected fault events per main-loop iteration.
+
+        The analytic models (:mod:`repro.modeling`) consume this instead
+        of reaching into kind internals, so a custom kind only has to
+        describe its own arrival process. The default covers every
+        fixed-count kind: ``count`` events spread uniformly over the
+        targetable ``[min_iteration, niters)`` window. Kinds with a true
+        arrival process (``poisson``) override it.
+        """
+        span = niters - scenario.min_iteration
+        if span <= 0:
+            raise ConfigurationError(
+                "hazard rate needs niters > min_iteration")
+        if not self.injects:
+            return 0.0
+        return scenario.count / span
 
     def make_plan(self, scenario: "FaultScenario", nprocs: int,
                   niters: int, seed: int, nnodes: int) -> FaultPlan:
@@ -223,6 +242,17 @@ class FaultScenario:
                 min_iteration: int = 1) -> "FaultScenario":
         return cls(kind="poisson", mtbf_iters=mtbf_iters,
                    min_iteration=min_iteration)
+
+    # -- hazard ------------------------------------------------------------
+    def rate(self, niters: int) -> float:
+        """Expected fault events per main-loop iteration of a run of
+        ``niters`` iterations (the kind's :meth:`ScenarioKind.rate`)."""
+        return SCENARIOS.resolve(self.kind).rate(self, niters)
+
+    def expected_events(self, niters: int) -> float:
+        """Expected fault events over one whole run: the hazard rate
+        integrated over the targetable iteration window."""
+        return self.rate(niters) * (niters - self.min_iteration)
 
     # -- plan generation ---------------------------------------------------
     def make_plan(self, nprocs: int, niters: int, seed: int,
@@ -364,6 +394,15 @@ class PoissonKind(ScenarioKind):
                 or scenario.mtbf_iters < 0.01:
             raise ConfigurationError(
                 "poisson scenario needs a finite mtbf_iters >= 0.01")
+
+    def rate(self, scenario, niters):
+        # exact for the arrival process itself; the draw's collapse of
+        # same-(rank, iteration) arrivals only bites when mtbf_iters
+        # approaches 1/nprocs
+        if niters <= scenario.min_iteration:
+            raise ConfigurationError(
+                "hazard rate needs niters > min_iteration")
+        return 1.0 / scenario.mtbf_iters
 
     def draw(self, scenario, rng, nprocs, niters, nnodes):
         events = []

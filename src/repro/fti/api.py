@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from .config import FtiConfig
+from .config import MEMCPY_BANDWIDTH_SHARE, FtiConfig
 from .levels import LEVELS
 from .metadata import CheckpointRegistry
 from .serializer import ProtectedSet, ScalarRef
@@ -117,7 +117,7 @@ class Fti:
         paper's "modest increase with more processes" (§V-C)."""
         node = self.cluster.node_spec
         rpn = max(1, -(-self.nprocs // self.cluster.nnodes))
-        share = node.memory_bandwidth * 0.75 / rpn
+        share = node.memory_bandwidth * MEMCPY_BANDWIDTH_SHARE / rpn
         return max(1.0, node.ramfs_bandwidth / share)
 
     def unprotect(self, var_id: int) -> None:

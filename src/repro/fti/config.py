@@ -12,6 +12,12 @@ from ..errors import ConfigurationError
 
 VALID_LEVELS = (1, 2, 3, 4)
 
+#: fraction of a node's memory bandwidth checkpoint memcpy can use —
+#: the single source for the simulator's contention arithmetic
+#: (``Fti._memory_contention``, the L3 encode path) and the analytic
+#: model's mirror of it (``repro.modeling.costs.CostParams``)
+MEMCPY_BANDWIDTH_SHARE = 0.75
+
 
 @dataclass(frozen=True)
 class FtiConfig:

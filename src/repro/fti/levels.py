@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import hashlib
 
+from .config import MEMCPY_BANDWIDTH_SHARE
 from .metadata import CheckpointRegistry, RankEntry
 from .rs_encoding import pad_to_equal_length, rs_code
 from ..errors import (
@@ -148,7 +149,8 @@ class L3ReedSolomon(L1Local):
         allgather = fti.cluster.network.allgather_time(k, nbytes)
         node = fti.cluster.node_spec
         rpn = max(1, -(-fti.nprocs // fti.cluster.nnodes))
-        encode = 2.0 * k * nbytes / (node.memory_bandwidth * 0.75 / rpn)
+        encode = 2.0 * k * nbytes / (
+            node.memory_bandwidth * MEMCPY_BANDWIDTH_SHARE / rpn)
         parity_write = nbytes / self._local_bandwidth(fti)
         return base + allgather + encode + parity_write
 

@@ -1,0 +1,83 @@
+"""Analytic performance/reliability models with a simulator-validated
+design advisor.
+
+The simulator discovers MATCH's cost curves by running them; this
+subsystem answers the same questions in closed form, in microseconds:
+
+* :mod:`~repro.modeling.costs` — per-design cost models sharing the
+  simulator's own mechanism constants (``MODELS`` is the ``model``
+  registry; alternative models plug in like apps and scenarios do).
+* :mod:`~repro.modeling.interval` — Young/Daly optimal checkpoint
+  intervals, fed by the fault scenarios' hazard-rate hooks
+  (``interval="auto"`` on a config resolves here).
+* :mod:`~repro.modeling.makespan` — expected-makespan/efficiency
+  prediction E[T(design, level, interval, nprocs, MTBF)].
+* :mod:`~repro.modeling.advisor` — ``advise(app, nprocs, mtbf)``:
+  a ranked (design, level, interval) table for a workload.
+* :mod:`~repro.modeling.fit` — least-squares calibration of model
+  constants from campaign result stores.
+* :mod:`~repro.modeling.validate` — cross-check predictions against a
+  simulated campaign under an error budget.
+
+Quickstart::
+
+    from repro.modeling import advise, format_advice
+
+    rows = advise("hpccg", nprocs=512, mtbf="4h")
+    print(format_advice(rows))
+
+See docs/MODELING.md for derivations, constants provenance and the
+validation error budget.
+"""
+
+from .advisor import Advice, advise, format_advice, parse_mtbf
+from .costs import MODELS, AnalyticCostModel, CostParams, resolve_model
+from .fit import (
+    CalibratedModel,
+    FittedConstants,
+    fit_records,
+    fit_session,
+    fit_store,
+)
+from .interval import (
+    auto_stride,
+    daly_interval,
+    optimal_stride,
+    scenario_mtbf_seconds,
+    young_interval,
+)
+from .makespan import MakespanPrediction, predict, predict_cell
+from .validate import (
+    DEFAULT_ERROR_BUDGET,
+    CellValidation,
+    ValidationReport,
+    validate_model,
+)
+
+__all__ = [
+    "Advice",
+    "AnalyticCostModel",
+    "CalibratedModel",
+    "CellValidation",
+    "CostParams",
+    "DEFAULT_ERROR_BUDGET",
+    "FittedConstants",
+    "MODELS",
+    "MakespanPrediction",
+    "ValidationReport",
+    "advise",
+    "auto_stride",
+    "daly_interval",
+    "fit_records",
+    "fit_session",
+    "fit_store",
+    "format_advice",
+    "optimal_stride",
+    "parse_mtbf",
+    "predict",
+    "predict_cell",
+    "resolve_model",
+    "scenario_mtbf_seconds",
+    "validate_model",
+    "young_interval",
+]

@@ -1,0 +1,160 @@
+"""The design advisor: "which design/level/interval for this workload?"
+
+Answers the question the paper's cost curves (Figs. 5-10) raise but a
+simulator can only answer by running: given a workload, a scale and a
+machine MTBF, rank every (recovery design, FTI level, checkpoint
+interval) combination by predicted makespan (or efficiency, or raw
+recovery cost). Each cell is priced in microseconds through
+:mod:`repro.modeling.makespan`, with the interval itself set to the
+Daly optimum for that cell's checkpoint cost — so the advisor explores
+the MTBF × design × level axis analytically, for free.
+
+Cost models resolve through the ``model`` registry
+(:data:`repro.modeling.costs.MODELS`), so a calibrated or custom model
+(:mod:`repro.modeling.fit`) slots into ``advise(..., model=...)`` —
+or registers under a name and is selected from the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from .costs import resolve_model
+from .interval import optimal_stride
+from .makespan import MakespanPrediction, predict_cell
+from ..apps import APP_REGISTRY
+from ..core.configs import DESIGN_NAMES, NNODES
+from ..errors import ConfigurationError
+from ..fti.config import VALID_LEVELS, FtiConfig
+
+#: ranking objectives: name -> (sort key over Advice, direction note)
+OBJECTIVES = ("makespan", "efficiency", "recovery")
+
+_MTBF_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def parse_mtbf(text) -> float:
+    """MTBF in seconds from ``"4h"``, ``"30m"``, ``"86400"``, ``1800``,
+    or ``"inf"`` (no failures)."""
+    if isinstance(text, (int, float)):
+        value = float(text)
+    else:
+        raw = str(text).strip().lower()
+        if raw in ("inf", "infinity", "none"):
+            return math.inf
+        match = re.fullmatch(r"([0-9.]+)\s*([smhd]?)", raw)
+        if not match:
+            raise ConfigurationError(
+                "cannot parse MTBF %r (use seconds, or a number with "
+                "an s/m/h/d suffix, e.g. '4h')" % (text,))
+        try:
+            value = float(match.group(1))
+        except ValueError:
+            raise ConfigurationError("cannot parse MTBF %r" % (text,))
+        value *= _MTBF_UNITS.get(match.group(2) or "s")
+    if value <= 0:
+        raise ConfigurationError("MTBF must be positive")
+    return value
+
+
+@dataclass(frozen=True)
+class Advice:
+    """One ranked advisor row."""
+
+    design: str
+    fti_level: int
+    interval: int
+    prediction: MakespanPrediction
+
+    @property
+    def makespan(self) -> float:
+        return self.prediction.total_seconds
+
+    @property
+    def efficiency(self) -> float:
+        return self.prediction.efficiency
+
+
+def _rank_key(objective: str):
+    if objective == "makespan":
+        return lambda row: row.makespan
+    if objective == "efficiency":
+        return lambda row: -row.efficiency
+    if objective == "recovery":
+        return lambda row: (row.prediction.recovery_seconds, row.makespan)
+    raise ConfigurationError(
+        "unknown objective %r (have %s)" % (objective, OBJECTIVES))
+
+
+def advise(app: str, nprocs: int, mtbf, *, input_size: str = "small",
+           nnodes: int = NNODES, designs=DESIGN_NAMES,
+           levels=VALID_LEVELS, objective: str = "makespan",
+           model="analytic") -> list:
+    """Rank (design, level, interval) combinations for one workload.
+
+    ``mtbf`` is seconds or a suffixed string (``"4h"``). For each
+    design × level cell the checkpoint interval is set to the Daly
+    optimum for that cell's own checkpoint cost, then the cell's
+    expected makespan is predicted; rows come back sorted best-first by
+    ``objective`` (``makespan`` | ``efficiency`` | ``recovery``).
+    """
+    mtbf_seconds = parse_mtbf(mtbf)
+    model = resolve_model(model)
+    key = _rank_key(objective)
+    app_obj = APP_REGISTRY.resolve(app).from_input(nprocs, input_size)
+    rows = []
+    for design in designs:
+        iter_seconds = model.iteration_seconds(app_obj, design, nprocs,
+                                               nnodes)
+        for level in levels:
+            fti = FtiConfig(level=level)
+            ckpt_cost = model.ckpt_write_seconds(
+                fti, app_obj.nominal_ckpt_bytes(), nprocs, nnodes,
+                design=design)
+            stride = optimal_stride(ckpt_cost, mtbf_seconds, iter_seconds,
+                                    app_obj.niters)
+            prediction = predict_cell(
+                app=app, design=design, nprocs=nprocs,
+                input_size=input_size, nnodes=nnodes, level=level,
+                stride=stride, mtbf_seconds=mtbf_seconds, model=model,
+                app_obj=app_obj, iter_seconds=iter_seconds,
+                ckpt_cost=ckpt_cost)
+            rows.append(Advice(design=design, fti_level=level,
+                               interval=stride, prediction=prediction))
+    rows.sort(key=key)
+    return rows
+
+
+def format_advice(rows, title: str = "") -> str:
+    """Render ranked advice as the CLI's fixed-width table.
+
+    The ``recov`` column is exactly the quantity the ``recovery``
+    objective sorts by (expected MPI repair seconds); rollback rework
+    gets its own column so the two are never conflated.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("%-4s %-12s %-3s %-9s %12s %11s %9s %9s %9s"
+                 % ("rank", "design", "L", "interval", "E[T] (s)",
+                    "efficiency", "ckpt (s)", "recov (s)", "rework(s)"))
+    for index, row in enumerate(rows, start=1):
+        p = row.prediction
+        lines.append("%-4d %-12s %-3d %-9d %12.2f %10.1f%% %9.2f %9.2f "
+                     "%8.2f"
+                     % (index, row.design, row.fti_level, row.interval,
+                        p.total_seconds, 100.0 * p.efficiency,
+                        p.ckpt_write_seconds, p.recovery_seconds,
+                        p.rework_seconds))
+    return "\n".join(lines)
+
+
+__all__ = [
+    "Advice",
+    "OBJECTIVES",
+    "advise",
+    "format_advice",
+    "parse_mtbf",
+]

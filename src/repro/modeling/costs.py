@@ -1,0 +1,260 @@
+"""Per-design analytic cost models: the simulator's arithmetic, closed form.
+
+Every formula here mirrors a mechanism the simulator actually executes —
+the FTI level strategies' nominal write paths (:mod:`repro.fti.levels`),
+the launcher's redeployment phases (:mod:`repro.cluster.launcher`),
+Reinit's daemon-local respawn (:mod:`repro.recovery.reinit`) and ULFM's
+revoke/shrink/spawn/merge/agree protocol constants
+(:class:`repro.simmpi.runtime.Runtime`). The point of sharing the
+constants with the simulator instead of re-stating numbers is that a
+calibration edit to the mechanism propagates to the model — and the
+paper-anchor pin tests (``tests/cluster``) keep the mechanism itself from
+drifting silently.
+
+Cost models are an extension point: the ``model``
+:class:`repro.registry.Registry` (``MODELS``) maps model names to
+instances providing the four hooks below, so an alternative model (a
+calibrated wrapper, a measured lookup table, a different machine) plugs
+in exactly like apps and scenario kinds do::
+
+    from repro.modeling import MODELS
+
+    @MODELS.register("pessimistic")
+    class Pessimistic(AnalyticCostModel):
+        def recovery_seconds(self, design, nprocs, nnodes):
+            return 2.0 * super().recovery_seconds(design, nprocs, nnodes)
+
+Model protocol (validated at registration):
+
+``iteration_seconds(app, design, nprocs, nnodes)``
+    Virtual seconds one main-loop iteration of ``app`` (a
+    :class:`~repro.apps.base.ProxyApp` instance) costs under ``design``.
+``ckpt_write_seconds(fti, nbytes, nprocs, nnodes)``
+    Per-checkpoint cost at the ``fti`` level for a nominal per-rank blob
+    of ``nbytes``.
+``ckpt_read_seconds(fti, nbytes, nprocs, nnodes)``
+    Recovery-time read of the same blob.
+``recovery_seconds(design, nprocs, nnodes)``
+    The design's per-failure MPI repair cost (excludes rollback rework —
+    :mod:`repro.modeling.makespan` prices that from the interval).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..cluster.launcher import LauncherSpec
+from ..cluster.network import NetworkSpec
+from ..cluster.node import NodeSpec
+from ..errors import ConfigurationError
+from ..fti.api import Fti
+from ..fti.config import MEMCPY_BANDWIDTH_SHARE, FtiConfig
+from ..recovery.reinit import ReinitSpec
+from ..registry import Registry
+from ..simmpi.overhead import UlfmOverheadModel
+from ..simmpi.runtime import Runtime
+from ..workmodel.model import WorkModel
+
+
+def _check_model(name, obj):
+    for hook in ("iteration_seconds", "ckpt_write_seconds",
+                 "ckpt_read_seconds", "recovery_seconds"):
+        if not callable(getattr(obj, hook, None)):
+            raise ConfigurationError(
+                "cost model %r must provide %s()" % (name, hook))
+
+
+#: the ``model`` registry: cost-model name -> model instance
+MODELS = Registry("model", instantiate=True, validate=_check_model,
+                  noun="cost model")
+
+
+def resolve_model(model):
+    """A model instance from a registry name or a ready-made object."""
+    if isinstance(model, str):
+        return MODELS.resolve(model)
+    _check_model(getattr(model, "name", repr(model)), model)
+    return model
+
+
+def _log2(n: int) -> float:
+    return math.log2(max(2, n))
+
+
+def ranks_per_node(nprocs: int, nnodes: int) -> int:
+    """Ceil-division block placement, as the cluster packs ranks."""
+    if nprocs < 1 or nnodes < 1:
+        raise ConfigurationError("need positive process and node counts")
+    return -(-nprocs // nnodes)
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Every constant the analytic model prices with.
+
+    Defaults are the simulator's own specs and protocol constants, so
+    the model predicts the simulator it ships with; swap any field to
+    model a different machine.
+    """
+
+    node: NodeSpec = field(default_factory=NodeSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    launcher: LauncherSpec = field(default_factory=LauncherSpec)
+    reinit: ReinitSpec = field(default_factory=ReinitSpec)
+    ulfm_overhead: UlfmOverheadModel = field(
+        default_factory=UlfmOverheadModel)
+    #: PFS aggregate bandwidth/latency (ParallelFileSystem defaults)
+    pfs_bandwidth: float = 5.0e10
+    pfs_latency: float = 2e-3
+    #: ULFM repair protocol constants (Runtime's, verbatim)
+    revoke_alpha: float = Runtime.REVOKE_ALPHA
+    shrink_alpha: float = Runtime.SHRINK_ALPHA
+    shrink_per_proc: float = Runtime.SHRINK_PER_PROC
+    agree_alpha: float = Runtime.AGREE_ALPHA
+    merge_alpha: float = Runtime.MERGE_ALPHA
+    spawn_base: float = Runtime.SPAWN_BASE
+    spawn_per_proc: float = Runtime.SPAWN_PER_PROC
+    #: FTI's internal coordination collective (Fti.COORD_ALPHA)
+    fti_coord_alpha: float = Fti.COORD_ALPHA
+    #: memory-bandwidth fraction usable by checkpoint memcpy — the
+    #: simulator's own contention share, verbatim
+    memcpy_share: float = MEMCPY_BANDWIDTH_SHARE
+
+    def work_model(self) -> WorkModel:
+        return WorkModel(node=self.node)
+
+
+@MODELS.register("analytic")
+class AnalyticCostModel:
+    """The closed-form mirror of the simulator's cost arithmetic."""
+
+    name = "analytic"
+
+    def __init__(self, params: CostParams | None = None):
+        self.params = params or CostParams()
+
+    # -- shared helpers -----------------------------------------------------
+    def compute_factor(self, design: str, nprocs: int) -> float:
+        """The design's always-on compute tax (ULFM's heartbeat and
+        interposition layer; Restart/Reinit are vanilla MPI)."""
+        if design == "ulfm-fti":
+            return self.params.ulfm_overhead.compute_factor(nprocs)
+        return 1.0
+
+    def _memcpy_contention(self, nprocs: int, nnodes: int) -> float:
+        """RAMFS writes are memcpy: co-located ranks share the node's
+        memory bandwidth (mirrors ``Fti._memory_contention``)."""
+        node = self.params.node
+        rpn = ranks_per_node(nprocs, nnodes)
+        share = node.memory_bandwidth * self.params.memcpy_share / rpn
+        return max(1.0, node.ramfs_bandwidth / share)
+
+    def _local_bandwidth(self, fti: FtiConfig) -> float:
+        node = self.params.node
+        return node.ssd_bandwidth if fti.use_ssd else node.ramfs_bandwidth
+
+    def _local_write_seconds(self, fti: FtiConfig, nbytes: int,
+                             nprocs: int, nnodes: int) -> float:
+        """The L1 nominal path every level starts from."""
+        return (nbytes / self._local_bandwidth(fti)
+                * self._memcpy_contention(nprocs, nnodes))
+
+    # -- protocol hooks -----------------------------------------------------
+    def iteration_seconds(self, app, design: str, nprocs: int,
+                          nnodes: int) -> float:
+        """One main-loop iteration: the app's (flops, bytes) through the
+        same roofline work model the simulator charges, times the
+        design's compute tax."""
+        work_per_iter = getattr(app, "work_per_iter", None)
+        if not callable(work_per_iter):
+            raise ConfigurationError(
+                "app %r does not expose work_per_iter(); analytic "
+                "modeling needs it (implement it, or register a custom "
+                "cost model)" % (getattr(app, "name", app),))
+        flops, bytes_moved = work_per_iter()
+        seconds = self.params.work_model().seconds(
+            flops=flops, bytes_moved=bytes_moved,
+            ranks_per_node=ranks_per_node(nprocs, nnodes))
+        return seconds * self.compute_factor(design, nprocs)
+
+    def ckpt_write_seconds(self, fti: FtiConfig, nbytes: int, nprocs: int,
+                           nnodes: int, design: str = "reinit-fti") -> float:
+        """One checkpoint at the ``fti`` level: serialization compute,
+        the level's nominal storage/network path and FTI's completion
+        collective (mirrors ``Fti.checkpoint``)."""
+        if nbytes < 0:
+            raise ConfigurationError("checkpoint bytes must be >= 0")
+        p = self.params
+        rpn = ranks_per_node(nprocs, nnodes)
+        factor = self.compute_factor(design, nprocs)
+        # serialization: one read of the data + one write of the blob
+        serialize = p.work_model().seconds(bytes_moved=2.0 * nbytes,
+                                           ranks_per_node=rpn) * factor
+        io = self._local_write_seconds(fti, nbytes, nprocs, nnodes)
+        if fti.level == 2:
+            io += nbytes / p.network.beta_inter
+            io += nbytes / p.node.ramfs_bandwidth
+        elif fti.level == 3:
+            k = fti.group_size
+            alpha, beta = p.network.alpha_inter, p.network.beta_inter
+            allgather = max(1, k - 1) * (alpha + nbytes / beta)
+            encode = (2.0 * k * nbytes
+                      / (p.node.memory_bandwidth * p.memcpy_share / rpn))
+            io += allgather + encode + nbytes / self._local_bandwidth(fti)
+        elif fti.level == 4:
+            share = p.pfs_bandwidth / max(1, nprocs)
+            io += nbytes / share
+        # FTI coordination: metadata agreement + the completion allreduce
+        coord = p.fti_coord_alpha * _log2(nprocs) * factor
+        allreduce = math.ceil(_log2(nprocs)) * (
+            p.network.alpha_inter + 8 / p.network.beta_inter)
+        return serialize + io + coord + allreduce
+
+    def ckpt_read_seconds(self, fti: FtiConfig, nbytes: int, nprocs: int,
+                          nnodes: int, design: str = "reinit-fti") -> float:
+        """Recovery-time restore: the happy path reads the surviving
+        local copy at every level (mirrors ``Fti.recover``)."""
+        rpn = ranks_per_node(nprocs, nnodes)
+        factor = self.compute_factor(design, nprocs)
+        deserialize = self.params.work_model().seconds(
+            bytes_moved=2.0 * nbytes, ranks_per_node=rpn) * factor
+        io = self._local_write_seconds(fti, nbytes, nprocs, nnodes)
+        return deserialize + io
+
+    def recovery_seconds(self, design: str, nprocs: int,
+                         nnodes: int) -> float:
+        """The design's per-failure MPI repair cost."""
+        p = self.params
+        if design == "restart-fti":
+            # the launcher's full redeployment (JobLauncher.launch_time)
+            s = p.launcher
+            return (s.allocation_seconds
+                    + math.ceil(_log2(nnodes)) * s.daemon_seconds
+                    + nprocs * s.process_spawn_seconds
+                    + math.ceil(_log2(nprocs)) * s.init_wireup_seconds)
+        if design == "reinit-fti":
+            return p.reinit.cost(nnodes)
+        if design == "ulfm-fti":
+            # survivor critical path: revoke, shrink, spawn one
+            # replacement, merge, two-phase agree (Runtime's charges)
+            log2p = _log2(nprocs)
+            return (p.revoke_alpha * log2p
+                    + p.shrink_alpha * log2p + p.shrink_per_proc * nprocs
+                    + p.spawn_base + p.spawn_per_proc
+                    + p.merge_alpha * log2p          # spawn-side merge
+                    + p.merge_alpha * log2p          # intercomm merge
+                    + 2.0 * p.agree_alpha * log2p)
+        raise ConfigurationError(
+            "the analytic model prices the paper's designs "
+            "('restart-fti', 'reinit-fti', 'ulfm-fti'), not %r — "
+            "register a custom cost model for custom designs" % (design,))
+
+
+__all__ = [
+    "MODELS",
+    "AnalyticCostModel",
+    "CostParams",
+    "ranks_per_node",
+    "resolve_model",
+]

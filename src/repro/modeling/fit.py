@@ -1,0 +1,210 @@
+"""Calibrate model constants against campaign results, by least squares.
+
+The analytic model predicts the simulator from shared mechanism
+constants; as the simulator evolves (new kernels, recalibrated specs),
+predictions can drift. This module closes the loop: given recorded runs
+— a :class:`repro.core.store` record dict, a result-store path, or a
+finished :class:`repro.api.Session` — it fits one multiplicative scale
+per component group:
+
+* ``app_scale[app]`` — observed application seconds vs the modeled
+  failure-free work,
+* ``ckpt_scale[level]`` — observed checkpoint-write seconds vs the
+  modeled per-checkpoint cost times the observed checkpoint count,
+* ``recovery_scale[design]`` — observed recovery seconds vs the modeled
+  per-failure repair cost times the observed episode count.
+
+Each scale is the closed-form least-squares slope through the origin
+(``sum(p*o) / sum(p*p)``) over that group's (predicted, observed)
+pairs, so one bad run cannot flip a sign and a group with no samples
+keeps scale 1.0. :class:`CalibratedModel` wraps any base model with the
+fitted constants and satisfies the same ``model``-registry protocol, so
+a calibrated model drops into the advisor, ``interval="auto"`` and
+validation unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .costs import resolve_model
+from ..core.configs import config_from_dict
+from ..errors import ConfigurationError
+
+
+@dataclass
+class FittedConstants:
+    """Per-group multiplicative corrections, with provenance counts."""
+
+    app_scale: dict = field(default_factory=dict)
+    ckpt_scale: dict = field(default_factory=dict)
+    recovery_scale: dict = field(default_factory=dict)
+    #: (predicted, observed) pairs each fit consumed, per group kind
+    samples: int = 0
+
+    def to_dict(self) -> dict:
+        return {"app_scale": dict(self.app_scale),
+                "ckpt_scale": {str(k): v
+                               for k, v in self.ckpt_scale.items()},
+                "recovery_scale": dict(self.recovery_scale),
+                "samples": self.samples}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FittedConstants":
+        unknown = set(data) - {"app_scale", "ckpt_scale",
+                               "recovery_scale", "samples"}
+        if unknown:
+            raise ConfigurationError(
+                "fitted-constants dict has unknown fields %s"
+                % sorted(unknown))
+        return cls(app_scale=dict(data.get("app_scale", {})),
+                   ckpt_scale={int(k): v for k, v in
+                               data.get("ckpt_scale", {}).items()},
+                   recovery_scale=dict(data.get("recovery_scale", {})),
+                   samples=int(data.get("samples", 0)))
+
+
+def _slope(pairs) -> float:
+    """Least-squares slope through the origin for (predicted, observed)
+    pairs; 1.0 when the group has no usable signal."""
+    num = sum(p * o for p, o in pairs)
+    den = sum(p * p for p, _ in pairs)
+    if den <= 0:
+        return 1.0
+    return num / den
+
+
+class CalibratedModel:
+    """A base cost model with fitted per-group scales applied."""
+
+    name = "calibrated"
+
+    def __init__(self, constants: FittedConstants, base="analytic"):
+        self.base = resolve_model(base)
+        self.constants = constants
+
+    def iteration_seconds(self, app, design, nprocs, nnodes):
+        scale = self.constants.app_scale.get(
+            getattr(app, "name", None), 1.0)
+        return scale * self.base.iteration_seconds(app, design, nprocs,
+                                                   nnodes)
+
+    def ckpt_write_seconds(self, fti, nbytes, nprocs, nnodes,
+                           design="reinit-fti"):
+        scale = self.constants.ckpt_scale.get(fti.level, 1.0)
+        return scale * self.base.ckpt_write_seconds(
+            fti, nbytes, nprocs, nnodes, design=design)
+
+    def ckpt_read_seconds(self, fti, nbytes, nprocs, nnodes,
+                          design="reinit-fti"):
+        scale = self.constants.ckpt_scale.get(fti.level, 1.0)
+        return scale * self.base.ckpt_read_seconds(
+            fti, nbytes, nprocs, nnodes, design=design)
+
+    def recovery_seconds(self, design, nprocs, nnodes):
+        scale = self.constants.recovery_scale.get(design, 1.0)
+        return scale * self.base.recovery_seconds(design, nprocs, nnodes)
+
+
+def pairs_from_records(records) -> list:
+    """``(config, RunResult)`` pairs from store records.
+
+    ``records`` is the ``{key: record}`` mapping
+    :func:`repro.core.store.merge_store_paths` /
+    ``load_completed`` return; undecodable payloads are skipped (they
+    are re-executable holes, not fitting signal).
+    """
+    from ..core.breakdown import try_run_result_from_dict
+
+    pairs = []
+    for record in records.values():
+        result = try_run_result_from_dict(record.get("result"))
+        if result is None:
+            continue
+        pairs.append((config_from_dict(record["config"]), result))
+    return pairs
+
+
+def fit_pairs(pairs, base="analytic") -> FittedConstants:
+    """Fit constants from explicit ``(config, RunResult)`` pairs."""
+    base = resolve_model(base)
+    pairs = list(pairs)
+    if not pairs:
+        raise ConfigurationError(
+            "model fitting needs at least one completed run")
+    app_groups: dict = {}
+    ckpt_groups: dict = {}
+    recovery_groups: dict = {}
+    for config, result in pairs:
+        app_obj = config.make_app()
+        breakdown = result.breakdown
+        iter_seconds = base.iteration_seconds(
+            app_obj, config.design, config.nprocs, config.nnodes)
+        # application_seconds includes the rollback re-execution after
+        # each recovery; subtract the modeled rework so the fit target
+        # is the failure-free work the model's W predicts (otherwise
+        # failure-heavy campaigns inflate app_scale and the calibrated
+        # prediction double-counts rework)
+        rework = 0.0
+        if result.recovery_episodes > 0:
+            stride = min(config.fti.ckpt_stride, app_obj.niters)
+            read = base.ckpt_read_seconds(
+                config.fti, app_obj.nominal_ckpt_bytes(), config.nprocs,
+                config.nnodes, design=config.design)
+            rework = result.recovery_episodes * (
+                0.5 * stride * iter_seconds + read)
+        app_groups.setdefault(config.app, []).append(
+            (app_obj.niters * iter_seconds,
+             max(0.0, breakdown.application_seconds - rework)))
+        if result.ckpt_count > 0:
+            ckpt_cost = base.ckpt_write_seconds(
+                config.fti, app_obj.nominal_ckpt_bytes(), config.nprocs,
+                config.nnodes, design=config.design)
+            ckpt_groups.setdefault(config.fti.level, []).append(
+                (result.ckpt_count * ckpt_cost,
+                 breakdown.ckpt_write_seconds))
+        if result.recovery_episodes > 0:
+            repair = base.recovery_seconds(config.design, config.nprocs,
+                                           config.nnodes)
+            recovery_groups.setdefault(config.design, []).append(
+                (result.recovery_episodes * repair,
+                 breakdown.recovery_seconds))
+    return FittedConstants(
+        app_scale={k: _slope(v) for k, v in app_groups.items()},
+        ckpt_scale={k: _slope(v) for k, v in ckpt_groups.items()},
+        recovery_scale={k: _slope(v) for k, v in recovery_groups.items()},
+        samples=len(pairs))
+
+
+def fit_records(records, base="analytic") -> FittedConstants:
+    """Fit constants from store records (``{key: record}``)."""
+    return fit_pairs(pairs_from_records(records), base=base)
+
+
+def fit_store(specs, base="analytic") -> FittedConstants:
+    """Fit constants from one or more result-store paths/specs."""
+    from ..core.store import merge_store_paths
+
+    if isinstance(specs, (str, bytes)) or not hasattr(specs, "__iter__"):
+        specs = [specs]
+    return fit_records(merge_store_paths(list(specs)), base=base)
+
+
+def fit_session(session, base="analytic") -> FittedConstants:
+    """Fit constants from a finished :class:`repro.api.Session`."""
+    pairs = []
+    for config in session.configs:
+        for result in session.run_results(config):
+            pairs.append((config, result))
+    return fit_pairs(pairs, base=base)
+
+
+__all__ = [
+    "CalibratedModel",
+    "FittedConstants",
+    "fit_pairs",
+    "fit_records",
+    "fit_session",
+    "fit_store",
+    "pairs_from_records",
+]

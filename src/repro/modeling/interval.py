@@ -1,0 +1,135 @@
+"""Optimal checkpoint intervals: Young/Daly for MATCH's failure regimes.
+
+The classic analysis (Young 1974; Daly, FGCS 2006) balances the cost of
+writing checkpoints against the expected rollback rework when a failure
+strikes: for a per-checkpoint cost ``C`` and an exponential failure
+process with mean time between failures ``M``, the first-order optimum is
+``sqrt(2*C*M)`` seconds of work between checkpoints, and Daly's
+higher-order expansion refines it when ``C`` is not negligible against
+``M``.
+
+MATCH's scenarios (:mod:`repro.faults.scenarios`) express hazard in
+*iterations*, not seconds, via their :meth:`~ScenarioKind.rate` hook;
+:func:`scenario_mtbf_seconds` converts through the modeled per-iteration
+time, and :func:`optimal_stride` lands on the integer iteration stride
+the FTI config actually takes. ``interval="auto"`` on an
+:class:`~repro.core.configs.ExperimentConfig` resolves through
+:func:`auto_stride`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .costs import resolve_model
+from ..errors import ConfigurationError
+
+
+def young_interval(ckpt_seconds: float, mtbf_seconds: float) -> float:
+    """Young's first-order optimum: ``sqrt(2 * C * M)`` seconds."""
+    _check_cm(ckpt_seconds, mtbf_seconds)
+    if math.isinf(mtbf_seconds):
+        return math.inf
+    return math.sqrt(2.0 * ckpt_seconds * mtbf_seconds)
+
+
+def daly_interval(ckpt_seconds: float, mtbf_seconds: float) -> float:
+    """Daly's higher-order optimum (FGCS 2006, eq. 37).
+
+    For ``C < 2M``::
+
+        sqrt(2*C*M) * (1 + (1/3)*sqrt(C/(2M)) + (1/9)*(C/(2M))) - C
+
+    and ``M`` itself once checkpoints cost more than ``2M`` (the system
+    thrashes; checkpoint once per failure). Converges to Young's value
+    as ``C/M -> 0``.
+    """
+    _check_cm(ckpt_seconds, mtbf_seconds)
+    if math.isinf(mtbf_seconds):
+        return math.inf
+    if ckpt_seconds >= 2.0 * mtbf_seconds:
+        return mtbf_seconds
+    ratio = ckpt_seconds / (2.0 * mtbf_seconds)
+    return (math.sqrt(2.0 * ckpt_seconds * mtbf_seconds)
+            * (1.0 + math.sqrt(ratio) / 3.0 + ratio / 9.0)
+            - ckpt_seconds)
+
+
+def _check_cm(ckpt_seconds: float, mtbf_seconds: float) -> None:
+    if ckpt_seconds < 0:
+        raise ConfigurationError("checkpoint cost must be >= 0")
+    if mtbf_seconds <= 0:
+        raise ConfigurationError("MTBF must be positive")
+
+
+def scenario_mtbf_seconds(scenario, niters: int,
+                          iter_seconds: float) -> float:
+    """The scenario's mean time between failures, in virtual seconds.
+
+    Uses the scenario kind's :meth:`~ScenarioKind.rate` hook (events per
+    iteration) and the modeled per-iteration time; a non-injecting
+    scenario has an infinite MTBF.
+    """
+    if iter_seconds <= 0:
+        raise ConfigurationError("iteration time must be positive")
+    rate = scenario.rate(niters)
+    if rate <= 0:
+        return math.inf
+    return iter_seconds / rate
+
+
+def optimal_stride(ckpt_seconds: float, mtbf_seconds: float,
+                   iter_seconds: float, niters: int,
+                   order: str = "daly") -> int:
+    """The integer iteration stride closest to the optimal interval.
+
+    Clamped to ``[1, niters]``: a stride of ``niters`` means the run
+    never checkpoints (``iter % stride == 0`` cannot fire inside the
+    loop), which is exactly right when the hazard is zero or the
+    checkpoint never pays for itself within one run.
+    """
+    if niters < 2:
+        raise ConfigurationError("need at least two iterations")
+    if iter_seconds <= 0:
+        raise ConfigurationError("iteration time must be positive")
+    if order == "young":
+        tau = young_interval(ckpt_seconds, mtbf_seconds)
+    elif order == "daly":
+        tau = daly_interval(ckpt_seconds, mtbf_seconds)
+    else:
+        raise ConfigurationError(
+            "interval order must be 'young' or 'daly' (got %r)"
+            % (order,))
+    if math.isinf(tau):
+        return niters
+    stride = int(round(tau / iter_seconds))
+    return max(1, min(niters, stride))
+
+
+def auto_stride(config, model="analytic") -> int:
+    """Resolve ``interval="auto"`` for one experiment configuration.
+
+    Prices the config's own checkpoint level, scale and fault scenario
+    through the cost model and returns the Daly-optimal stride. Pure
+    arithmetic (no simulation), so configs resolve in microseconds and
+    deterministically — the resolved stride is part of the run key like
+    any explicitly chosen one.
+    """
+    model = resolve_model(model)
+    app = config.make_app()
+    iter_seconds = model.iteration_seconds(
+        app, config.design, config.nprocs, config.nnodes)
+    ckpt_seconds = model.ckpt_write_seconds(
+        config.fti, app.nominal_ckpt_bytes(), config.nprocs,
+        config.nnodes, design=config.design)
+    mtbf = scenario_mtbf_seconds(config.faults, app.niters, iter_seconds)
+    return optimal_stride(ckpt_seconds, mtbf, iter_seconds, app.niters)
+
+
+__all__ = [
+    "auto_stride",
+    "daly_interval",
+    "optimal_stride",
+    "scenario_mtbf_seconds",
+    "young_interval",
+]

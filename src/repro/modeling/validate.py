@@ -1,0 +1,136 @@
+"""Model validation: hold the analytic predictions to the simulator.
+
+The simulator is ground truth; the models are only trustworthy while
+someone checks. :func:`validate_model` runs a small real campaign
+through :class:`repro.api.Campaign`, predicts every cell with
+:func:`repro.modeling.makespan.predict`, and reports the per-cell
+relative error of the predicted makespan against the simulated mean —
+enforcing an error budget so CI catches the model drifting away from
+the simulator as either evolves (the ``model-validate`` CI job runs
+exactly this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .costs import resolve_model
+from .fit import fit_session
+from .makespan import predict
+from ..core.configs import DESIGN_NAMES, NNODES
+from ..errors import ConfigurationError
+
+#: the acceptance error budget: predictions within 25% of the simulator
+DEFAULT_ERROR_BUDGET = 0.25
+
+
+@dataclass(frozen=True)
+class CellValidation:
+    """Predicted-vs-simulated comparison for one campaign cell."""
+
+    label: str
+    predicted_seconds: float
+    simulated_seconds: float
+    runs: int
+
+    @property
+    def rel_error(self) -> float:
+        if self.simulated_seconds <= 0:
+            return float("inf")
+        return (abs(self.predicted_seconds - self.simulated_seconds)
+                / self.simulated_seconds)
+
+
+@dataclass
+class ValidationReport:
+    """Every cell's error plus the budget verdict."""
+
+    cells: list = field(default_factory=list)
+    error_budget: float = DEFAULT_ERROR_BUDGET
+    model_name: str = "analytic"
+
+    @property
+    def max_rel_error(self) -> float:
+        return max((c.rel_error for c in self.cells), default=0.0)
+
+    @property
+    def within_budget(self) -> bool:
+        return bool(self.cells) and all(
+            c.rel_error <= self.error_budget for c in self.cells)
+
+    def report(self) -> str:
+        lines = ["Model validation (%s model, budget %.0f%%)"
+                 % (self.model_name, 100.0 * self.error_budget),
+                 "%-40s %12s %12s %8s %6s"
+                 % ("cell", "predicted", "simulated", "error", "")]
+        for cell in self.cells:
+            verdict = "ok" if cell.rel_error <= self.error_budget \
+                else "OVER"
+            lines.append("%-40s %11.2fs %11.2fs %7.1f%% %6s"
+                         % (cell.label, cell.predicted_seconds,
+                            cell.simulated_seconds,
+                            100.0 * cell.rel_error, verdict))
+        lines.append("max relative error: %.1f%% — %s"
+                     % (100.0 * self.max_rel_error,
+                        "within budget" if self.within_budget
+                        else "BUDGET EXCEEDED"))
+        return "\n".join(lines)
+
+
+def validate_model(app: str = "hpccg", nprocs=(64, 256),
+                   designs=DESIGN_NAMES, faults="poisson:20",
+                   reps: int = 2, input_size: str = "small",
+                   nnodes: int = NNODES, fti=None, model="analytic",
+                   error_budget: float = DEFAULT_ERROR_BUDGET,
+                   jobs: int = 1, seed: int = 0,
+                   calibrate: bool = False) -> ValidationReport:
+    """Run a small campaign and compare predictions cell by cell.
+
+    ``calibrate=True`` first fits a :class:`~repro.modeling.fit.
+    CalibratedModel` on the very campaign being validated and reports
+    that model's errors — useful to see how much headroom calibration
+    buys, but self-referential, so the default holds the uncalibrated
+    model accountable.
+    """
+    from ..api import Campaign
+
+    if reps < 1:
+        raise ConfigurationError("validation needs at least one rep")
+    if error_budget <= 0:
+        raise ConfigurationError("error budget must be positive")
+    model = resolve_model(model)
+    campaign = (Campaign().apps(app).designs(*designs)
+                .nprocs(*(nprocs if hasattr(nprocs, "__iter__")
+                          else (nprocs,)))
+                .inputs(input_size).nnodes(nnodes).faults(faults)
+                .seed(seed).reps(reps).jobs(jobs))
+    if fti is not None:
+        campaign = campaign.fti(fti)
+    session = campaign.session()
+    session.run()
+    if calibrate:
+        from .fit import CalibratedModel
+
+        model = CalibratedModel(fit_session(session, base=model),
+                                base=model)
+    cells = []
+    for config in session.configs:
+        runs = session.run_results(config)
+        if not runs:
+            continue
+        simulated = (sum(r.breakdown.total_seconds for r in runs)
+                     / len(runs))
+        predicted = predict(config, model=model).total_seconds
+        cells.append(CellValidation(
+            label=config.label(), predicted_seconds=predicted,
+            simulated_seconds=simulated, runs=len(runs)))
+    return ValidationReport(cells=cells, error_budget=error_budget,
+                            model_name=getattr(model, "name", "custom"))
+
+
+__all__ = [
+    "DEFAULT_ERROR_BUDGET",
+    "CellValidation",
+    "ValidationReport",
+    "validate_model",
+]

@@ -21,7 +21,7 @@ Quick tour::
 
     registry("app").names()            # ('amg', ..., 'toy')
 
-The five built-in registries live in their natural modules (importing a
+The six built-in registries live in their natural modules (importing a
 registry never drags in unrelated subsystems):
 
 ========== ============================== ===========================
@@ -32,6 +32,7 @@ design      :mod:`repro.core.designs`      ``DESIGNS``
 scenario    :mod:`repro.faults.scenarios`  ``SCENARIOS``
 store       :mod:`repro.core.store`        ``STORES``
 renderer    :mod:`repro.core.report`       ``RENDERERS``
+model       :mod:`repro.modeling.costs`    ``MODELS``
 ========== ============================== ===========================
 
 Registrations are per-process. Parallel campaign workers are fresh
@@ -54,6 +55,7 @@ _BUILTIN_MODULES = {
     "scenario": "repro.faults.scenarios",
     "store": "repro.core.store",
     "renderer": "repro.core.report",
+    "model": "repro.modeling.costs",
 }
 
 #: kind -> Registry, populated as Registry instances are constructed

@@ -146,3 +146,44 @@ def test_sim_only_with_nothing_comparable_fails(tmp_path, monkeypatch,
                                   "--candidate", str(cand),
                                   "--sim-only"]) == 1
     capsys.readouterr()
+
+
+# -- first-appearance hygiene (new series must not need a same-commit
+# -- baseline update) -------------------------------------------------------
+def test_new_series_is_informational_not_a_failure():
+    base = payload({"p2p": (100.0, "msgs/s")})
+    cand = payload({"p2p": (100.0, "msgs/s"),
+                    "advise_queries": (1000.0, "queries/s")})
+    findings = check_regression.compare(base, cand)
+    assert statuses(findings)["advise_queries"] == "info"
+    assert statuses(findings)["p2p"] == "ok"
+    assert not [f for f in findings if f[1] == "fail"]
+
+
+def test_new_series_alone_does_not_turn_the_gate_green():
+    """A candidate made only of new series still trips the
+    'compared nothing' guard (wrong baseline file)."""
+    base = payload({"p2p": (100.0, "msgs/s")})
+    cand = payload({"brand_new": (5.0, "runs/s")})
+    findings = check_regression.compare(base, cand)
+    # p2p disappeared -> fail; brand_new -> info
+    assert statuses(findings) == {"p2p": "fail", "brand_new": "info"}
+
+
+def test_sim_only_skips_new_wallclock_series_entirely():
+    base = payload({"makespan": (14.5, "sim s")})
+    cand = payload({"makespan": (14.5, "sim s"),
+                    "new_wall": (3.0, "s"),
+                    "new_sim": (9.9, "sim s")})
+    findings = check_regression.compare(base, cand, sim_only=True)
+    names = statuses(findings)
+    assert "new_wall" not in names          # out of scope under sim-only
+    assert names["new_sim"] == "info"       # new sim series: informational
+    assert names["makespan"] == "ok"
+
+
+def test_series_missing_from_candidate_still_fails():
+    base = payload({"p2p": (100.0, "msgs/s"), "rs": (10.0, "MB/s")})
+    cand = payload({"p2p": (100.0, "msgs/s")})
+    findings = check_regression.compare(base, cand)
+    assert statuses(findings)["rs"] == "fail"

@@ -219,3 +219,82 @@ def test_campaign_report_check_complete_needs_matrix(tmp_path, capsys):
                  "--check-complete", "--app", "minivite",
                  "--design", "reinit-fti"]) == 2
     assert "matrix flags" in capsys.readouterr().err
+
+
+# -- the modeling commands ---------------------------------------------------
+def test_advise_command_prints_ranked_table(capsys):
+    code = main(["advise", "--app", "hpccg", "--nprocs", "512",
+                 "--mtbf", "4h"])
+    assert code == 0
+    out = capsys.readouterr().out
+    lines = out.splitlines()
+    assert "design" in lines[1] and "interval" in lines[1]
+    assert lines[2].startswith("1 ")            # rank column
+    assert "reinit-fti" in out
+    assert "model time" in out
+
+
+def test_advise_command_objectives_and_levels(capsys):
+    code = main(["advise", "--app", "hpccg", "--nprocs", "64",
+                 "--mtbf", "30m", "--levels", "1,2",
+                 "--objective", "recovery", "--design", "all"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count("\n") >= 7  # 3 designs x 2 levels + header lines
+
+
+def test_advise_command_rejects_bad_mtbf(capsys):
+    assert main(["advise", "--app", "hpccg", "--mtbf", "soon"]) == 2
+    assert "MTBF" in capsys.readouterr().err
+
+
+def test_model_validate_command_small_campaign(capsys):
+    code = main(["model-validate", "--app", "minivite", "--nprocs", "8",
+                 "--nnodes", "4", "--faults", "poisson:6", "--runs", "2",
+                 "--budget", "0.5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "within budget" in out
+    assert "REINIT-FTI" in out
+
+
+def test_model_validate_command_fails_over_budget(capsys):
+    code = main(["model-validate", "--app", "minivite", "--nprocs", "8",
+                 "--nnodes", "4", "--faults", "poisson:6", "--runs", "2",
+                 "--budget", "0.0001"])
+    assert code == 1
+    assert "BUDGET EXCEEDED" in capsys.readouterr().out
+
+
+def test_campaign_estimate_prints_preflight_costs(capsys):
+    code = main(["campaign", "--app", "minivite", "--design",
+                 "reinit-fti", "--nprocs", "8", "--nnodes", "4",
+                 "--runs", "2", "--estimate"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "pre-flight estimate" in out
+    assert "predicted virtual cost" in out
+    assert "E[T]=" in out
+    # the campaign itself still ran after the estimate
+    assert "executed 2 run(s)" in out
+
+
+def test_run_command_accepts_interval(capsys):
+    code = main(["run", "--app", "minivite", "--design", "reinit-fti",
+                 "--nprocs", "8", "--reps", "1", "--interval", "4"])
+    assert code == 0
+    assert "total=" in capsys.readouterr().out
+
+
+def test_run_command_accepts_auto_interval(capsys):
+    code = main(["run", "--app", "minivite", "--design", "reinit-fti",
+                 "--nprocs", "8", "--reps", "1", "--faults", "poisson:6",
+                 "--interval", "auto"])
+    assert code == 0
+    assert "verified: True" in capsys.readouterr().out
+
+
+def test_interval_flag_rejects_junk(capsys):
+    assert main(["run", "--app", "minivite", "--design", "reinit-fti",
+                 "--nprocs", "8", "--interval", "soon"]) == 2
+    assert "--interval" in capsys.readouterr().err

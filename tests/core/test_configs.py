@@ -273,3 +273,105 @@ def test_with_faults_returns_rescoped_copy():
     assert cfg.faults.kind == "single"  # frozen original
     clean = cfg.with_faults("none")
     assert not clean.inject_fault
+
+
+# -- the canonical checkpoint-interval field --------------------------------
+def test_interval_defaults_to_fti_stride():
+    cfg = ExperimentConfig(app="hpccg", design="reinit-fti")
+    assert cfg.interval == cfg.fti.ckpt_stride == 10
+
+
+def test_interval_int_sets_the_stride():
+    cfg = ExperimentConfig(app="hpccg", design="reinit-fti", interval=7)
+    assert cfg.fti.ckpt_stride == 7
+    assert cfg.interval == 7
+
+
+def test_interval_and_legacy_stride_mint_identical_run_keys():
+    """The canonical field is sugar over fti.ckpt_stride: however the
+    stride is spelled, the run key — and therefore resumability against
+    pre-interval stores — is bit-identical."""
+    from repro.core.configs import run_key
+    from repro.fti.config import FtiConfig
+
+    base = dict(app="hpccg", design="reinit-fti", faults="single")
+    legacy = ExperimentConfig(fti=FtiConfig(ckpt_stride=7), **base)
+    canonical = ExperimentConfig(interval=7, **base)
+    assert run_key(legacy, 0) == run_key(canonical, 0)
+    # and the implicit default interval changes nothing at all
+    assert run_key(ExperimentConfig(**base), 0) \
+        == run_key(ExperimentConfig(interval=10, **base), 0)
+
+
+def test_interval_never_enters_the_config_payload():
+    from repro.core.configs import config_from_dict, config_to_dict
+
+    cfg = ExperimentConfig(app="hpccg", design="reinit-fti", interval=5)
+    data = config_to_dict(cfg)
+    assert "interval" not in data
+    assert data["fti"]["ckpt_stride"] == 5
+    rebuilt = config_from_dict(data)
+    assert rebuilt == cfg
+    assert rebuilt.interval == 5
+
+
+def test_interval_tolerated_in_incoming_payloads():
+    """A payload that *does* carry the key (a forward-compatible tool)
+    still loads, as long as it agrees with the stride."""
+    from repro.core.configs import config_from_dict, config_to_dict
+
+    cfg = ExperimentConfig(app="hpccg", design="reinit-fti", interval=5)
+    data = config_to_dict(cfg)
+    data["interval"] = 5
+    assert config_from_dict(data) == cfg
+
+
+def test_interval_contradicting_explicit_stride_raises():
+    from repro.fti.config import FtiConfig
+
+    with pytest.raises(ConfigurationError, match="contradicts"):
+        ExperimentConfig(app="hpccg", design="reinit-fti", interval=5,
+                         fti=FtiConfig(ckpt_stride=20))
+    # agreement (or the untouched default) is fine
+    ExperimentConfig(app="hpccg", design="reinit-fti", interval=20,
+                     fti=FtiConfig(ckpt_stride=20))
+
+
+def test_interval_rejects_junk():
+    for bad in (0, -3, "fast", 2.5, True):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(app="hpccg", design="reinit-fti",
+                             interval=bad)
+
+
+def test_interval_auto_resolves_via_the_model():
+    cfg = ExperimentConfig(app="hpccg", design="reinit-fti",
+                           faults="poisson:5", interval="auto")
+    assert isinstance(cfg.interval, int)
+    assert 1 <= cfg.interval <= 60
+    assert cfg.fti.ckpt_stride == cfg.interval
+    # deterministic: auto is sugar for the resolved stride, run keys
+    # and labels included
+    from repro.core.configs import run_key
+
+    again = ExperimentConfig(app="hpccg", design="reinit-fti",
+                             faults="poisson:5", interval="auto")
+    explicit = ExperimentConfig(app="hpccg", design="reinit-fti",
+                                faults="poisson:5", interval=cfg.interval)
+    assert run_key(cfg, 0) == run_key(again, 0) == run_key(explicit, 0)
+
+
+def test_with_interval_rescopes_a_copy():
+    cfg = ExperimentConfig(app="hpccg", design="reinit-fti", interval=5)
+    recut = cfg.with_interval(15)
+    assert recut.interval == recut.fti.ckpt_stride == 15
+    assert cfg.interval == 5  # original untouched
+    assert cfg.with_interval("auto").interval >= 1
+
+
+def test_with_interval_rejects_none():
+    """None must not silently reset an explicit stride to the default
+    (the unset-optional-plumbed-through footgun)."""
+    cfg = ExperimentConfig(app="hpccg", design="reinit-fti", interval=7)
+    with pytest.raises(ConfigurationError, match="with_interval"):
+        cfg.with_interval(None)

@@ -1,0 +1,119 @@
+"""The design advisor: ranking, objectives, MTBF parsing, model time."""
+
+import math
+import time
+
+import pytest
+
+from repro.core.configs import DESIGN_NAMES
+from repro.errors import ConfigurationError
+from repro.modeling.advisor import (
+    Advice,
+    advise,
+    format_advice,
+    parse_mtbf,
+)
+from repro.modeling.costs import MODELS, AnalyticCostModel
+
+
+# -- MTBF parsing -----------------------------------------------------------
+def test_parse_mtbf_suffixes():
+    assert parse_mtbf("4h") == 4 * 3600.0
+    assert parse_mtbf("30m") == 1800.0
+    assert parse_mtbf("1d") == 86400.0
+    assert parse_mtbf("90s") == 90.0
+    assert parse_mtbf("86400") == 86400.0
+    assert parse_mtbf(1800) == 1800.0
+    assert math.isinf(parse_mtbf("inf"))
+
+
+def test_parse_mtbf_rejects_garbage():
+    for bad in ("fourhours", "4x", "", "-3h", "0"):
+        with pytest.raises(ConfigurationError):
+            parse_mtbf(bad)
+
+
+# -- ranking ----------------------------------------------------------------
+def test_advise_covers_designs_times_levels():
+    rows = advise("hpccg", 64, "1h")
+    assert len(rows) == len(DESIGN_NAMES) * 4
+    assert {r.design for r in rows} == set(DESIGN_NAMES)
+    assert {r.fti_level for r in rows} == {1, 2, 3, 4}
+    assert all(isinstance(r, Advice) for r in rows)
+
+
+def test_advise_ranks_by_makespan_ascending():
+    rows = advise("hpccg", 64, "30m")
+    makespans = [r.makespan for r in rows]
+    assert makespans == sorted(makespans)
+
+
+def test_advise_efficiency_objective_descends():
+    rows = advise("hpccg", 64, "30m", objective="efficiency")
+    effs = [r.efficiency for r in rows]
+    assert effs == sorted(effs, reverse=True)
+
+
+def test_advise_recovery_objective_prefers_reinit():
+    """Fig. 7: Reinit's scale-independent sub-second recovery wins the
+    recovery objective at any scale."""
+    rows = advise("hpccg", 512, "1h", objective="recovery")
+    assert rows[0].design == "reinit-fti"
+
+
+def test_advise_intervals_respect_hazard():
+    calm = advise("hpccg", 64, "1d")
+    stormy = advise("hpccg", 64, "60s")
+    calm_by_cell = {(r.design, r.fti_level): r.interval for r in calm}
+    for row in stormy:
+        assert row.interval <= calm_by_cell[(row.design, row.fti_level)]
+
+
+def test_advise_rejects_unknown_objective_and_app():
+    with pytest.raises(ConfigurationError):
+        advise("hpccg", 64, "1h", objective="vibes")
+    with pytest.raises(ConfigurationError):
+        advise("nosuchapp", 64, "1h")
+
+
+def test_advise_accepts_custom_model():
+    class CountingModel(AnalyticCostModel):
+        calls = 0
+
+        def recovery_seconds(self, design, nprocs, nnodes):
+            CountingModel.calls += 1
+            return super().recovery_seconds(design, nprocs, nnodes)
+
+    rows = advise("hpccg", 64, "1h", model=CountingModel())
+    assert rows
+    assert CountingModel.calls > 0
+
+
+def test_advise_by_registered_model_name():
+    MODELS.add("advisor-test-model", AnalyticCostModel)
+    try:
+        rows = advise("hpccg", 64, "1h", model="advisor-test-model")
+        assert len(rows) == len(DESIGN_NAMES) * 4
+    finally:
+        MODELS.unregister("advisor-test-model")
+
+
+# -- rendering --------------------------------------------------------------
+def test_format_advice_table():
+    rows = advise("hpccg", 64, "4h")
+    text = format_advice(rows, title="Advice")
+    lines = text.splitlines()
+    assert lines[0] == "Advice"
+    assert "design" in lines[1] and "interval" in lines[1]
+    assert lines[2].startswith("1 ")
+    assert len(lines) == 2 + len(rows)
+
+
+# -- the acceptance bound: model time, not simulation time ------------------
+def test_advise_is_model_speed():
+    """One full 512-rank query must stay far under the 50 ms acceptance
+    bound (generous factor for shared CI machines)."""
+    advise("hpccg", 512, "4h")  # warm imports/registries
+    t0 = time.perf_counter()
+    advise("hpccg", 512, "4h")
+    assert time.perf_counter() - t0 < 0.5

@@ -1,0 +1,197 @@
+"""Analytic cost models: registry wiring and mechanism mirroring."""
+
+import pytest
+
+from repro.cluster.launcher import JobLauncher
+from repro.errors import ConfigurationError
+from repro.fti.config import FtiConfig
+from repro.modeling.costs import (
+    MODELS,
+    AnalyticCostModel,
+    CostParams,
+    ranks_per_node,
+    resolve_model,
+)
+from repro.recovery.reinit import ReinitSpec
+from repro.registry import registry
+from repro.workmodel.model import WorkModel
+
+
+@pytest.fixture
+def model():
+    return AnalyticCostModel()
+
+
+def _hpccg(nprocs=64):
+    from repro.apps import APP_REGISTRY
+
+    return APP_REGISTRY["hpccg"].from_input(nprocs, "small")
+
+
+# -- registry ---------------------------------------------------------------
+def test_analytic_model_is_registered():
+    assert "analytic" in MODELS
+    assert isinstance(MODELS.resolve("analytic"), AnalyticCostModel)
+
+
+def test_model_registry_reachable_through_registry_accessor():
+    assert registry("model") is MODELS
+
+
+def test_resolve_model_accepts_name_and_object(model):
+    assert resolve_model("analytic") is MODELS["analytic"]
+    assert resolve_model(model) is model
+
+
+def test_resolve_model_rejects_protocol_violations():
+    class Partial:
+        def iteration_seconds(self, app, design, nprocs, nnodes):
+            return 1.0
+
+    with pytest.raises(ConfigurationError):
+        resolve_model(Partial())
+
+
+def test_registering_incomplete_model_fails_at_registration():
+    class Broken:
+        pass
+
+    with pytest.raises(ConfigurationError):
+        MODELS.add("broken", Broken)
+    assert "broken" not in MODELS
+
+
+def test_custom_model_plugs_in():
+    class Pessimistic(AnalyticCostModel):
+        def recovery_seconds(self, design, nprocs, nnodes):
+            return 2.0 * super().recovery_seconds(design, nprocs, nnodes)
+
+    MODELS.add("pessimistic-test", Pessimistic)
+    try:
+        base = MODELS["analytic"].recovery_seconds("reinit-fti", 64, 32)
+        doubled = MODELS["pessimistic-test"].recovery_seconds(
+            "reinit-fti", 64, 32)
+        assert doubled == pytest.approx(2.0 * base)
+    finally:
+        MODELS.unregister("pessimistic-test")
+
+
+# -- mechanism mirroring ----------------------------------------------------
+def test_restart_recovery_equals_launcher_redeploy(model):
+    """The model shares the launcher's phase arithmetic, constant for
+    constant — not an independently tuned number."""
+    for nprocs in (64, 128, 256, 512):
+        assert model.recovery_seconds("restart-fti", nprocs, 32) \
+            == pytest.approx(JobLauncher().launch_time(nprocs, 32))
+
+
+def test_reinit_recovery_equals_reinit_spec(model):
+    assert model.recovery_seconds("reinit-fti", 64, 32) \
+        == pytest.approx(ReinitSpec().cost(32))
+    # scale-independent: the paper's flat Reinit curve (Fig. 7)
+    assert model.recovery_seconds("reinit-fti", 512, 32) \
+        == model.recovery_seconds("reinit-fti", 64, 32)
+
+
+def test_ulfm_recovery_grows_with_scale(model):
+    times = [model.recovery_seconds("ulfm-fti", p, 32)
+             for p in (64, 128, 256, 512)]
+    assert times == sorted(times)
+    assert times[-1] > times[0]
+
+
+def test_recovery_ordering_matches_fig7(model):
+    """Fig. 7's ordering at 64 ranks: Reinit << ULFM < Restart."""
+    reinit = model.recovery_seconds("reinit-fti", 64, 32)
+    ulfm = model.recovery_seconds("ulfm-fti", 64, 32)
+    restart = model.recovery_seconds("restart-fti", 64, 32)
+    assert reinit < ulfm < restart
+    assert restart / reinit > 10.0
+
+
+def test_unknown_design_raises_actionably(model):
+    with pytest.raises(ConfigurationError, match="custom cost model"):
+        model.recovery_seconds("my-design", 64, 32)
+
+
+def test_iteration_seconds_matches_work_model(model):
+    """The model charges exactly what the simulator's roofline charges."""
+    app = _hpccg()
+    flops, bytes_moved = app.work_per_iter()
+    expected = WorkModel().seconds(flops=flops, bytes_moved=bytes_moved,
+                                   ranks_per_node=2)  # 64 ranks / 32 nodes
+    assert model.iteration_seconds(app, "reinit-fti", 64, 32) \
+        == pytest.approx(expected)
+
+
+def test_ulfm_compute_tax_applies_to_iterations(model):
+    app = _hpccg()
+    plain = model.iteration_seconds(app, "reinit-fti", 64, 32)
+    taxed = model.iteration_seconds(app, "ulfm-fti", 64, 32)
+    assert taxed > plain
+    assert taxed / plain == pytest.approx(model.compute_factor(
+        "ulfm-fti", 64))
+
+
+def test_iteration_seconds_requires_work_hook(model):
+    class Opaque:
+        name = "opaque"
+
+    with pytest.raises(ConfigurationError, match="work_per_iter"):
+        model.iteration_seconds(Opaque(), "reinit-fti", 64, 32)
+
+
+# -- checkpoint costs -------------------------------------------------------
+def test_ckpt_levels_are_ordered_by_redundancy(model):
+    nbytes = int(0.6e9)
+    costs = {level: model.ckpt_write_seconds(FtiConfig(level=level),
+                                             nbytes, 64, 32)
+             for level in (1, 2, 3, 4)}
+    assert costs[1] < costs[2]          # partner copy adds transfer
+    assert costs[1] < costs[3]          # RS encode adds compute
+    assert costs[1] < costs[4]          # PFS share is the slow path
+    assert all(c > 0 for c in costs.values())
+
+
+def test_ckpt_cost_scales_with_bytes(model):
+    small = model.ckpt_write_seconds(FtiConfig(), int(1e8), 64, 32)
+    large = model.ckpt_write_seconds(FtiConfig(), int(1e9), 64, 32)
+    assert large > small
+
+
+def test_ckpt_read_cheaper_than_l3_write(model):
+    nbytes = int(0.6e9)
+    write = model.ckpt_write_seconds(FtiConfig(level=3), nbytes, 64, 32)
+    read = model.ckpt_read_seconds(FtiConfig(level=3), nbytes, 64, 32)
+    assert 0 < read < write
+
+
+def test_ckpt_rejects_negative_bytes(model):
+    with pytest.raises(ConfigurationError):
+        model.ckpt_write_seconds(FtiConfig(), -1, 64, 32)
+
+
+# -- params -----------------------------------------------------------------
+def test_cost_params_defaults_are_the_simulator_constants():
+    """CostParams must pick up the simulator's own constants, so a
+    calibration edit to the mechanism propagates into the model."""
+    from repro.fti.api import Fti
+    from repro.simmpi.runtime import Runtime
+
+    p = CostParams()
+    assert p.revoke_alpha == Runtime.REVOKE_ALPHA
+    assert p.shrink_alpha == Runtime.SHRINK_ALPHA
+    assert p.shrink_per_proc == Runtime.SHRINK_PER_PROC
+    assert p.agree_alpha == Runtime.AGREE_ALPHA
+    assert p.merge_alpha == Runtime.MERGE_ALPHA
+    assert p.spawn_base == Runtime.SPAWN_BASE
+    assert p.spawn_per_proc == Runtime.SPAWN_PER_PROC
+    assert p.fti_coord_alpha == Fti.COORD_ALPHA
+
+
+def test_ranks_per_node_is_ceil_division():
+    assert ranks_per_node(64, 32) == 2
+    assert ranks_per_node(65, 32) == 3
+    assert ranks_per_node(8, 32) == 1
+    with pytest.raises(ConfigurationError):
+        ranks_per_node(0, 32)

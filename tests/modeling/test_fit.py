@@ -1,0 +1,160 @@
+"""Least-squares calibration: recovering known scales, round-trips."""
+
+import pytest
+
+from repro.core.breakdown import RunResult, TimeBreakdown, run_result_to_dict
+from repro.core.configs import ExperimentConfig, config_to_dict
+from repro.errors import ConfigurationError
+from repro.modeling.costs import MODELS
+from repro.modeling.fit import (
+    CalibratedModel,
+    FittedConstants,
+    fit_pairs,
+    fit_records,
+)
+from repro.modeling.makespan import predict
+
+
+def _config(**kwargs):
+    defaults = dict(app="minivite", design="reinit-fti", nprocs=8,
+                    nnodes=4, faults="single")
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+def _synthetic_result(config, app_scale=1.0, ckpt_scale=1.0,
+                      recovery_scale=1.0, episodes=1, ckpts=2):
+    """A RunResult whose components are the model's predictions times
+    known scales — fitting must recover exactly those scales."""
+    base = MODELS["analytic"]
+    app_obj = config.make_app()
+    iter_seconds = base.iteration_seconds(app_obj, config.design,
+                                          config.nprocs, config.nnodes)
+    work = app_scale * app_obj.niters * iter_seconds
+    ckpt = ckpt_scale * ckpts * base.ckpt_write_seconds(
+        config.fti, app_obj.nominal_ckpt_bytes(), config.nprocs,
+        config.nnodes, design=config.design)
+    recovery = recovery_scale * episodes * base.recovery_seconds(
+        config.design, config.nprocs, config.nnodes)
+    # rollback rework shows up as application time in real breakdowns
+    # (and the fit subtracts its modeled value), so include exactly the
+    # model's rework arithmetic for the synthetic episodes
+    stride = min(config.fti.ckpt_stride, app_obj.niters)
+    read = base.ckpt_read_seconds(
+        config.fti, app_obj.nominal_ckpt_bytes(), config.nprocs,
+        config.nnodes, design=config.design)
+    rework = episodes * (0.5 * stride * iter_seconds + read)
+    breakdown = TimeBreakdown(
+        total_seconds=work + ckpt + recovery + rework,
+        ckpt_write_seconds=ckpt, recovery_seconds=recovery,
+        ckpt_read_seconds=0.0)
+    return RunResult(config_label=config.label(), breakdown=breakdown,
+                     verified=True, ckpt_count=ckpts,
+                     recovery_episodes=episodes)
+
+
+def test_fit_recovers_known_scales_exactly():
+    config = _config()
+    pairs = [(config, _synthetic_result(config, app_scale=1.5,
+                                        ckpt_scale=0.5,
+                                        recovery_scale=3.0))
+             for _ in range(4)]
+    constants = fit_pairs(pairs)
+    assert constants.app_scale["minivite"] == pytest.approx(1.5)
+    assert constants.ckpt_scale[1] == pytest.approx(0.5)
+    assert constants.recovery_scale["reinit-fti"] == pytest.approx(3.0)
+    assert constants.samples == 4
+
+
+def test_fit_groups_by_design_and_level():
+    from repro.fti.config import FtiConfig
+
+    reinit = _config()
+    ulfm = _config(design="ulfm-fti")
+    l2 = _config(fti=FtiConfig(level=2))
+    pairs = [
+        (reinit, _synthetic_result(reinit, recovery_scale=2.0)),
+        (ulfm, _synthetic_result(ulfm, recovery_scale=0.5)),
+        # episodes=0 keeps this pair out of the reinit recovery group
+        (l2, _synthetic_result(l2, ckpt_scale=4.0, episodes=0)),
+    ]
+    constants = fit_pairs(pairs)
+    assert constants.recovery_scale["reinit-fti"] == pytest.approx(2.0)
+    assert constants.recovery_scale["ulfm-fti"] == pytest.approx(0.5)
+    assert constants.ckpt_scale[2] == pytest.approx(4.0)
+
+
+def test_fit_ignores_runs_without_signal():
+    """Zero checkpoints / zero episodes contribute no pairs; absent
+    groups default to scale 1.0 in the calibrated model."""
+    config = _config()
+    result = _synthetic_result(config, episodes=0, ckpts=0)
+    result.recovery_episodes = 0
+    result.ckpt_count = 0
+    constants = fit_pairs([(config, result)])
+    assert constants.ckpt_scale == {}
+    assert constants.recovery_scale == {}
+    model = CalibratedModel(constants)
+    base = MODELS["analytic"]
+    assert model.recovery_seconds("reinit-fti", 8, 4) \
+        == pytest.approx(base.recovery_seconds("reinit-fti", 8, 4))
+
+
+def test_fit_empty_raises():
+    with pytest.raises(ConfigurationError):
+        fit_pairs([])
+
+
+def test_fit_records_store_format():
+    config = _config()
+    result = _synthetic_result(config, app_scale=2.0)
+    records = {"k1": {"key": "k1", "rep": 0,
+                      "config": config_to_dict(config),
+                      "result": run_result_to_dict(result)}}
+    constants = fit_records(records)
+    assert constants.app_scale["minivite"] == pytest.approx(2.0)
+
+
+def test_fit_records_skips_undecodable_results():
+    config = _config()
+    good = _synthetic_result(config)
+    records = {
+        "good": {"key": "good", "rep": 0,
+                 "config": config_to_dict(config),
+                 "result": run_result_to_dict(good)},
+        "bad": {"key": "bad", "rep": 1,
+                "config": config_to_dict(config),
+                "result": {"not": "a result"}},
+    }
+    constants = fit_records(records)
+    assert constants.samples == 1
+
+
+def test_constants_round_trip_and_unknown_fields():
+    constants = FittedConstants(app_scale={"hpccg": 1.2},
+                                ckpt_scale={2: 0.9},
+                                recovery_scale={"ulfm-fti": 1.1},
+                                samples=7)
+    data = constants.to_dict()
+    rebuilt = FittedConstants.from_dict(data)
+    assert rebuilt == constants
+    with pytest.raises(ConfigurationError):
+        FittedConstants.from_dict({"app_scale": {}, "bogus": 1})
+
+
+def test_calibrated_model_feeds_prediction():
+    config = _config()
+    heavy = FittedConstants(recovery_scale={"reinit-fti": 10.0})
+    base_prediction = predict(config)
+    calibrated = predict(config, model=CalibratedModel(heavy))
+    assert calibrated.recovery_seconds \
+        == pytest.approx(10.0 * base_prediction.recovery_seconds)
+    assert calibrated.app_seconds == pytest.approx(
+        base_prediction.app_seconds)
+
+
+def test_calibrated_model_satisfies_registry_protocol():
+    from repro.modeling.costs import resolve_model
+
+    model = CalibratedModel(FittedConstants())
+    assert resolve_model(model) is model

@@ -1,0 +1,137 @@
+"""Young/Daly interval analysis and scenario-hazard plumbing."""
+
+import math
+
+import pytest
+
+from repro.core.configs import ExperimentConfig
+from repro.errors import ConfigurationError
+from repro.faults.scenarios import FaultScenario
+from repro.modeling.interval import (
+    auto_stride,
+    daly_interval,
+    optimal_stride,
+    scenario_mtbf_seconds,
+    young_interval,
+)
+
+
+# -- Young ------------------------------------------------------------------
+def test_young_is_sqrt_2cm():
+    assert young_interval(2.0, 100.0) == pytest.approx(math.sqrt(400.0))
+    assert young_interval(0.5, 3600.0) == pytest.approx(60.0)
+
+
+def test_young_zero_cost_means_continuous_checkpointing():
+    assert young_interval(0.0, 1000.0) == 0.0
+
+
+def test_infinite_mtbf_means_never_checkpoint():
+    assert math.isinf(young_interval(1.0, math.inf))
+    assert math.isinf(daly_interval(1.0, math.inf))
+
+
+# -- Daly -------------------------------------------------------------------
+def test_daly_converges_to_young_for_cheap_checkpoints():
+    c, m = 1e-6, 3600.0
+    assert daly_interval(c, m) == pytest.approx(young_interval(c, m),
+                                                rel=1e-3)
+
+
+def test_daly_exceeds_young_when_cost_matters():
+    """Daly's correction stretches the interval (the first-order model
+    over-checkpoints when C is non-negligible) until thrashing."""
+    c, m = 50.0, 500.0
+    assert daly_interval(c, m) > young_interval(c, m) - c
+    assert daly_interval(c, m) != young_interval(c, m)
+
+
+def test_daly_caps_at_mtbf_when_thrashing():
+    assert daly_interval(100.0, 40.0) == 40.0
+
+
+def test_daly_known_value():
+    # C=1, M=200: sqrt(400)*(1 + sqrt(1/400)/3 + (1/400)/9) - 1
+    expected = 20.0 * (1.0 + 0.05 / 3.0 + 0.0025 / 9.0) - 1.0
+    assert daly_interval(1.0, 200.0) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("func", [young_interval, daly_interval])
+def test_interval_input_validation(func):
+    with pytest.raises(ConfigurationError):
+        func(-1.0, 100.0)
+    with pytest.raises(ConfigurationError):
+        func(1.0, 0.0)
+
+
+# -- stride conversion ------------------------------------------------------
+def test_optimal_stride_clamps_to_run_length():
+    # infinite MTBF -> stride == niters (the loop never checkpoints)
+    assert optimal_stride(1.0, math.inf, 0.2, 60) == 60
+    # brutal MTBF -> at least one iteration between checkpoints
+    assert optimal_stride(5.0, 0.01, 0.2, 60) == 1
+
+
+def test_optimal_stride_monotone_in_mtbf():
+    strides = [optimal_stride(0.5, m, 0.2, 600)
+               for m in (10.0, 100.0, 1000.0)]
+    assert strides == sorted(strides)
+    assert strides[-1] > strides[0]
+
+
+def test_optimal_stride_orders():
+    # C=2, M=300, 0.1 s/iter: Young = sqrt(1200)/0.1 = 346 iters; Daly's
+    # -C term dominates its small corrections here and lands shorter
+    daly = optimal_stride(2.0, 300.0, 0.1, 10000, order="daly")
+    young = optimal_stride(2.0, 300.0, 0.1, 10000, order="young")
+    assert young == 346
+    assert daly == 333
+    with pytest.raises(ConfigurationError):
+        optimal_stride(1.0, 100.0, 0.2, 60, order="cubic")
+
+
+def test_optimal_stride_validation():
+    with pytest.raises(ConfigurationError):
+        optimal_stride(1.0, 100.0, 0.0, 60)
+    with pytest.raises(ConfigurationError):
+        optimal_stride(1.0, 100.0, 0.2, 1)
+
+
+# -- scenario hazard --------------------------------------------------------
+def test_scenario_mtbf_from_poisson_is_exact():
+    scenario = FaultScenario.poisson(mtbf_iters=12.0)
+    assert scenario_mtbf_seconds(scenario, niters=60, iter_seconds=0.5) \
+        == pytest.approx(6.0)  # 12 iterations x 0.5 s
+
+
+def test_scenario_mtbf_non_injecting_is_infinite():
+    assert math.isinf(scenario_mtbf_seconds(FaultScenario.none(), 60, 0.5))
+
+
+def test_scenario_mtbf_single_spreads_one_event():
+    scenario = FaultScenario.single()
+    # one event over 59 targetable iterations of 0.5 s each
+    assert scenario_mtbf_seconds(scenario, 60, 0.5) \
+        == pytest.approx(59 * 0.5)
+
+
+def test_scenario_mtbf_validation():
+    with pytest.raises(ConfigurationError):
+        scenario_mtbf_seconds(FaultScenario.single(), 60, 0.0)
+
+
+# -- auto resolution --------------------------------------------------------
+def test_auto_stride_is_deterministic_and_bounded():
+    config = ExperimentConfig(app="hpccg", design="reinit-fti", nprocs=64,
+                              faults="poisson:5")
+    first = auto_stride(config)
+    assert first == auto_stride(config)
+    assert 1 <= first <= config.make_app().niters
+
+
+def test_auto_stride_shortens_under_heavier_hazard():
+    calm = ExperimentConfig(app="hpccg", design="reinit-fti", nprocs=64,
+                            faults="poisson:500")
+    stormy = ExperimentConfig(app="hpccg", design="reinit-fti", nprocs=64,
+                              faults="poisson:2")
+    assert auto_stride(stormy) <= auto_stride(calm)

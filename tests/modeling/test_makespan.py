@@ -1,0 +1,108 @@
+"""Expected-makespan composition: E[T] behaves like the paper's curves."""
+
+import math
+
+import pytest
+
+from repro.core.configs import ExperimentConfig
+from repro.errors import ConfigurationError
+from repro.modeling.makespan import predict, predict_cell
+
+
+def test_no_failures_is_work_plus_checkpoints():
+    p = predict_cell(app="hpccg", design="reinit-fti", nprocs=64,
+                     stride=10, mtbf_seconds=math.inf)
+    assert p.expected_failures == 0.0
+    assert p.recovery_seconds == 0.0
+    assert p.rework_seconds == 0.0
+    assert p.total_seconds == pytest.approx(
+        p.app_seconds + p.ckpt_write_seconds)
+    # stride 10 over 60 iterations -> 5 checkpoints in the loop
+    assert p.ckpt_write_seconds > 0
+
+
+def test_stride_equal_to_niters_never_checkpoints():
+    p = predict_cell(app="hpccg", design="reinit-fti", nprocs=64,
+                     stride=60, mtbf_seconds=math.inf)
+    assert p.ckpt_write_seconds == 0.0
+    assert p.efficiency == pytest.approx(1.0)
+
+
+def test_failures_increase_makespan():
+    calm = predict_cell(app="hpccg", design="reinit-fti", nprocs=64,
+                        stride=10, expected_failures=0.0)
+    stormy = predict_cell(app="hpccg", design="reinit-fti", nprocs=64,
+                          stride=10, expected_failures=3.0)
+    assert stormy.total_seconds > calm.total_seconds
+    assert stormy.recovery_seconds > 0
+    assert stormy.rework_seconds > 0
+
+
+def test_restart_pays_more_per_failure_than_reinit():
+    kwargs = dict(app="hpccg", nprocs=64, stride=10, expected_failures=1.0)
+    restart = predict_cell(design="restart-fti", **kwargs)
+    reinit = predict_cell(design="reinit-fti", **kwargs)
+    assert restart.recovery_seconds > 10 * reinit.recovery_seconds
+
+
+def test_rework_grows_with_stride_under_failures():
+    short = predict_cell(app="hpccg", design="reinit-fti", nprocs=64,
+                         stride=5, expected_failures=2.0)
+    long = predict_cell(app="hpccg", design="reinit-fti", nprocs=64,
+                        stride=30, expected_failures=2.0)
+    assert long.rework_seconds > short.rework_seconds
+
+
+def test_mtbf_derives_expected_failures_from_work():
+    p = predict_cell(app="hpccg", design="reinit-fti", nprocs=64,
+                     stride=10, mtbf_seconds=100.0)
+    assert p.expected_failures == pytest.approx(p.app_seconds / 100.0)
+
+
+def test_efficiency_is_work_fraction():
+    p = predict_cell(app="hpccg", design="ulfm-fti", nprocs=64,
+                     stride=10, expected_failures=2.0)
+    assert 0.0 < p.efficiency < 1.0
+    assert p.efficiency == pytest.approx(p.app_seconds / p.total_seconds)
+
+
+def test_prediction_dict_and_str_round():
+    p = predict_cell(app="hpccg", design="reinit-fti", nprocs=64,
+                     stride=10, expected_failures=1.0)
+    d = p.as_dict()
+    assert d["total_seconds"] == p.total_seconds
+    assert d["efficiency"] == p.efficiency
+    assert "E[T]=" in str(p)
+
+
+def test_predict_config_uses_scenario_expectation():
+    config = ExperimentConfig(app="hpccg", design="reinit-fti", nprocs=64,
+                              faults="independent:3")
+    p = predict(config)
+    assert p.expected_failures == pytest.approx(3.0)
+    assert p.interval == config.fti.ckpt_stride
+
+
+def test_predict_clean_config_has_no_failures():
+    config = ExperimentConfig(app="hpccg", design="reinit-fti", nprocs=64)
+    p = predict(config)
+    assert p.expected_failures == 0.0
+
+
+def test_predict_caps_stride_at_run_length():
+    config = ExperimentConfig(app="minivite", design="reinit-fti",
+                              nprocs=8, interval=50)  # minivite: 20 iters
+    p = predict(config)
+    assert p.interval == 20
+    assert p.ckpt_write_seconds == 0.0
+
+
+def test_invalid_inputs_raise():
+    with pytest.raises(ConfigurationError):
+        predict_cell(app="hpccg", design="reinit-fti", stride=0)
+    with pytest.raises(ConfigurationError):
+        predict_cell(app="hpccg", design="reinit-fti", stride=10,
+                     mtbf_seconds=-1.0)
+    with pytest.raises(ConfigurationError):
+        predict_cell(app="hpccg", design="reinit-fti", stride=10,
+                     expected_failures=-0.5)

@@ -1,0 +1,69 @@
+"""Model validation against real simulated campaigns."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.modeling.validate import (
+    CellValidation,
+    ValidationReport,
+    validate_model,
+)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    """One real (tiny) validation campaign, shared across tests."""
+    return validate_model(app="minivite", nprocs=(8,), nnodes=4,
+                          faults="poisson:6", reps=2, error_budget=0.5)
+
+
+def test_validation_covers_all_designs(small_report):
+    assert len(small_report.cells) == 3
+    labels = " ".join(c.label for c in small_report.cells)
+    for design in ("RESTART", "REINIT", "ULFM"):
+        assert design in labels
+
+
+def test_validation_within_generous_budget(small_report):
+    """The analytic model must track the simulator closely on the tiny
+    campaign (the CI smoke enforces the real 25% budget on hpccg)."""
+    assert small_report.within_budget, small_report.report()
+    assert small_report.max_rel_error < 0.5
+
+
+def test_validation_report_renders(small_report):
+    text = small_report.report()
+    assert "max relative error" in text
+    assert "within budget" in text
+    assert text.count("\n") >= 4
+
+
+def test_calibrated_validation_fits_tighter(small_report):
+    """Calibrating on the campaign itself must not be worse than the
+    raw model on that same campaign."""
+    calibrated = validate_model(app="minivite", nprocs=(8,), nnodes=4,
+                                faults="poisson:6", reps=2,
+                                error_budget=0.5, calibrate=True)
+    assert calibrated.max_rel_error \
+        <= small_report.max_rel_error + 1e-9
+    assert calibrated.model_name == "calibrated"
+
+
+def test_cell_rel_error_arithmetic():
+    cell = CellValidation(label="x", predicted_seconds=12.0,
+                          simulated_seconds=10.0, runs=2)
+    assert cell.rel_error == pytest.approx(0.2)
+    degenerate = CellValidation(label="y", predicted_seconds=1.0,
+                                simulated_seconds=0.0, runs=1)
+    assert degenerate.rel_error == float("inf")
+
+
+def test_empty_report_is_not_within_budget():
+    assert not ValidationReport(cells=[]).within_budget
+
+
+def test_validation_input_checks():
+    with pytest.raises(ConfigurationError):
+        validate_model(reps=0)
+    with pytest.raises(ConfigurationError):
+        validate_model(error_budget=0.0)

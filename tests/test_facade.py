@@ -501,3 +501,58 @@ def test_custom_scenario_spec_and_config_round_trip(toy_extensions):
                               nnodes=4, faults="firstrank:3")
     assert config.inject_fault
     assert config_from_dict(config_to_dict(config)) == config
+
+
+# -- the modeling surface on the facade --------------------------------------
+def test_campaign_interval_axis_shapes_configs():
+    configs = (Campaign().apps("minivite").designs("reinit-fti")
+               .nprocs(8).nnodes(4).interval(4).configs())
+    assert all(c.fti.ckpt_stride == 4 and c.interval == 4
+               for c in configs)
+
+
+def test_campaign_auto_interval_resolves_per_cell():
+    configs = (Campaign().apps("minivite").designs("reinit-fti")
+               .nprocs(8).nnodes(4).faults("poisson:6")
+               .interval("auto").configs())
+    assert all(isinstance(c.interval, int) for c in configs)
+
+
+def test_campaign_predict_prices_every_cell_without_running():
+    campaign = (Campaign().apps("minivite").designs("reinit-fti",
+                                                    "ulfm-fti")
+                .nprocs(8).nnodes(4).faults("single"))
+    estimates = campaign.predict()
+    assert len(estimates) == 2
+    for config, prediction in estimates:
+        assert prediction.total_seconds > 0
+        assert prediction.expected_failures == pytest.approx(1.0)
+        assert prediction.design == config.design
+
+
+def test_from_configs_rejects_interval_like_other_config_fields():
+    campaign = Campaign.from_configs([small_config()])
+    with pytest.raises(ConfigurationError, match="from_configs"):
+        campaign.interval(5)
+
+
+def test_session_advise_calibrates_on_results():
+    session = (Campaign().apps("minivite").designs("reinit-fti",
+                                                   "ulfm-fti")
+               .nprocs(8).nnodes(4).faults("single").reps(2).session())
+    session.run()
+    advice = session.advise("20m", levels=(1, 2))
+    # nnodes=4 is non-default, so the key spells it out
+    assert list(advice) == ["minivite/p8/small/n4"]
+    rows = advice["minivite/p8/small/n4"]
+    # full designs x requested levels, ranked by makespan
+    assert len(rows) == 3 * 2
+    makespans = [r.makespan for r in rows]
+    assert makespans == sorted(makespans)
+
+
+def test_session_advise_requires_results_first():
+    session = (Campaign().apps("minivite").designs("reinit-fti")
+               .nprocs(8).nnodes(4).faults("single").reps(1).session())
+    session.run()
+    assert session.advise("1h", calibrate=False)

@@ -217,3 +217,73 @@ def test_labels_are_compact_and_distinct():
         FaultScenario.independent(3, node_count=1),
         FaultScenario.correlated_nodes(2), FaultScenario.poisson(10.0))}
     assert len(labels) == 6
+
+
+# -- hazard rates (the modeling subsystem's view of a scenario) -------------
+def test_rate_none_is_zero():
+    assert FaultScenario.none().rate(60) == 0.0
+    assert FaultScenario.none().expected_events(60) == 0.0
+
+
+def test_rate_fixed_count_kinds_spread_over_window():
+    assert FaultScenario.single().rate(60) == pytest.approx(1 / 59)
+    assert FaultScenario.independent(3).rate(60) == pytest.approx(3 / 59)
+    assert FaultScenario.correlated_nodes(2).rate(41) \
+        == pytest.approx(2 / 40)
+    assert FaultScenario.independent(4, min_iteration=10).rate(60) \
+        == pytest.approx(4 / 50)
+
+
+def test_rate_fixed_count_expected_events_is_exact_count():
+    assert FaultScenario.single().expected_events(60) == pytest.approx(1.0)
+    assert FaultScenario.independent(5).expected_events(33) \
+        == pytest.approx(5.0)
+
+
+def test_rate_poisson_is_inverse_mtbf():
+    assert FaultScenario.poisson(12.0).rate(60) == pytest.approx(1 / 12.0)
+    assert FaultScenario.poisson(0.5).rate(60) == pytest.approx(2.0)
+
+
+def test_rate_poisson_expected_events_matches_draws_exactly():
+    """The poisson kind's rate() must be *exact* for its arrival
+    process: the empirical mean event count over many deterministic
+    draws converges to expected_events."""
+    scenario = FaultScenario.poisson(8.0)
+    niters = 120
+    expected = scenario.expected_events(niters)
+    assert expected == pytest.approx((niters - 1) / 8.0)
+    counts = [scenario.make_plan(64, niters, seed=seed).nfaults
+              for seed in range(600)]
+    mean = sum(counts) / len(counts)
+    # 600 draws of a Poisson(~14.9): the mean's std error is ~0.16, so
+    # a 5% relative envelope is ~4.6 sigma — deterministic seeds make
+    # this a regression pin, not a flaky statistical test
+    assert mean == pytest.approx(expected, rel=0.05)
+
+
+def test_rate_rejects_degenerate_window():
+    with pytest.raises(ConfigurationError):
+        FaultScenario.single().rate(1)
+    with pytest.raises(ConfigurationError):
+        FaultScenario.poisson(5.0, min_iteration=30).rate(30)
+
+
+def test_rate_hook_default_covers_custom_kinds():
+    """A plugin kind with a fixed count inherits the uniform-window
+    default rate without writing any modeling code."""
+    from repro.faults.scenarios import SCENARIOS, ScenarioKind
+
+    @SCENARIOS.register("ratetest")
+    class RateTest(ScenarioKind):
+        uses = frozenset({"count", "min_iteration"})
+
+        def draw(self, scenario, rng, nprocs, niters, nnodes):
+            return []
+
+    try:
+        scenario = FaultScenario(kind="ratetest", count=7)
+        assert scenario.rate(71) == pytest.approx(0.1)
+        assert scenario.expected_events(71) == pytest.approx(7.0)
+    finally:
+        SCENARIOS.unregister("ratetest")
