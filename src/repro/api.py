@@ -53,11 +53,13 @@ from .core.configs import (
 )
 from .core.engine import CampaignEngine, RunUnit, import_plugins
 from .core.events import (  # noqa: F401  (re-exported for consumers)
+    CampaignAborted,
     CampaignFinished,
     CampaignStarted,
     RunEvent,
     UnitCompleted,
     UnitFailed,
+    UnitRetrying,
     UnitSkipped,
     UnitStarted,
 )
@@ -101,7 +103,8 @@ class Campaign:
                    faults=None, fti=None, seed=0, nnodes=NNODES,
                    interval=None, reps=None, jobs=1, store=None,
                    resume=False, shard=None, plugins=(),
-                   explicit_configs=None)
+                   on_error="abort", retries=0, timeout=None,
+                   sim_watchdog=None, explicit_configs=None)
 
     def __init__(self, **state):
         unknown = set(state) - set(self._FIELDS)
@@ -239,6 +242,48 @@ class Campaign:
         apps/designs/scenario kinds resolve under ``jobs > 1`` too."""
         return self._with(plugins=tuple(modules))
 
+    def on_error(self, policy: str) -> "Campaign":
+        """Failure policy: ``"abort"`` (default — first failure
+        re-raises, historical behaviour), ``"continue"`` (record a
+        structured failure record, finish the sweep) or ``"retry:N"``
+        (``continue`` plus up to N retries of *transient* failures per
+        unit). See :mod:`repro.core.engine`."""
+        from .core.engine import parse_on_error
+
+        parse_on_error(policy)  # fail at build time, not stream time
+        return self._with(on_error=str(policy))
+
+    def retries(self, retries: int) -> "Campaign":
+        """Transient-failure retries per unit (dead worker, blown
+        timeout, store I/O — never deterministic simulation errors),
+        with capped exponential backoff between attempts."""
+        retries = int(retries)
+        if retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        return self._with(retries=retries)
+
+    def timeout(self, timeout) -> "Campaign":
+        """Per-unit wall-clock timeout in seconds, or ``"auto"`` to
+        derive one from the modeled makespan of the campaign's own
+        cells (:func:`repro.modeling.makespan.suggest_timeout`). A unit
+        past its deadline has its worker killed and fails with a
+        *transient* :class:`~repro.errors.UnitTimeoutError` (retryable).
+        ``None`` disables the deadline."""
+        if timeout is not None and timeout != "auto":
+            timeout = float(timeout)
+            if timeout <= 0:
+                raise ConfigurationError("timeout must be > 0 seconds")
+        return self._with(timeout=timeout)
+
+    def sim_watchdog(self, max_steps: int) -> "Campaign":
+        """Per-run simulator livelock guard: abort any run whose
+        scheduler exceeds ``max_steps`` step calls with a deterministic
+        (never-retried) :class:`~repro.errors.WatchdogError`."""
+        max_steps = int(max_steps)
+        if max_steps < 1:
+            raise ConfigurationError("sim_watchdog must be >= 1")
+        return self._with(sim_watchdog=max_steps)
+
     # -- enumeration --------------------------------------------------------
     def configs(self) -> list:
         """The matrix cells in stable order (validated on every call)."""
@@ -326,10 +371,17 @@ class Session:
             self._cell_index[_config_key(config)] = (len(self.units), reps)
             self.units.extend(RunUnit(config, rep) for rep in range(reps))
         if engine is None:
+            timeout = state["timeout"]
+            if timeout == "auto":
+                from .modeling.makespan import suggest_timeout
+
+                timeout = suggest_timeout(self.configs)
             engine = CampaignEngine(
                 jobs=state["jobs"], store_path=state["store"],
                 resume=state["resume"], shard=state["shard"],
-                plugins=state["plugins"])
+                plugins=state["plugins"], on_error=state["on_error"],
+                retries=state["retries"], timeout=timeout,
+                sim_watchdog=state["sim_watchdog"])
         self.engine = engine
         self.results = None
         self._active = None
@@ -386,6 +438,16 @@ class Session:
     def skipped(self) -> int:
         """Units satisfied from the resume store."""
         return self.engine.skipped
+
+    @property
+    def failed(self) -> int:
+        """Units whose failures were contained by ``on_error``
+        (0 under the default abort policy — a failure raises)."""
+        return self.engine.failed
+
+    def failures(self) -> dict:
+        """``{run key: ErrorRecord}`` for the contained failures."""
+        return dict(self.engine.failures)
 
     # -- result access ------------------------------------------------------
     def _require_results(self) -> dict:
@@ -539,12 +601,14 @@ def run_averaged(config: ExperimentConfig, repetitions=None):
 
 __all__ = [
     "Campaign",
+    "CampaignAborted",
     "CampaignFinished",
     "CampaignStarted",
     "RunEvent",
     "Session",
     "UnitCompleted",
     "UnitFailed",
+    "UnitRetrying",
     "UnitSkipped",
     "UnitStarted",
     "check_campaign",

@@ -207,12 +207,32 @@ def _matrix_campaign(args):
     return campaign
 
 
+def _parse_timeout(value):
+    if value is None or value == "auto":
+        return value
+    try:
+        return float(value)
+    except ValueError:
+        raise ConfigurationError(
+            "--timeout takes seconds or 'auto' (got %r)" % (value,))
+
+
 def _cmd_campaign(args) -> int:
-    from .api import UnitCompleted, UnitSkipped, check_campaign
+    from .api import (
+        UnitCompleted,
+        UnitFailed,
+        UnitRetrying,
+        UnitSkipped,
+        check_campaign,
+    )
     from .core.report import format_campaign_matrix
 
     campaign = (_matrix_campaign(args).reps(args.runs).jobs(args.jobs)
-                .store(args.store).resume(args.resume).shard(args.shard))
+                .store(args.store).resume(args.resume).shard(args.shard)
+                .on_error(args.on_error).retries(args.retries)
+                .timeout(_parse_timeout(args.timeout)))
+    if args.sim_watchdog is not None:
+        campaign = campaign.sim_watchdog(args.sim_watchdog)
     check_campaign(campaign.configs(), args.runs)
     if args.estimate:
         total = 0.0
@@ -227,20 +247,39 @@ def _cmd_campaign(args) -> int:
               % total)
     session = campaign.session()
     for event in session.stream():
-        if args.progress and isinstance(event, (UnitCompleted,
-                                                UnitSkipped)):
+        if not args.progress:
+            continue
+        if isinstance(event, (UnitCompleted, UnitSkipped)):
             tag = "skip" if isinstance(event, UnitSkipped) else "done"
             print("[%d/%d] %s %s rep %d"
                   % (event.completed, event.total, tag,
                      event.unit.config.label(), event.unit.rep))
+        elif isinstance(event, UnitRetrying):
+            print("[%d/%d] retry %s rep %d (attempt %d failed: %s; "
+                  "backing off %.1fs)"
+                  % (event.completed, event.total,
+                     event.unit.config.label(), event.unit.rep,
+                     event.attempt, event.error.summary(), event.delay))
+        elif isinstance(event, UnitFailed):
+            print("[%d/%d] FAIL %s rep %d: %s"
+                  % (event.completed, event.total,
+                     event.unit.config.label(), event.unit.rep,
+                     event.error))
     summaries = session.campaigns()
     for result in summaries.values():
         print(result.report())
     if len(summaries) > 1:
         print()
         print(format_campaign_matrix(summaries))
-    print("engine: executed %d run(s), skipped %d already-stored run(s)"
-          % (session.executed, session.skipped))
+    print("engine: executed %d run(s), skipped %d already-stored "
+          "run(s), %d failure(s)"
+          % (session.executed, session.skipped, session.failed))
+    if session.failed:
+        print("failed runs (recorded in the store; a --resume after a "
+              "fix re-runs them):", file=sys.stderr)
+        for key, record in sorted(session.failures().items()):
+            print("  %s: %s" % (key, record.summary()), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -438,6 +477,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the analytic pre-flight cost "
                              "estimate (predicted makespan per cell) "
                              "before launching")
+    camp_p.add_argument("--on-error", default="abort", metavar="POLICY",
+                        help="failure policy: abort (default, first "
+                             "failure re-raises), continue (record a "
+                             "failure record, finish the sweep; exit "
+                             "code 1 if anything failed) or retry:N "
+                             "(continue plus N transient retries)")
+    camp_p.add_argument("--retries", type=int, default=0,
+                        help="transient-failure retries per run (dead "
+                             "worker, blown timeout — never "
+                             "deterministic simulation errors)")
+    camp_p.add_argument("--timeout", default=None, metavar="SECONDS|auto",
+                        help="per-run wall-clock timeout; 'auto' derives "
+                             "one from the modeled makespan of this "
+                             "matrix (suggest_timeout: slowest cell x 5, "
+                             "floor 30s)")
+    camp_p.add_argument("--sim-watchdog", type=int, default=None,
+                        metavar="STEPS",
+                        help="per-run simulator livelock guard: abort a "
+                             "run past this many scheduler steps")
     camp_p.set_defaults(func=_cmd_campaign)
 
     adv_p = sub.add_parser("advise",
@@ -519,6 +577,12 @@ def main(argv=None) -> int:
     except ConfigurationError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # the engine already drained in-flight results and flushed the
+        # store (CampaignAborted); --resume continues where this stopped
+        print("interrupted; completed runs are in the store",
+              file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,209 @@
+"""Chaos fault injection for the campaign harness itself.
+
+The simulator injects faults into *simulated* jobs; this module injects
+faults into the *harness that runs them*, so the failure-containment
+layer (``on_error`` / retries / timeouts, see
+:mod:`repro.core.engine`) can be tested deliberately instead of waiting
+for a real OOM kill mid-campaign. A chaos spec makes pool workers
+crash, hang, raise, or return corrupt payloads on demand::
+
+    {
+      "dir": "/tmp/chaos-state",
+      "rules": [
+        {"mode": "crash", "match": "*minivite*#rep0", "times": 1},
+        {"mode": "hang",  "match": "*hpccg*", "times": 1,
+         "hang_seconds": 3600},
+        {"mode": "error", "match": "*reinit*#rep1", "times": -1}
+      ]
+    }
+
+* ``mode`` — one of :data:`CHAOS_MODES`:
+  ``crash`` (hard ``os._exit``: the worker dies without a result, like
+  an OOM kill), ``hang`` (sleep past any sane deadline, like a wedged
+  I/O call), ``error`` (raise :class:`ChaosError` — a deterministic,
+  never-retried "poisoned config"), ``unpicklable`` (raise an exception
+  whose class cannot survive a pickle round-trip, the classic pool
+  killer), ``corrupt`` (complete the run but ship back garbage instead
+  of the result payload).
+* ``match`` — an :func:`fnmatch.fnmatch` pattern over the unit
+  description ``"<config.label()>#rep<rep>"``.
+* ``times`` — how many times the rule fires across *all* worker
+  processes (claims are files in ``dir``, created with ``O_EXCL`` so
+  exactly one process wins each slot). ``-1`` means unlimited — a
+  deterministic poison rather than a transient glitch.
+
+Workers pick the spec up from the ``MATCH_CHAOS`` environment variable
+(inline JSON, or ``@/path/to/spec.json``), which the ``spawn`` start
+method propagates automatically — no engine plumbing, and production
+code paths contain nothing chaos-specific beyond the two hook calls in
+the worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatch
+
+from ..errors import ConfigurationError, ReproError
+
+#: environment variable carrying the chaos spec (JSON or ``@path``)
+CHAOS_ENV = "MATCH_CHAOS"
+
+CHAOS_MODES = ("crash", "hang", "error", "unpicklable", "corrupt")
+
+
+class ChaosError(ReproError):
+    """A deliberately injected, deterministic unit failure."""
+
+
+class StubbornChaosError(Exception):
+    """An exception that cannot survive a pickle round-trip.
+
+    ``Exception.__reduce__`` replays ``cls(*self.args)``, and ``args``
+    here holds one element while ``__init__`` demands two — exactly the
+    shape of real-world exception classes that used to crash the old
+    ship-the-exception pool protocol in the *parent*, far from the
+    culprit unit. The engine's structured error records must contain
+    it instead.
+    """
+
+    def __init__(self, code, detail):
+        self.code = code
+        self.detail = detail
+        super().__init__("stubborn chaos failure %s" % (code,))
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """One injection rule of a chaos spec."""
+
+    mode: str
+    match: str = "*"
+    #: maximum firings across all processes; -1 = unlimited
+    times: int = 1
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self):
+        if self.mode not in CHAOS_MODES:
+            raise ConfigurationError(
+                "unknown chaos mode %r (have %s)"
+                % (self.mode, ", ".join(CHAOS_MODES)))
+        if self.times < -1 or self.times == 0:
+            raise ConfigurationError(
+                "chaos rule times must be positive or -1 (unlimited), "
+                "got %r" % (self.times,))
+
+
+class ChaosInjector:
+    """Executes the rules of a chaos spec inside pool workers."""
+
+    def __init__(self, rules, state_dir):
+        self.rules = tuple(rules)
+        self.state_dir = pathlib.Path(state_dir)
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ChaosInjector":
+        if not isinstance(spec, dict) or "rules" not in spec:
+            raise ConfigurationError(
+                "chaos spec must be a dict with a 'rules' list")
+        rules = []
+        for raw in spec["rules"]:
+            unknown = set(raw) - {"mode", "match", "times", "hang_seconds"}
+            if unknown:
+                raise ConfigurationError(
+                    "unknown chaos rule fields %s" % sorted(unknown))
+            rules.append(ChaosRule(**raw))
+        state_dir = spec.get("dir")
+        if state_dir is None:
+            raise ConfigurationError(
+                "chaos spec needs a 'dir' for cross-process firing "
+                "claims (each worker is a separate process)")
+        return cls(rules, state_dir)
+
+    @classmethod
+    def from_env(cls):
+        """The injector described by ``$MATCH_CHAOS``, or ``None``."""
+        text = os.environ.get(CHAOS_ENV, "").strip()
+        if not text:
+            return None
+        if text.startswith("@"):
+            with open(text[1:], "r", encoding="utf-8") as handle:
+                text = handle.read()
+        try:
+            spec = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError(
+                "%s is not valid JSON: %s" % (CHAOS_ENV, exc)) from exc
+        return cls.from_spec(spec)
+
+    # -- firing -------------------------------------------------------------
+    def _claim(self, index: int, rule: ChaosRule) -> bool:
+        """Atomically claim one firing slot for ``rule`` (cross-process)."""
+        if rule.times < 0:
+            return True
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        for slot in range(rule.times):
+            path = self.state_dir / ("rule%d.slot%d" % (index, slot))
+            try:
+                fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    def _matching(self, unit_desc: str, modes):
+        for index, rule in enumerate(self.rules):
+            if rule.mode in modes and fnmatch(unit_desc, rule.match):
+                yield index, rule
+
+    def fire(self, unit_desc: str) -> None:
+        """Pre-execution hook: crash, hang or raise if a rule matches.
+
+        ``unit_desc`` is ``"<config.label()>#rep<rep>"``.
+        """
+        for index, rule in self._matching(
+                unit_desc, ("crash", "hang", "error", "unpicklable")):
+            if not self._claim(index, rule):
+                continue
+            if rule.mode == "crash":
+                # bypass all exception handling and atexit machinery:
+                # indistinguishable from an OOM kill to the parent
+                os._exit(67)
+            if rule.mode == "hang":
+                time.sleep(rule.hang_seconds)
+                return
+            if rule.mode == "error":
+                raise ChaosError(
+                    "chaos: injected deterministic failure for %s"
+                    % unit_desc)
+            raise StubbornChaosError(13, unit_desc)
+
+    def corrupt(self, unit_desc: str, result_dict: dict) -> dict:
+        """Post-execution hook: swap the result payload for garbage."""
+        for index, rule in self._matching(unit_desc, ("corrupt",)):
+            if self._claim(index, rule):
+                return {"chaos": "corrupted payload for %s" % unit_desc}
+        return result_dict
+
+
+def chaos_spec_to_env(spec: dict) -> str:
+    """The ``MATCH_CHAOS`` value for a spec dict (validates it first)."""
+    ChaosInjector.from_spec(spec)
+    return json.dumps(spec, sort_keys=True)
+
+
+__all__ = [
+    "CHAOS_ENV",
+    "CHAOS_MODES",
+    "ChaosError",
+    "ChaosInjector",
+    "ChaosRule",
+    "StubbornChaosError",
+    "chaos_spec_to_env",
+]

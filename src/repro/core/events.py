@@ -6,19 +6,29 @@ post-hoc record list, so live CLI progress, result stores and report
 pipelines all consume one event stream. The sequence for a sweep is::
 
     CampaignStarted
-    (UnitSkipped | UnitStarted UnitCompleted | UnitStarted UnitFailed)*
-    CampaignFinished
+    (UnitSkipped
+     | UnitStarted (UnitRetrying)* (UnitCompleted | UnitFailed))*
+    (CampaignFinished | CampaignAborted)
 
 Events are frozen dataclasses; ``completed``/``total`` carry monotonic
 progress counts so a consumer can render ``[12/96]`` without keeping
-its own tally. Under parallel execution (``jobs > 1``) the engine
-submits the whole pending list to the worker pool at once, so every
-:class:`UnitStarted` is emitted up front (each carrying the
-submission-time ``completed`` count — the resumed-skip total) and
-:class:`UnitCompleted` events then arrive in completion order; a
-progress UI should key on completions, treating parallel starts as
-"queued". The final result *set* is bit-identical to the serial path,
-only the event interleaving differs.
+its own tally. Under parallel execution (``jobs > 1``) each
+:class:`UnitStarted` is emitted when the unit is actually handed to a
+worker process — at most ``jobs`` units are "started" at any moment, in
+dispatch order — and :class:`UnitCompleted` events arrive in completion
+order. The final result *set* is bit-identical to the serial path, only
+the event interleaving differs.
+
+Failure semantics depend on the engine's ``on_error`` policy: under
+``abort`` (the default) a :class:`UnitFailed` is terminal — the
+exception is re-raised right after it and the stream ends; under
+``continue`` the failure is recorded (``final=True``) and the stream
+carries on to the remaining units, finishing with a
+:class:`CampaignFinished` whose ``failed`` count is non-zero. Transient
+errors may be retried (:class:`UnitRetrying`) before either outcome.
+:class:`CampaignAborted` replaces :class:`CampaignFinished` when a
+SIGINT/SIGTERM drained the sweep early; completed units are already in
+the store, so ``--resume`` picks up cleanly.
 """
 
 from __future__ import annotations
@@ -48,8 +58,8 @@ class CampaignStarted(RunEvent):
 
 @dataclass(frozen=True)
 class UnitStarted(RunEvent):
-    """One run unit began executing (serial) or was submitted to a
-    worker (parallel)."""
+    """One run unit began executing (serial) or was dispatched to a
+    worker process (parallel)."""
 
     unit: object
     completed: int
@@ -78,33 +88,73 @@ class UnitSkipped(RunEvent):
 
 
 @dataclass(frozen=True)
-class UnitFailed(RunEvent):
-    """One run unit raised; the exception is re-raised right after this
-    event, so the stream ends here — the event exists to let consumers
-    attribute the failure to a unit before the traceback unwinds."""
+class UnitRetrying(RunEvent):
+    """One run unit hit a transient error and will be re-dispatched.
+
+    ``attempt`` is the attempt that just failed (1-based); ``delay`` is
+    the backoff in seconds before attempt ``attempt + 1`` launches.
+    """
 
     unit: object
-    error: str
+    error: object  # ErrorRecord
+    attempt: int
+    delay: float
     completed: int
     total: int
 
 
 @dataclass(frozen=True)
+class UnitFailed(RunEvent):
+    """One run unit failed for good (retries exhausted or not allowed).
+
+    ``error`` is a human-readable summary string; ``record`` the full
+    structured :class:`~repro.errors.ErrorRecord`. Under
+    ``on_error="abort"`` the exception is re-raised right after this
+    event and the stream ends; under ``"continue"`` the failure is
+    persisted as a store failure record and the stream carries on.
+    """
+
+    unit: object
+    error: str
+    completed: int
+    total: int
+    record: object = None
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class CampaignAborted(RunEvent):
+    """The sweep was interrupted (SIGINT/SIGTERM) and shut down
+    gracefully: in-flight results were drained into the store first, so
+    a ``--resume`` continues exactly past the completed units."""
+
+    completed: int
+    total: int
+    reason: str = "interrupted"
+
+
+@dataclass(frozen=True)
 class CampaignFinished(RunEvent):
     """The sweep completed; ``results`` maps every selected unit's
-    run key to its :class:`RunResult`."""
+    run key to its :class:`RunResult`. ``failed`` counts units whose
+    failures were contained by ``on_error="continue"`` (their error
+    records are in ``failures``, keyed by run key)."""
 
     results: dict = field(repr=False)
     executed: int = 0
     skipped: int = 0
+    failed: int = 0
+    failures: dict = field(default_factory=dict, repr=False)
 
 
 __all__ = [
+    "CampaignAborted",
     "CampaignFinished",
     "CampaignStarted",
     "RunEvent",
     "UnitCompleted",
     "UnitFailed",
+    "UnitRetrying",
     "UnitSkipped",
     "UnitStarted",
 ]

@@ -13,6 +13,18 @@ or in-memory state, only the keys::
 signature of a mid-write kill) by skipping undecodable lines and
 counting them in :attr:`ResultStore.corrupt_lines`.
 
+A second record kind marks *failures*: under a fail-soft campaign
+(``on_error=continue``) a unit whose run failed for good is recorded
+with an ``error`` payload instead of a ``result``::
+
+    {"key": "3f2a…", "rep": 0, "config": {...},
+     "error": {"type": ..., "message": ..., "traceback": ..., ...}}
+
+Failure records are *ignored by resume* — ``load_completed`` never
+returns them — so a re-run after a bug fix executes the failed units
+again instead of skipping them; ``load_failures`` surfaces them for
+reporting. They are not counted as corrupt lines.
+
 Store *backends* are registry-driven: ``STORES`` is the ``store``
 :class:`repro.registry.Registry`, mapping backend names to classes with
 the ``append``/``load_completed`` protocol. :func:`open_store` resolves
@@ -55,27 +67,61 @@ class ResultStore:
     def append(self, key: str, config_dict: dict, rep: int,
                result_dict: dict) -> None:
         """Durably record one completed run (flush + fsync per line)."""
-        record = {"key": key, "rep": int(rep), "config": config_dict,
-                  "result": result_dict}
+        self._append_record({"key": key, "rep": int(rep),
+                             "config": config_dict, "result": result_dict})
+
+    def append_failure(self, key: str, config_dict: dict, rep: int,
+                       error_dict: dict) -> None:
+        """Durably record one *failed* run (ignored by resume)."""
+        self._append_record({"key": key, "rep": int(rep),
+                             "config": config_dict, "error": error_dict})
+
+    def _append_record(self, record: dict) -> None:
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        # a file killed mid-write ends in a truncated line with no
+        # newline; appending straight onto it would weld this record to
+        # the garbage and corrupt *both* — seal the tail first
+        seal = b""
+        if self.path.exists() and self.path.stat().st_size > 0:
+            with open(self.path, "rb") as tail:
+                tail.seek(-1, os.SEEK_END)
+                if tail.read(1) != b"\n":
+                    seal = b"\n"
+        with open(self.path, "ab") as handle:
+            handle.write(seal + line.encode("utf-8") + b"\n")
             handle.flush()
             os.fsync(handle.fileno())
 
     def load_completed(self) -> dict:
-        """``{key: record}`` of every decodable record (last key wins).
+        """``{key: record}`` of every decodable *result* record (last
+        key wins).
 
         Missing file means an empty store (a sweep that has not started
         yet); corrupt lines are skipped, not fatal, because the one
         expected corruption is the final partially-written line of a
-        killed sweep.
+        killed sweep. Failure records are skipped too — a failed unit
+        must re-run on resume — without counting as corruption.
         """
+        records, _ = self._load()
+        return records
+
+    def load_failures(self) -> dict:
+        """``{key: record}`` of every decodable failure record.
+
+        A key that later completed successfully (e.g. a retry of the
+        whole sweep after a bug fix) is dropped: the success supersedes
+        the stale failure.
+        """
+        records, failures = self._load()
+        return {key: record for key, record in failures.items()
+                if key not in records}
+
+    def _load(self):
         self.corrupt_lines = 0
-        records = {}
+        records, failures = {}, {}
         if not self.path.exists():
-            return records
+            return records, failures
         with open(self.path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -84,12 +130,16 @@ class ResultStore:
                 try:
                     record = json.loads(line)
                     key = record["key"]
-                    record["rep"], record["config"], record["result"]
+                    record["rep"], record["config"]
+                    if "error" in record:
+                        failures[key] = record
+                        continue
+                    record["result"]
                 except (ValueError, KeyError, TypeError):
                     self.corrupt_lines += 1
                     continue
                 records[key] = record
-        return records
+        return records, failures
 
 
 @STORES.register("memory")
@@ -107,6 +157,7 @@ class MemoryStore:
         self.location = str(location)
         self.corrupt_lines = 0
         self._records: dict = {}
+        self._failures: dict = {}
 
     def append(self, key: str, config_dict: dict, rep: int,
                result_dict: dict) -> None:
@@ -116,9 +167,19 @@ class MemoryStore:
                   "result": result_dict}
         self._records[key] = json.loads(json.dumps(record))
 
+    def append_failure(self, key: str, config_dict: dict, rep: int,
+                       error_dict: dict) -> None:
+        record = {"key": key, "rep": int(rep), "config": config_dict,
+                  "error": error_dict}
+        self._failures[key] = json.loads(json.dumps(record))
+
     def load_completed(self) -> dict:
         self.corrupt_lines = 0
         return dict(self._records)
+
+    def load_failures(self) -> dict:
+        return {key: record for key, record in self._failures.items()
+                if key not in self._records}
 
 
 def open_store(spec):

@@ -9,9 +9,21 @@ The taxonomy mirrors the failure semantics of the paper's stack:
 * an unrecoverable condition aborts the whole job with :class:`JobAbortedError`
   (``MPI_Abort``),
 * checkpoint-layer problems raise :class:`CheckpointError` subclasses.
+
+Harness-level failures (the campaign engine surviving *its own* faults,
+not the simulated ones) live here too: :class:`WorkerLostError`,
+:class:`UnitTimeoutError`, :class:`CorruptResultError` and
+:class:`WatchdogError`, plus the structured, always-picklable
+:class:`ErrorRecord` payload workers ship back instead of raw exception
+objects (exception classes with non-trivial ``__init__`` signatures can
+fail to *unpickle* in the parent, crashing the pool far from the
+culprit unit).
 """
 
 from __future__ import annotations
+
+import traceback as _traceback
+from dataclasses import dataclass
 
 
 class ReproError(Exception):
@@ -24,6 +36,26 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """No rank can make progress and no pending event can fire."""
+
+
+#: environment variable carrying the per-run scheduler-step budget; the
+#: engine exports it to (spawned) workers and
+#: :class:`repro.simmpi.runtime.Runtime` reads it at construction
+WATCHDOG_ENV = "MATCH_SIM_WATCHDOG"
+
+
+class WatchdogError(SimulationError):
+    """The simulation exceeded its per-run event budget (livelock guard).
+
+    Deterministic by construction — the same unit replays the same
+    schedule — so the engine never retries it.
+    """
+
+    def __init__(self, steps: int, message: str | None = None):
+        self.steps = steps
+        super().__init__(
+            message or "simulation exceeded its watchdog budget of %d "
+                       "scheduler steps (livelock?)" % steps)
 
 
 class MPIError(ReproError):
@@ -94,3 +126,135 @@ class InsufficientRedundancyError(CheckpointError):
 
 class ConfigurationError(ReproError):
     """Invalid experiment or library configuration."""
+
+
+# -- harness-level (campaign execution) failures ------------------------------
+class UnitExecutionError(ReproError):
+    """A campaign unit failed in a worker; wraps its :class:`ErrorRecord`.
+
+    Raised by the engine when the original exception type cannot be
+    reconstructed in the parent process (unimportable module, exotic
+    ``__init__`` signature); the structured record is always attached.
+    """
+
+    def __init__(self, record: "ErrorRecord"):
+        self.record = record
+        super().__init__("%s: %s" % (record.type, record.message))
+
+
+class WorkerLostError(ReproError):
+    """A worker process died without delivering a result (crash, OOM
+    kill, hard exit). Transient: the engine may retry the unit."""
+
+    def __init__(self, message: str = "worker process died"):
+        super().__init__(message)
+
+
+class UnitTimeoutError(ReproError):
+    """A unit exceeded its wall-clock timeout and its worker was killed.
+
+    Transient: a loaded machine can blow a deadline a retry meets.
+    """
+
+    def __init__(self, seconds: float):
+        self.seconds = float(seconds)
+        super().__init__("unit exceeded its %.1fs wall-clock timeout"
+                         % self.seconds)
+
+
+class CorruptResultError(ReproError):
+    """A worker returned a payload that does not deserialize into a
+    :class:`~repro.core.breakdown.RunResult`. Transient: runs are
+    deterministic, so a clean retry yields the real payload."""
+
+
+#: exception types the engine may retry — failures of the *harness*
+#: (dead worker, blown deadline, store/filesystem I/O), not of the
+#: simulated experiment. Everything else is treated as deterministic:
+#: the simulator is a pure function of its unit, so re-running a
+#: SimulationError or an application bug would burn time to fail
+#: identically (and retrying only transients preserves bit-identity of
+#: successful runs).
+TRANSIENT_ERRORS = (WorkerLostError, UnitTimeoutError, CorruptResultError,
+                    OSError)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether the campaign engine is allowed to retry after ``exc``."""
+    return isinstance(exc, TRANSIENT_ERRORS)
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """Structured, picklable, JSON-safe description of one failure.
+
+    This — never the exception object itself — is what pool workers ship
+    to the parent and what failure records persist in result stores:
+    plain strings always pickle and always round-trip through JSON,
+    whatever the original exception class looked like.
+    """
+
+    #: qualified exception type, e.g. ``"repro.errors.WatchdogError"``
+    type: str
+    message: str
+    #: formatted traceback text ("" when synthesized parent-side)
+    traceback: str
+    #: whether the engine may retry the unit
+    transient: bool = False
+
+    def to_dict(self) -> dict:
+        return {"type": self.type, "message": self.message,
+                "traceback": self.traceback, "transient": self.transient}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ErrorRecord":
+        return cls(type=str(data.get("type", "Exception")),
+                   message=str(data.get("message", "")),
+                   traceback=str(data.get("traceback", "")),
+                   transient=bool(data.get("transient", False)))
+
+    def summary(self) -> str:
+        return "%s: %s" % (self.type, self.message)
+
+
+def describe_error(exc: BaseException) -> ErrorRecord:
+    """The :class:`ErrorRecord` for a live exception."""
+    cls = type(exc)
+    qualname = cls.__name__
+    module = getattr(cls, "__module__", None)
+    if module and module != "builtins":
+        qualname = "%s.%s" % (module, qualname)
+    return ErrorRecord(
+        type=qualname,
+        message=str(exc),
+        traceback="".join(_traceback.format_exception(cls, exc,
+                                                      exc.__traceback__)),
+        transient=is_transient(exc))
+
+
+def resurrect_error(record: ErrorRecord) -> BaseException:
+    """The closest parent-side exception for a worker's error record.
+
+    Tries to rebuild the original type from its qualified name with the
+    recorded message (so ``except SimulationError`` and
+    ``pytest.raises(RuntimeError, match=...)`` keep working across the
+    process boundary); anything unreconstructable — unimportable module,
+    an ``__init__`` demanding extra arguments — degrades to
+    :class:`UnitExecutionError` instead of crashing the engine.
+    """
+    module_name, _, class_name = record.type.rpartition(".")
+    try:
+        if module_name:
+            import importlib
+
+            module = importlib.import_module(module_name)
+        else:
+            import builtins as module
+        cls = getattr(module, class_name)
+        if not (isinstance(cls, type) and issubclass(cls, BaseException)):
+            raise TypeError("%r is not an exception type" % (cls,))
+        exc = cls(record.message)
+    except Exception:
+        return UnitExecutionError(record)
+    exc.error_record = record
+    return exc

@@ -166,8 +166,34 @@ def predict(config, model="analytic") -> MakespanPrediction:
         model=model, app_obj=app_obj)
 
 
+def suggest_timeout(configs, slack: float = 5.0,
+                    floor: float = 30.0) -> float:
+    """A per-unit wall-clock timeout (seconds) for a sweep's configs.
+
+    ``--timeout auto`` resolves through here: the slowest cell's
+    predicted makespan, times a generous ``slack`` factor, floored at
+    ``floor`` seconds. Predicted makespan is *simulated* seconds, but it
+    scales with the work the scheduler must replay (iterations,
+    failures, recoveries), so it is a usable proxy for relative harness
+    wall-clock — the slack factor absorbs the absolute offset. The
+    point of an auto timeout is catching *hung* workers (a wedged run
+    sits forever, not 5× too long), so generous is correct: a timeout
+    that occasionally kills a slow healthy run would break campaign
+    completeness, while a generous one still converts every livelock
+    into a contained, retryable :class:`~repro.errors.UnitTimeoutError`.
+    """
+    configs = list(configs)
+    if not configs:
+        return floor
+    if slack <= 0:
+        raise ConfigurationError("timeout slack must be > 0")
+    worst = max(predict(config).total_seconds for config in configs)
+    return max(float(floor), worst * float(slack))
+
+
 __all__ = [
     "MakespanPrediction",
     "predict",
     "predict_cell",
+    "suggest_timeout",
 ]

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import enum
 import math
+import os
 from collections import deque
 from dataclasses import dataclass
 from heapq import heappop, heappush
@@ -49,12 +50,34 @@ from .reduceops import BAND, reduce_contributions
 from ..cluster.machine import Cluster
 from ..cluster.simclock import SimClock
 from ..errors import (
+    WATCHDOG_ENV,
     CommRevokedError,
     DeadlockError,
     JobAbortedError,
     ProcessFailedError,
     SimulationError,
+    WatchdogError,
 )
+
+
+def _watchdog_budget_from_env():
+    """The scheduler-step budget from ``$MATCH_SIM_WATCHDOG``, or None.
+
+    The campaign engine exports the variable to worker processes (spawn
+    children inherit the environment), so the budget reaches every
+    Runtime a run constructs — including relaunches inside a design's
+    recovery loop — without threading a parameter through the designs.
+    """
+    text = os.environ.get(WATCHDOG_ENV, "").strip()
+    if not text:
+        return None
+    try:
+        budget = int(text)
+    except ValueError:
+        raise SimulationError(
+            "%s must be an integer scheduler-step budget, got %r"
+            % (WATCHDOG_ENV, text))
+    return budget if budget > 0 else None
 
 
 class RankStatus(enum.Enum):
@@ -153,7 +176,8 @@ class Runtime:
                  overhead: OverheadModel | None = None,
                  fault_plan=None,
                  on_global_failure: Optional[Callable] = None,
-                 errhandler: ErrHandler = ErrHandler.FATAL):
+                 errhandler: ErrHandler = ErrHandler.FATAL,
+                 max_steps: Optional[int] = None):
         from .api import MpiApi  # local import to avoid a cycle
 
         self.cluster = cluster
@@ -196,6 +220,12 @@ class Runtime:
         self._ready_next: list = []
         self._push_count = 0
         self._stepping: Optional[int] = None
+        #: livelock guard: raise WatchdogError past this many _step()
+        #: calls (None = unlimited; $MATCH_SIM_WATCHDOG sets it when the
+        #: constructor isn't given one)
+        self.watchdog_budget = (max_steps if max_steps is not None
+                                else _watchdog_budget_from_env())
+        self.watchdog_steps = 0
         #: ranks neither DONE nor DEAD (O(1) termination check)
         self._unfinished = 0
         self._dispatch_table = self._build_dispatch_table()
@@ -370,6 +400,10 @@ class Runtime:
         return self._unfinished == 0
 
     def _step(self, rank: int) -> None:
+        if self.watchdog_budget is not None:
+            self.watchdog_steps += 1
+            if self.watchdog_steps > self.watchdog_budget:
+                raise WatchdogError(self.watchdog_budget)
         state = self._ranks[rank]
         inbox, state.inbox = state.inbox, None
         try:

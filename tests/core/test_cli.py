@@ -298,3 +298,53 @@ def test_interval_flag_rejects_junk(capsys):
     assert main(["run", "--app", "minivite", "--design", "reinit-fti",
                  "--nprocs", "8", "--interval", "soon"]) == 2
     assert "--interval" in capsys.readouterr().err
+
+
+def test_campaign_on_error_continue_partial_failure_exits_1(
+        tmp_path, monkeypatch, capsys):
+    """A poisoned campaign under --on-error continue finishes, records
+    the failures in the store, and exits 1 (partial failure)."""
+    import json
+
+    from repro.core.store import ResultStore
+
+    monkeypatch.setenv("MATCH_CHAOS", json.dumps({
+        "dir": str(tmp_path / "state"),
+        "rules": [{"mode": "error", "match": "*", "times": -1}],
+    }))
+    store = str(tmp_path / "sweep.jsonl")
+    code = main(["campaign"] + CAMPAIGN_ARGS
+                + ["--store", store, "--jobs", "2",
+                   "--on-error", "continue", "--progress"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "2 failure(s)" in captured.out
+    assert "FAIL" in captured.out
+    assert "ChaosError" in captured.err
+    assert len(ResultStore(store).load_failures()) == 2
+
+    # after the "fix" (chaos off), --resume re-runs the failed units
+    monkeypatch.delenv("MATCH_CHAOS")
+    assert main(["campaign"] + CAMPAIGN_ARGS
+                + ["--store", store, "--jobs", "2", "--resume"]) == 0
+    assert "executed 2 run(s)" in capsys.readouterr().out
+    assert ResultStore(store).load_failures() == {}
+
+
+def test_campaign_rejects_bad_failure_policy_flags(capsys):
+    assert main(["campaign"] + CAMPAIGN_ARGS
+                + ["--on-error", "explode"]) == 2
+    assert "--on-error" in capsys.readouterr().err
+    assert main(["campaign"] + CAMPAIGN_ARGS
+                + ["--timeout", "soon"]) == 2
+    assert "--timeout" in capsys.readouterr().err
+    assert main(["campaign"] + CAMPAIGN_ARGS
+                + ["--retries", "-1"]) == 2
+
+
+def test_campaign_accepts_retry_policy_and_timeout_auto(capsys):
+    code = main(["campaign"] + CAMPAIGN_ARGS
+                + ["--on-error", "retry:2", "--timeout", "auto",
+                   "--sim-watchdog", "100000000"])
+    assert code == 0
+    assert "0 failure(s)" in capsys.readouterr().out

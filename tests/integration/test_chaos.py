@@ -1,0 +1,127 @@
+"""Chaos self-test: the ISSUE's acceptance scenario end to end.
+
+One parallel campaign is hit with all three failure archetypes at once —
+a worker crash (transient: retried), a hung worker that blows the
+wall-clock timeout (transient: killed and retried), and a poisoned
+config that fails deterministically on every attempt (never retried) —
+under ``on_error=continue``. The campaign must finish, report accurate
+executed/skipped/failed counts, persist structured failure records, and
+produce results bit-identical to an undisturbed serial execution for
+every successful run.
+"""
+
+import json
+
+import pytest
+
+from repro.core.configs import campaign_matrix
+from repro.core.engine import CampaignEngine, campaign_units, execute_unit
+from repro.core.events import (
+    CampaignFinished,
+    UnitFailed,
+    UnitRetrying,
+    UnitStarted,
+)
+from repro.core.store import ResultStore
+
+RUNS = 2
+TIMEOUT = 25.0
+
+
+@pytest.fixture(scope="module")
+def chaos_campaign(tmp_path_factory):
+    """The chaotic sweep's engine, events, units and store path."""
+    tmp = tmp_path_factory.mktemp("chaos")
+    store = tmp / "chaos.jsonl"
+    spec = {
+        "dir": str(tmp / "state"),
+        "rules": [
+            # one worker crash (os._exit: no result, pipe EOF) — transient
+            {"mode": "crash", "match": "*REINIT*#rep0", "times": 1},
+            # one hang past the wall-clock deadline — transient
+            {"mode": "hang", "match": "*ULFM*#rep1", "times": 1,
+             "hang_seconds": 3600},
+            # one poisoned config: every attempt fails deterministically
+            {"mode": "error", "match": "*RESTART*", "times": -1},
+        ],
+    }
+    configs = campaign_matrix(("minivite",), nprocs=8, nnodes=4)
+    units = campaign_units(configs, runs=RUNS)
+    import os
+
+    os.environ["MATCH_CHAOS"] = json.dumps(spec)
+    try:
+        engine = CampaignEngine(jobs=2, store_path=str(store),
+                                on_error="continue", retries=2,
+                                timeout=TIMEOUT, backoff_base=0.05)
+        events = list(engine.stream(units))
+    finally:
+        del os.environ["MATCH_CHAOS"]
+    return engine, events, units, store
+
+
+def test_chaotic_campaign_completes(chaos_campaign):
+    engine, events, units, _ = chaos_campaign
+    finished = events[-1]
+    assert isinstance(finished, CampaignFinished)
+    # all six units were attempted, none skipped, exactly the poisoned
+    # config's two repetitions failed
+    assert engine.executed == len(units) == 3 * RUNS
+    assert engine.skipped == 0
+    assert engine.failed == 2
+    assert finished.failed == 2
+    failed_units = {e.unit for e in events if isinstance(e, UnitFailed)}
+    assert {u.config.design for u in failed_units} == {"restart-fti"}
+
+
+def test_chaotic_campaign_retried_the_transients(chaos_campaign):
+    engine, events, _, _ = chaos_campaign
+    retries = [e for e in events if isinstance(e, UnitRetrying)]
+    kinds = {e.unit.describe(): e.error.type for e in retries}
+    assert kinds["minivite/REINIT-FTI/p8/small/fault#rep0"] \
+        == "repro.errors.WorkerLostError"
+    assert kinds["minivite/ULFM-FTI/p8/small/fault#rep1"] \
+        == "repro.errors.UnitTimeoutError"
+    assert all(e.error.transient for e in retries)
+    # the poisoned config never retried: deterministic errors fail fast
+    assert not any("RESTART" in desc for desc in kinds)
+    assert engine.retried == 2
+
+
+def test_chaotic_campaign_persists_structured_failure_records(
+        chaos_campaign):
+    engine, _, units, store_path = chaos_campaign
+    store = ResultStore(store_path)
+    failures = store.load_failures()
+    poisoned = [u for u in units if u.config.design == "restart-fti"]
+    assert set(failures) == {u.key for u in poisoned}
+    for unit in poisoned:
+        error = failures[unit.key]["error"]
+        assert error["type"] == "repro.core.chaos.ChaosError"
+        assert unit.describe() in error["message"]
+        assert not error["transient"]
+        # failure records never satisfy resume: a fixed bug re-runs them
+        assert unit.key not in store.load_completed()
+
+
+def test_chaotic_campaign_started_units_at_dispatch_time(chaos_campaign):
+    _, events, _, _ = chaos_campaign
+    started = [i for i, e in enumerate(events)
+               if isinstance(e, UnitStarted)]
+    landed = [i for i, e in enumerate(events)
+              if isinstance(e, (UnitFailed, UnitRetrying))
+              or type(e).__name__ == "UnitCompleted"]
+    # at most `jobs` units are in flight before the first outcome lands
+    assert len([i for i in started if i < landed[0]]) <= 2
+
+
+def test_chaotic_campaign_successes_bit_identical_to_serial(
+        chaos_campaign):
+    engine, events, units, _ = chaos_campaign
+    results = events[-1].results
+    survivors = [u for u in units if u.config.design != "restart-fti"]
+    assert set(results) == {u.key for u in survivors}
+    for unit in survivors:
+        # crash-retried, timeout-retried and untouched runs alike must
+        # match an undisturbed serial execution exactly
+        assert results[unit.key] == execute_unit(unit)

@@ -32,12 +32,14 @@ REPRO_EXPORTS = [
 #: the pinned facade surface (sorted)
 API_EXPORTS = [
     "Campaign",
+    "CampaignAborted",
     "CampaignFinished",
     "CampaignStarted",
     "RunEvent",
     "Session",
     "UnitCompleted",
     "UnitFailed",
+    "UnitRetrying",
     "UnitSkipped",
     "UnitStarted",
     "check_campaign",
