@@ -24,6 +24,8 @@ determinism-checked contract):
   recovery under ULFM)
 * ``advise_queries_per_sec``         — analytic design-advisor query rate
   (full design × level ranking per query, repro.modeling)
+* ``advise_batch_queries_per_sec``   — vectorized batch-advisor rate on
+  the same query stream (repro.service.vector.advise_batch)
 * ``e2e_hpccg_makespan_sim_sec``     — simulated makespan (must not drift)
 * ``e2e_hpccg_wallclock_sec``        — end-to-end wall-clock of that run
 
@@ -242,6 +244,30 @@ def bench_advise(queries: int = 200) -> float:
     return queries / (time.perf_counter() - t0)
 
 
+def bench_advise_batch(queries: int = 20000) -> float:
+    """Vectorized advisor throughput (queries/s): the same query stream
+    as ``bench_advise`` — hpccg@512 cycling four MTBFs — answered in one
+    ``repro.service.vector.advise_batch`` call, so the two series stay
+    directly comparable. Query objects are pre-built outside the clock
+    (a service parses requests once, then advises many times)."""
+    from repro.modeling.advisor import advise
+    from repro.service.query import AdviceQuery
+    from repro.service.vector import advise_batch
+
+    mtbfs = ("30m", "1h", "4h", "1d")
+    stream = [AdviceQuery.make("hpccg", 512, mtbfs[i % len(mtbfs)])
+              for i in range(queries)]
+    advise_batch(stream[: len(mtbfs)])  # warm registries outside the clock
+    t0 = time.perf_counter()
+    answers = advise_batch(stream)
+    rate = queries / (time.perf_counter() - t0)
+    assert len(answers) == queries, "advise_batch dropped answers"
+    for i, mtbf in enumerate(mtbfs):  # parity with the scalar path
+        assert answers[i] == advise("hpccg", 512, mtbf)[0], \
+            "advise_batch diverged from scalar advise"
+    return rate
+
+
 # -- end to end ------------------------------------------------------------
 def e2e_scale() -> int:
     raw = os.environ.get("MATCH_SCALES", "512")
@@ -287,6 +313,8 @@ def main(argv=None) -> int:
     record("faults_scenario_runs_per_sec", bench_faults_scenario(),
            "runs/s")
     record("advise_queries_per_sec", bench_advise(), "queries/s")
+    record("advise_batch_queries_per_sec", bench_advise_batch(),
+           "queries/s")
     makespan, wall = bench_end_to_end()
     record("e2e_%s_makespan_sim_sec" % e2e_app(), makespan, "sim s")
     record("e2e_%s_wallclock_sec" % e2e_app(), wall, "s")

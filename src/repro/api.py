@@ -335,6 +335,20 @@ class Campaign:
         return [(config, predict(config, model=model))
                 for config in self.configs()]
 
+    def predict_many(self, model="analytic") -> list:
+        """:meth:`predict` through the vectorized model paths.
+
+        Bit-identical ``(config, MakespanPrediction)`` pairs — the
+        equivalence is pinned by tests — with the model-protocol calls
+        memoized across cells and the makespan arithmetic done in one
+        numpy pass (:func:`repro.modeling.vector.predict_configs`).
+        Prefer this for large matrices; ``predict`` stays as the
+        obvious scalar reference.
+        """
+        from .modeling.vector import predict_configs
+
+        return predict_configs(self.configs(), model=model)
+
     # -- execution ----------------------------------------------------------
     def session(self, engine: CampaignEngine = None) -> "Session":
         """An executable :class:`Session` over this campaign."""
@@ -530,6 +544,32 @@ class Session:
                 input_size=config.input_size, nnodes=config.nnodes,
                 objective=objective, levels=levels, model=model)
         return advice
+
+    def advise_many(self, queries, *, calibrate: bool = True) -> list:
+        """Batch advice through the vectorized core, calibrated on this
+        session's results.
+
+        ``queries`` is a sequence of
+        :class:`~repro.service.query.AdviceQuery` (or dicts accepted by
+        its ``from_dict``); returns one ranked advice list per query,
+        parallel to the input, each ``==`` to what a scalar
+        :func:`repro.modeling.advisor.advise` call under the same
+        calibrated model returns. This is the facade the advisor
+        service builds on — a service configured with this session's
+        calibration serves byte-identical answers.
+        """
+        from .modeling.fit import CalibratedModel, fit_session
+        from .service.query import AdviceQuery
+        from .service.vector import advise_batch_ranked
+
+        self._require_results()
+        model = "analytic"
+        if calibrate:
+            model = CalibratedModel(fit_session(self))
+        queries = [query if isinstance(query, AdviceQuery)
+                   else AdviceQuery.from_dict(query)
+                   for query in queries]
+        return advise_batch_ranked(queries, model=model)
 
     def campaigns(self) -> dict:
         """``{label: CampaignResult}`` in matrix order, exactly as the

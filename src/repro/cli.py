@@ -339,7 +339,7 @@ def _cmd_advise(args) -> int:
     import time
 
     from .modeling import MODELS  # noqa: F401  (imports the registry)
-    from .modeling.advisor import advise, format_advice
+    from .modeling.advisor import advise, render_advice
 
     levels = tuple(int(v) for v in args.levels.split(","))
     t0 = time.perf_counter()
@@ -348,10 +348,44 @@ def _cmd_advise(args) -> int:
                   designs=_parse_designs(args.design), levels=levels,
                   objective=args.objective, model=args.model)
     model_ms = (time.perf_counter() - t0) * 1e3
-    print(format_advice(
-        rows, title="Advice for %s at %d ranks, MTBF %s (objective: %s)"
+    print(render_advice(
+        rows, fmt=args.format,
+        title="Advice for %s at %d ranks, MTBF %s (objective: %s)"
         % (args.app, args.nprocs, args.mtbf, args.objective)))
-    print("model time: %.2f ms (%d cells)" % (model_ms, len(rows)))
+    if args.format == "table":
+        print("model time: %.2f ms (%d cells)" % (model_ms, len(rows)))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import AdviceQuery, AdvisorServer, AdvisorService
+
+    service = AdvisorService(model=args.model,
+                             query_cache_size=args.query_cache)
+    if args.calibrate_store:
+        version = service.recalibrate(args.calibrate_store)
+        print("calibrated from %d store(s): %s"
+              % (len(args.calibrate_store), version), file=sys.stderr)
+    if args.warm:
+        workloads = []
+        for spec in args.warm:
+            app, _, nprocs = spec.partition(":")
+            try:
+                nprocs = int(nprocs) if nprocs else 64
+            except ValueError:
+                raise ConfigurationError(
+                    "--warm takes app or app:nprocs (got %r)" % (spec,))
+            workloads.append(AdviceQuery.make(app, nprocs, "1h"))
+        entries = service.warm(workloads)
+        print("warmed %d workload(s): %d precomputed entries"
+              % (len(workloads), entries), file=sys.stderr)
+    server = AdvisorServer(service, host=args.host, port=args.port)
+    print("advisor service (calibration %s) listening on "
+          "http://%s:%d — endpoints: /advise /advise/batch /predict "
+          "/healthz /metrics" % (service.calibration, args.host,
+                                 args.port),
+          file=sys.stderr)
+    server.run()
     return 0
 
 
@@ -517,7 +551,29 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("makespan", "efficiency", "recovery"))
     adv_p.add_argument("--model", default="analytic",
                        help="cost model (any registered 'model' entry)")
+    adv_p.add_argument("--format", default="table",
+                       help="output renderer: table | json | csv (or "
+                            "any registered renderer)")
     adv_p.set_defaults(func=_cmd_advise)
+
+    srv_p = sub.add_parser("serve",
+                           help="run the advisor as a long-running "
+                                "HTTP/JSON service")
+    srv_p.add_argument("--host", default="127.0.0.1")
+    srv_p.add_argument("--port", type=int, default=8347)
+    srv_p.add_argument("--model", default="analytic",
+                       help="cost model (any registered 'model' entry)")
+    srv_p.add_argument("--calibrate-store", nargs="+", default=None,
+                       metavar="STORE",
+                       help="fit a calibrated model from these result "
+                            "stores before serving")
+    srv_p.add_argument("--warm", nargs="+", default=None,
+                       metavar="APP[:NPROCS]",
+                       help="precompute advice grids for these "
+                            "workloads at the canonical MTBF buckets")
+    srv_p.add_argument("--query-cache", type=int, default=4096,
+                       help="LRU query-cache entries (default 4096)")
+    srv_p.set_defaults(func=_cmd_serve)
 
     val_p = sub.add_parser("model-validate",
                            help="run a small campaign and check the "

@@ -16,6 +16,9 @@ subsystem answers the same questions in closed form, in microseconds:
   a ranked (design, level, interval) table for a workload.
 * :mod:`~repro.modeling.fit` — least-squares calibration of model
   constants from campaign result stores.
+* :mod:`~repro.modeling.vector` — numpy-vectorized, bit-identical
+  versions of the interval/makespan arithmetic for batch evaluation
+  (what :mod:`repro.service` serves from).
 * :mod:`~repro.modeling.validate` — cross-check predictions against a
   simulated campaign under an error budget.
 
@@ -30,8 +33,20 @@ See docs/MODELING.md for derivations, constants provenance and the
 validation error budget.
 """
 
-from .advisor import Advice, advise, format_advice, parse_mtbf
-from .costs import MODELS, AnalyticCostModel, CostParams, resolve_model
+from .advisor import (
+    Advice,
+    advise,
+    format_advice,
+    parse_mtbf,
+    render_advice,
+)
+from .costs import (
+    MODELS,
+    AnalyticCostModel,
+    CostParams,
+    model_version,
+    resolve_model,
+)
 from .fit import (
     CalibratedModel,
     FittedConstants,
@@ -53,11 +68,19 @@ from .validate import (
     ValidationReport,
     validate_model,
 )
+from .vector import (
+    CellGrid,
+    build_cell_grid,
+    evaluate_grid,
+    predict_configs,
+    top_cell_indexes,
+)
 
 __all__ = [
     "Advice",
     "AnalyticCostModel",
     "CalibratedModel",
+    "CellGrid",
     "CellValidation",
     "CostParams",
     "DEFAULT_ERROR_BUDGET",
@@ -67,17 +90,23 @@ __all__ = [
     "ValidationReport",
     "advise",
     "auto_stride",
+    "build_cell_grid",
     "daly_interval",
+    "evaluate_grid",
     "fit_records",
     "fit_session",
     "fit_store",
     "format_advice",
+    "model_version",
     "optimal_stride",
     "parse_mtbf",
     "predict",
     "predict_cell",
+    "predict_configs",
+    "render_advice",
     "resolve_model",
     "scenario_mtbf_seconds",
+    "top_cell_indexes",
     "validate_model",
     "young_interval",
 ]

@@ -17,15 +17,16 @@ or registers under a name and is selected from the CLI.
 
 from __future__ import annotations
 
+import json
 import math
-import re
 from dataclasses import dataclass
 
-from .costs import resolve_model
+from .costs import model_version, resolve_model
 from .interval import optimal_stride
 from .makespan import MakespanPrediction, predict_cell
 from ..apps import APP_REGISTRY
 from ..core.configs import DESIGN_NAMES, NNODES
+from ..core.report import RENDERERS
 from ..errors import ConfigurationError
 from ..fti.config import VALID_LEVELS, FtiConfig
 
@@ -34,39 +35,65 @@ OBJECTIVES = ("makespan", "efficiency", "recovery")
 
 _MTBF_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
 
+_MTBF_GRAMMAR = ("use seconds or a number with an s/m/h/d suffix — "
+                 "'7200', '1.5e3', '30m', '4h', '1d' — or 'inf' for "
+                 "no failures")
+
 
 def parse_mtbf(text) -> float:
     """MTBF in seconds from ``"4h"``, ``"30m"``, ``"86400"``, ``1800``,
-    or ``"inf"`` (no failures)."""
+    or ``"inf"`` (no failures).
+
+    Grammar: an optional-whitespace-wrapped float in any Python
+    ``float()`` syntax (``"7200"``, ``"1.5e3"``), optionally followed
+    by one of the unit suffixes ``s``/``m``/``h``/``d``; or one of
+    ``inf``/``infinity``/``none``. Anything else raises
+    :class:`~repro.errors.ConfigurationError` stating this grammar.
+    """
+    if isinstance(text, bool):
+        raise ConfigurationError(
+            "cannot parse MTBF %r (%s)" % (text, _MTBF_GRAMMAR))
     if isinstance(text, (int, float)):
         value = float(text)
     else:
         raw = str(text).strip().lower()
         if raw in ("inf", "infinity", "none"):
             return math.inf
-        match = re.fullmatch(r"([0-9.]+)\s*([smhd]?)", raw)
-        if not match:
-            raise ConfigurationError(
-                "cannot parse MTBF %r (use seconds, or a number with "
-                "an s/m/h/d suffix, e.g. '4h')" % (text,))
+        unit = 1.0
+        if raw[-1:] in _MTBF_UNITS:
+            unit = _MTBF_UNITS[raw[-1]]
+            raw = raw[:-1].rstrip()
         try:
-            value = float(match.group(1))
+            value = float(raw)
         except ValueError:
-            raise ConfigurationError("cannot parse MTBF %r" % (text,))
-        value *= _MTBF_UNITS.get(match.group(2) or "s")
+            raise ConfigurationError(
+                "cannot parse MTBF %r (%s)"
+                % (text, _MTBF_GRAMMAR)) from None
+        if math.isnan(value):
+            raise ConfigurationError(
+                "cannot parse MTBF %r (%s)" % (text, _MTBF_GRAMMAR))
+        value *= unit
     if value <= 0:
-        raise ConfigurationError("MTBF must be positive")
+        raise ConfigurationError(
+            "MTBF must be positive (got %r; %s)" % (text, _MTBF_GRAMMAR))
     return value
 
 
 @dataclass(frozen=True)
 class Advice:
-    """One ranked advisor row."""
+    """One ranked advisor row.
+
+    ``calibration`` records which cost-model version priced the row
+    (:func:`~repro.modeling.costs.model_version`) — the provenance tag
+    that lets a cached or served answer be traced to the constants that
+    produced it.
+    """
 
     design: str
     fti_level: int
     interval: int
     prediction: MakespanPrediction
+    calibration: str = "analytic"
 
     @property
     def makespan(self) -> float:
@@ -75,6 +102,33 @@ class Advice:
     @property
     def efficiency(self) -> float:
         return self.prediction.efficiency
+
+    @property
+    def recovery(self) -> float:
+        """Expected MPI repair seconds (the ``recovery`` objective's
+        primary sort key)."""
+        return self.prediction.recovery_seconds
+
+    def to_dict(self) -> dict:
+        return {"design": self.design, "fti_level": self.fti_level,
+                "interval": self.interval,
+                "calibration": self.calibration,
+                "prediction": self.prediction.as_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Advice":
+        """Inverse of :meth:`to_dict`; JSON round-trips exactly (floats
+        serialize via lossless ``repr``)."""
+        try:
+            return cls(
+                design=data["design"], fti_level=int(data["fti_level"]),
+                interval=int(data["interval"]),
+                prediction=MakespanPrediction.from_dict(
+                    data["prediction"]),
+                calibration=str(data.get("calibration", "analytic")))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                "malformed advice dict: %s" % (exc,)) from exc
 
 
 def _rank_key(objective: str):
@@ -103,6 +157,7 @@ def advise(app: str, nprocs: int, mtbf, *, input_size: str = "small",
     mtbf_seconds = parse_mtbf(mtbf)
     model = resolve_model(model)
     key = _rank_key(objective)
+    calibration = model_version(model)
     app_obj = APP_REGISTRY.resolve(app).from_input(nprocs, input_size)
     rows = []
     for design in designs:
@@ -122,12 +177,14 @@ def advise(app: str, nprocs: int, mtbf, *, input_size: str = "small",
                 app_obj=app_obj, iter_seconds=iter_seconds,
                 ckpt_cost=ckpt_cost)
             rows.append(Advice(design=design, fti_level=level,
-                               interval=stride, prediction=prediction))
+                               interval=stride, prediction=prediction,
+                               calibration=calibration))
     rows.sort(key=key)
     return rows
 
 
-def format_advice(rows, title: str = "") -> str:
+@RENDERERS.register("advice-table")
+def render_advice_table(rows, title: str = "") -> str:
     """Render ranked advice as the CLI's fixed-width table.
 
     The ``recov`` column is exactly the quantity the ``recovery``
@@ -151,10 +208,61 @@ def format_advice(rows, title: str = "") -> str:
     return "\n".join(lines)
 
 
+@RENDERERS.register("advice-json")
+def render_advice_json(rows, title: str = "") -> str:
+    """Ranked advice as a JSON document (rank order preserved); the
+    optional title becomes a ``"title"`` field."""
+    payload = {"advice": [row.to_dict() for row in rows]}
+    if title:
+        payload["title"] = title
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+@RENDERERS.register("advice-csv")
+def render_advice_csv(rows, title: str = "") -> str:
+    """Ranked advice as CSV rows (the title is not representable in
+    CSV and is ignored)."""
+    lines = ["rank,design,fti_level,interval,makespan_seconds,"
+             "efficiency,ckpt_seconds,recovery_seconds,rework_seconds,"
+             "expected_failures,calibration"]
+    for index, row in enumerate(rows, start=1):
+        p = row.prediction
+        lines.append("%d,%s,%d,%d,%r,%r,%r,%r,%r,%r,%s"
+                     % (index, row.design, row.fti_level, row.interval,
+                        p.total_seconds, p.efficiency,
+                        p.ckpt_write_seconds, p.recovery_seconds,
+                        p.rework_seconds, p.expected_failures,
+                        row.calibration))
+    return "\n".join(lines)
+
+
+def format_advice(rows, title: str = "") -> str:
+    """Back-compat shim: the ``advice-table`` renderer by its old name."""
+    return render_advice_table(rows, title=title)
+
+
+def render_advice(rows, fmt: str = "table", title: str = "") -> str:
+    """Render ranked advice through the renderer registry.
+
+    ``fmt`` may be a short advisor format (``table``/``json``/``csv``,
+    resolved as ``advice-<fmt>``) or any registered renderer name —
+    the same extension point campaign reports use.
+    """
+    try:
+        renderer = RENDERERS.resolve("advice-" + fmt)
+    except ConfigurationError:
+        renderer = RENDERERS.resolve(fmt)
+    return renderer(rows, title=title)
+
+
 __all__ = [
     "Advice",
     "OBJECTIVES",
     "advise",
     "format_advice",
     "parse_mtbf",
+    "render_advice",
+    "render_advice_csv",
+    "render_advice_json",
+    "render_advice_table",
 ]

@@ -78,6 +78,28 @@ def resolve_model(model):
     return model
 
 
+def model_version(model) -> str:
+    """The model's calibration-version string.
+
+    This is the cache-coherence token of the serving layer
+    (:mod:`repro.service`): advice computed under one version must never
+    answer a query under another, so anything that changes a model's
+    constants must change its version. Models may expose an explicit
+    ``version`` attribute (:class:`~repro.modeling.fit.CalibratedModel`
+    derives one from a digest of its fitted constants); the fallback is
+    the registry ``name``, which is correct for stateless built-ins like
+    ``analytic`` whose constants only change with the code itself.
+    """
+    model = resolve_model(model)
+    version = getattr(model, "version", None)
+    if isinstance(version, str) and version:
+        return version
+    name = getattr(model, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    return type(model).__name__
+
+
 def _log2(n: int) -> float:
     return math.log2(max(2, n))
 
@@ -130,6 +152,9 @@ class AnalyticCostModel:
     """The closed-form mirror of the simulator's cost arithmetic."""
 
     name = "analytic"
+    #: calibration version (see :func:`model_version`): the analytic
+    #: model's constants are the simulator's own, so the name suffices
+    version = "analytic"
 
     def __init__(self, params: CostParams | None = None):
         self.params = params or CostParams()
@@ -255,6 +280,7 @@ __all__ = [
     "MODELS",
     "AnalyticCostModel",
     "CostParams",
+    "model_version",
     "ranks_per_node",
     "resolve_model",
 ]

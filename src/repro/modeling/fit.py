@@ -25,9 +25,11 @@ validation unchanged.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
-from .costs import resolve_model
+from .costs import model_version, resolve_model
 from ..core.configs import config_from_dict
 from ..errors import ConfigurationError
 
@@ -63,6 +65,22 @@ class FittedConstants:
                    recovery_scale=dict(data.get("recovery_scale", {})),
                    samples=int(data.get("samples", 0)))
 
+    def digest(self) -> str:
+        """Content digest of the fitted constants.
+
+        Two fits that landed on the same scales digest identically (the
+        calibration *is* the constants — sample counts are provenance,
+        not behaviour), and any constant change produces a new digest.
+        This is what versions the serving caches: see
+        :func:`repro.modeling.costs.model_version`.
+        """
+        payload = {"app_scale": self.app_scale,
+                   "ckpt_scale": {str(k): v
+                                  for k, v in self.ckpt_scale.items()},
+                   "recovery_scale": self.recovery_scale}
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
 
 def _slope(pairs) -> float:
     """Least-squares slope through the origin for (predicted, observed)
@@ -82,6 +100,11 @@ class CalibratedModel:
     def __init__(self, constants: FittedConstants, base="analytic"):
         self.base = resolve_model(base)
         self.constants = constants
+        #: calibration version: base version + constants digest, so a
+        #: recalibration (or a different base model) is a new version
+        #: and every serving-layer cache keyed on it invalidates
+        self.version = "calibrated:%s:%s" % (model_version(self.base),
+                                             constants.digest())
 
     def iteration_seconds(self, app, design, nprocs, nnodes):
         scale = self.constants.app_scale.get(

@@ -83,6 +83,30 @@ class MakespanPrediction:
                    self.rework_seconds, 100.0 * self.efficiency,
                    self.expected_failures))
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "MakespanPrediction":
+        """Inverse of :meth:`as_dict` (the derived ``efficiency`` entry
+        is recomputed, not read). JSON round-trips exactly: Python's
+        ``json`` serializes floats via ``repr``, which is lossless for
+        doubles, so ``from_dict(json.loads(json.dumps(p.as_dict())))``
+        equals ``p`` field-for-field."""
+        try:
+            return cls(
+                app=data["app"], design=data["design"],
+                nprocs=int(data["nprocs"]),
+                fti_level=int(data["fti_level"]),
+                interval=int(data["interval"]),
+                app_seconds=float(data["app_seconds"]),
+                ckpt_write_seconds=float(data["ckpt_write_seconds"]),
+                recovery_seconds=float(data["recovery_seconds"]),
+                rework_seconds=float(data["rework_seconds"]),
+                expected_failures=float(data["expected_failures"]),
+                total_seconds=float(data["total_seconds"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                "malformed makespan-prediction dict: %s" % (exc,)) \
+                from exc
+
 
 def predict_cell(*, app: str, design: str, nprocs: int = 64,
                  input_size: str = "small", nnodes: int = NNODES,

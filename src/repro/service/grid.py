@@ -1,0 +1,135 @@
+"""Precomputed advice grids: the middle cache layer.
+
+Two stores, both keyed by canonical query identity and both stamped
+with the cost model's calibration version
+(:func:`repro.modeling.costs.model_version`):
+
+* **cell grids** — one :class:`~repro.modeling.vector.CellGrid` per
+  workload signature (:attr:`~repro.service.query.AdviceQuery.
+  group_key`): the scalar-priced constants the vectorized cold path
+  needs. Building one costs a dozen model-protocol calls; serving from
+  it costs none.
+* **bucket advice** — fully-ranked advice lists precomputed at
+  canonical MTBF *buckets* (``warm()``), keyed by exact
+  :attr:`~repro.service.query.AdviceQuery.cache_key`. A query hits
+  this layer only when its parsed MTBF equals a bucket value exactly —
+  nearest-bucket answering would break the service's bit-identity
+  guarantee, so there is none.
+
+Invalidation is wholesale and version-driven: ``invalidate()`` (called
+by :meth:`repro.service.core.AdvisorService.set_model` on
+recalibration) drops both stores, and every cached row carries its
+calibration tag so staleness is auditable from the outside.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..modeling.costs import model_version, resolve_model
+from .query import AdviceQuery
+from .vector import advise_batch_ranked, grid_for_query
+
+#: the canonical MTBF bucket grid (seconds): the paper's sweep range,
+#: five minutes to a week, at the resolutions operators actually quote
+DEFAULT_MTBF_BUCKETS = (
+    300.0, 600.0, 1800.0, 3600.0, 7200.0, 14400.0, 28800.0,
+    43200.0, 86400.0, 172800.0, 604800.0)
+
+
+class GridCache:
+    """Versioned store of cell grids and bucket-precomputed advice."""
+
+    def __init__(self, model="analytic", buckets=DEFAULT_MTBF_BUCKETS):
+        self.model = resolve_model(model)
+        self.version = model_version(self.model)
+        buckets = tuple(float(b) for b in buckets)
+        if any(not b > 0 for b in buckets):
+            raise ConfigurationError("MTBF buckets must be positive")
+        self.buckets = buckets
+        self._grids: dict = {}
+        self._advice: dict = {}
+        self.grid_builds = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- cell grids ---------------------------------------------------------
+    @property
+    def grids(self) -> dict:
+        """The live group_key -> CellGrid mapping (what
+        :func:`repro.service.vector.advise_batch` takes as ``grids``)."""
+        return self._grids
+
+    def grid(self, query: AdviceQuery):
+        """The query's cell grid, building and memoizing on first use."""
+        key = query.group_key
+        grid = self._grids.get(key)
+        if grid is None:
+            grid = grid_for_query(query, model=self.model)
+            self._grids[key] = grid
+            self.grid_builds += 1
+        return grid
+
+    # -- bucket advice ------------------------------------------------------
+    def lookup(self, query: AdviceQuery):
+        """The precomputed ranked advice for this exact query, or
+        ``None``. Hits require exact cache-key equality (bucket MTBF
+        included) — never approximation."""
+        rows = self._advice.get(query.cache_key)
+        if rows is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return rows
+
+    def warm(self, workloads) -> int:
+        """Precompute ranked advice for each workload × MTBF bucket.
+
+        ``workloads`` is an iterable of
+        :class:`~repro.service.query.AdviceQuery` (their own MTBF is
+        ignored; each is expanded over :attr:`buckets`). Returns the
+        number of (workload, bucket) entries now resident. Also builds
+        and retains each workload's cell grid, so even off-bucket
+        queries against a warmed workload skip model pricing.
+        """
+        todo = []
+        for workload in workloads:
+            self.grid(workload)
+            for bucket in self.buckets:
+                query = workload.with_mtbf(bucket)
+                if query.cache_key not in self._advice:
+                    todo.append(query)
+        if todo:
+            ranked = advise_batch_ranked(todo, model=self.model,
+                                         grids=self._grids)
+            for query, rows in zip(todo, ranked):
+                self._advice[query.cache_key] = rows
+        return len(self._advice)
+
+    # -- lifecycle ----------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every grid and precomputed answer (recalibration)."""
+        self._grids.clear()
+        self._advice.clear()
+
+    def set_model(self, model) -> str:
+        """Swap the cost model; if its calibration version differs,
+        every cached entry is invalidated. Returns the live version."""
+        model = resolve_model(model)
+        version = model_version(model)
+        if version != self.version:
+            self.invalidate()
+        self.model = model
+        self.version = version
+        return self.version
+
+    def stats(self) -> dict:
+        lookups = self.hits + self.misses
+        return {"version": self.version, "grids": len(self._grids),
+                "precomputed": len(self._advice),
+                "grid_builds": self.grid_builds,
+                "buckets": len(self.buckets),
+                "hits": self.hits, "misses": self.misses,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0}
+
+
+__all__ = ["DEFAULT_MTBF_BUCKETS", "GridCache"]

@@ -1,0 +1,282 @@
+"""The asyncio HTTP/JSON front end for :class:`AdvisorService`.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
+``http.server``, no framework — because the request surface is five
+JSON endpoints and the serving story (single event loop, vectorized
+batch core, answers out of caches) does not need more:
+
+====================  ======  =============================================
+endpoint              method  body / query parameters
+====================  ======  =============================================
+``/advise``           GET     ``?app=&nprocs=&mtbf=`` (+ optional
+                              ``input_size``/``nnodes``/``objective``/
+                              ``designs``/``levels``, comma-separated)
+``/advise``           POST    one query object (see
+                              :meth:`~repro.service.query.AdviceQuery.
+                              from_dict`)
+``/advise/batch``     POST    ``{"queries": [query, ...]}`` — answers are
+                              top-1 advice, parallel to the input
+``/predict``          POST    ``{"configs": [config-dict, ...]}``
+``/healthz``          GET     —
+``/metrics``          GET     —
+====================  ======  =============================================
+
+Routing and payload handling live in :meth:`AdvisorServer.
+handle_request`, a pure ``(method, path, params, body) -> (status,
+payload)`` function, so endpoint tests need no socket. Malformed input
+maps to 400 with the :class:`~repro.errors.ConfigurationError` message
+(which states the accepted grammar), unknown routes to 404, and
+unexpected errors to 500 — the server never dies on a bad request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from urllib.parse import parse_qsl, urlsplit
+
+from ..errors import ConfigurationError
+from .core import AdvisorService
+from .query import AdviceQuery
+
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+_MAX_HEADER_BYTES = 64 * 1024
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed", 413: "Payload Too Large",
+                500: "Internal Server Error"}
+
+
+def _query_from_params(params: dict) -> AdviceQuery:
+    """An AdviceQuery from GET query parameters (strings)."""
+    data = dict(params)
+    for key in ("designs", "levels"):
+        if key in data:
+            data[key] = [part for part
+                         in str(data[key]).split(",") if part]
+    return AdviceQuery.from_dict(data)
+
+
+def _json_body(body: bytes):
+    if not body:
+        raise ConfigurationError("request body must be JSON")
+    try:
+        return json.loads(body)
+    except ValueError as exc:
+        raise ConfigurationError(
+            "request body is not valid JSON: %s" % (exc,)) from exc
+
+
+class AdvisorServer:
+    """One advisor service behind an asyncio HTTP listener."""
+
+    def __init__(self, service: AdvisorService | None = None, *,
+                 host: str = "127.0.0.1", port: int = 8347):
+        self.service = service or AdvisorService()
+        self.host = host
+        self.port = int(port)
+        self._server = None
+
+    # -- request handling (pure; no I/O) ------------------------------------
+    def handle_request(self, method: str, path: str, params: dict,
+                       body: bytes) -> tuple:
+        """Route one request; returns ``(status, payload_dict)``."""
+        stats = self.service.stats
+        endpoint = path
+        items = 1
+        started = time.perf_counter()
+        try:
+            if path == "/healthz":
+                if method != "GET":
+                    return self._finish(stats, endpoint, started, 405,
+                                        {"error": "use GET"})
+                return self._finish(
+                    stats, endpoint, started, 200,
+                    {"status": "ok",
+                     "calibration": self.service.calibration})
+            if path == "/metrics":
+                if method != "GET":
+                    return self._finish(stats, endpoint, started, 405,
+                                        {"error": "use GET"})
+                return self._finish(stats, endpoint, started, 200,
+                                    self.service.metrics())
+            if path == "/advise":
+                if method == "GET":
+                    query = _query_from_params(params)
+                elif method == "POST":
+                    query = AdviceQuery.from_dict(_json_body(body))
+                else:
+                    return self._finish(stats, endpoint, started, 405,
+                                        {"error": "use GET or POST"})
+                rows = self.service.advise(query)
+                return self._finish(
+                    stats, endpoint, started, 200,
+                    {"query": query.to_dict(),
+                     "calibration": self.service.calibration,
+                     "advice": [row.to_dict() for row in rows]})
+            if path == "/advise/batch":
+                if method != "POST":
+                    return self._finish(stats, endpoint, started, 405,
+                                        {"error": "use POST"})
+                payload = _json_body(body)
+                if (not isinstance(payload, dict)
+                        or "queries" not in payload):
+                    raise ConfigurationError(
+                        'batch body must be {"queries": [...]}')
+                queries = [AdviceQuery.from_dict(entry)
+                           for entry in payload["queries"]]
+                items = max(1, len(queries))
+                answers = self.service.advise_batch(queries)
+                return self._finish(
+                    stats, endpoint, started, 200,
+                    {"calibration": self.service.calibration,
+                     "advice": [advice.to_dict()
+                                for advice in answers]},
+                    items=items)
+            if path == "/predict":
+                if method != "POST":
+                    return self._finish(stats, endpoint, started, 405,
+                                        {"error": "use POST"})
+                payload = _json_body(body)
+                if (not isinstance(payload, dict)
+                        or "configs" not in payload):
+                    raise ConfigurationError(
+                        'predict body must be {"configs": [...]}')
+                configs = payload["configs"]
+                items = max(1, len(configs))
+                predictions = self.service.predict(configs)
+                return self._finish(
+                    stats, endpoint, started, 200,
+                    {"calibration": self.service.calibration,
+                     "predictions": [prediction.as_dict()
+                                     for prediction in predictions]},
+                    items=items)
+            return self._finish(stats, endpoint, started, 404,
+                                {"error": "no such endpoint %r" % path})
+        except ConfigurationError as exc:
+            return self._finish(stats, endpoint, started, 400,
+                                {"error": str(exc)}, items=items)
+        except Exception as exc:  # never let a request kill the server
+            return self._finish(
+                stats, endpoint, started, 500,
+                {"error": "%s: %s" % (type(exc).__name__, exc)},
+                items=items)
+
+    def _finish(self, stats, endpoint, started, status, payload,
+                items: int = 1) -> tuple:
+        stats.record(endpoint, time.perf_counter() - started,
+                     error=status >= 400, items=items)
+        return status, payload
+
+    # -- the wire -----------------------------------------------------------
+    async def _read_request(self, reader):
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+        if len(header_blob) > _MAX_HEADER_BYTES:
+            raise ConfigurationError("request headers too large")
+        head, _, _ = header_blob.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _ = lines[0].split(" ", 2)
+        except ValueError:
+            raise ConfigurationError(
+                "malformed request line %r" % lines[0]) from None
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            raise ConfigurationError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        params = dict(parse_qsl(split.query))
+        return method.upper(), split.path, params, body
+
+    async def _handle_connection(self, reader, writer):
+        try:
+            while True:
+                try:
+                    method, path, params, body = \
+                        await self._read_request(reader)
+                except (asyncio.IncompleteReadError,
+                        ConnectionResetError):
+                    break
+                except (ConfigurationError, ValueError,
+                        asyncio.LimitOverrunError) as exc:
+                    self._write_response(writer, 400,
+                                         {"error": str(exc)})
+                    await writer.drain()
+                    break
+                status, payload = self.handle_request(method, path,
+                                                      params, body)
+                self._write_response(writer, status, payload)
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _write_response(self, writer, status: int, payload: dict):
+        body = json.dumps(payload).encode()
+        writer.write(
+            b"HTTP/1.1 %d %s\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: %d\r\n"
+            b"\r\n" % (status,
+                       _STATUS_TEXT.get(status, "Status").encode(),
+                       len(body)))
+        writer.write(body)
+
+    async def start(self):
+        """Bind and start serving; resolves the actual port (for
+        ``port=0``). Returns the asyncio server."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port,
+            limit=_MAX_HEADER_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self._server
+
+    async def serve(self):
+        """Serve until cancelled."""
+        server = await self.start()
+        async with server:
+            await server.serve_forever()
+
+    def run(self):
+        """Blocking entry point (the ``serve`` CLI subcommand)."""
+        try:
+            asyncio.run(self.serve())
+        except KeyboardInterrupt:
+            pass
+
+    def start_in_thread(self) -> threading.Thread:
+        """Start the server on a daemon thread (tests, notebooks);
+        returns once the port is bound."""
+        ready = threading.Event()
+        failure: list = []
+
+        async def _serve():
+            try:
+                server = await self.start()
+            except OSError as exc:
+                failure.append(exc)
+                ready.set()
+                return
+            ready.set()
+            async with server:
+                await server.serve_forever()
+
+        thread = threading.Thread(target=lambda: asyncio.run(_serve()),
+                                  daemon=True, name="advisor-server")
+        thread.start()
+        ready.wait(timeout=10.0)
+        if failure:
+            raise failure[0]
+        return thread
+
+
+__all__ = ["AdvisorServer"]

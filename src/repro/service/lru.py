@@ -1,0 +1,74 @@
+"""A bounded LRU mapping with hit/miss accounting.
+
+The service's front cache: exact query keys to fully-materialized
+answers. Kept deliberately dumb — no TTLs, no weak refs, no threads —
+because the service's correctness story is *versioned invalidation*
+(recalibration swaps the whole cache out; see
+:mod:`repro.service.core`), not entry-level expiry. ``OrderedDict``
+gives O(1) get/put/evict and, since the interpreter runs one request
+handler at a time on the asyncio loop, needs no locking.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import ConfigurationError
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used key/value cache of bounded size."""
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ConfigurationError(
+                "LRU cache size must be >= 1 (got %r)" % (maxsize,))
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        # membership is a peek, not a use: no recency bump, no stats
+        return key in self._data
+
+    def get(self, key, default=None):
+        """The cached value (bumped most-recent) or ``default``."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert/refresh an entry, evicting the oldest past maxsize."""
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (stats survive — they describe the
+        service's lifetime, not the current generation)."""
+        self._data.clear()
+
+    def stats(self) -> dict:
+        lookups = self.hits + self.misses
+        return {"size": len(self._data), "maxsize": self.maxsize,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0}
+
+
+__all__ = ["LRUCache"]

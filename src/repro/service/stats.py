@@ -1,0 +1,92 @@
+"""Per-endpoint request accounting for ``/metrics``.
+
+Counts and latency aggregates, plus approximate percentiles from a
+bounded window of recent samples (exact mean/min/max over the service
+lifetime; p50/p95 over the last ``window`` requests per endpoint —
+a serving dashboard wants recent tail latency, not all-time). No
+locking: the asyncio server records from a single event loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import ConfigurationError
+
+
+class EndpointStats:
+    """One endpoint's counters and latency window."""
+
+    def __init__(self, window: int = 1024):
+        self.requests = 0
+        self.errors = 0
+        self.items = 0
+        self.total_seconds = 0.0
+        self.min_seconds = None
+        self.max_seconds = None
+        self._recent = deque(maxlen=window)
+
+    def record(self, seconds: float, *, error: bool = False,
+               items: int = 1) -> None:
+        self.requests += 1
+        self.items += items
+        if error:
+            self.errors += 1
+        seconds = float(seconds)
+        self.total_seconds += seconds
+        if self.min_seconds is None or seconds < self.min_seconds:
+            self.min_seconds = seconds
+        if self.max_seconds is None or seconds > self.max_seconds:
+            self.max_seconds = seconds
+        self._recent.append(seconds)
+
+    def _percentile(self, ordered, fraction: float) -> float:
+        # nearest-rank on the recent window
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(fraction * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        data = {"requests": self.requests, "errors": self.errors,
+                "items": self.items,
+                "latency_total_seconds": self.total_seconds,
+                "latency_mean_seconds": (
+                    self.total_seconds / self.requests
+                    if self.requests else 0.0),
+                "latency_min_seconds": self.min_seconds,
+                "latency_max_seconds": self.max_seconds}
+        if self._recent:
+            ordered = sorted(self._recent)
+            data["latency_p50_seconds"] = self._percentile(ordered, 0.50)
+            data["latency_p95_seconds"] = self._percentile(ordered, 0.95)
+        return data
+
+
+class ServiceStats:
+    """The service's endpoint-keyed stats registry."""
+
+    def __init__(self, window: int = 1024):
+        if window < 1:
+            raise ConfigurationError(
+                "stats window must be >= 1 (got %r)" % (window,))
+        self.window = int(window)
+        self._endpoints: dict = {}
+
+    def endpoint(self, name: str) -> EndpointStats:
+        stats = self._endpoints.get(name)
+        if stats is None:
+            stats = self._endpoints[name] = EndpointStats(self.window)
+        return stats
+
+    def record(self, name: str, seconds: float, *, error: bool = False,
+               items: int = 1) -> None:
+        """Record one request against ``name`` (``items`` counts the
+        queries inside a batch request, so QPS is derivable)."""
+        self.endpoint(name).record(seconds, error=error, items=items)
+
+    def snapshot(self) -> dict:
+        return {name: stats.snapshot()
+                for name, stats in sorted(self._endpoints.items())}
+
+
+__all__ = ["EndpointStats", "ServiceStats"]

@@ -33,6 +33,21 @@ def test_parse_mtbf_rejects_garbage():
             parse_mtbf(bad)
 
 
+def test_parse_mtbf_bare_seconds_and_whitespace():
+    assert parse_mtbf("7200") == 7200.0
+    assert parse_mtbf("  7200  ") == 7200.0
+    assert parse_mtbf(" 4 h ") == 4 * 3600.0
+    assert parse_mtbf("1e3") == 1000.0
+    assert parse_mtbf("1.5e3 s") == 1500.0
+    assert parse_mtbf(2.5) == 2.5
+
+
+def test_parse_mtbf_errors_state_the_grammar():
+    for bad in ("7.2.00", "abc", "", "nan", "-5", "0", True, -3):
+        with pytest.raises(ConfigurationError, match="s/m/h/d"):
+            parse_mtbf(bad)
+
+
 # -- ranking ----------------------------------------------------------------
 def test_advise_covers_designs_times_levels():
     rows = advise("hpccg", 64, "1h")
@@ -98,6 +113,37 @@ def test_advise_by_registered_model_name():
         MODELS.unregister("advisor-test-model")
 
 
+# -- the Advice dataclass ---------------------------------------------------
+def test_advice_json_round_trip_is_exact():
+    import json
+
+    rows = advise("hpccg", 512, "137")
+    for row in rows:
+        back = Advice.from_dict(json.loads(json.dumps(row.to_dict())))
+        assert back == row
+        assert back.calibration == "analytic"
+
+
+def test_advice_carries_calibration_version():
+    from repro.modeling.fit import CalibratedModel, FittedConstants
+
+    constants = FittedConstants(app_scale={"hpccg": 1.1})
+    model = CalibratedModel(constants)
+    rows = advise("hpccg", 64, "1h", model=model)
+    assert all(row.calibration == model.version for row in rows)
+    assert rows[0].calibration.startswith("calibrated:analytic:")
+
+
+def test_advice_from_dict_rejects_malformed():
+    with pytest.raises(ConfigurationError):
+        Advice.from_dict({"design": "reinit-fti"})
+
+
+def test_advice_recovery_property():
+    row = advise("hpccg", 64, "30m")[0]
+    assert row.recovery == row.prediction.recovery_seconds
+
+
 # -- rendering --------------------------------------------------------------
 def test_format_advice_table():
     rows = advise("hpccg", 64, "4h")
@@ -107,6 +153,29 @@ def test_format_advice_table():
     assert "design" in lines[1] and "interval" in lines[1]
     assert lines[2].startswith("1 ")
     assert len(lines) == 2 + len(rows)
+
+
+def test_render_advice_resolves_registry_formats():
+    import json
+
+    from repro.core.report import RENDERERS
+    from repro.modeling.advisor import render_advice
+
+    rows = advise("hpccg", 64, "4h")
+    assert render_advice(rows, "table") == format_advice(rows)
+    payload = json.loads(render_advice(rows, "json", title="T"))
+    assert payload["title"] == "T"
+    assert [r["design"] for r in payload["advice"]] == \
+        [row.design for row in rows]
+    csv_lines = render_advice(rows, "csv").splitlines()
+    assert csv_lines[0].startswith("rank,design,fti_level")
+    assert len(csv_lines) == 1 + len(rows)
+    # the advisor formats are ordinary renderer-registry entries
+    assert "advice-table" in RENDERERS
+    assert "advice-json" in RENDERERS
+    assert "advice-csv" in RENDERERS
+    with pytest.raises(ConfigurationError):
+        render_advice(rows, "no-such-format")
 
 
 # -- the acceptance bound: model time, not simulation time ------------------

@@ -1,0 +1,165 @@
+"""The vectorized model paths must be bit-identical to the scalar ones.
+
+Every assertion here is exact ``==`` on floats — the contract is
+operation-for-operation equivalence, not tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import Campaign
+from repro.apps import APP_REGISTRY
+from repro.errors import ConfigurationError
+from repro.modeling.advisor import advise
+from repro.modeling.interval import (
+    daly_interval,
+    optimal_stride,
+    young_interval,
+)
+from repro.modeling.makespan import predict, predict_cell
+from repro.modeling.vector import (
+    build_cell_grid,
+    daly_interval_array,
+    evaluate_grid,
+    optimal_stride_array,
+    predict_configs,
+    top_cell_indexes,
+    young_interval_array,
+)
+
+MTBFS = [0.5, 60.0, 137.0, 1800.0, 3600.0, 86400.0, 1e9, math.inf]
+
+
+class TestIntervalArrays:
+    def test_young_matches_scalar(self):
+        costs = [0.0, 0.01, 1.0, 7.3]
+        mtbfs = [1.0, 137.0, 3600.0, math.inf]
+        got = young_interval_array(costs, np.array(mtbfs)[:, None])
+        for i, mtbf in enumerate(mtbfs):
+            for j, cost in enumerate(costs):
+                assert got[i, j] == young_interval(cost, mtbf)
+
+    def test_daly_matches_scalar_including_thrash_cap(self):
+        costs = [0.0, 0.01, 1.0, 7.3, 100.0]
+        mtbfs = [0.5, 1.0, 137.0, 3600.0, math.inf]
+        got = daly_interval_array(costs, np.array(mtbfs)[:, None])
+        for i, mtbf in enumerate(mtbfs):
+            for j, cost in enumerate(costs):
+                assert got[i, j] == daly_interval(cost, mtbf)
+
+    def test_stride_matches_scalar(self):
+        costs = np.array([0.0, 0.01, 1.0, 40.0])
+        for mtbf in MTBFS:
+            got = optimal_stride_array(costs, mtbf, 0.02, 500)
+            assert got.dtype == np.int64
+            for j, cost in enumerate(costs.tolist()):
+                assert got[j] == optimal_stride(cost, mtbf, 0.02, 500)
+
+    def test_validation_matches_scalar(self):
+        with pytest.raises(ConfigurationError):
+            daly_interval_array([1.0], [0.0])
+        with pytest.raises(ConfigurationError):
+            daly_interval_array([-1.0], [10.0])
+        with pytest.raises(ConfigurationError):
+            optimal_stride_array([1.0], [10.0], 0.5, 1)
+        with pytest.raises(ConfigurationError):
+            optimal_stride_array([1.0], [10.0], 0.0, 100)
+        with pytest.raises(ConfigurationError):
+            optimal_stride_array([1.0], [10.0], 0.5, 100, order="nope")
+
+
+class TestEvaluateGrid:
+    @pytest.mark.parametrize("app", sorted(APP_REGISTRY))
+    def test_full_grid_bit_identical(self, app):
+        """Every (design × level × MTBF) cell equals the scalar chain
+        the advisor runs: Daly stride, then predict_cell."""
+        grid = build_cell_grid(app, 64)
+        result = evaluate_grid(grid, MTBFS)
+        for qi, mtbf in enumerate(MTBFS):
+            for ci in range(grid.ncells):
+                design, level = grid.cell(ci)
+                stride = optimal_stride(
+                    grid.ckpt_seconds[ci], mtbf,
+                    grid.iter_seconds[ci], grid.niters)
+                cell = predict_cell(app=app, design=design, nprocs=64,
+                                    level=level, stride=stride,
+                                    mtbf_seconds=mtbf)
+                assert result.stride[qi, ci] == stride
+                assert result.total[qi, ci] == cell.total_seconds
+                assert result.ckpt_total[qi, ci] == \
+                    cell.ckpt_write_seconds
+                assert result.recovery_total[qi, ci] == \
+                    cell.recovery_seconds
+                assert result.rework_total[qi, ci] == \
+                    cell.rework_seconds
+                assert result.expected_failures[qi, ci] == \
+                    cell.expected_failures
+                assert result.efficiency[qi, ci] == cell.efficiency
+
+    @pytest.mark.parametrize("objective",
+                             ["makespan", "efficiency", "recovery"])
+    def test_top_cell_matches_scalar_ranking(self, objective):
+        grid = build_cell_grid("hpccg", 512)
+        result = evaluate_grid(grid, MTBFS)
+        top = top_cell_indexes(result, objective)
+        for qi, mtbf in enumerate(MTBFS):
+            best = advise("hpccg", 512, mtbf, objective=objective)[0]
+            design, level = grid.cell(int(top[qi]))
+            assert (design, level) == (best.design, best.fti_level)
+            assert int(result.stride[qi, top[qi]]) == best.interval
+
+    def test_rejects_bad_mtbf(self):
+        grid = build_cell_grid("hpccg", 64)
+        for bad in ([0.0], [-1.0], [float("nan")], [3600.0, 0.0]):
+            with pytest.raises(ConfigurationError):
+                evaluate_grid(grid, bad)
+
+    def test_rejects_unknown_objective(self):
+        grid = build_cell_grid("hpccg", 64)
+        result = evaluate_grid(grid, [3600.0])
+        with pytest.raises(ConfigurationError):
+            top_cell_indexes(result, "speed")
+
+    def test_empty_grid_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_cell_grid("hpccg", 64, designs=())
+        with pytest.raises(ConfigurationError):
+            build_cell_grid("hpccg", 64, levels=())
+
+
+class TestPredictConfigs:
+    def test_bit_identical_to_scalar_predict(self):
+        configs = []
+        for level in (1, 2, 3, 4):
+            for spec in ("poisson:7200", "single", "independent:3",
+                         "none"):
+                campaign = (Campaign().apps("hpccg", "lulesh")
+                            .nprocs(64, 512)
+                            .designs("restart-fti", "reinit-fti",
+                                     "ulfm-fti")
+                            .fti(level=level).faults(spec))
+                configs.extend(campaign.configs())
+        assert len(configs) > 100
+        for (config, vectorized) in predict_configs(configs):
+            assert vectorized == predict(config)
+
+    def test_preserves_input_order_and_pairs_configs(self):
+        configs = (Campaign().apps("hpccg").nprocs(64, 512)
+                   .designs("reinit-fti", "ulfm-fti")).configs()
+        result = predict_configs(configs)
+        assert [config for config, _ in result] == configs
+
+    def test_empty(self):
+        assert predict_configs([]) == []
+
+
+class TestCampaignFacade:
+    def test_predict_many_identical_to_predict(self):
+        campaign = (Campaign().apps("hpccg", "minife").nprocs(64, 512)
+                    .designs("restart-fti", "reinit-fti", "ulfm-fti")
+                    .faults("poisson:3600"))
+        assert campaign.predict_many() == campaign.predict()

@@ -1,0 +1,91 @@
+"""Batch-advise core: exact equivalence with the scalar advisor.
+
+The service's whole correctness story rests on these ``==``
+assertions being exact — see the bit-identity contract in
+:mod:`repro.modeling.vector`.
+"""
+
+import itertools
+
+import pytest
+
+from repro.apps import APP_REGISTRY
+from repro.modeling.advisor import advise
+from repro.service.query import AdviceQuery
+from repro.service.vector import advise_batch, advise_batch_ranked
+
+MTBFS = ["30m", "1h", "4h", "1d", "137", "inf", "1e9", "0.5"]
+
+
+def _scalar(query):
+    return advise(query.app, query.nprocs, query.mtbf_seconds,
+                  input_size=query.input_size, nnodes=query.nnodes,
+                  designs=query.designs, levels=query.levels,
+                  objective=query.objective)
+
+
+@pytest.mark.parametrize("app", sorted(APP_REGISTRY))
+def test_ranked_identical_to_scalar_full_grid(app):
+    queries = [AdviceQuery.make(app, nprocs, mtbf, objective=objective)
+               for nprocs in (64, 512)
+               for mtbf in MTBFS
+               for objective in ("makespan", "efficiency", "recovery")]
+    for query, rows in zip(queries, advise_batch_ranked(queries)):
+        assert rows == _scalar(query)
+
+
+def test_top1_is_scalar_first_row():
+    queries = [AdviceQuery.make(app, 512, mtbf, objective=objective)
+               for app in ("hpccg", "lulesh")
+               for mtbf in MTBFS
+               for objective in ("makespan", "efficiency", "recovery")]
+    for query, top in zip(queries, advise_batch(queries)):
+        assert top == _scalar(query)[0]
+
+
+def test_mixed_workloads_keep_input_order():
+    queries = [AdviceQuery.make("hpccg", 512, "1h"),
+               AdviceQuery.make("lulesh", 64, "4h"),
+               AdviceQuery.make("hpccg", 512, "4h"),
+               AdviceQuery.make("minife", 128, "30m",
+                                objective="recovery")]
+    answers = advise_batch(queries)
+    for query, answer in zip(queries, answers):
+        assert answer == _scalar(query)[0]
+
+
+def test_duplicates_share_one_frozen_answer():
+    base = [AdviceQuery.make("hpccg", 512, mtbf) for mtbf in MTBFS[:4]]
+    stream = [AdviceQuery.make("hpccg", 512, mtbf)
+              for _, mtbf in zip(range(64), itertools.cycle(MTBFS[:4]))]
+    answers = advise_batch(stream)
+    assert answers[0] is answers[4]      # dedup shares the object
+    assert answers[0] == _scalar(base[0])[0]
+    ranked = advise_batch_ranked(stream)
+    assert ranked[1] is ranked[5]
+    assert ranked[1] == _scalar(base[1])
+
+
+def test_restricted_designs_and_levels():
+    query = AdviceQuery.make("hpccg", 64, "2h",
+                             designs=("reinit-fti", "ulfm-fti"),
+                             levels=(2, 4))
+    rows = advise_batch_ranked([query])[0]
+    assert rows == _scalar(query)
+    assert len(rows) == 4
+
+
+def test_empty_batch():
+    assert advise_batch([]) == []
+    assert advise_batch_ranked([]) == []
+
+
+def test_calibrated_model_flows_through():
+    from repro.modeling.fit import CalibratedModel, FittedConstants
+
+    model = CalibratedModel(FittedConstants(
+        app_scale={"hpccg": 1.2}, ckpt_scale={1: 0.9}))
+    query = AdviceQuery.make("hpccg", 512, "1h")
+    rows = advise_batch_ranked([query], model=model)[0]
+    assert rows == advise("hpccg", 512, 3600.0, model=model)
+    assert rows[0].calibration == model.version

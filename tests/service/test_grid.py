@@ -1,0 +1,78 @@
+"""GridCache: bucket precompute, exact-hit semantics, versioned flush."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.modeling.advisor import advise
+from repro.modeling.fit import CalibratedModel, FittedConstants
+from repro.service.grid import DEFAULT_MTBF_BUCKETS, GridCache
+from repro.service.query import AdviceQuery
+
+
+def test_warm_precomputes_every_bucket():
+    cache = GridCache()
+    workload = AdviceQuery.make("hpccg", 512, "1h")
+    entries = cache.warm([workload])
+    assert entries == len(DEFAULT_MTBF_BUCKETS)
+    assert cache.stats()["grids"] == 1
+
+
+def test_bucket_hit_is_bit_identical_to_scalar():
+    cache = GridCache()
+    workload = AdviceQuery.make("hpccg", 512, "1h")
+    cache.warm([workload])
+    for bucket in cache.buckets:
+        rows = cache.lookup(workload.with_mtbf(bucket))
+        assert rows is not None
+        assert rows == advise("hpccg", 512, bucket)
+
+
+def test_lookup_requires_exact_mtbf_no_nearest_bucket():
+    cache = GridCache()
+    workload = AdviceQuery.make("hpccg", 512, "1h")
+    cache.warm([workload])
+    near_miss = workload.with_mtbf(3600.0 + 1e-9)
+    assert cache.lookup(near_miss) is None
+    stats = cache.stats()
+    assert stats["misses"] == 1 and stats["hits"] == 0
+
+
+def test_grid_memoized_per_workload():
+    cache = GridCache()
+    a = AdviceQuery.make("hpccg", 512, "1h")
+    b = AdviceQuery.make("hpccg", 512, "4h")     # same workload
+    c = AdviceQuery.make("hpccg", 64, "1h")      # different scale
+    assert cache.grid(a) is cache.grid(b)
+    assert cache.grid(c) is not cache.grid(a)
+    assert cache.grid_builds == 2
+
+
+def test_set_model_with_new_version_invalidates():
+    cache = GridCache()
+    workload = AdviceQuery.make("hpccg", 64, "1h")
+    cache.warm([workload])
+    assert cache.stats()["precomputed"] > 0
+    model = CalibratedModel(FittedConstants(app_scale={"hpccg": 1.3}))
+    version = cache.set_model(model)
+    assert version == model.version != "analytic"
+    assert cache.stats()["precomputed"] == 0
+    assert cache.stats()["grids"] == 0
+    # re-warmed answers now reflect the new constants
+    cache.warm([workload])
+    rows = cache.lookup(workload.with_mtbf(cache.buckets[0]))
+    assert rows == advise("hpccg", 64, cache.buckets[0], model=model)
+    assert rows != advise("hpccg", 64, cache.buckets[0])
+
+
+def test_set_model_same_version_keeps_cache():
+    cache = GridCache()
+    workload = AdviceQuery.make("hpccg", 64, "1h")
+    cache.warm([workload])
+    resident = cache.stats()["precomputed"]
+    cache.set_model("analytic")
+    assert cache.stats()["precomputed"] == resident
+
+
+def test_rejects_bad_buckets():
+    with pytest.raises(ConfigurationError):
+        GridCache(buckets=(0.0, 3600.0))

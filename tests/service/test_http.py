@@ -1,0 +1,153 @@
+"""The HTTP front end: routing (pure handler) and a live socket test."""
+
+import json
+
+import http.client
+
+import pytest
+
+from repro.modeling.advisor import advise
+from repro.service.core import AdvisorService
+from repro.service.http import AdvisorServer
+
+
+@pytest.fixture
+def server():
+    return AdvisorServer(AdvisorService())
+
+
+def _get(server, path):
+    return server.handle_request("GET", path, _params(path), b"")
+
+
+def _params(path):
+    # handler tests pass params explicitly; GET helpers parse none
+    return {}
+
+
+def _post(server, path, payload):
+    return server.handle_request("POST", path, {},
+                                 json.dumps(payload).encode())
+
+
+# -- pure handler -----------------------------------------------------------
+def test_healthz(server):
+    status, payload = _get(server, "/healthz")
+    assert status == 200
+    assert payload == {"status": "ok", "calibration": "analytic"}
+
+
+def test_advise_get_params_match_scalar(server):
+    status, payload = server.handle_request(
+        "GET", "/advise",
+        {"app": "hpccg", "nprocs": "512", "mtbf": "4h"}, b"")
+    assert status == 200
+    scalar = advise("hpccg", 512, "4h")
+    assert payload["advice"] == [row.to_dict() for row in scalar]
+    assert payload["calibration"] == "analytic"
+
+
+def test_advise_get_accepts_csv_designs_and_levels(server):
+    status, payload = server.handle_request(
+        "GET", "/advise",
+        {"app": "hpccg", "nprocs": "64", "mtbf": "1h",
+         "designs": "reinit-fti,ulfm-fti", "levels": "2,4",
+         "objective": "recovery"}, b"")
+    assert status == 200
+    scalar = advise("hpccg", 64, "1h",
+                    designs=("reinit-fti", "ulfm-fti"), levels=(2, 4),
+                    objective="recovery")
+    assert payload["advice"] == [row.to_dict() for row in scalar]
+
+
+def test_advise_post_body(server):
+    status, payload = _post(server, "/advise",
+                            {"app": "lulesh", "nprocs": 64,
+                             "mtbf": 7200})
+    assert status == 200
+    scalar = advise("lulesh", 64, 7200)
+    assert payload["advice"] == [row.to_dict() for row in scalar]
+
+
+def test_batch_answers_parallel_to_queries(server):
+    queries = [{"app": "hpccg", "nprocs": 512, "mtbf": "1h"},
+               {"app": "hpccg", "nprocs": 512, "mtbf": "4h"},
+               {"app": "lulesh", "nprocs": 64, "mtbf": "1h"}]
+    status, payload = _post(server, "/advise/batch",
+                            {"queries": queries})
+    assert status == 200
+    assert len(payload["advice"]) == 3
+    for query, advice in zip(queries, payload["advice"]):
+        best = advise(query["app"], query["nprocs"], query["mtbf"])[0]
+        assert advice == best.to_dict()
+
+
+def test_predict_endpoint(server):
+    status, payload = _post(server, "/predict", {"configs": [
+        {"app": "hpccg", "design": "reinit-fti", "nprocs": 64}]})
+    assert status == 200
+    assert payload["predictions"][0]["app"] == "hpccg"
+    assert payload["predictions"][0]["total_seconds"] > 0
+
+
+def test_error_mapping(server):
+    status, payload = _get(server, "/nope")
+    assert status == 404
+    status, payload = server.handle_request("DELETE", "/advise", {}, b"")
+    assert status == 405
+    status, payload = server.handle_request(
+        "GET", "/advise", {"app": "hpccg", "nprocs": "64",
+                           "mtbf": "bogus"}, b"")
+    assert status == 400
+    assert "s/m/h/d" in payload["error"]     # grammar surfaced to client
+    status, payload = _post(server, "/advise/batch", {"wrong": []})
+    assert status == 400
+    status, payload = server.handle_request("POST", "/advise", {},
+                                            b"not json")
+    assert status == 400
+
+
+def test_requests_are_recorded_in_metrics(server):
+    _get(server, "/healthz")
+    server.handle_request(
+        "GET", "/advise", {"app": "hpccg", "nprocs": "64",
+                           "mtbf": "1h"}, b"")
+    status, payload = _get(server, "/metrics")
+    assert status == 200
+    endpoints = payload["endpoints"]
+    assert endpoints["/healthz"]["requests"] == 1
+    assert endpoints["/advise"]["requests"] == 1
+    assert payload["query_cache"]["size"] == 1
+
+
+# -- over a real socket -----------------------------------------------------
+def test_live_server_round_trip():
+    server = AdvisorServer(AdvisorService(), host="127.0.0.1", port=0)
+    server.start_in_thread()
+    conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                      timeout=30)
+    try:
+        conn.request("GET", "/healthz")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert json.loads(response.read())["status"] == "ok"
+
+        conn.request("GET", "/advise?app=hpccg&nprocs=512&mtbf=4h")
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 200
+        scalar = advise("hpccg", 512, "4h")
+        assert payload["advice"] == [row.to_dict() for row in scalar]
+
+        body = json.dumps({"queries": [
+            {"app": "hpccg", "nprocs": 512, "mtbf": "1h"},
+            {"app": "hpccg", "nprocs": 512, "mtbf": "1h"}]})
+        conn.request("POST", "/advise/batch", body=body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 200
+        best = advise("hpccg", 512, "1h")[0].to_dict()
+        assert payload["advice"] == [best, best]
+    finally:
+        conn.close()

@@ -1,0 +1,63 @@
+"""The LRU query cache: eviction order, stats, bounded size."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.lru import LRUCache
+
+
+def test_get_put_and_hit_miss_accounting():
+    cache = LRUCache(maxsize=4)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["hit_rate"] == 0.5
+
+
+def test_evicts_least_recently_used():
+    cache = LRUCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")          # refresh a; b is now the oldest
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert cache.stats()["evictions"] == 1
+
+
+def test_put_refreshes_existing_key():
+    cache = LRUCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)      # refresh, not insert: nothing evicted
+    cache.put("c", 3)
+    assert cache.get("a") == 10
+    assert "b" not in cache
+    assert len(cache) == 2
+
+
+def test_contains_is_a_peek_not_a_use():
+    cache = LRUCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert "a" in cache     # no recency bump...
+    cache.put("c", 3)       # ...so a is still the eviction victim
+    assert "a" not in cache
+    assert cache.stats()["hits"] == 0   # and no stats pollution
+
+
+def test_clear_drops_entries_but_keeps_lifetime_stats():
+    cache = LRUCache(maxsize=4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("a") is None
+    assert cache.stats()["hits"] == 1
+
+
+def test_rejects_nonpositive_size():
+    with pytest.raises(ConfigurationError):
+        LRUCache(maxsize=0)

@@ -1,0 +1,67 @@
+"""AdviceQuery canonicalization: equal questions must key identically."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.query import AdviceQuery
+
+
+def test_equivalent_spellings_share_cache_key():
+    a = AdviceQuery.make("hpccg", 512, "4h")
+    b = AdviceQuery.make("hpccg", "512", 14400)
+    c = AdviceQuery.make("hpccg", 512, " 14400 ")
+    assert a == b == c
+    assert a.cache_key == b.cache_key == c.cache_key
+    assert hash(a) == hash(b)
+
+
+def test_group_key_excludes_mtbf():
+    a = AdviceQuery.make("hpccg", 512, "1h")
+    b = AdviceQuery.make("hpccg", 512, "4h")
+    assert a.group_key == b.group_key
+    assert a.cache_key != b.cache_key
+
+
+def test_from_dict_round_trip():
+    query = AdviceQuery.make("lulesh", 64, "30m", objective="recovery",
+                             levels=(1, 4), designs=("reinit-fti",))
+    back = AdviceQuery.from_dict(query.to_dict())
+    assert back == query
+    assert back.cache_key == query.cache_key
+
+
+def test_from_dict_rejects_unknown_and_missing_fields():
+    with pytest.raises(ConfigurationError, match="unknown"):
+        AdviceQuery.from_dict({"app": "hpccg", "nprocs": 64,
+                               "mtbf": "1h", "mtfb": "typo"})
+    with pytest.raises(ConfigurationError, match="missing"):
+        AdviceQuery.from_dict({"app": "hpccg", "nprocs": 64})
+    with pytest.raises(ConfigurationError):
+        AdviceQuery.from_dict(["not", "a", "dict"])
+
+
+def test_make_validates():
+    with pytest.raises(ConfigurationError):
+        AdviceQuery.make("hpccg", 0, "1h")
+    with pytest.raises(ConfigurationError):
+        AdviceQuery.make("hpccg", 64, "bogus")
+    with pytest.raises(ConfigurationError):
+        AdviceQuery.make("hpccg", 64, "1h", objective="speed")
+    with pytest.raises(ConfigurationError):
+        AdviceQuery.make("hpccg", 64, "1h", designs=())
+
+
+def test_with_mtbf_keeps_workload():
+    query = AdviceQuery.make("hpccg", 512, "1h")
+    moved = query.with_mtbf(600.0)
+    assert moved.group_key == query.group_key
+    assert moved.mtbf_seconds == 600.0
+
+
+def test_inf_mtbf_is_canonical():
+    query = AdviceQuery.make("hpccg", 64, "inf")
+    assert math.isinf(query.mtbf_seconds)
+    assert query.cache_key == AdviceQuery.make(
+        "hpccg", 64, "none").cache_key

@@ -1,0 +1,61 @@
+"""ServiceStats: per-endpoint counters and latency aggregates."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.stats import ServiceStats
+
+
+def test_counts_and_latency_aggregates():
+    stats = ServiceStats()
+    stats.record("/advise", 0.010)
+    stats.record("/advise", 0.030)
+    stats.record("/advise", 0.020, error=True)
+    snap = stats.snapshot()["/advise"]
+    assert snap["requests"] == 3
+    assert snap["errors"] == 1
+    assert snap["latency_min_seconds"] == 0.010
+    assert snap["latency_max_seconds"] == 0.030
+    assert snap["latency_mean_seconds"] == pytest.approx(0.020)
+
+
+def test_batch_items_counted_separately_from_requests():
+    stats = ServiceStats()
+    stats.record("/advise/batch", 0.5, items=1000)
+    snap = stats.snapshot()["/advise/batch"]
+    assert snap["requests"] == 1
+    assert snap["items"] == 1000
+
+
+def test_percentiles_over_recent_window():
+    stats = ServiceStats(window=100)
+    for i in range(1, 101):
+        stats.record("/advise", i / 1000.0)
+    snap = stats.snapshot()["/advise"]
+    assert snap["latency_p50_seconds"] == pytest.approx(0.050, abs=2e-3)
+    assert snap["latency_p95_seconds"] == pytest.approx(0.095, abs=2e-3)
+
+
+def test_window_bounds_percentile_memory():
+    stats = ServiceStats(window=10)
+    for _ in range(50):
+        stats.record("/advise", 1.0)        # old, slow
+    for _ in range(10):
+        stats.record("/advise", 0.001)      # recent, fast
+    snap = stats.snapshot()["/advise"]
+    assert snap["latency_p95_seconds"] == 0.001   # window forgot the 1.0s
+    assert snap["latency_max_seconds"] == 1.0     # lifetime max remembers
+
+
+def test_endpoints_are_independent():
+    stats = ServiceStats()
+    stats.record("/advise", 0.01)
+    stats.record("/healthz", 0.001)
+    snap = stats.snapshot()
+    assert set(snap) == {"/advise", "/healthz"}
+    assert snap["/healthz"]["requests"] == 1
+
+
+def test_rejects_bad_window():
+    with pytest.raises(ConfigurationError):
+        ServiceStats(window=0)

@@ -556,3 +556,44 @@ def test_session_advise_requires_results_first():
                .nprocs(8).nnodes(4).faults("single").reps(1).session())
     session.run()
     assert session.advise("1h", calibrate=False)
+
+
+def test_session_advise_many_matches_scalar_and_session_advise():
+    from repro.modeling.advisor import advise as advise_rows
+    from repro.modeling.fit import CalibratedModel, fit_session
+    from repro.service.query import AdviceQuery
+
+    session = (Campaign().apps("minivite").designs("reinit-fti")
+               .nprocs(8).nnodes(4).faults("single").reps(1).session())
+    session.run()
+    queries = [AdviceQuery.make("minivite", 8, "20m", nnodes=4),
+               {"app": "minivite", "nprocs": 8, "mtbf": "1h",
+                "nnodes": 4, "objective": "efficiency"}]
+    many = session.advise_many(queries)
+    model = CalibratedModel(fit_session(session))
+    assert many[0] == advise_rows("minivite", 8, "20m", nnodes=4,
+                                  model=model)
+    assert many[1] == advise_rows("minivite", 8, "1h", nnodes=4,
+                                  objective="efficiency", model=model)
+    # and the calibration version is stamped on every row
+    assert {row.calibration for rows in many for row in rows} \
+        == {model.version}
+
+
+def test_session_advise_many_runs_on_demand_and_uncalibrated():
+    from repro.modeling.advisor import advise as advise_rows
+
+    session = (Campaign().apps("minivite").designs("reinit-fti")
+               .nprocs(8).nnodes(4).faults("single").reps(1).session())
+    # no explicit run(): advise_many runs the session on demand
+    many = session.advise_many([{"app": "minivite", "nprocs": 8,
+                                 "mtbf": "1h", "nnodes": 4}],
+                               calibrate=False)
+    assert session.results is not None
+    assert many[0] == advise_rows("minivite", 8, "1h", nnodes=4)
+
+
+def test_campaign_predict_many_matches_predict():
+    campaign = (Campaign().apps("hpccg", "minife").nprocs(64, 512)
+                .faults("poisson:7200"))
+    assert campaign.predict_many() == campaign.predict()
