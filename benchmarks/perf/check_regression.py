@@ -41,6 +41,14 @@ SIM_UNIT = "sim s"
 SIM_RTOL = 1e-9
 
 
+def is_lint_artifact(data: dict) -> bool:
+    """Whether a JSON payload is a match-lint report (the CI ``lint``
+    job uploads one next to the perf artifacts). Lint reports carry no
+    perf series; comparing one would always fail as "no comparable
+    series", so the gate names the mixup instead."""
+    return isinstance(data, dict) and data.get("tool") == "match-lint"
+
+
 def classify(unit: str) -> str:
     if unit == SIM_UNIT:
         return "sim"
@@ -139,6 +147,13 @@ def main(argv=None) -> int:
     except (OSError, ValueError) as exc:
         print("error reading inputs: %s" % exc, file=sys.stderr)
         return 2
+
+    for label, data in (("baseline", baseline), ("candidate", candidate)):
+        if is_lint_artifact(data):
+            print("error: %s file is a match-lint report, not a perf "
+                  "benchmark file (pass the BENCH_perf.json artifact)"
+                  % label, file=sys.stderr)
+            return 2
 
     findings = compare(baseline, candidate, threshold=args.threshold,
                        sim_only=args.sim_only)

@@ -1,0 +1,54 @@
+"""repro.analysis — determinism & contract static analysis (match-lint).
+
+The benchmark suite's headline guarantees — bit-identical simulation
+results, content-addressed stores, structured failure containment, a
+closed event protocol — are *contracts* that no unit test can keep
+true for code that hasn't been written yet. match-lint turns each
+contract into an AST-level rule (stdlib :mod:`ast`, nothing imported,
+nothing executed) and CI runs the rules over every pull request.
+
+Entry points::
+
+    python -m repro.analysis src/repro     # module form
+    match-bench lint src/repro             # CLI subcommand
+
+Extension points:
+
+* new rules register via ``@repro.analysis.rules.register_rule`` (the
+  ``lint-rule`` :class:`repro.registry.Registry`),
+* inline suppressions: ``# repro: ignore[RULE-ID] -- reason``,
+* legacy debt lives in a committed ``.match-lint-baseline.json``.
+
+See docs/ANALYSIS.md for the rule catalog and workflows.
+"""
+
+from .baseline import BASELINE_NAME, Baseline
+from .cli import main
+from .engine import lint_paths, select_rules
+from .findings import Finding, LintReport
+from .render import render_report
+from .rules import LINT_RULES, LintRule, Module, Project, register_rule
+from .suppress import Suppression, scan_suppressions
+
+# the built-in rule modules self-register on import, so that
+# ``repro.registry.registry("lint-rule")`` (which imports this
+# package) hands back a populated registry
+from . import det, evt, exc, reg, schema  # noqa: E402,F401
+
+__all__ = [
+    "BASELINE_NAME",
+    "Baseline",
+    "Finding",
+    "LINT_RULES",
+    "LintReport",
+    "LintRule",
+    "Module",
+    "Project",
+    "Suppression",
+    "lint_paths",
+    "main",
+    "register_rule",
+    "render_report",
+    "scan_suppressions",
+    "select_rules",
+]

@@ -1,0 +1,96 @@
+"""The committed lint baseline: known findings that do not fail CI.
+
+The baseline exists so the suite can be adopted mid-project: run
+``match-bench lint --write-baseline`` once, commit the file, and every
+*pre-existing* finding is grandfathered while any *new* finding still
+fails. The shipped baseline is **empty** — the tree is lint-clean —
+and the self-clean test pins it that way; growing it back is a
+deliberate, reviewed act.
+
+Entries match by content fingerprint (rule + file basename + stripped
+source line), not line number, so pure line moves do not resurrect
+baselined findings — but editing the offending line does, which is the
+point: touched code must meet the current rules.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from ..errors import ConfigurationError
+from .findings import Finding
+
+#: the baseline's on-disk name, discovered upward from the linted paths
+BASELINE_NAME = ".match-lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """An in-memory set of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: Iterable[str] = (),
+                 path: str | None = None):
+        self.path = path
+        self._entries = {str(entry) for entry in entries}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self._entries
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Baseline":
+        """Read a baseline file (raises on unreadable/invalid input —
+        a typo'd path silently meaning "empty baseline" would turn the
+        gate green)."""
+        file_path = pathlib.Path(path)
+        try:
+            data = json.loads(file_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                "cannot read lint baseline %s: %s" % (file_path, exc)
+            ) from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ConfigurationError(
+                "lint baseline %s is not a baseline file (expected a "
+                "JSON object with an 'entries' list)" % file_path)
+        fingerprints = []
+        for entry in data["entries"]:
+            if isinstance(entry, dict):
+                fingerprints.append(str(entry.get("fingerprint", "")))
+            else:
+                fingerprints.append(str(entry))
+        return cls(tuple(f for f in fingerprints if f),
+                   path=str(file_path))
+
+    @classmethod
+    def discover(cls, start: str | pathlib.Path) -> "Baseline":
+        """The nearest committed baseline at or above ``start``, or an
+        empty one when no ancestor directory carries the file."""
+        probe = pathlib.Path(start).resolve()
+        if probe.is_file():
+            probe = probe.parent
+        for directory in (probe, *probe.parents):
+            candidate = directory / BASELINE_NAME
+            if candidate.is_file():
+                return cls.load(candidate)
+        return cls()
+
+    @staticmethod
+    def write(path: str | pathlib.Path,
+              findings: Iterable[Finding]) -> None:
+        """Persist ``findings`` as the new baseline (sorted, stable)."""
+        entries = sorted(
+            ({"rule": f.rule, "path": f.path,
+              "fingerprint": f.fingerprint(), "snippet": f.snippet}
+             for f in findings),
+            key=lambda entry: (entry["rule"], entry["path"],
+                               entry["fingerprint"]))
+        payload = {"format": _FORMAT_VERSION, "tool": "match-lint",
+                   "entries": entries}
+        pathlib.Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,101 @@
+"""Command-line entry for match-lint.
+
+The same :func:`main` backs both invocations::
+
+    python -m repro.analysis src/repro
+    match-bench lint src/repro
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error — the
+same convention the campaign CLI uses, so CI treats both uniformly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from .baseline import BASELINE_NAME, Baseline
+from .engine import lint_paths, select_rules
+from .render import render_report
+
+
+def build_parser(prog: str = "match-lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Determinism & contract static analysis for the "
+                    "MATCH reproduction tree.")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--format", default="text",
+                        choices=("text", "json"),
+                        help="report format (default: text)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file (default: discover %s "
+                             "above the first path)" % BASELINE_NAME)
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the surviving findings to the "
+                             "baseline file and exit 0")
+    parser.add_argument("--select", default=None, metavar="IDS",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    return parser
+
+
+def list_rules() -> str:
+    lines = ["registered lint rules:"]
+    for rule in select_rules():
+        lines.append("  %-16s %s" % (rule.rule_id, rule.rationale))
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None,
+         prog: str = "match-lint") -> int:
+    parser = build_parser(prog)
+    options = parser.parse_args(list(argv) if argv is not None
+                                else None)
+    try:
+        if options.list_rules:
+            print(list_rules())
+            return 0
+
+        if options.no_baseline or options.write_baseline:
+            # write mode must see the full finding set, so the old
+            # baseline (which may not exist yet) is never loaded
+            baseline: Baseline | None = Baseline()
+        elif options.baseline is not None:
+            baseline = Baseline.load(options.baseline)
+        else:
+            baseline = None  # discover next to the linted tree
+
+        select = (options.select.split(",")
+                  if options.select is not None else None)
+        report = lint_paths(options.paths, baseline=baseline,
+                            select=select,
+                            report_unused=not options.write_baseline)
+
+        if options.write_baseline:
+            target = pathlib.Path(options.baseline or BASELINE_NAME)
+            Baseline.write(target, report.findings)
+            print("match-lint: wrote %d entr%s to %s"
+                  % (len(report.findings),
+                     "y" if len(report.findings) == 1 else "ies",
+                     target))
+            return 0
+
+        print(render_report(report, options.format))
+        return report.exit_code()
+    except ConfigurationError as exc:
+        print("match-lint: error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,259 @@
+"""DET rules: determinism contracts (bit-identity's static half).
+
+Every result this repo publishes is pinned bit-identical across
+serial/parallel/sharded/resumed execution and across scalar/vectorized
+advisors. The dynamic half of that contract lives in the determinism
+regression tests; these rules are the static half — the four ways
+nondeterminism historically sneaks into Python code:
+
+* hidden global RNG state (``DET-RANDOM``),
+* wall-clock reads in pure simulation paths (``DET-WALLCLOCK``),
+* hash-order-dependent iteration (``DET-SET-ORDER``),
+* environment variables as unkeyed config (``DET-ENV``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .contracts import (
+    ENV_ALLOWLIST,
+    ENV_CONSTANT_NAMES,
+    NP_RANDOM_ALLOWED,
+    RANDOM_ALLOWED,
+    WALLCLOCK_CALLS,
+    WALLCLOCK_DIRS,
+    WALLCLOCK_FILES,
+)
+from .findings import Finding
+from .rules import LintRule, Module, register_rule
+
+#: spellings of the numpy module in attribute chains
+_NUMPY_NAMES = ("np", "numpy")
+
+
+def _random_imports(module: Module) -> tuple[str, ...]:
+    """Names bound by ``from random import ...`` (minus allowed ones)."""
+    banned = []
+    for node in module.walk():
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                if alias.name not in RANDOM_ALLOWED:
+                    banned.append(alias.asname or alias.name)
+    return tuple(banned)
+
+
+@register_rule
+class RandomRule(LintRule):
+    """DET-RANDOM: no module-level RNG — every draw must come from an
+    explicitly seeded generator object."""
+
+    rule_id = "DET-RANDOM"
+    rationale = ("calls through the hidden module-level RNG "
+                 "(random.*, np.random.*) share mutable global state; "
+                 "draws then depend on call order across the whole "
+                 "process — use random.Random(seed) / "
+                 "np.random.default_rng(seed) instances")
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        from_imports = _random_imports(module)
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.dotted_name(node.func)
+            if not dotted:
+                continue
+            finding = self._classify(module, node, dotted, from_imports)
+            if finding is not None:
+                yield finding
+
+    def _classify(self, module: Module, node: ast.Call, dotted: str,
+                  from_imports: tuple[str, ...]) -> Finding | None:
+        head, _, attr = dotted.rpartition(".")
+        if head == "random":
+            if attr in RANDOM_ALLOWED:
+                return None
+            return self.finding(
+                module, node,
+                "random.%s() drives the module-level RNG; use a seeded "
+                "random.Random(seed) instance" % attr)
+        if head in ("%s.random" % name for name in _NUMPY_NAMES):
+            if attr in NP_RANDOM_ALLOWED:
+                if attr == "default_rng" and not (node.args
+                                                  or node.keywords):
+                    return self.finding(
+                        module, node,
+                        "np.random.default_rng() without a seed draws "
+                        "OS entropy; pass the run's seed explicitly")
+                return None
+            return self.finding(
+                module, node,
+                "np.random.%s() uses numpy's global RNG; use "
+                "np.random.default_rng(seed)" % attr)
+        if dotted in from_imports:
+            return self.finding(
+                module, node,
+                "%s() (imported from random) drives the module-level "
+                "RNG; use a seeded random.Random(seed) instance"
+                % dotted)
+        return None
+
+
+@register_rule
+class WallClockRule(LintRule):
+    """DET-WALLCLOCK: simulation/checkpoint/fault/run-key code must not
+    read the wall clock."""
+
+    rule_id = "DET-WALLCLOCK"
+    rationale = ("simmpi/fti/faults and the run-key path are pure "
+                 "functions of (config, seed); time.time()/"
+                 "datetime.now() there makes replayed runs diverge "
+                 "from recorded ones")
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if not module.in_scope(WALLCLOCK_DIRS, WALLCLOCK_FILES):
+            return ()
+        findings = []
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.dotted_name(node.func)
+            if dotted in WALLCLOCK_CALLS:
+                findings.append(self.finding(
+                    module, node,
+                    "%s() reads the wall clock inside a deterministic "
+                    "path; derive times from the simulated clock or "
+                    "the config" % dotted))
+        return findings
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """A freshly built set: ``set(...)``/``frozenset(...)`` calls, set
+    literals and set comprehensions."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+#: sequence builders whose output order is the iteration order
+_ORDER_SENSITIVE_BUILDERS = ("list", "tuple", "enumerate")
+
+
+@register_rule
+class SetOrderRule(LintRule):
+    """DET-SET-ORDER: never iterate a freshly built set into ordered
+    output."""
+
+    rule_id = "DET-SET-ORDER"
+    rationale = ("iteration order of a set depends on hashes and "
+                 "insertion history; feeding it into loops, lists or "
+                 "joined strings makes labels, payloads and run keys "
+                 "flap — wrap in sorted(...) or keep a list")
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        for node in module.walk():
+            if isinstance(node, (ast.For, ast.AsyncFor)) \
+                    and _is_set_expression(node.iter):
+                yield self.finding(
+                    module, node.iter,
+                    "for-loop over a freshly built set iterates in "
+                    "hash order; use sorted(...)")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp, ast.SetComp)):
+                for generator in node.generators:
+                    if _is_set_expression(generator.iter) \
+                            and not isinstance(node, ast.SetComp):
+                        yield self.finding(
+                            module, generator.iter,
+                            "comprehension over a freshly built set "
+                            "produces hash-ordered output; use "
+                            "sorted(...)")
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Name)
+                  and node.func.id in _ORDER_SENSITIVE_BUILDERS
+                  and node.args and _is_set_expression(node.args[0])):
+                yield self.finding(
+                    module, node,
+                    "%s(set(...)) freezes an arbitrary hash order into "
+                    "a sequence; use sorted(...)" % node.func.id)
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Attribute)
+                  and node.func.attr == "join"
+                  and node.args and _is_set_expression(node.args[0])):
+                yield self.finding(
+                    module, node,
+                    "str.join over a freshly built set concatenates in "
+                    "hash order; use sorted(...)")
+
+
+#: os.environ methods that take the variable name as first argument
+_ENV_METHODS = ("get", "pop", "setdefault", "__contains__")
+
+
+def _env_key_node(node: ast.AST) -> ast.AST | None:
+    """The key expression of an ``os.environ``/``os.getenv`` access,
+    or None when ``node`` is no such access."""
+    if isinstance(node, ast.Subscript):
+        if Module.dotted_name(node.value) in ("os.environ", "environ"):
+            return node.slice
+        return None
+    if isinstance(node, ast.Call):
+        dotted = Module.dotted_name(node.func)
+        if dotted in ("os.getenv", "getenv"):
+            return node.args[0] if node.args else None
+        head, _, attr = dotted.rpartition(".")
+        if head in ("os.environ", "environ") and attr in _ENV_METHODS:
+            return node.args[0] if node.args else None
+    return None
+
+
+@register_rule
+class EnvRule(LintRule):
+    """DET-ENV: environment reads outside the sanctioned allowlist are
+    hidden configuration."""
+
+    rule_id = "DET-ENV"
+    rationale = ("os.environ is config that never enters the run key: "
+                 "two 'identical' runs can diverge on it silently; "
+                 "only the sanctioned harness variables (%s) may be "
+                 "consulted" % ", ".join(sorted(ENV_ALLOWLIST)))
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        seen: set[tuple[int, int]] = set()
+        for node in module.walk():
+            key = _env_key_node(node)
+            if key is None:
+                continue
+            marker = (getattr(node, "lineno", 0),
+                      getattr(node, "col_offset", 0))
+            if marker in seen:  # Subscript inside a Call already handled
+                continue
+            seen.add(marker)
+            if self._sanctioned(key):
+                continue
+            label = self._describe(key)
+            yield self.finding(
+                module, node,
+                "environment variable %s is read outside the "
+                "sanctioned allowlist (%s); thread it through the "
+                "config instead" % (label,
+                                    ", ".join(sorted(ENV_ALLOWLIST))))
+
+    @staticmethod
+    def _sanctioned(key: ast.AST) -> bool:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            return key.value in ENV_ALLOWLIST
+        if isinstance(key, ast.Name):
+            return key.id in ENV_CONSTANT_NAMES
+        dotted = Module.dotted_name(key)
+        return dotted.rpartition(".")[2] in ENV_CONSTANT_NAMES
+
+    @staticmethod
+    def _describe(key: ast.AST) -> str:
+        if isinstance(key, ast.Constant):
+            return repr(key.value)
+        dotted = Module.dotted_name(key)
+        return dotted if dotted else "<dynamic key>"

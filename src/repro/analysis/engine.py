@@ -1,0 +1,174 @@
+"""The match-lint engine: walk files, run rules, apply suppressions
+and the baseline, produce a :class:`LintReport`.
+
+The engine is a pure function of the file contents — no imports of the
+linted code ever happen (everything is :mod:`ast`), so linting cannot
+execute side effects, and a file with a syntax error is itself a
+finding rather than a crash.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+from .baseline import Baseline
+from .findings import Finding, LintReport
+from .rules import LintRule, Module, Project, all_rules
+from .suppress import apply_suppressions, scan_suppressions
+
+#: rule id attached to unparseable files
+SYNTAX_RULE = "LINT-SYNTAX"
+#: rule id attached to malformed suppression comments
+SUPPRESS_RULE = "LINT-SUPPRESS"
+#: rule id attached to suppressions that silenced nothing
+UNUSED_RULE = "LINT-UNUSED"
+
+#: directories never descended into
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache",
+                        ".pytest_cache", "build", "dist"})
+
+
+def iter_python_files(
+        paths: Sequence[str | pathlib.Path],
+) -> list[pathlib.Path]:
+    """Every ``.py`` file under ``paths`` (files taken verbatim,
+    directories walked recursively), sorted for stable output."""
+    collected: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    collected.append(candidate)
+        elif path.is_file():
+            collected.append(path)
+        else:
+            raise ConfigurationError("no such file or directory: %s"
+                                     % path)
+    return collected
+
+
+def _display_path(path: pathlib.Path, roots: Sequence[pathlib.Path]) -> str:
+    """Path relative to the nearest given root (for stable output)."""
+    resolved = path.resolve()
+    for root in roots:
+        try:
+            return resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            continue
+    return path.as_posix()
+
+
+def select_rules(
+        select: Iterable[str] | None = None,
+) -> tuple[LintRule, ...]:
+    """The rules to run: all registered, optionally filtered."""
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = {rule_id.strip() for rule_id in select if rule_id.strip()}
+    known = {rule.rule_id for rule in rules}
+    unknown = wanted - known - {SYNTAX_RULE, SUPPRESS_RULE, UNUSED_RULE}
+    if unknown:
+        raise ConfigurationError(
+            "unknown lint rule id(s) %s (have %s)"
+            % (sorted(unknown), sorted(known)))
+    return tuple(rule for rule in rules if rule.rule_id in wanted)
+
+
+def lint_paths(paths: Sequence[str | pathlib.Path],
+               baseline: Baseline | None = None,
+               select: Iterable[str] | None = None,
+               report_unused: bool = True) -> LintReport:
+    """Lint ``paths`` and return the :class:`LintReport`.
+
+    ``baseline=None`` auto-discovers the nearest committed
+    ``.match-lint-baseline.json`` above the first path (pass
+    ``Baseline()`` for an explicitly empty one).
+    """
+    files = iter_python_files(paths)
+    if baseline is None:
+        baseline = (Baseline.discover(pathlib.Path(paths[0]))
+                    if paths else Baseline())
+    rules = select_rules(select)
+    roots = [pathlib.Path(p).resolve() for p in paths]
+    roots = [root if root.is_dir() else root.parent for root in roots]
+
+    modules: list[Module] = []
+    findings: list[Finding] = []
+    suppressed_total = 0
+    for path in files:
+        display = _display_path(path, roots)
+        try:
+            source = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            raise ConfigurationError("cannot read %s: %s" % (path, exc)
+                                     ) from exc
+        try:
+            module = Module(path, source, display_path=display)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule=SYNTAX_RULE, path=display,
+                line=int(exc.lineno or 1), col=int(exc.offset or 0),
+                message="file does not parse: %s" % exc.msg))
+            continue
+        modules.append(module)
+
+    project = Project(modules)
+    per_file: dict[int, list[Finding]] = {id(module): []
+                                          for module in modules}
+    for module in modules:
+        for rule in rules:
+            per_file[id(module)].extend(rule.check_module(module))
+    # project-level rules anchor their findings on real modules, so
+    # route them into the owning file's suppression pass
+    by_display = {module.display_path: module for module in modules}
+    for rule in rules:
+        for finding in rule.check_project(project):
+            owner = by_display.get(finding.path)
+            if owner is not None:
+                per_file[id(owner)].append(finding)
+            else:
+                findings.append(finding)
+
+    for module in modules:
+        suppressions, malformed = scan_suppressions(module.lines)
+        for lineno, message in malformed:
+            per_file[id(module)].append(Finding(
+                rule=SUPPRESS_RULE, path=module.display_path,
+                line=lineno, col=0, message=message,
+                snippet=module.line_text(lineno)))
+        surviving, silenced = apply_suppressions(
+            per_file[id(module)], suppressions)
+        suppressed_total += silenced
+        if report_unused:
+            for suppression in suppressions:
+                if not suppression.used:
+                    surviving.append(Finding(
+                        rule=UNUSED_RULE, path=module.display_path,
+                        line=suppression.line, col=0,
+                        message="suppression for %s silences nothing; "
+                                "delete it (a stale suppression would "
+                                "swallow the next real finding here)"
+                                % ", ".join(suppression.rules),
+                        snippet=module.line_text(suppression.line)))
+        findings.extend(surviving)
+
+    surviving_findings: list[Finding] = []
+    baselined = 0
+    for finding in findings:
+        if baseline.covers(finding):
+            baselined += 1
+        else:
+            surviving_findings.append(finding)
+    surviving_findings.sort(key=lambda f: (f.path, f.line, f.col,
+                                           f.rule))
+
+    return LintReport(
+        findings=surviving_findings,
+        suppressed=suppressed_total,
+        baselined=baselined,
+        files=len(files),
+        rules=tuple(rule.rule_id for rule in rules))

@@ -1,0 +1,119 @@
+"""EVT-EXPORT: every public event class reaches the public surface.
+
+The typed event stream is the facade's primary protocol: consumers
+``match``/``isinstance`` on event classes, so an event that exists in
+``repro.core.events`` but is missing from ``events.__all__``, from the
+``repro.api`` facade surface, or from docs/API.md is an API users can
+receive but not import or read about. PR 6 shipped exactly this gap
+(``UnitRetrying``/``CampaignAborted`` reached ``__all__`` but not the
+docs), which is what promoted the check into a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Iterator
+
+from .contracts import EVT_DOC_RELPATH, EVT_FACADE_SUFFIX
+from .findings import Finding
+from .rules import LintRule, Module, Project, register_rule
+
+#: how far above events.py to look for the documentation root
+_DOC_SEARCH_DEPTH = 6
+
+
+def _event_classes(module: Module) -> tuple[ast.ClassDef, ...]:
+    """Public class definitions in the events module, in order."""
+    return tuple(node for node in module.tree.body
+                 if isinstance(node, ast.ClassDef)
+                 and not node.name.startswith("_"))
+
+
+def _facade_all(events_path: pathlib.Path,
+                project: Project) -> tuple[str, ...] | None:
+    """The facade's ``__all__``: from the linted set when present,
+    else read off disk next to the events package."""
+    facade = project.find("repro/" + EVT_FACADE_SUFFIX)
+    if facade is not None:
+        return facade.dunder_all()
+    candidate = events_path.parent.parent / EVT_FACADE_SUFFIX
+    if not candidate.is_file():
+        return None
+    try:
+        source = candidate.read_text()
+        facade = Module(candidate, source)
+    except (OSError, SyntaxError):
+        return None
+    return facade.dunder_all()
+
+
+def _doc_text(
+        events_path: pathlib.Path,
+) -> tuple[pathlib.Path, str] | None:
+    """``(doc_path, text)`` of docs/API.md found above events.py."""
+    probe = events_path.resolve().parent
+    for _ in range(_DOC_SEARCH_DEPTH):
+        candidate = probe / EVT_DOC_RELPATH
+        if candidate.is_file():
+            try:
+                return (candidate, candidate.read_text())
+            except OSError:
+                return None
+        if probe.parent == probe:
+            break
+        probe = probe.parent
+    return None
+
+
+@register_rule
+class EventExportRule(LintRule):
+    """EVT-EXPORT: events exist in __all__, the facade and the docs."""
+
+    rule_id = "EVT-EXPORT"
+    rationale = ("consumers match on event classes by identity, so an "
+                 "event missing from events.__all__, repro.api.__all__ "
+                 "or docs/API.md is deliverable but unimportable/"
+                 "undocumented — the streaming protocol's surface must "
+                 "stay closed")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        module = project.find("core/events.py")
+        if module is None:
+            return
+        classes = _event_classes(module)
+        if not classes:
+            return
+        exported = module.dunder_all()
+        if exported is None:
+            yield self.finding_at(
+                module, 1,
+                "the events module must declare a literal __all__ "
+                "(it is the event protocol's closed surface)")
+            exported = ()
+        for class_def in classes:
+            if class_def.name not in exported:
+                yield self.finding(
+                    module, class_def,
+                    "event class %s is missing from events.__all__"
+                    % class_def.name)
+
+        facade_all = _facade_all(module.path, project)
+        if facade_all is not None:
+            for class_def in classes:
+                if class_def.name not in facade_all:
+                    yield self.finding(
+                        module, class_def,
+                        "event class %s is not re-exported by the "
+                        "repro.api facade __all__ (consumers import "
+                        "events from the facade)" % class_def.name)
+
+        doc = _doc_text(module.path)
+        if doc is not None:
+            doc_path, text = doc
+            for class_def in classes:
+                if class_def.name not in text:
+                    yield self.finding(
+                        module, class_def,
+                        "event class %s is not documented in %s"
+                        % (class_def.name, doc_path.name))

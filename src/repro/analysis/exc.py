@@ -1,0 +1,122 @@
+"""EXC rules: failure containment must stay structured.
+
+PR 6 built the fail-soft campaign engine around one invariant: every
+contained failure becomes a structured, picklable, JSON-safe
+:class:`repro.errors.ErrorRecord`, and only the transient-error
+taxonomy is ever retried. These rules keep both halves true as the
+tree grows.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .contracts import TRANSIENT_MANIFEST
+from .findings import Finding
+from .rules import LintRule, Module, register_rule
+
+#: exception names that catch (almost) everything
+_BROAD_NAMES = ("Exception", "BaseException")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:  # bare except:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(isinstance(element, ast.Name)
+                   and element.id in _BROAD_NAMES
+                   for element in node.elts)
+    return False
+
+
+def _body_contains_discipline(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or routes through describe_error."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = Module.dotted_name(node.func)
+            if dotted.rpartition(".")[2] == "describe_error":
+                return True
+    return False
+
+
+@register_rule
+class BroadExceptRule(LintRule):
+    """EXC-BROAD: ``except Exception`` must re-raise or produce a
+    structured ErrorRecord."""
+
+    rule_id = "EXC-BROAD"
+    rationale = ("a broad handler that neither re-raises nor routes "
+                 "through repro.errors.describe_error swallows "
+                 "unexpected failures without a structured "
+                 "ErrorRecord — campaigns then report success on runs "
+                 "that never happened")
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _body_contains_discipline(node):
+                continue
+            caught = ("bare except" if node.type is None
+                      else "except %s" % Module.dotted_name(node.type)
+                      if not isinstance(node.type, ast.Tuple)
+                      else "except (...Exception...)")
+            yield self.finding(
+                module, node,
+                "%s neither re-raises nor routes through "
+                "repro.errors.describe_error; narrow the types, add "
+                "the routing, or suppress with a reason" % caught)
+
+
+@register_rule
+class TransientTaxonomyRule(LintRule):
+    """EXC-RETRY: the retryable-error taxonomy is a pinned contract."""
+
+    rule_id = "EXC-RETRY"
+    rationale = ("the engine may only retry repro.errors."
+                 "TRANSIENT_ERRORS (harness failures); widening the "
+                 "tuple would retry deterministic simulation failures "
+                 "and could break successful-run bit-identity — the "
+                 "pinned manifest forces that to be a reviewed "
+                 "decision")
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        if module.path.name != "errors.py" \
+                or "repro" not in module.parts:
+            return
+        assignment = None
+        for node in module.tree.body:
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == "TRANSIENT_ERRORS"):
+                assignment = node
+        if assignment is None:
+            yield self.finding_at(
+                module, 1,
+                "repro/errors.py no longer defines TRANSIENT_ERRORS; "
+                "the retry policy lost its taxonomy")
+            return
+        if not isinstance(assignment.value, (ast.Tuple, ast.List)):
+            yield self.finding(
+                module, assignment,
+                "TRANSIENT_ERRORS must be a literal tuple of exception "
+                "types so the retry taxonomy stays statically "
+                "auditable")
+            return
+        names = tuple(Module.dotted_name(element).rpartition(".")[2]
+                      for element in assignment.value.elts)
+        if names != TRANSIENT_MANIFEST:
+            yield self.finding(
+                module, assignment,
+                "TRANSIENT_ERRORS %s does not match the pinned retry "
+                "taxonomy %s; if the widening/narrowing is deliberate, "
+                "update repro/analysis/contracts.py in the same change"
+                % (list(names), list(TRANSIENT_MANIFEST)))

@@ -1,0 +1,111 @@
+"""Finding and report datatypes for match-lint.
+
+A :class:`Finding` is one rule violation at one source location; a
+:class:`LintReport` is the outcome of linting a set of files: the
+surviving findings plus the bookkeeping (how many were silenced by
+inline suppressions, how many by the committed baseline) that the
+renderers and the exit code consume.
+
+Findings are frozen and JSON-round-trippable so the ``lint-json``
+renderer and the baseline file share one canonical representation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: the violated rule, e.g. ``"DET-RANDOM"``
+    rule: str
+    #: path as given to the engine (repo-relative when linting a tree)
+    path: str
+    #: 1-based source line
+    line: int
+    #: 0-based column
+    col: int
+    message: str
+    #: the stripped source line text (stable across pure line moves,
+    #: which is what makes baseline fingerprints survive refactors)
+    snippet: str = ""
+
+    def fingerprint(self) -> str:
+        """Content fingerprint used for baseline matching.
+
+        Deliberately excludes the line *number*: moving an unchanged
+        violation up or down a file must not un-baseline it.
+        """
+        blob = "\x1f".join((self.rule, _basename(self.path), self.snippet))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def location(self) -> str:
+        return "%s:%d:%d" % (self.path, self.line, self.col + 1)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message,
+                "snippet": self.snippet,
+                "fingerprint": self.fingerprint()}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        return cls(rule=str(data.get("rule", "")),
+                   path=str(data.get("path", "")),
+                   line=int(data.get("line", 0)),
+                   col=int(data.get("col", 0)),
+                   message=str(data.get("message", "")),
+                   snippet=str(data.get("snippet", "")))
+
+
+def _basename(path: str) -> str:
+    """The path's tail (``pkg/mod.py`` -> ``mod.py``), so fingerprints
+    survive linting the same tree from different roots."""
+    return path.replace("\\", "/").rsplit("/", 1)[-1]
+
+
+@dataclass
+class LintReport:
+    """Everything one lint invocation produced."""
+
+    #: surviving findings (not suppressed, not baselined), sorted
+    findings: list[Finding] = field(default_factory=list)
+    #: findings silenced by a valid inline suppression
+    suppressed: int = 0
+    #: findings silenced by the committed baseline
+    baselined: int = 0
+    files: int = 0
+    #: rule ids that actually executed
+    rules: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def summary(self) -> str:
+        if self.clean:
+            extra = []
+            if self.suppressed:
+                extra.append("%d suppressed" % self.suppressed)
+            if self.baselined:
+                extra.append("%d baselined" % self.baselined)
+            tail = (" (%s)" % ", ".join(extra)) if extra else ""
+            return ("match-lint: clean — %d file(s), %d rule(s)%s"
+                    % (self.files, len(self.rules), tail))
+        per_rule = ", ".join("%s: %d" % item
+                             for item in self.counts_by_rule().items())
+        return ("match-lint: %d finding(s) in %d file(s) [%s]"
+                % (len(self.findings), self.files, per_rule))

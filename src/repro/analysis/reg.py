@@ -1,0 +1,212 @@
+"""REG-PROTOCOL: registrants satisfy their registry's protocol, statically.
+
+The registries validate protocols at *registration time* (import), but
+a plugin module that is only imported inside spawned campaign workers
+fails far from its author. This rule runs the same checks at lint
+time, on the AST: every class or function registered via
+``@REGISTRY.register(...)``, ``REGISTRY.add("name", Thing)`` or
+``@register("kind", ...)`` must statically define the protocol's
+required methods with compatible arity.
+
+Method lookup walks base classes *defined in the same module* (the
+``DesignBase``/``ScenarioKind`` pattern). A base imported from
+elsewhere makes the class unattributable statically — the rule then
+stays silent rather than guessing (the runtime validator still has
+it covered).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .contracts import (
+    REGISTRY_CONTRACTS,
+    REGISTRY_CONTRACTS_BY_KIND,
+    MethodSpec,
+    RegistryContract,
+)
+from .findings import Finding
+from .rules import LintRule, Module, register_rule
+
+
+def _registration_contract(decorator: ast.expr) -> RegistryContract | None:
+    """The contract a decorator registers against, or None."""
+    if not isinstance(decorator, ast.Call):
+        return None
+    func = decorator.func
+    # @REGISTRY.register(...) — match the registry variable's name,
+    # however it was imported (DESIGNS, store.STORES, ...)
+    if isinstance(func, ast.Attribute) and func.attr == "register":
+        head = Module.dotted_name(func.value)
+        return REGISTRY_CONTRACTS.get(head.rpartition(".")[2])
+    # @register("kind", "name") — the top-level decorator form
+    if isinstance(func, ast.Name) and func.id == "register" \
+            and decorator.args:
+        kind = decorator.args[0]
+        if isinstance(kind, ast.Constant) and isinstance(kind.value, str):
+            return REGISTRY_CONTRACTS_BY_KIND.get(kind.value)
+    return None
+
+
+def _add_call_contract(node: ast.Call) -> RegistryContract | None:
+    """The contract behind a ``REGISTRY.add("name", Thing)`` call."""
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "add":
+        head = Module.dotted_name(node.func.value)
+        contract = REGISTRY_CONTRACTS.get(head.rpartition(".")[2])
+        if contract is not None and len(node.args) >= 2:
+            return contract
+    return None
+
+
+class _ClassView:
+    """Method lookup over a class and its same-module bases."""
+
+    def __init__(self, class_def: ast.ClassDef,
+                 classes: dict[str, ast.ClassDef]):
+        self.class_def = class_def
+        self._classes = classes
+
+    def resolve(
+            self, method: str,
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | str | None:
+        """``(FunctionDef, decorators)`` for ``method``, or the string
+        ``"unknown"`` when an imported base makes lookup unsound, or
+        None when the method is provably absent."""
+        seen: set[str] = set()
+        stack: list[ast.ClassDef] = [self.class_def]
+        unknown_base = False
+        while stack:
+            current = stack.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            for node in current.body:
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)) \
+                        and node.name == method:
+                    return node
+            for base in current.bases:
+                if isinstance(base, ast.Name) \
+                        and base.id in self._classes:
+                    stack.append(self._classes[base.id])
+                elif isinstance(base, ast.Name) and base.id == "object":
+                    pass
+                else:
+                    unknown_base = True
+        return "unknown" if unknown_base else None
+
+
+def _accepts(function: ast.FunctionDef | ast.AsyncFunctionDef,
+             call_args: int, skip_first: bool) -> bool:
+    """Whether ``function`` can be called with ``call_args`` positional
+    arguments (after self/cls when ``skip_first``)."""
+    args = function.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if skip_first and positional:
+        positional = positional[1:]
+    maximum = len(positional)
+    required = maximum - len(args.defaults)
+    if args.vararg is not None:
+        return call_args >= required
+    return required <= call_args <= maximum
+
+
+@register_rule
+class RegistryProtocolRule(LintRule):
+    """REG-PROTOCOL: registered classes/handlers define their protocol."""
+
+    rule_id = "REG-PROTOCOL"
+    rationale = ("a registrant missing a protocol method (or with an "
+                 "incompatible arity) registers fine in the author's "
+                 "process and explodes mid-campaign inside a spawned "
+                 "worker; the same contract the registries enforce at "
+                 "import time is checked here at lint time")
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        classes = module.class_defs()
+        for node in module.walk():
+            if isinstance(node, ast.ClassDef):
+                for decorator in node.decorator_list:
+                    contract = _registration_contract(decorator)
+                    if contract is not None:
+                        yield from self._check_class(module, node,
+                                                     classes, contract)
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                for decorator in node.decorator_list:
+                    contract = _registration_contract(decorator)
+                    if contract is not None \
+                            and contract.callable_args is not None:
+                        yield from self._check_callable(module, node,
+                                                        contract)
+            elif isinstance(node, ast.Call):
+                contract = _add_call_contract(node)
+                if contract is None:
+                    continue
+                target = node.args[1]
+                if isinstance(target, ast.Name) \
+                        and target.id in classes:
+                    yield from self._check_class(
+                        module, classes[target.id], classes, contract,
+                        at=node)
+
+    def _check_class(self, module: Module, class_def: ast.ClassDef,
+                     classes: dict[str, ast.ClassDef],
+                     contract: RegistryContract,
+                     at: ast.AST | None = None) -> Iterator[Finding]:
+        view = _ClassView(class_def, classes)
+        for group in contract.required:
+            yield from self._check_group(module, class_def, view,
+                                         contract, group, at)
+
+    def _check_group(self, module: Module, class_def: ast.ClassDef,
+                     view: _ClassView, contract: RegistryContract,
+                     group: tuple[MethodSpec, ...],
+                     at: ast.AST | None) -> Iterator[Finding]:
+        wrong_arity: list[tuple[MethodSpec, ast.FunctionDef | ast.AsyncFunctionDef]] = []
+        for spec in group:
+            resolved = view.resolve(spec.name)
+            if resolved == "unknown":
+                return  # imported base: statically unattributable
+            if resolved is None:
+                continue
+            if self._arity_ok(resolved, spec):
+                return  # satisfied
+            wrong_arity.append((spec, resolved))
+        anchor = at if at is not None else class_def
+        names = " or ".join("%s()" % spec.name for spec in group)
+        if wrong_arity:
+            spec, resolved = wrong_arity[0]
+            yield self.finding(
+                module, anchor,
+                "%s.%s() cannot accept the %d positional argument(s) "
+                "the %r registry protocol calls it with"
+                % (class_def.name, spec.name, spec.call_args,
+                   contract.kind))
+        else:
+            yield self.finding(
+                module, anchor,
+                "%s is registered as a %r but defines no %s required "
+                "by the protocol" % (class_def.name, contract.kind,
+                                     names))
+
+    @staticmethod
+    def _arity_ok(function: ast.FunctionDef | ast.AsyncFunctionDef,
+                  spec: MethodSpec) -> bool:
+        decorators = {Module.dotted_name(d).rpartition(".")[2]
+                      for d in function.decorator_list}
+        skip_first = "staticmethod" not in decorators
+        return _accepts(function, spec.call_args, skip_first)
+
+    def _check_callable(self, module: Module,
+                        function: ast.FunctionDef | ast.AsyncFunctionDef,
+                        contract: RegistryContract) -> Iterator[Finding]:
+        if not _accepts(function, contract.callable_args or 0,
+                        skip_first=False):
+            yield self.finding(
+                module, function,
+                "%s() is registered as a %r but cannot accept the %d "
+                "positional argument(s) the protocol passes"
+                % (function.name, contract.kind,
+                   contract.callable_args))

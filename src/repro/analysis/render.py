@@ -1,0 +1,61 @@
+"""Lint report renderers, registered in the ``renderer`` registry.
+
+Two formats ship: ``lint-text`` for humans/CI logs and ``lint-json``
+for machines (the CI artifact). Both live in the same
+:data:`repro.core.report.RENDERERS` registry as the campaign
+renderers, so ``--format`` resolution, listing and error messages stay
+uniform across the toolchain.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.report import RENDERERS
+from .findings import LintReport
+
+#: format-name prefix distinguishing lint renderers from campaign ones
+LINT_FORMAT_PREFIX = "lint-"
+
+
+@RENDERERS.register("lint-text")
+def render_lint_text(report: LintReport, title: str = "match-lint") -> str:
+    """One ``path:line:col: RULE-ID message`` line per finding."""
+    lines = []
+    for finding in report.findings:
+        lines.append("%s: %s %s" % (finding.location(), finding.rule,
+                                    finding.message))
+        if finding.snippet:
+            lines.append("    %s" % finding.snippet)
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+@RENDERERS.register("lint-json")
+def render_lint_json(report: LintReport, title: str = "match-lint") -> str:
+    """The machine-readable report (the CI ``lint-report`` artifact).
+
+    ``tool`` identifies the payload so downstream consumers — e.g.
+    ``benchmarks/perf/check_regression.py`` scanning artifact
+    directories — can recognise and skip lint output.
+    """
+    payload = {
+        "tool": "match-lint",
+        "format": 1,
+        "title": title,
+        "files": report.files,
+        "rules": list(report.rules),
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "clean": report.clean,
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_report(report: LintReport, fmt: str = "text") -> str:
+    """Render with a registered lint renderer; accepts the short form
+    (``text``/``json``) or the full registry name (``lint-text``)."""
+    name = fmt if fmt.startswith(LINT_FORMAT_PREFIX) \
+        else LINT_FORMAT_PREFIX + fmt
+    return RENDERERS.resolve(name)(report)

@@ -1,0 +1,171 @@
+"""The ``lint-rule`` registry and the rule/module abstractions.
+
+match-lint reuses the repo's uniform extension pattern
+(:mod:`repro.registry`): every rule is a :class:`LintRule` subclass in
+the ``lint-rule`` :class:`~repro.registry.Registry`, so a
+project-specific contract becomes one self-registering class::
+
+    from repro.analysis.rules import LINT_RULES, LintRule
+
+    @LINT_RULES.register()
+    class NoPrintRule(LintRule):
+        rule_id = "STYLE-PRINT"
+        rationale = "library code must not print to stdout"
+
+        def check_module(self, module):
+            for node in module.walk():
+                if (isinstance(node, ast.Call)
+                        and module.dotted_name(node.func) == "print"):
+                    yield self.finding(module, node, "print() call")
+
+Rules get two hooks: :meth:`LintRule.check_module` runs once per
+parsed file; :meth:`LintRule.check_project` runs once per invocation
+with the whole :class:`Project` (for cross-file contracts like
+EVT-EXPORT). Either may be a no-op.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Iterable, Iterator
+
+from ..errors import ConfigurationError
+from ..registry import Registry
+from .findings import Finding
+
+
+class Module:
+    """One parsed source file plus the lookups rules need."""
+
+    def __init__(self, path: str | pathlib.Path, source: str,
+                 display_path: str | None = None):
+        self.path = pathlib.Path(path)
+        self.display_path = display_path or str(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        #: path components, posix-style, for scope checks
+        #: ("simmpi" in module.parts)
+        self.parts = tuple(self.path.as_posix().split("/"))
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def in_scope(self, directories: Iterable[str] = (),
+                 filenames: Iterable[str] = ()) -> bool:
+        """Whether this file lives under one of ``directories`` (any
+        path component matches) or is named one of ``filenames``."""
+        if any(part in self.parts for part in directories):
+            return True
+        return self.path.name in tuple(filenames)
+
+    @staticmethod
+    def dotted_name(node: ast.AST) -> str:
+        """``a.b.c`` for a Name/Attribute chain, else ``""``."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return ""
+
+    def class_defs(self) -> dict[str, ast.ClassDef]:
+        """Top-level (module-body) class definitions by name."""
+        return {node.name: node for node in self.tree.body
+                if isinstance(node, ast.ClassDef)}
+
+    def dunder_all(self) -> tuple[str, ...] | None:
+        """The module's literal ``__all__`` names, or None."""
+        for node in self.tree.body:
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == "__all__"
+                    and isinstance(node.value, (ast.List, ast.Tuple))):
+                names = []
+                for element in node.value.elts:
+                    if (isinstance(element, ast.Constant)
+                            and isinstance(element.value, str)):
+                        names.append(element.value)
+                return tuple(names)
+        return None
+
+
+class Project:
+    """Every module of one lint invocation, for cross-file rules."""
+
+    def __init__(self, modules: Iterable[Module]):
+        self.modules = list(modules)
+
+    def find(self, *suffixes: str) -> Module | None:
+        """The first module whose posix path ends with any suffix."""
+        for module in self.modules:
+            posix = module.path.as_posix()
+            if any(posix.endswith(suffix) for suffix in suffixes):
+                return module
+        return None
+
+
+class LintRule:
+    """Base class for one registered contract check."""
+
+    #: stable id findings and suppressions use, e.g. ``"DET-RANDOM"``
+    rule_id = ""
+    #: one-line contract statement (docs/ANALYSIS.md catalog + --list-rules)
+    rationale = ""
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, module: Module, node: ast.AST,
+                message: str) -> Finding:
+        lineno = int(getattr(node, "lineno", 1))
+        col = int(getattr(node, "col_offset", 0))
+        return Finding(rule=self.rule_id, path=module.display_path,
+                       line=lineno, col=col, message=message,
+                       snippet=module.line_text(lineno))
+
+    def finding_at(self, module: Module, lineno: int,
+                   message: str) -> Finding:
+        return Finding(rule=self.rule_id, path=module.display_path,
+                       line=lineno, col=0, message=message,
+                       snippet=module.line_text(lineno))
+
+
+def _check_rule(name: str, rule: object) -> None:
+    if not isinstance(rule, LintRule) or not rule.rule_id:
+        raise ConfigurationError(
+            "lint rule %r must be a LintRule subclass with a non-empty "
+            "rule_id" % (name,))
+    if not rule.rationale:
+        raise ConfigurationError(
+            "lint rule %r must state its rationale (it becomes the "
+            "docs/ANALYSIS.md catalog entry)" % (name,))
+
+
+#: the ``lint-rule`` registry: rule id -> LintRule instance
+LINT_RULES = Registry("lint-rule", instantiate=True, validate=_check_rule,
+                      noun="lint rule")
+
+
+def register_rule(cls: type[LintRule]) -> type[LintRule]:
+    """``@register_rule`` — register a LintRule class under its id."""
+    LINT_RULES.add(cls.rule_id, cls())
+    return cls
+
+
+def all_rules() -> tuple[LintRule, ...]:
+    """Every registered rule, importing the built-in rule modules."""
+    from . import det, evt, exc, reg, schema  # noqa: F401  (self-registering)
+
+    return tuple(LINT_RULES.values())

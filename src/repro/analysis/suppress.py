@@ -1,0 +1,151 @@
+"""Inline suppressions: ``# repro: ignore[RULE-ID] -- reason``.
+
+The grammar is deliberately strict:
+
+* one or more rule ids in the brackets, comma-separated
+  (``ignore[DET-RANDOM, EXC-BROAD]``);
+* a ``--``-separated, non-empty reason is **required** — a silenced
+  rule with no recorded justification is itself a violation
+  (``LINT-SUPPRESS``);
+* the comment silences matching findings on its own physical line, or
+  — when the line holds nothing but the comment — on the next
+  non-blank, non-comment line (the "banner" form above a statement).
+
+Unused suppressions are reported (``LINT-UNUSED``): a suppression that
+no longer silences anything is stale documentation and would silently
+swallow a future regression at that line.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+#: matches the marker anywhere in a comment token
+_MARKER = re.compile(
+    r"#\s*repro:\s*ignore"          # the marker
+    r"(?:\[(?P<rules>[^\]]*)\])?"   # [RULE, RULE] (missing = malformed)
+    r"(?:\s*--\s*(?P<reason>.*))?"  # -- reason   (missing = malformed)
+    r"\s*$")
+
+_RULE_ID = re.compile(r"^[A-Z][A-Z0-9]*(-[A-Z0-9]+)*$")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: ignore[...]`` comment."""
+
+    #: line the comment sits on (1-based)
+    line: int
+    #: line whose findings it silences (== ``line`` for trailing form)
+    target_line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, rule: str, line: int) -> bool:
+        return line == self.target_line and rule in self.rules
+
+
+def _is_blank_or_comment(text: str) -> bool:
+    stripped = text.strip()
+    return not stripped or stripped.startswith("#")
+
+
+def _comment_tokens(lines: list[str]) -> list[tuple[int, int, str]]:
+    """``(lineno, col, text)`` for every real COMMENT token.
+
+    Tokenizing (rather than regex-scanning raw lines) is what keeps a
+    docstring or string literal that merely *mentions* the grammar from
+    acting as a suppression.
+    """
+    source = "\n".join(lines) + "\n"
+    comments = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1],
+                                 token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # unreachable for files that already ast-parsed; harmless
+        # (no suppressions) for anything else
+        return []
+    return comments
+
+
+def scan_suppressions(
+        lines: list[str],
+) -> tuple[list[Suppression], list[tuple[int, str]]]:
+    """Parse every suppression comment in ``lines``.
+
+    Returns ``(suppressions, malformed)`` where ``malformed`` is a list
+    of ``(line, message)`` pairs for comments that match the marker but
+    violate the grammar — those become ``LINT-SUPPRESS`` findings
+    because a suppression that silently fails to parse would leave its
+    author believing the finding is silenced.
+    """
+    suppressions: list[Suppression] = []
+    malformed: list[tuple[int, str]] = []
+    for lineno, col, comment in _comment_tokens(lines):
+        if "repro:" not in comment or "ignore" not in comment:
+            continue
+        match = _MARKER.search(comment)
+        if match is None:
+            continue
+        rules_blob, reason = match.group("rules"), match.group("reason")
+        if rules_blob is None:
+            malformed.append((lineno,
+                              "suppression needs bracketed rule ids: "
+                              "# repro: ignore[RULE-ID] -- reason"))
+            continue
+        rules = tuple(part.strip() for part in rules_blob.split(",")
+                      if part.strip())
+        bad = [rule for rule in rules if not _RULE_ID.match(rule)]
+        if not rules or bad:
+            malformed.append((lineno,
+                              "suppression has no valid rule ids in %r"
+                              % (rules_blob.strip(),)))
+            continue
+        if reason is None or not reason.strip():
+            malformed.append((lineno,
+                              "suppression for %s is missing its required "
+                              "'-- reason'" % ", ".join(rules)))
+            continue
+        target = lineno
+        if not lines[lineno - 1][:col].strip():
+            # banner form: the comment owns the line; it covers the
+            # next line that holds actual code
+            target = lineno + 1
+            while (target <= len(lines)
+                   and _is_blank_or_comment(lines[target - 1])):
+                target += 1
+        suppressions.append(Suppression(line=lineno, target_line=target,
+                                        rules=rules,
+                                        reason=reason.strip()))
+    return suppressions, malformed
+
+
+def apply_suppressions(
+        findings: list[Finding],
+        suppressions: list[Suppression],
+) -> tuple[list[Finding], int]:
+    """Split ``findings`` into (surviving, silenced_count), marking the
+    suppressions that did work as used."""
+    surviving: list[Finding] = []
+    silenced = 0
+    for finding in findings:
+        hit = None
+        for suppression in suppressions:
+            if suppression.covers(finding.rule, finding.line):
+                hit = suppression
+                break
+        if hit is None:
+            surviving.append(finding)
+        else:
+            hit.used = True
+            silenced += 1
+    return surviving, silenced

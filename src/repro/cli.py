@@ -423,6 +423,25 @@ def _cmd_chart(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    # delegate to the match-lint CLI so `match-bench lint` and
+    # `python -m repro.analysis` stay flag-for-flag identical
+    from .analysis.cli import main as lint_main
+
+    argv = list(args.paths) + ["--format", args.format]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.select is not None:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv, prog="match-bench lint")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="match-bench",
@@ -623,6 +642,22 @@ def build_parser() -> argparse.ArgumentParser:
     chart_p.add_argument("--fault", action="store_true")
     chart_p.add_argument("--reps", type=int, default=None)
     chart_p.set_defaults(func=_cmd_chart)
+
+    lint_p = sub.add_parser("lint",
+                            help="run match-lint (determinism & "
+                                 "contract static analysis)")
+    lint_p.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    lint_p.add_argument("--format", default="text",
+                        choices=("text", "json"))
+    lint_p.add_argument("--baseline", default=None, metavar="PATH")
+    lint_p.add_argument("--no-baseline", action="store_true")
+    lint_p.add_argument("--write-baseline", action="store_true")
+    lint_p.add_argument("--select", default=None, metavar="IDS",
+                        help="comma-separated rule ids")
+    lint_p.add_argument("--list-rules", action="store_true")
+    lint_p.set_defaults(func=_cmd_lint)
     return parser
 
 

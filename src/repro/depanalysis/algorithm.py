@@ -104,8 +104,11 @@ def find_checkpoint_objects(trace: InstructionTrace) -> AnalysisResult:
             ))
         else:
             result.loop_local_locs.append(location)
+    # hoisted: building set(result.locations) per element made this
+    # O(n^2) in the number of constant locations
+    selected = set(result.locations)
     result.constant_locs = [loc for loc in constant
-                            if loc not in set(result.locations)]
+                            if loc not in selected]
     return result
 
 

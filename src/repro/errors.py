@@ -23,6 +23,7 @@ culprit unit).
 from __future__ import annotations
 
 import traceback as _traceback
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
 
@@ -51,7 +52,8 @@ class WatchdogError(SimulationError):
     schedule — so the engine never retries it.
     """
 
-    def __init__(self, steps: int, message: str | None = None):
+    def __init__(self, steps: int,
+                 message: str | None = None) -> None:
         self.steps = steps
         super().__init__(
             message or "simulation exceeded its watchdog budget of %d "
@@ -70,7 +72,8 @@ class ProcessFailedError(MPIError):
 
     error_class = 75
 
-    def __init__(self, failed_ranks, message: str | None = None):
+    def __init__(self, failed_ranks: "Iterable[int]",
+                 message: str | None = None) -> None:
         self.failed_ranks = tuple(sorted(failed_ranks))
         super().__init__(
             message or "process failure detected: ranks %s" % (self.failed_ranks,)
@@ -82,7 +85,8 @@ class CommRevokedError(MPIError):
 
     error_class = 76
 
-    def __init__(self, message: str = "communicator revoked"):
+    def __init__(self, message: str = "communicator revoked"
+                 ) -> None:
         super().__init__(message)
 
 
@@ -91,7 +95,8 @@ class JobAbortedError(MPIError):
 
     error_class = 1
 
-    def __init__(self, message: str = "job aborted", errorcode: int = 1):
+    def __init__(self, message: str = "job aborted",
+                 errorcode: int = 1) -> None:
         self.errorcode = errorcode
         super().__init__(message)
 
@@ -103,7 +108,7 @@ class RankKilledError(ReproError):
     observable by surviving ranks (they observe :class:`ProcessFailedError`).
     """
 
-    def __init__(self, rank: int):
+    def __init__(self, rank: int) -> None:
         self.rank = rank
         super().__init__("rank %d killed by fault injection" % rank)
 
@@ -137,7 +142,7 @@ class UnitExecutionError(ReproError):
     ``__init__`` signature); the structured record is always attached.
     """
 
-    def __init__(self, record: "ErrorRecord"):
+    def __init__(self, record: "ErrorRecord") -> None:
         self.record = record
         super().__init__("%s: %s" % (record.type, record.message))
 
@@ -146,7 +151,8 @@ class WorkerLostError(ReproError):
     """A worker process died without delivering a result (crash, OOM
     kill, hard exit). Transient: the engine may retry the unit."""
 
-    def __init__(self, message: str = "worker process died"):
+    def __init__(self, message: str = "worker process died"
+                 ) -> None:
         super().__init__(message)
 
 
@@ -156,7 +162,7 @@ class UnitTimeoutError(ReproError):
     Transient: a loaded machine can blow a deadline a retry meets.
     """
 
-    def __init__(self, seconds: float):
+    def __init__(self, seconds: float) -> None:
         self.seconds = float(seconds)
         super().__init__("unit exceeded its %.1fs wall-clock timeout"
                          % self.seconds)
@@ -202,12 +208,12 @@ class ErrorRecord:
     #: whether the engine may retry the unit
     transient: bool = False
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {"type": self.type, "message": self.message,
                 "traceback": self.traceback, "transient": self.transient}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ErrorRecord":
+    def from_dict(cls, data: "Mapping[str, object]") -> "ErrorRecord":
         return cls(type=str(data.get("type", "Exception")),
                    message=str(data.get("message", "")),
                    traceback=str(data.get("traceback", "")),
@@ -254,6 +260,8 @@ def resurrect_error(record: ErrorRecord) -> BaseException:
         if not (isinstance(cls, type) and issubclass(cls, BaseException)):
             raise TypeError("%r is not an exception type" % (cls,))
         exc = cls(record.message)
+    # repro: ignore[EXC-BROAD] -- deliberate catch-all degrade: any
+    # rebuild failure must yield UnitExecutionError, never a crash
     except Exception:
         return UnitExecutionError(record)
     exc.error_record = record

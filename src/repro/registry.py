@@ -21,19 +21,20 @@ Quick tour::
 
     registry("app").names()            # ('amg', ..., 'toy')
 
-The six built-in registries live in their natural modules (importing a
-registry never drags in unrelated subsystems):
+The seven built-in registries live in their natural modules (importing
+a registry never drags in unrelated subsystems):
 
-========== ============================== ===========================
-kind        module                         registry object
-========== ============================== ===========================
-app         :mod:`repro.apps`              ``APP_REGISTRY``
-design      :mod:`repro.core.designs`      ``DESIGNS``
-scenario    :mod:`repro.faults.scenarios`  ``SCENARIOS``
-store       :mod:`repro.core.store`        ``STORES``
-renderer    :mod:`repro.core.report`       ``RENDERERS``
-model       :mod:`repro.modeling.costs`    ``MODELS``
-========== ============================== ===========================
+=========== ============================== ===========================
+kind         module                         registry object
+=========== ============================== ===========================
+app          :mod:`repro.apps`              ``APP_REGISTRY``
+design       :mod:`repro.core.designs`      ``DESIGNS``
+scenario     :mod:`repro.faults.scenarios`  ``SCENARIOS``
+store        :mod:`repro.core.store`        ``STORES``
+renderer     :mod:`repro.core.report`       ``RENDERERS``
+model        :mod:`repro.modeling.costs`    ``MODELS``
+lint-rule    :mod:`repro.analysis.rules`    ``LINT_RULES``
+=========== ============================== ===========================
 
 Registrations are per-process. Parallel campaign workers are fresh
 ``spawn`` interpreters, so plugin modules must be importable by name and
@@ -44,6 +45,7 @@ them in every worker). See docs/API.md for the end-to-end recipe.
 from __future__ import annotations
 
 from collections.abc import Mapping
+from typing import Any, Callable
 
 from .errors import ConfigurationError
 
@@ -56,6 +58,7 @@ _BUILTIN_MODULES = {
     "store": "repro.core.store",
     "renderer": "repro.core.report",
     "model": "repro.modeling.costs",
+    "lint-rule": "repro.analysis.rules",
 }
 
 #: kind -> Registry, populated as Registry instances are constructed
@@ -85,7 +88,8 @@ class Registry(Mapping):
     """
 
     def __init__(self, kind: str, instantiate: bool = False,
-                 validate=None, noun: str | None = None):
+                 validate: "Callable[[str, Any], None] | None" = None,
+                 noun: str | None = None) -> None:
         if kind in _CATALOG:
             # silently replacing the catalog entry would hijack
             # register()/registry() away from the registry the rest of
@@ -103,7 +107,8 @@ class Registry(Mapping):
         _CATALOG[kind] = self
 
     # -- registration -------------------------------------------------------
-    def register(self, name: str | None = None, *, replace: bool = False):
+    def register(self, name: str | None = None, *,
+                 replace: bool = False) -> "Callable[[Any], Any]":
         """Decorator form: ``@REG.register("name")`` (or bare
         ``@REG.register()`` to use the object's ``name`` attribute)."""
         def decorate(obj):
@@ -144,7 +149,7 @@ class Registry(Mapping):
         return getattr(obj, "__name__", "").lower()
 
     # -- lookup -------------------------------------------------------------
-    def resolve(self, name: str):
+    def resolve(self, name: str) -> Any:
         """The entry for ``name``; unknown names raise a
         :class:`ConfigurationError` listing what is registered.
 
@@ -158,12 +163,12 @@ class Registry(Mapping):
                 "unknown %s %r (have %s)"
                 % (self.noun, name, sorted(self._entries))) from None
 
-    def get(self, name: str, default=None):
+    def get(self, name: str, default: Any = None) -> Any:
         """Standard ``Mapping.get``: the entry, or ``default`` when
         ``name`` is not registered (never raises)."""
         return self._entries.get(name, default)
 
-    def names(self) -> tuple:
+    def names(self) -> tuple[str, ...]:
         """Registered names in registration order."""
         return tuple(self._entries)
 
@@ -204,13 +209,13 @@ def registry(kind: str) -> Registry:
 
 
 def register(kind: str, name: str | None = None, *,
-             replace: bool = False):
+             replace: bool = False) -> "Callable[[Any], Any]":
     """Top-level decorator: ``@register("app", "toy")`` == looking up
     the ``app`` registry and calling its :meth:`Registry.register`."""
     return registry(kind).register(name, replace=replace)
 
 
-def registry_kinds() -> tuple:
+def registry_kinds() -> tuple[str, ...]:
     """Every known registry kind (built-in or plugin-created)."""
     return tuple(sorted(set(_CATALOG) | set(_BUILTIN_MODULES)))
 

@@ -37,7 +37,7 @@ import threading
 import time
 from urllib.parse import parse_qsl, urlsplit
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, describe_error
 from .core import AdvisorService
 from .query import AdviceQuery
 
@@ -159,9 +159,11 @@ class AdvisorServer:
             return self._finish(stats, endpoint, started, 400,
                                 {"error": str(exc)}, items=items)
         except Exception as exc:  # never let a request kill the server
+            record = describe_error(exc)
             return self._finish(
                 stats, endpoint, started, 500,
-                {"error": "%s: %s" % (type(exc).__name__, exc)},
+                {"error": "%s: %s" % (record.type, record.message),
+                 "error_record": record.to_dict()},
                 items=items)
 
     def _finish(self, stats, endpoint, started, status, payload,

@@ -1,0 +1,9 @@
+"""Tripping fixture: DET-ENV (unsanctioned environment reads)."""
+import os
+
+
+def hidden_config():
+    a = os.environ["HOME"]
+    b = os.getenv("MATCH_SECRET_KNOB", "0")
+    c = os.environ.get("PATH")
+    return a, b, c

@@ -1,0 +1,11 @@
+"""Clean fixture: DET-ENV (allowlisted variables only)."""
+import os
+
+WATCHDOG_ENV = "MATCH_SIM_WATCHDOG"
+
+
+def sanctioned():
+    a = os.environ.get(WATCHDOG_ENV)
+    b = os.environ.get("MATCH_CHAOS", "")
+    c = os.getenv("REPRO_NO_NATIVE")
+    return a, b, c

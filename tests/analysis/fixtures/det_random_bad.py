@@ -1,0 +1,14 @@
+"""Tripping fixture: DET-RANDOM (module-level RNG use)."""
+import random
+
+import numpy as np
+from random import shuffle
+
+
+def draw_bad():
+    a = random.random()
+    b = np.random.rand(4)
+    rng = np.random.default_rng()  # unseeded: OS entropy
+    deck = [1, 2, 3]
+    shuffle(deck)
+    return a, b, rng, deck

@@ -1,0 +1,10 @@
+"""Clean fixture: DET-RANDOM (seeded generator objects only)."""
+import random
+
+import numpy as np
+
+
+def draw_good(seed):
+    rng = random.Random(seed)
+    nrng = np.random.default_rng(seed)
+    return rng.random(), nrng.standard_normal(4)

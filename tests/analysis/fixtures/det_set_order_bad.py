@@ -1,0 +1,11 @@
+"""Tripping fixture: DET-SET-ORDER (hash-order iteration)."""
+
+
+def leak_order(items):
+    out = []
+    for item in set(items):
+        out.append(item)
+    labels = [str(x) for x in {1, 2, 3}]
+    frozen = list(set(items))
+    joined = ",".join({str(x) for x in items})
+    return out, labels, frozen, joined

@@ -1,0 +1,9 @@
+"""Clean fixture: DET-SET-ORDER (sorted before iterating)."""
+
+
+def stable_order(items):
+    out = []
+    for item in sorted(set(items)):
+        out.append(item)
+    membership = {x for x in items}  # building a set is fine
+    return out, 3 in membership

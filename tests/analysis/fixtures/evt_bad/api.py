@@ -1,0 +1,2 @@
+"""Facade for the EVT-EXPORT tripping fixture."""
+__all__ = ["FixtureStarted"]

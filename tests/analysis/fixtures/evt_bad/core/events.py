@@ -1,0 +1,15 @@
+"""Tripping fixture: EVT-EXPORT (GhostEvent never exported)."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FixtureStarted:
+    total: int
+
+
+@dataclass(frozen=True)
+class GhostEvent:
+    reason: str
+
+
+__all__ = ["FixtureStarted"]

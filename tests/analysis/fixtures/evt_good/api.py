@@ -1,0 +1,2 @@
+"""Facade for the EVT-EXPORT clean fixture."""
+__all__ = ["FixtureStarted", "GhostEvent"]

@@ -1,0 +1,15 @@
+"""Clean fixture: EVT-EXPORT (every event exported + documented)."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FixtureStarted:
+    total: int
+
+
+@dataclass(frozen=True)
+class GhostEvent:
+    reason: str
+
+
+__all__ = ["FixtureStarted", "GhostEvent"]

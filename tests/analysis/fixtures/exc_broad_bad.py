@@ -1,0 +1,8 @@
+"""Tripping fixture: EXC-BROAD (swallowed broad handler)."""
+
+
+def swallow(run):
+    try:
+        return run()
+    except Exception:
+        return None

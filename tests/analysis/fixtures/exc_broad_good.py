@@ -1,0 +1,17 @@
+"""Clean fixture: EXC-BROAD (re-raise or structured routing)."""
+from repro.errors import describe_error
+
+
+def reraise(run):
+    try:
+        return run()
+    except Exception:
+        raise
+
+
+def routed(run, failures):
+    try:
+        return run()
+    except Exception as exc:
+        failures.append(describe_error(exc))
+        return None

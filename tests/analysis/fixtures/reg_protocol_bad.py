@@ -1,0 +1,20 @@
+"""Tripping fixture: REG-PROTOCOL (missing method / wrong arity)."""
+from repro.core.designs import DESIGNS
+from repro.core.report import RENDERERS
+
+
+@DESIGNS.register("fixture-missing")
+class MissingRunJob:
+    def unrelated(self):
+        return None
+
+
+@DESIGNS.register("fixture-arity")
+class WrongArity:
+    def run_job(self, app):
+        return None
+
+
+@RENDERERS.register("fixture-renderer")
+def bad_renderer():
+    return ""

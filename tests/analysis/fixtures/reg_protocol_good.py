@@ -1,0 +1,28 @@
+"""Clean fixture: REG-PROTOCOL (protocol satisfied, incl. via base)."""
+from repro.core.designs import DESIGNS
+from repro.core.report import RENDERERS
+from repro.core.store import STORES
+
+
+class DesignBase:
+    def run_job(self, app, fti_config, fault_plan, label=""):
+        return None
+
+
+@DESIGNS.register("fixture-ok")
+class ViaBase(DesignBase):
+    pass
+
+
+@STORES.register("fixture-store")
+class GoodStore:
+    def append(self, key, config_dict, rep, result_dict):
+        return None
+
+    def load_completed(self):
+        return {}
+
+
+@RENDERERS.register("fixture-renderer")
+def good_renderer(summaries, title=""):
+    return str(summaries)

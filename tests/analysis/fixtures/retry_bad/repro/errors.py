@@ -1,0 +1,21 @@
+"""Tripping fixture: EXC-RETRY (widened transient taxonomy)."""
+
+
+class WorkerLostError(Exception):
+    pass
+
+
+class UnitTimeoutError(Exception):
+    pass
+
+
+class CorruptResultError(Exception):
+    pass
+
+
+class SimulationError(Exception):
+    pass
+
+
+TRANSIENT_ERRORS = (WorkerLostError, UnitTimeoutError, CorruptResultError,
+                    OSError, SimulationError)

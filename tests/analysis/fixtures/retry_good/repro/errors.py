@@ -1,0 +1,17 @@
+"""Clean fixture: EXC-RETRY (taxonomy matches the manifest)."""
+
+
+class WorkerLostError(Exception):
+    pass
+
+
+class UnitTimeoutError(Exception):
+    pass
+
+
+class CorruptResultError(Exception):
+    pass
+
+
+TRANSIENT_ERRORS = (WorkerLostError, UnitTimeoutError, CorruptResultError,
+                    OSError)

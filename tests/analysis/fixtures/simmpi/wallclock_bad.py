@@ -1,0 +1,7 @@
+"""Tripping fixture: DET-WALLCLOCK (wall clock in a scoped dir)."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time(), datetime.now()

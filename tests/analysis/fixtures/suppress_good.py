@@ -1,0 +1,9 @@
+"""Clean fixture: valid suppressions (trailing and banner forms)."""
+import random
+
+
+def silenced():
+    a = random.random()  # repro: ignore[DET-RANDOM] -- fixture exercising the trailing form
+    # repro: ignore[DET-RANDOM] -- fixture exercising the banner form
+    b = random.random()
+    return a, b

@@ -1,0 +1,9 @@
+"""Tripping fixture: LINT-SUPPRESS (malformed suppression comments)."""
+import random
+
+
+def bad_suppressions():
+    a = random.random()  # repro: ignore -- no bracketed rule ids
+    b = random.random()  # repro: ignore[DET-RANDOM]
+    c = random.random()  # repro: ignore[not a rule id] -- lowercase ids
+    return a, b, c

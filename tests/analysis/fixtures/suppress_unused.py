@@ -1,0 +1,6 @@
+"""Tripping fixture: LINT-UNUSED (suppression that silences nothing)."""
+
+
+def nothing_to_silence():
+    # repro: ignore[DET-RANDOM] -- stale: the draw below was removed
+    return 4

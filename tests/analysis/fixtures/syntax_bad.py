@@ -1,0 +1,3 @@
+"""Tripping fixture: LINT-SYNTAX (does not parse)."""
+def broken(:
+    return

@@ -1,0 +1,101 @@
+"""Baseline semantics: grandfathering, fingerprints, discovery."""
+
+import json
+
+import pytest
+
+from repro.analysis import BASELINE_NAME, Baseline, lint_paths
+from repro.analysis.findings import Finding
+from repro.errors import ConfigurationError
+
+BAD_SOURCE = "import random\nvalue = random.random()\n"
+
+
+def write_fixture(tmp_path, name="victim.py", source=BAD_SOURCE):
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+def test_write_then_load_covers_the_finding(tmp_path):
+    victim = write_fixture(tmp_path)
+    report = lint_paths([victim], baseline=Baseline())
+    assert not report.clean
+    Baseline.write(tmp_path / BASELINE_NAME, report.findings)
+
+    baseline = Baseline.load(tmp_path / BASELINE_NAME)
+    assert len(baseline) == len(report.findings)
+    gated = lint_paths([victim], baseline=baseline)
+    assert gated.clean
+    assert gated.baselined == len(report.findings)
+
+
+def test_fingerprint_survives_line_moves(tmp_path):
+    victim = write_fixture(tmp_path)
+    report = lint_paths([victim], baseline=Baseline())
+    Baseline.write(tmp_path / BASELINE_NAME, report.findings)
+    baseline = Baseline.load(tmp_path / BASELINE_NAME)
+
+    # push the offending line down: same content, new line number
+    victim.write_text("import random\n\n\n# padding\nvalue = random.random()\n")
+    moved = lint_paths([victim], baseline=baseline)
+    assert moved.clean, moved.findings
+
+
+def test_editing_the_line_resurrects_the_finding(tmp_path):
+    victim = write_fixture(tmp_path)
+    report = lint_paths([victim], baseline=Baseline())
+    Baseline.write(tmp_path / BASELINE_NAME, report.findings)
+    baseline = Baseline.load(tmp_path / BASELINE_NAME)
+
+    victim.write_text("import random\nvalue = random.random() + 1\n")
+    edited = lint_paths([victim], baseline=baseline)
+    assert not edited.clean
+
+
+def test_discovery_walks_up_from_the_linted_path(tmp_path):
+    nested = tmp_path / "pkg" / "sub"
+    nested.mkdir(parents=True)
+    victim = write_fixture(nested)
+    report = lint_paths([victim], baseline=Baseline())
+    Baseline.write(tmp_path / BASELINE_NAME, report.findings)
+
+    # baseline=None triggers discovery upward from the first path
+    discovered = lint_paths([victim], baseline=None)
+    assert discovered.clean
+    assert discovered.baselined
+
+
+def test_unreadable_baseline_raises_not_passes(tmp_path):
+    bad = tmp_path / BASELINE_NAME
+    bad.write_text("{not json")
+    with pytest.raises(ConfigurationError):
+        Baseline.load(bad)
+    with pytest.raises(ConfigurationError):
+        Baseline.load(tmp_path / "missing.json")
+    bad.write_text(json.dumps({"something": "else"}))
+    with pytest.raises(ConfigurationError):
+        Baseline.load(bad)
+
+
+def test_new_findings_still_fail_on_top_of_a_baseline(tmp_path):
+    victim = write_fixture(tmp_path)
+    report = lint_paths([victim], baseline=Baseline())
+    Baseline.write(tmp_path / BASELINE_NAME, report.findings)
+    baseline = Baseline.load(tmp_path / BASELINE_NAME)
+
+    victim.write_text(BAD_SOURCE + "import os\nhome = os.environ['HOME']\n")
+    grown = lint_paths([victim], baseline=baseline)
+    assert [f.rule for f in grown.findings] == ["DET-ENV"]
+    assert grown.baselined == len(report.findings)
+
+
+def test_baseline_entry_fingerprint_is_content_addressed():
+    finding = Finding(rule="DET-RANDOM", path="a/b/mod.py", line=10,
+                      col=4, message="m", snippet="x = random.random()")
+    twin = Finding(rule="DET-RANDOM", path="other/mod.py", line=99,
+                   col=0, message="other", snippet="x = random.random()")
+    # same rule + basename + snippet => same fingerprint (path prefix
+    # and line number deliberately excluded)
+    assert finding.fingerprint() == twin.fingerprint()
+    assert finding.fingerprint() != finding.to_dict()["message"]

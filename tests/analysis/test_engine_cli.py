@@ -1,0 +1,166 @@
+"""Engine orchestration, renderers, registry wiring and both CLIs."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import (
+    BASELINE_NAME,
+    LINT_RULES,
+    Baseline,
+    LintRule,
+    lint_paths,
+    main,
+    render_report,
+    select_rules,
+)
+from repro.core.report import RENDERERS
+from repro.errors import ConfigurationError
+from repro.registry import registry, registry_kinds
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_select_filters_rules():
+    rules = select_rules(["DET-RANDOM", "EXC-BROAD"])
+    assert sorted(r.rule_id for r in rules) == ["DET-RANDOM", "EXC-BROAD"]
+
+
+def test_select_unknown_rule_raises_with_known_ids():
+    with pytest.raises(ConfigurationError, match="DET-RANDOM"):
+        select_rules(["NO-SUCH-RULE"])
+
+
+def test_selected_rule_only_fires_its_own_findings():
+    report = lint_paths([FIXTURES / "det_random_bad.py"],
+                        baseline=Baseline(), select=["DET-ENV"])
+    assert report.clean  # the file only has DET-RANDOM problems
+    assert report.rules == ("DET-ENV",)
+
+
+def test_nonexistent_path_is_a_configuration_error():
+    with pytest.raises(ConfigurationError, match="no such file"):
+        lint_paths([FIXTURES / "does_not_exist.py"], baseline=Baseline())
+
+
+def test_lint_rule_registry_is_wired():
+    assert "lint-rule" in registry_kinds()
+    assert registry("lint-rule") is LINT_RULES
+    assert "DET-RANDOM" in LINT_RULES
+    assert isinstance(LINT_RULES["DET-RANDOM"], LintRule)
+    for rule in LINT_RULES.values():
+        assert rule.rule_id and rule.rationale
+
+
+def test_lint_renderers_live_in_the_renderer_registry():
+    assert "lint-text" in RENDERERS
+    assert "lint-json" in RENDERERS
+
+
+def test_json_renderer_payload_identifies_itself():
+    report = lint_paths([FIXTURES / "det_random_bad.py"],
+                        baseline=Baseline())
+    payload = json.loads(render_report(report, "json"))
+    assert payload["tool"] == "match-lint"
+    assert payload["clean"] is False
+    assert payload["files"] == 1
+    rules = {f["rule"] for f in payload["findings"]}
+    assert "DET-RANDOM" in rules
+    for entry in payload["findings"]:
+        assert entry["fingerprint"]
+
+
+def test_cli_json_format_and_exit_codes(capsys):
+    code = main([str(FIXTURES / "det_random_bad.py"), "--no-baseline",
+                 "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "match-lint"
+
+    code = main([str(FIXTURES / "det_random_good.py"), "--no-baseline"])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_usage_error_is_exit_2(capsys):
+    code = main([str(FIXTURES / "nope.py"), "--no-baseline"])
+    assert code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET-RANDOM", "DET-WALLCLOCK", "DET-SET-ORDER",
+                    "DET-ENV", "SCHEMA-RUN-KEY", "REG-PROTOCOL",
+                    "EXC-BROAD", "EXC-RETRY", "EVT-EXPORT"):
+        assert rule_id in out
+
+
+def test_cli_write_baseline_roundtrip(tmp_path, capsys):
+    victim = tmp_path / "victim.py"
+    victim.write_text("import random\nx = random.random()\n")
+    baseline = tmp_path / BASELINE_NAME
+
+    assert main([str(victim), "--baseline", str(baseline),
+                 "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert main([str(victim), "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_match_bench_lint_subcommand(capsys):
+    from repro.cli import main as bench_main
+
+    code = bench_main(["lint", str(FIXTURES / "det_random_bad.py"),
+                       "--no-baseline"])
+    assert code == 1
+    assert "DET-RANDOM" in capsys.readouterr().out
+
+    code = bench_main(["lint", str(FIXTURES / "det_random_good.py"),
+                       "--no-baseline"])
+    assert code == 0
+
+
+def test_python_dash_m_entry_point():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis",
+         str(FIXTURES / "det_random_bad.py"), "--no-baseline"],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": ""},
+        cwd=str(REPO))
+    assert result.returncode == 1, result.stderr
+    assert "DET-RANDOM" in result.stdout
+
+
+def test_plugin_rule_registers_and_runs(tmp_path):
+    @LINT_RULES.register("TEST-NOPASS")
+    class NoPassRule(LintRule):
+        rule_id = "TEST-NOPASS"
+        rationale = "fixture rule for the registry test"
+
+        def check_module(self, module):
+            import ast
+
+            for node in module.walk():
+                if isinstance(node, ast.Pass):
+                    yield self.finding(module, node, "pass statement")
+
+    try:
+        victim = tmp_path / "victim.py"
+        victim.write_text("def f():\n    pass\n")
+        report = lint_paths([victim], baseline=Baseline(),
+                            select=["TEST-NOPASS"])
+        assert [f.rule for f in report.findings] == ["TEST-NOPASS"]
+    finally:
+        LINT_RULES.unregister("TEST-NOPASS")
+
+
+def test_rule_without_rationale_is_rejected():
+    with pytest.raises(ConfigurationError, match="rationale"):
+        LINT_RULES.add("TEST-BAD", type("Bad", (LintRule,),
+                                        {"rule_id": "TEST-BAD"})())

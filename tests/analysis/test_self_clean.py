@@ -1,0 +1,64 @@
+"""The shipped tree is lint-clean — the PR gate, run as a test.
+
+CI runs ``python -m repro.analysis src/repro`` in the lint job; this
+test keeps the same guarantee inside the tier-1 suite (and on
+developer machines), and pins the supporting facts: the committed
+baseline is empty, and the run-key schema manifest agrees with the
+shipped RUN_KEY_SCHEMA.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import BASELINE_NAME, Baseline, lint_paths
+from repro.analysis.contracts import RUN_KEY_MANIFEST, TRANSIENT_MANIFEST
+from repro.core.configs import RUN_KEY_SCHEMA
+from repro.errors import TRANSIENT_ERRORS
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def report():
+    return lint_paths([SRC], baseline=Baseline())
+
+
+def test_shipped_tree_has_zero_unsuppressed_findings(report):
+    details = "\n".join("%s: %s %s" % (f.location(), f.rule, f.message)
+                        for f in report.findings)
+    assert report.clean, "lint findings on shipped src/repro:\n" + details
+    assert report.exit_code() == 0
+
+
+def test_every_builtin_rule_executed(report):
+    assert set(report.rules) >= {
+        "DET-RANDOM", "DET-WALLCLOCK", "DET-SET-ORDER", "DET-ENV",
+        "SCHEMA-RUN-KEY", "REG-PROTOCOL", "EXC-BROAD", "EXC-RETRY",
+        "EVT-EXPORT"}
+    assert report.files > 100  # the whole tree, not a subset
+
+
+def test_committed_baseline_is_empty():
+    path = REPO / BASELINE_NAME
+    data = json.loads(path.read_text())
+    assert data["tool"] == "match-lint"
+    assert data["entries"] == []
+    assert len(Baseline.load(path)) == 0
+
+
+def test_run_key_schema_matches_the_manifest():
+    # the acceptance pin: schema 2, and the manifest agrees
+    assert RUN_KEY_SCHEMA == 2
+    assert max(RUN_KEY_MANIFEST) == RUN_KEY_SCHEMA
+    # schema 2 differs from schema 1 by exactly the 'faults' field
+    added = (set(RUN_KEY_MANIFEST[2]["config"])
+             - set(RUN_KEY_MANIFEST[1]["config"]))
+    assert added == {"faults"}
+
+
+def test_transient_manifest_matches_the_live_taxonomy():
+    assert tuple(cls.__name__ for cls in TRANSIENT_ERRORS) \
+        == TRANSIENT_MANIFEST

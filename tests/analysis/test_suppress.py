@@ -1,0 +1,90 @@
+"""The suppression grammar: parsing, targeting, bookkeeping."""
+
+from repro.analysis.findings import Finding
+from repro.analysis.suppress import apply_suppressions, scan_suppressions
+
+
+def scan(source):
+    return scan_suppressions(source.splitlines())
+
+
+def finding(rule, line):
+    return Finding(rule=rule, path="x.py", line=line, col=0, message="m")
+
+
+def test_trailing_form_targets_its_own_line():
+    src = "value = draw()  # repro: ignore[DET-RANDOM] -- seeded upstream\n"
+    [supp], malformed = scan(src)
+    assert not malformed
+    assert supp.line == supp.target_line == 1
+    assert supp.rules == ("DET-RANDOM",)
+    assert supp.reason == "seeded upstream"
+
+
+def test_banner_form_targets_next_code_line():
+    src = (
+        "# repro: ignore[EXC-BROAD] -- deliberate degrade\n"
+        "\n"
+        "# an unrelated comment\n"
+        "except Exception:\n"
+    )
+    [supp], malformed = scan(src)
+    assert not malformed
+    assert supp.line == 1
+    assert supp.target_line == 4
+
+
+def test_multiple_rule_ids_in_one_comment():
+    src = "x = f()  # repro: ignore[DET-RANDOM, DET-ENV] -- test double\n"
+    [supp], _ = scan(src)
+    assert supp.rules == ("DET-RANDOM", "DET-ENV")
+    assert supp.covers("DET-ENV", 1)
+    assert not supp.covers("EXC-BROAD", 1)
+
+
+def test_missing_reason_is_malformed():
+    src = "x = f()  # repro: ignore[DET-RANDOM]\n"
+    supps, malformed = scan(src)
+    assert not supps
+    [(line, message)] = malformed
+    assert line == 1
+    assert "reason" in message
+
+
+def test_missing_brackets_is_malformed():
+    supps, malformed = scan("x = f()  # repro: ignore -- because\n")
+    assert not supps
+    assert "bracketed rule ids" in malformed[0][1]
+
+
+def test_invalid_rule_ids_are_malformed():
+    supps, malformed = scan(
+        "x = f()  # repro: ignore[lowercase-id] -- nope\n")
+    assert not supps
+    assert malformed
+
+
+def test_docstring_mention_is_not_a_suppression():
+    src = (
+        '"""Docs: write # repro: ignore[RULE-ID] -- reason to silence."""\n'
+        "x = 1\n"
+    )
+    supps, malformed = scan(src)
+    assert not supps and not malformed
+
+
+def test_string_literal_mention_is_not_a_suppression():
+    src = 'msg = "# repro: ignore[DET-RANDOM] -- fake"\n'
+    supps, malformed = scan(src)
+    assert not supps and not malformed
+
+
+def test_apply_marks_used_and_counts():
+    supps, _ = scan("x = f()  # repro: ignore[DET-RANDOM] -- reason\n")
+    surviving, silenced = apply_suppressions(
+        [finding("DET-RANDOM", 1), finding("DET-ENV", 1),
+         finding("DET-RANDOM", 2)],
+        supps)
+    assert silenced == 1
+    assert [f.rule for f in surviving] == ["DET-ENV", "DET-RANDOM"]
+    assert supps[0].used

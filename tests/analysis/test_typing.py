@@ -1,0 +1,30 @@
+"""The mypy gate, as a test.
+
+CI's lint job runs ``python -m mypy`` with the pyproject config
+(strict for ``repro.analysis``, promoted for ``repro.errors`` /
+``repro.registry``, lenient elsewhere). This test mirrors that run so
+the gate is also enforceable locally — and skips cleanly where mypy
+is not installed, since it is a dev-only dependency.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_configured_mypy_run_is_clean():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary"],
+        capture_output=True, text=True, cwd=str(REPO), timeout=600)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_py_typed_marker_ships():
+    # PEP 561: without the marker, downstream mypy ignores our hints
+    assert (REPO / "src" / "repro" / "py.typed").exists()

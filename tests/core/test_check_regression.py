@@ -187,3 +187,36 @@ def test_series_missing_from_candidate_still_fails():
     cand = payload({"p2p": (100.0, "msgs/s")})
     findings = check_regression.compare(base, cand)
     assert statuses(findings)["rs"] == "fail"
+
+
+# -- the lint job's JSON artifact must never reach the perf gate ------------
+def lint_artifact():
+    return {"tool": "match-lint", "format": 1, "clean": True,
+            "files": 109, "findings": []}
+
+
+def test_lint_artifact_is_recognised():
+    assert check_regression.is_lint_artifact(lint_artifact())
+    assert not check_regression.is_lint_artifact(
+        payload({"p2p": (1.0, "msgs/s")}))
+    assert not check_regression.is_lint_artifact({"tool": "other"})
+    assert not check_regression.is_lint_artifact([])
+
+
+@pytest.mark.parametrize("side", ["baseline", "candidate"])
+def test_lint_artifact_as_input_is_a_usage_error(side, tmp_path,
+                                                 monkeypatch, capsys):
+    """A mispointed lint-report.json must exit 2 with a named mixup,
+    not fail opaquely as 'no comparable series'."""
+    monkeypatch.delenv("MATCH_PERF_GATE_SKIP", raising=False)
+    perf = tmp_path / "perf.json"
+    lint = tmp_path / "lint-report.json"
+    perf.write_text(json.dumps(payload({"p2p": (100.0, "msgs/s")})))
+    lint.write_text(json.dumps(lint_artifact()))
+    files = {"baseline": perf, "candidate": perf, side: lint}
+    assert check_regression.main(["--baseline", str(files["baseline"]),
+                                  "--candidate",
+                                  str(files["candidate"])]) == 2
+    err = capsys.readouterr().err
+    assert "match-lint report" in err
+    assert side in err

@@ -1,0 +1,46 @@
+"""Complexity-shape guard for Algorithm 1's constant filtering.
+
+Building ``set(result.locations)`` inside the per-constant loop made
+step 3 quadratic in the number of constant locations (the property
+rebuilds the list on every access). The set is now hoisted; this test
+pins the shape by counting property evaluations rather than timing,
+so it cannot flake on a loaded CI box.
+"""
+
+from repro.depanalysis import InstructionTrace, find_checkpoint_objects
+from repro.depanalysis.algorithm import AnalysisResult
+
+N_CONSTANTS = 400
+
+
+def build_constant_heavy_trace(n_constants=N_CONSTANTS):
+    trace = InstructionTrace()
+    trace.alloc("x", line=1)
+    for i in range(2):
+        trace.store("x", i, line=10, iteration=i)  # varies -> checkpointed
+        for k in range(n_constants):
+            # identical value in both iterations -> constant, rejected
+            trace.store("const_%04d" % k, 7, line=20 + k, iteration=i)
+    return trace
+
+
+def test_constant_filtering_stays_linear(monkeypatch):
+    evaluations = {"count": 0}
+    original = AnalysisResult.locations.fget
+
+    def counting(self):
+        evaluations["count"] += 1
+        return original(self)
+
+    monkeypatch.setattr(AnalysisResult, "locations", property(counting))
+
+    result = find_checkpoint_objects(build_constant_heavy_trace())
+
+    # correctness unchanged by the hoist
+    assert [obj.location for obj in result.cpk_locs] == ["x"]
+    assert len(result.constant_locs) == N_CONSTANTS
+    assert "x" not in result.constant_locs
+
+    # the shape: one membership set built up front, not one per constant
+    # (the un-hoisted version evaluated the property ~N_CONSTANTS times)
+    assert evaluations["count"] <= 5, evaluations["count"]
