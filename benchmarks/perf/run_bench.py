@@ -22,6 +22,8 @@ determinism-checked contract):
 * ``faults_scenario_runs_per_sec``   — multi-fault scenario run rate
   (scenario generation + multi-event plans + repeated node/process
   recovery under ULFM)
+* ``worst_case_search_runs_per_sec`` — adversarial timing search probe
+  rate (phase probe + schedule lowering + at-phase runs, repro.explore)
 * ``advise_queries_per_sec``         — analytic design-advisor query rate
   (full design × level ranking per query, repro.modeling)
 * ``advise_batch_queries_per_sec``   — vectorized batch-advisor rate on
@@ -228,6 +230,25 @@ def bench_faults_scenario(runs: int = 6) -> float:
     return runs / wall
 
 
+# -- worst-case timing search ----------------------------------------------
+def bench_worst_case_search() -> float:
+    """Adversarial search throughput (probe runs/s): one exhaustive
+    `repro.explore` sweep end to end — the fault-free phase probe,
+    per-candidate schedule lowering and every at-phase probe run — so
+    the perf gate covers the exploration engine's whole hot path."""
+    from repro.explore.engine import _PROBE_CACHE, explore
+
+    config = ExperimentConfig(app="hpccg", design="ulfm-fti",
+                              nprocs=8, nnodes=4, faults="none")
+    _PROBE_CACHE.clear()  # measure the probe too, not a warm cache
+    t0 = time.perf_counter()
+    outcome = explore(config, strategy="exhaustive")
+    wall = time.perf_counter() - t0
+    assert outcome.best > outcome.baseline, \
+        "worst-case search bench must find a slowdown"
+    return (outcome.probes + 1) / wall  # +1: the fault-free probe run
+
+
 # -- design advisor --------------------------------------------------------
 def bench_advise(queries: int = 200) -> float:
     """Advisor throughput (queries/s): each query prices and ranks the
@@ -311,6 +332,8 @@ def main(argv=None) -> int:
     record("serializer_MB_per_sec", bench_serializer(), "MB/s")
     record("campaign_runs_per_sec", bench_campaign(), "runs/s")
     record("faults_scenario_runs_per_sec", bench_faults_scenario(),
+           "runs/s")
+    record("worst_case_search_runs_per_sec", bench_worst_case_search(),
            "runs/s")
     record("advise_queries_per_sec", bench_advise(), "queries/s")
     record("advise_batch_queries_per_sec", bench_advise_batch(),

@@ -148,6 +148,9 @@ REGISTRY_CONTRACTS: dict[str, RegistryContract] = {
                   (MethodSpec("recovery_seconds", 3),))),
     "RENDERERS": RegistryContract(kind="renderer", callable_args=1),
     "LINT_RULES": RegistryContract(kind="lint-rule", required=()),
+    "STRATEGIES": RegistryContract(
+        kind="strategy",
+        required=((MethodSpec("run", 1),),)),
 }
 
 #: ``@register("kind", ...)`` top-level form: kind literal -> contract

@@ -56,7 +56,10 @@ from .core.events import (  # noqa: F401  (re-exported for consumers)
     CampaignAborted,
     CampaignFinished,
     CampaignStarted,
+    ExploreFinished,
+    ExploreStarted,
     RunEvent,
+    ScheduleProbed,
     UnitCompleted,
     UnitFailed,
     UnitRetrying,
@@ -571,6 +574,41 @@ class Session:
                    for query in queries]
         return advise_batch_ranked(queries, model=model)
 
+    def explore(self, config: ExperimentConfig = None, *,
+                strategy: str = "exhaustive", budget: int = None,
+                seed: int = None, progress=None):
+        """Worst-case fault-timing search for one of this session's
+        workload cells (see :mod:`repro.explore`).
+
+        Probes the cell's fault-free phase timeline, then drives the
+        named search ``strategy`` (a ``strategy`` registry entry) over
+        phase-anchored candidate schedules, sharing this session's
+        result store — candidate runs land there under their ordinary
+        ``at-phase`` run keys, so a repeated search resumes instead of
+        re-running. ``config`` defaults to the campaign's single config
+        (ambiguous campaigns must name one); ``progress`` receives every
+        streamed event. Returns an
+        :class:`~repro.explore.engine.ExploreOutcome` whose
+        ``best_config()`` replays the certified worst case.
+        """
+        from .explore.engine import explore as explore_search
+
+        if config is None:
+            if len(self.configs) != 1:
+                raise ConfigurationError(
+                    "session has %d configs; pass the one to explore"
+                    % len(self.configs))
+            config = self.configs[0]
+        elif _config_key(config) not in self._cell_index:
+            raise ConfigurationError(
+                "config %s is not part of this session's campaign"
+                % config.label())
+        if config.faults.injects:
+            config = config.with_faults("none")
+        return explore_search(config, strategy=strategy, budget=budget,
+                              seed=seed, store=self.engine.store,
+                              progress=progress)
+
     def campaigns(self) -> dict:
         """``{label: CampaignResult}`` in matrix order, exactly as the
         legacy :func:`~repro.core.campaign.run_campaign_matrix`
@@ -644,7 +682,10 @@ __all__ = [
     "CampaignAborted",
     "CampaignFinished",
     "CampaignStarted",
+    "ExploreFinished",
+    "ExploreStarted",
     "RunEvent",
+    "ScheduleProbed",
     "Session",
     "UnitCompleted",
     "UnitFailed",

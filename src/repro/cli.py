@@ -335,6 +335,37 @@ def _cmd_campaign_report(args) -> int:
     return 0
 
 
+def _cmd_explore(args) -> int:
+    from .core.events import ExploreStarted, ScheduleProbed
+
+    campaign = (_base_campaign(args).apps(args.app).designs(args.design)
+                .nprocs(args.nprocs).inputs(args.input).faults("none"))
+    if args.store:
+        campaign = campaign.store(args.store).resume()
+    config = campaign.configs()[0]
+    session = campaign.session()
+
+    def render(event):
+        if isinstance(event, ExploreStarted):
+            print("exploring %s with %s over %d candidate schedule(s)"
+                  % (event.config_label, event.strategy, event.candidates))
+            print("  anchors: %s" % (", ".join(event.anchors) or "none"))
+        elif args.progress and isinstance(event, ScheduleProbed):
+            print("  [%3d] %-40s %10.3f s  (worst so far: %s)"
+                  % (event.probes, event.spec, event.makespan,
+                     event.best_spec))
+
+    outcome = session.explore(config, strategy=args.strategy,
+                              budget=args.budget, seed=args.seed,
+                              progress=render)
+    print("worst case: at-phase:%s" % outcome.best_spec)
+    print("  makespan %.3f s vs %.3f s fault-free (%.2fx slowdown), "
+          "%d schedule(s) probed"
+          % (outcome.best, outcome.baseline, outcome.slowdown,
+             outcome.probes))
+    return 0
+
+
 def _cmd_advise(args) -> int:
     import time
 
@@ -457,8 +488,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None, metavar="SPEC",
                        help="fault scenario spec: none | single | "
                             "independent:K[:node=N] | "
-                            "correlated:K[:window=W] | poisson:MTBF "
-                            "(see docs/FAULTS.md)")
+                            "correlated:K[:window=W] | poisson:MTBF | "
+                            "at-phase:SCHEDULE | worst-of:BUDGET "
+                            "(see docs/FAULTS.md, docs/EXPLORE.md)")
         p.add_argument("--fti-level", dest="fti_level", type=int,
                        default=None, choices=(1, 2, 3, 4),
                        help="FTI reliability level (node-failure "
@@ -550,6 +582,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-run simulator livelock guard: abort a "
                              "run past this many scheduler steps")
     camp_p.set_defaults(func=_cmd_campaign)
+
+    exp_p = sub.add_parser("explore",
+                           help="adversarial fault-timing search: find "
+                                "the worst-case fault schedule for one "
+                                "configuration (docs/EXPLORE.md)")
+    exp_p.add_argument("--app", required=True)
+    exp_p.add_argument("--design", required=True, choices=DESIGN_NAMES)
+    exp_p.add_argument("--nprocs", type=int, default=64)
+    exp_p.add_argument("--input", default="small", choices=INPUT_SIZES)
+    exp_p.add_argument("--nnodes", type=int, default=None)
+    exp_p.add_argument("--seed", type=int, default=0)
+    exp_p.add_argument("--strategy", default="exhaustive",
+                       help="search strategy registry entry: exhaustive "
+                            "(default), random, bisect, or a plugin")
+    exp_p.add_argument("--budget", type=int, default=None,
+                       help="max candidate schedules to evaluate "
+                            "(default: the strategy's own)")
+    exp_p.add_argument("--store", default=None,
+                       help="result store: candidate runs are memoized "
+                            "there under ordinary at-phase run keys, so "
+                            "a repeated search resumes")
+    exp_p.add_argument("--progress", action="store_true",
+                       help="print one line per probed schedule")
+    exp_p.add_argument("--fti-level", dest="fti_level", type=int,
+                       default=None, choices=(1, 2, 3, 4),
+                       help="FTI reliability level of the explored "
+                            "configuration")
+    exp_p.add_argument("--interval", default=None, metavar="N|auto",
+                       help="checkpoint interval of the explored "
+                            "configuration")
+    exp_p.set_defaults(func=_cmd_explore)
 
     adv_p = sub.add_parser("advise",
                            help="rank (design, FTI level, interval) "

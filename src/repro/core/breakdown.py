@@ -71,6 +71,33 @@ def breakdown_from_dict(data: dict) -> TimeBreakdown:
     return TimeBreakdown(**data)
 
 
+def _fault_event_to_wire(event) -> list:
+    """Wire form of one fault event.
+
+    Iteration-indexed events keep the original 3-element shape so every
+    pre-existing store record and determinism pin stays byte-identical;
+    exact-time events (``TimedFault``, iteration == -1) need their
+    ``time``/``epoch`` carried too or replay-from-store would decode a
+    different experiment.
+    """
+    if getattr(event, "time", None) is not None:
+        return [event.rank, event.iteration, event.kind,
+                event.time, event.epoch]
+    return [event.rank, event.iteration, event.kind]
+
+
+def _fault_event_from_wire(entry):
+    if len(entry) == 5:
+        from ..faults.plans import TimedFault
+
+        rank, _iteration, kind, time, epoch = entry
+        return TimedFault(time=time, rank=rank, kind=kind, epoch=epoch)
+    from ..faults.plans import FaultEvent
+
+    rank, iteration, kind = entry
+    return FaultEvent(rank, iteration, kind)
+
+
 def result_fingerprint(result: RunResult) -> dict:
     """Full-precision, JSON-safe fingerprint of one run.
 
@@ -89,7 +116,7 @@ def result_fingerprint(result: RunResult) -> dict:
         "ckpt_count": result.ckpt_count,
         "recovery_episodes": result.recovery_episodes,
         "relaunches": result.relaunches,
-        "fault_events": [[e.rank, e.iteration, e.kind]
+        "fault_events": [_fault_event_to_wire(e)
                          for e in result.fault_events],
         "runtime_stats": result.details["runtime_stats"],
     }
@@ -105,15 +132,13 @@ def run_result_to_dict(result: RunResult) -> dict:
         "ckpt_count": result.ckpt_count,
         "recovery_episodes": result.recovery_episodes,
         "relaunches": result.relaunches,
-        "fault_events": [[e.rank, e.iteration, e.kind]
+        "fault_events": [_fault_event_to_wire(e)
                          for e in result.fault_events],
         "details": result.details,
     }
 
 
 def run_result_from_dict(data: dict) -> RunResult:
-    from ..faults.plans import FaultEvent
-
     return RunResult(
         config_label=data["config_label"],
         breakdown=breakdown_from_dict(data["breakdown"]),
@@ -121,9 +146,8 @@ def run_result_from_dict(data: dict) -> RunResult:
         ckpt_count=data.get("ckpt_count", 0),
         recovery_episodes=data.get("recovery_episodes", 0),
         relaunches=data.get("relaunches", 0),
-        fault_events=tuple(FaultEvent(rank, iteration, kind)
-                           for rank, iteration, kind
-                           in data.get("fault_events", ())),
+        fault_events=tuple(_fault_event_from_wire(entry)
+                           for entry in data.get("fault_events", ())),
         details=data.get("details", {}),
     )
 

@@ -235,6 +235,10 @@ def config_to_dict(config: "ExperimentConfig") -> dict:
     """
     data = dataclasses.asdict(config)
     del data["interval"]
+    # route faults through its own to_dict: fields added to FaultScenario
+    # after schema 2 serialize only when non-default, so legacy payloads
+    # (and their run keys) stay byte-identical
+    data["faults"] = config.faults.to_dict()
     return data
 
 

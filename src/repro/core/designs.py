@@ -95,7 +95,15 @@ class DesignBase:
         total = 0.0
         relaunches = 0
         results = None
+        #: timed plans scope events to a job incarnation; iteration plans
+        #: have no epoch attribute and ignore all of this
+        timed = hasattr(fault_plan, "epoch")
+        hook = getattr(fault_plan, "phase_hook", None)
         while True:
+            if timed:
+                fault_plan.epoch = relaunches
+            if hook is not None and hasattr(hook, "epoch"):
+                hook.epoch(relaunches)
             runtime = self.build_runtime(app, registry, fti_config,
                                          fault_plan, fti_stats)
             try:
@@ -106,7 +114,10 @@ class DesignBase:
                 if not isinstance(self, RestartFti):
                     raise
                 total += runtime.abort_time
-                total += self.restart.on_abort(app.nprocs)
+                redeploy = self.restart.on_abort(app.nprocs)
+                if hook is not None:
+                    hook.span(-1, "restart.redeploy", total, total + redeploy)
+                total += redeploy
                 relaunches += 1
                 if relaunches > MAX_RELAUNCHES:
                     raise ConfigurationError(

@@ -134,6 +134,47 @@ class CampaignAborted(RunEvent):
 
 
 @dataclass(frozen=True)
+class ExploreStarted(RunEvent):
+    """A worst-case fault-timing search is about to probe candidates.
+
+    ``candidates`` counts the schedules the strategy will evaluate (0
+    when the strategy enumerates lazily); ``anchors`` is the probed
+    timeline's phase catalog.
+    """
+
+    config_label: str
+    strategy: str
+    candidates: int
+    anchors: tuple = ()
+
+
+@dataclass(frozen=True)
+class ScheduleProbed(RunEvent):
+    """One candidate schedule was evaluated during a search.
+
+    ``best`` / ``best_spec`` carry the running worst case so a consumer
+    can render live progress without its own tally.
+    """
+
+    spec: str
+    makespan: float
+    best_spec: str
+    best: float
+    probes: int
+
+
+@dataclass(frozen=True)
+class ExploreFinished(RunEvent):
+    """The search finished; ``best_spec`` is the certified worst-case
+    schedule (an ``at-phase`` spec) and ``best`` its makespan."""
+
+    best_spec: str
+    best: float
+    probes: int
+    baseline: float = 0.0
+
+
+@dataclass(frozen=True)
 class CampaignFinished(RunEvent):
     """The sweep completed; ``results`` maps every selected unit's
     run key to its :class:`RunResult`. ``failed`` counts units whose
@@ -151,7 +192,10 @@ __all__ = [
     "CampaignAborted",
     "CampaignFinished",
     "CampaignStarted",
+    "ExploreFinished",
+    "ExploreStarted",
     "RunEvent",
+    "ScheduleProbed",
     "UnitCompleted",
     "UnitFailed",
     "UnitRetrying",

@@ -45,11 +45,22 @@ def make_fault_plan(config: ExperimentConfig, app, rep: int) -> FaultPlan:
     The per-repetition seed derivation (``seed * 1000003 + rep * 101 +
     17``) predates scenarios and is shared by every kind, so the legacy
     single-kill scenario reproduces the paper-era draws bit-for-bit.
+
+    Kinds whose lowering needs the *whole* config — phase-anchored
+    schedules must probe a fault-free run of this exact configuration to
+    locate their anchors — declare a ``lower_plan`` hook and get it
+    instead of the context-free ``make_plan`` protocol.
     """
+    from ..faults.scenarios import SCENARIOS
+
+    seed = config.seed * 1000003 + rep * 101 + 17
+    handler = SCENARIOS.resolve(config.faults.kind)
+    lower = getattr(handler, "lower_plan", None)
+    if lower is not None:
+        return lower(config.faults, config, app, rep, seed)
     return config.faults.make_plan(
         nprocs=config.nprocs, niters=app.niters,
-        seed=(config.seed * 1000003 + rep * 101 + 17),
-        nnodes=config.nnodes)
+        seed=seed, nnodes=config.nnodes)
 
 
 def run_experiment(config: ExperimentConfig) -> RunResult:

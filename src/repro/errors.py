@@ -60,6 +60,30 @@ class WatchdogError(SimulationError):
                        "scheduler steps (livelock?)" % steps)
 
 
+class LivelockError(SimulationError):
+    """Repeated failure-during-recovery stopped the job from progressing.
+
+    Raised by the explore progress guard (:mod:`repro.explore.guards`)
+    when the same recovery phase cycle repeats without the application
+    completing a new iteration — a *structured* livelock verdict, caught
+    long before the blunt step-count watchdog would trip. Deterministic
+    by construction (same schedule, same cycle), so the engine never
+    retries it.
+    """
+
+    def __init__(self, message: str | None = None,
+                 cycle: "tuple[str, ...]" = (),
+                 iterations_stuck_at: int = -1) -> None:
+        self.cycle = tuple(cycle)
+        self.iterations_stuck_at = iterations_stuck_at
+        if message is None:
+            message = ("no application progress across repeated recovery"
+                       " (phase cycle %s repeating, iteration stuck at %d)"
+                       % (" -> ".join(self.cycle) or "?",
+                          iterations_stuck_at))
+        super().__init__(message)
+
+
 class MPIError(ReproError):
     """Base class for errors surfaced through the simulated MPI layer."""
 

@@ -1,0 +1,107 @@
+"""Scenario kinds for phase-anchored fault schedules.
+
+Two kinds join the ``scenario`` registry here (imported from the bottom
+of :mod:`repro.faults.scenarios`, so they are always resolvable
+wherever the built-ins are):
+
+``at-phase``
+    A frozen :class:`~repro.explore.schedule.FaultSchedule`, carried in
+    the scenario's ``schedule`` field as its canonical one-line spec::
+
+        at-phase:ckpt.L1.write~1+0.5@r3
+        at-phase:ckpt.L1.write;ulfm.shrink
+
+    Deterministic by construction: the repetition seed is ignored, the
+    events are fixed, and lowering (probe + resolve, see
+    :func:`repro.explore.engine.lower_scenario`) is itself a
+    deterministic function of the config. Replay from a serialized
+    config is therefore bit-identical.
+
+``worst-of``
+    *"the worst single fault an exhaustive phase-boundary sweep with
+    this probe budget can find"* — running such a config first searches
+    (store-memoized), then runs the winning ``at-phase`` schedule::
+
+        worst-of:32        # sweep at most 32 candidate schedules
+
+Both kinds describe a fixed event count rather than an arrival
+process: their hazard ``rate`` is legitimately 0.0 (nothing for
+``interval="auto"``'s renewal model to optimise against) while
+:meth:`expected_events` reports the exact scheduled count.
+
+Neither kind can lower through the context-free ``make_plan`` protocol
+— anchors only have coordinates relative to one exact configuration —
+so they implement the harness's ``lower_plan`` hook instead and
+``make_plan`` fails loudly if something sidesteps the harness.
+"""
+
+from __future__ import annotations
+
+from .schedule import FaultSchedule
+from ..errors import ConfigurationError
+from ..faults.scenarios import SCENARIOS, ScenarioKind
+
+
+@SCENARIOS.register("at-phase")
+class AtPhaseKind(ScenarioKind):
+    """A frozen phase-anchored schedule (``at-phase:<spec>``)."""
+
+    spec_positional = "schedule"
+    uses = frozenset({"schedule"})
+
+    def validate(self, scenario) -> None:
+        FaultSchedule.parse(scenario.schedule)  # raises with the grammar
+
+    def label(self, scenario) -> str:
+        return "at-phase[%s]" % scenario.schedule
+
+    def rate(self, scenario, niters: int) -> float:
+        return 0.0
+
+    def expected_events(self, scenario, niters: int) -> float:
+        return float(len(FaultSchedule.parse(scenario.schedule)))
+
+    def make_plan(self, scenario, nprocs: int, niters: int, seed: int,
+                  nnodes: int):
+        raise ConfigurationError(
+            "at-phase schedules lower against a probed timeline of the "
+            "whole configuration; run them through the harness "
+            "(repro.core.harness.make_fault_plan), not make_plan()")
+
+    def lower_plan(self, scenario, config, app, rep: int, seed: int):
+        from .engine import lower_scenario
+
+        return lower_scenario(scenario, config)
+
+
+@SCENARIOS.register("worst-of")
+class WorstOfKind(ScenarioKind):
+    """The worst schedule found by an exhaustive sweep of at most
+    ``count`` phase-boundary candidates (``worst-of:<budget>``)."""
+
+    spec_positional = "count"
+    uses = frozenset({"count"})
+
+    def label(self, scenario) -> str:
+        return "worst-of%d" % scenario.count
+
+    def rate(self, scenario, niters: int) -> float:
+        return 0.0
+
+    def expected_events(self, scenario, niters: int) -> float:
+        return 1.0  # the winning schedule is a single fault
+
+    def make_plan(self, scenario, nprocs: int, niters: int, seed: int,
+                  nnodes: int):
+        raise ConfigurationError(
+            "worst-of searches the whole configuration's phase "
+            "boundaries; run it through the harness "
+            "(repro.core.harness.make_fault_plan), not make_plan()")
+
+    def lower_plan(self, scenario, config, app, rep: int, seed: int):
+        from .engine import worst_case_plan
+
+        return worst_case_plan(scenario, config, rep, seed)
+
+
+__all__ = ["AtPhaseKind", "WorstOfKind"]

@@ -1,0 +1,180 @@
+"""Search strategies for worst-case fault-timing exploration.
+
+A strategy decides *which* phase-anchored schedules to try; the
+:class:`~repro.explore.engine.ExploreContext` it receives owns the
+expensive parts (probing the timeline, running candidates through the
+engine with store memoization). Strategies are registry-driven —
+``strategy`` is the ninth registry kind — so a custom search is a
+self-registering class, no core edits::
+
+    from repro.explore.strategies import STRATEGIES, SearchStrategy
+
+    @STRATEGIES.register("my-anneal")
+    class Anneal(SearchStrategy):
+        def run(self, ctx):
+            ...
+            yield spec, makespan          # stream each probe
+            return best_spec, best, probes
+
+The ``run`` protocol: a generator that **yields** ``(spec, makespan)``
+after every evaluated candidate (the engine turns these into streaming
+:class:`~repro.core.events.ScheduleProbed` events) and **returns**
+``(best_spec, best_makespan, probes)``. Determinism contract: a
+strategy may only draw randomness from ``random.Random(ctx.seed)``, and
+ties on makespan must break toward the earlier candidate in its own
+deterministic enumeration order — so the same search on the same config
+always picks the same worst case, bit-for-bit.
+
+Built-ins:
+
+``exhaustive``
+    Every phase-boundary candidate (window starts and midpoints, each
+    window's first participating rank), truncated to the budget. The
+    reference: on a 1-fault budget its winner is the certified sweep
+    worst case.
+``random``
+    Seeded uniform draws over (window, offset, rank) — the baseline an
+    adversarial search must beat.
+``bisect``
+    Greedy: a coarse boundary pass over the windows, then offset
+    bisection inside the best window. Finds sharp intra-window peaks
+    with far fewer probes than a dense sweep.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .schedule import AnchoredFault
+from ..errors import ConfigurationError
+from ..registry import Registry
+
+
+def _check_strategy(name, cls):
+    if not callable(getattr(cls, "run", None)):
+        raise ConfigurationError(
+            "search strategy %r must provide run(ctx)" % name)
+
+
+#: the ``strategy`` registry: name -> SearchStrategy subclass
+#: (instantiated per search)
+STRATEGIES = Registry("strategy", validate=_check_strategy,
+                      instantiate=True, noun="search strategy")
+
+
+class SearchStrategy:
+    """Base class: the run() generator protocol documented above."""
+
+    def run(self, ctx):
+        raise NotImplementedError(
+            "search strategy must implement run(ctx)")
+        yield  # pragma: no cover - marks run() as a generator
+
+
+def _better(makespan: float, best: float) -> bool:
+    """Strictly-greater comparison: ties keep the earlier candidate."""
+    return makespan > best
+
+
+@STRATEGIES.register("exhaustive")
+class ExhaustiveSearch(SearchStrategy):
+    """Sweep every phase-boundary candidate (up to the budget)."""
+
+    def run(self, ctx):
+        candidates = ctx.candidates()
+        if ctx.budget is not None:
+            candidates = candidates[:ctx.budget]
+        best_spec, best = None, float("-inf")
+        probes = 0
+        for spec in candidates:
+            makespan = ctx.evaluate(spec)
+            probes += 1
+            if _better(makespan, best):
+                best_spec, best = spec, makespan
+            yield spec, makespan
+        return best_spec, best, probes
+
+
+@STRATEGIES.register("random")
+class RandomSearch(SearchStrategy):
+    """Seeded uniform draws over (window, offset, victim rank)."""
+
+    def run(self, ctx):
+        rng = random.Random(ctx.seed)
+        windows = [w for w in ctx.timeline.windows if w.epoch == 0]
+        if not windows:
+            raise ConfigurationError(
+                "random search needs at least one probed phase window")
+        budget = ctx.budget if ctx.budget is not None else 16
+        best_spec, best = None, float("-inf")
+        probes = 0
+        for _ in range(budget):
+            window = windows[rng.randrange(len(windows))]
+            offset = rng.uniform(0.0, max(0.0, window.end - window.start))
+            live = [r for r in window.ranks if r >= 0]
+            rank = (live[rng.randrange(len(live))] if live
+                    else rng.randrange(ctx.config.nprocs))
+            spec = AnchoredFault(anchor=window.anchor,
+                                 occurrence=window.occurrence,
+                                 offset=round(offset, 6),
+                                 rank=rank).to_atom()
+            makespan = ctx.evaluate(spec)
+            probes += 1
+            if _better(makespan, best):
+                best_spec, best = spec, makespan
+            yield spec, makespan
+        return best_spec, best, probes
+
+
+@STRATEGIES.register("bisect")
+class BisectSearch(SearchStrategy):
+    """Coarse boundary pass, then offset bisection in the best window."""
+
+    #: stop bisecting once the bracket is this narrow (seconds)
+    RESOLUTION = 1e-3
+
+    def run(self, ctx):
+        windows = [w for w in ctx.timeline.windows if w.epoch == 0]
+        if not windows:
+            raise ConfigurationError(
+                "bisect search needs at least one probed phase window")
+        budget = ctx.budget if ctx.budget is not None else 4 * len(windows)
+        best_spec, best, best_window = None, float("-inf"), None
+        probes = 0
+
+        def atom(window, offset):
+            live = [r for r in window.ranks if r >= 0]
+            return AnchoredFault(anchor=window.anchor,
+                                 occurrence=window.occurrence,
+                                 offset=round(offset, 6),
+                                 rank=live[0] if live else 0).to_atom()
+
+        # pass 1: every window's opening boundary
+        for window in windows:
+            if probes >= budget:
+                break
+            spec = atom(window, 0.0)
+            makespan = ctx.evaluate(spec)
+            probes += 1
+            if _better(makespan, best):
+                best_spec, best, best_window = spec, makespan, window
+            yield spec, makespan
+        # pass 2: bisect offsets inside the winning window
+        if best_window is not None:
+            lo, hi = 0.0, max(0.0, best_window.end - best_window.start)
+            while probes < budget and hi - lo > self.RESOLUTION:
+                mid = 0.5 * (lo + hi)
+                spec = atom(best_window, mid)
+                makespan = ctx.evaluate(spec)
+                probes += 1
+                if _better(makespan, best):
+                    best_spec, best = spec, makespan
+                    lo = mid  # climb toward the late half
+                else:
+                    hi = mid
+                yield spec, makespan
+        return best_spec, best, probes
+
+
+__all__ = ["STRATEGIES", "SearchStrategy", "ExhaustiveSearch",
+           "RandomSearch", "BisectSearch"]

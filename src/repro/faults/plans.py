@@ -97,3 +97,102 @@ class FaultPlan:
         rank = rng.randrange(nprocs)
         iteration = rng.randrange(min_iteration, niters)
         return cls(events=(FaultEvent(rank, iteration),))
+
+
+@dataclass(frozen=True)
+class TimedFault:
+    """Kill ``rank`` (or its whole node) at exact virtual time ``time``.
+
+    The exact-time twin of :class:`FaultEvent`: where iteration-indexed
+    events fire at the victim's next ITER_MARK, a timed fault is
+    delivered by the scheduler the moment the victim's clock would pass
+    ``time`` — including *between* the blocking steps of an in-flight
+    ULFM repair or a checkpoint write, which is exactly where
+    phase-anchored schedules aim (see :mod:`repro.explore`).
+
+    ``epoch`` selects the job incarnation the event belongs to: 0 is
+    the initial launch, each job-level relaunch (Restart's abort path)
+    increments it, so "kill during the *second* incarnation's redeploy
+    window" is expressible. Carries ``iteration = -1`` so store
+    serialization (``rank/iteration/kind`` duck-typed attrs) round-trips
+    without a schema change.
+    """
+
+    time: float
+    rank: int
+    kind: str = "process"
+    epoch: int = 0
+    #: fixed sentinel: timed events are not iteration-indexed
+    iteration: int = -1
+
+    def __post_init__(self):
+        if self.rank < 0 or self.time < 0.0 or self.epoch < 0:
+            raise ConfigurationError(
+                "timed fault needs non-negative time/rank/epoch")
+        if self.kind not in ("process", "node"):
+            raise ConfigurationError("fault kind must be process or node")
+
+
+@dataclass
+class TimedFaultPlan:
+    """Exact-time kill schedule, consulted by the scheduler every step.
+
+    Duck-type compatible with :class:`FaultPlan` everywhere the harness
+    touches a plan — ``events``/``nfaults``/``event_for``/``reset`` —
+    but injection happens in :meth:`due_event`, called by
+    :class:`repro.simmpi.runtime.Runtime` before resuming each rank, so
+    a due kill lands between coroutine yields (inside repair protocols)
+    instead of waiting for the next app iteration.
+    """
+
+    events: tuple = ()
+    #: current job incarnation; the design's run_job advances this on
+    #: every relaunch so epoch-scoped events arm at the right lifetime
+    epoch: int = 0
+    #: optional phase-instrumentation sink (see repro.explore.timeline);
+    #: travels on the plan because the plan is the only object threaded
+    #: from the harness into Runtime
+    phase_hook: object = None
+    #: events already delivered (one-shot across the whole job, epochs
+    #: included); execution state, excluded from equality
+    _fired: set = field(default_factory=set, repr=False, compare=False)
+    #: delivery log [(epoch, time, rank)] for regression assertions
+    fired_log: list = field(default_factory=list, repr=False, compare=False)
+
+    def due_event(self, rank: int, now: float):
+        """The armed event for ``rank`` whose time has come (one-shot).
+
+        Earliest-first among this epoch's due events so two events on
+        one rank deliver in schedule order even if the rank's clock
+        jumps past both in a single blocking step.
+        """
+        best = None
+        for event in self.events:
+            if (event.rank == rank and event.epoch == self.epoch
+                    and event.time <= now and event not in self._fired
+                    and (best is None or event.time < best.time)):
+                best = event
+        if best is not None:
+            self._fired.add(best)
+            self.fired_log.append((self.epoch, best.time, best.rank))
+        return best
+
+    def event_for(self, rank: int, iteration: int):
+        """Timed plans never fire on iteration marks."""
+        return None
+
+    def should_kill(self, rank: int, iteration: int) -> bool:
+        return False
+
+    def reset(self) -> None:
+        """No-op: timed events are one-shot per (epoch, event).
+
+        A Restart relaunch re-runs the plan under a *new* epoch (set by
+        the design's run_job), so earlier epochs' fired events must stay
+        fired — unlike iteration-indexed plans, the same virtual time
+        recurs in every incarnation.
+        """
+
+    @property
+    def nfaults(self) -> int:
+        return len(self.events)

@@ -112,7 +112,11 @@ class ScenarioKind:
         describe its own arrival process. The default covers every
         fixed-count kind: ``count`` events spread uniformly over the
         targetable ``[min_iteration, niters)`` window. Kinds with a true
-        arrival process (``poisson``) override it.
+        arrival process (``poisson``) override it; *deterministic* kinds
+        (the phase-anchored schedules of :mod:`repro.explore`) override
+        it to 0.0 — a fixed schedule is not a renewal process, so it
+        contributes no memoryless hazard for ``interval="auto"`` to
+        optimise against.
         """
         span = niters - scenario.min_iteration
         if span <= 0:
@@ -121,6 +125,18 @@ class ScenarioKind:
         if not self.injects:
             return 0.0
         return scenario.count / span
+
+    def expected_events(self, scenario: "FaultScenario",
+                        niters: int) -> float:
+        """Expected fault events over one whole run.
+
+        Default: the hazard rate integrated over the targetable window —
+        exact for every renewal-process kind. Kinds whose event count is
+        fixed by construction (phase-anchored schedules) override this
+        with the exact count, because their ``rate`` is legitimately
+        zero yet their runs do inject.
+        """
+        return self.rate(scenario, niters) * (niters - scenario.min_iteration)
 
     def make_plan(self, scenario: "FaultScenario", nprocs: int,
                   niters: int, seed: int, nnodes: int) -> FaultPlan:
@@ -143,8 +159,18 @@ class ScenarioKind:
 SCENARIOS = Registry("scenario", instantiate=True, noun="scenario kind")
 
 #: the built-in scenario kinds, in documentation order (the registry
-#: may hold more once plugins are imported)
-SCENARIO_KINDS = ("none", "single", "independent", "correlated", "poisson")
+#: may hold more once plugins are imported); the phase-anchored kinds
+#: register from :mod:`repro.explore.kinds` at the bottom of this module
+SCENARIO_KINDS = ("none", "single", "independent", "correlated", "poisson",
+                  "at-phase", "worst-of")
+
+
+#: FaultScenario fields serialized unconditionally: the exact field set
+#: run-key schema 2 hashed. Fields added later serialize only when they
+#: leave their default, keeping old run keys bit-identical.
+_SCHEMA_FROZEN_FIELDS = frozenset(
+    {"kind", "count", "node_count", "mtbf_iters", "window",
+     "min_iteration"})
 
 
 @dataclass(frozen=True)
@@ -163,6 +189,11 @@ class FaultScenario:
     #: earliest iteration any event may target (the job always survives
     #: at least ``min_iteration`` iterations, matching the paper's loop)
     min_iteration: int = 1
+    #: phase-anchored kinds (``at-phase``): the serialized
+    #: :class:`repro.explore.schedule.FaultSchedule` spec, e.g.
+    #: ``"ckpt.L1.write~1+0.5@r3;ulfm.shrink"`` (colon-free by design —
+    #: the CLI scenario grammar splits on ``:``)
+    schedule: str = ""
 
     def __post_init__(self):
         handler = SCENARIOS.resolve(self.kind)
@@ -200,7 +231,20 @@ class FaultScenario:
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """JSON-safe dict; the canonical run-key form.
+
+        Fields added after the run-key schema froze (anything not in
+        :data:`_SCHEMA_FROZEN_FIELDS`) are omitted while at their
+        defaults, so every pre-existing scenario keeps the exact payload
+        — and therefore the exact run key — it always had.
+        """
+        data = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name not in _SCHEMA_FROZEN_FIELDS and value == f.default:
+                continue
+            data[f.name] = value
+        return data
 
     @classmethod
     def from_dict(cls, data) -> "FaultScenario":
@@ -250,9 +294,11 @@ class FaultScenario:
         return SCENARIOS.resolve(self.kind).rate(self, niters)
 
     def expected_events(self, niters: int) -> float:
-        """Expected fault events over one whole run: the hazard rate
-        integrated over the targetable iteration window."""
-        return self.rate(niters) * (niters - self.min_iteration)
+        """Expected fault events over one whole run (the kind's
+        :meth:`ScenarioKind.expected_events`; for renewal-process kinds
+        this is the hazard rate integrated over the targetable window,
+        for fixed-schedule kinds the exact event count)."""
+        return SCENARIOS.resolve(self.kind).expected_events(self, niters)
 
     # -- plan generation ---------------------------------------------------
     def make_plan(self, nprocs: int, niters: int, seed: int,
@@ -425,7 +471,8 @@ class PoissonKind(ScenarioKind):
 #: per-field coercion applied to key=value spec options (custom kinds
 #: reuse the same generic fields, so the grammar needs no per-kind code)
 _FIELD_COERCIONS = {"count": int, "node_count": int, "window": int,
-                    "min_iteration": int, "mtbf_iters": float}
+                    "min_iteration": int, "mtbf_iters": float,
+                    "schedule": str}
 
 
 def parse_scenario_spec(text: str) -> FaultScenario:
@@ -488,3 +535,10 @@ def parse_scenario_spec(text: str) -> FaultScenario:
                     % (key, "an integer" if coerce is int else "a number",
                        kwargs[key]))
     return FaultScenario(**kwargs)
+
+
+# The phase-anchored kinds ("at-phase", "worst-of") live with the rest of
+# the exploration machinery but must register whenever this module loads:
+# the registry's lazy import maps the "scenario" kind to *this* module, so
+# a spec like ``at-phase:...`` resolves only if registration happens here.
+from ..explore import kinds as _explore_kinds  # noqa: E402,F401

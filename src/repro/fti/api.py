@@ -139,6 +139,8 @@ class Fti:
         yield from self.mpi.compute(bytes_moved=2.0 * len(blob) * factor)
         record = self.registry.open_checkpoint(iteration, self.config.level,
                                                self.nprocs)
+        anchor = "ckpt.L%d.write" % self.config.level
+        self.mpi.phase_enter(anchor)
         t_io = self.mpi.now()
         entry = yield from self._level.write(self, self.mpi, blob, record)
         io_seconds = self.mpi.now() - t_io
@@ -148,6 +150,7 @@ class Fti:
                 self, self._nominal_bytes)
             if nominal_io > io_seconds:
                 yield from self.mpi.sleep(nominal_io - io_seconds)
+        self.mpi.phase_exit(anchor)
         record.commit_rank(entry)
         # FTI's internal coordination: metadata agreement + group collectives
         yield from self.mpi.compute(
@@ -173,6 +176,8 @@ class Fti:
         record = self.registry.latest_complete()
         if record is None:
             raise NoCheckpointError("no complete checkpoint to recover from")
+        anchor = "ckpt.L%d.read" % self.config.level
+        self.mpi.phase_enter(anchor)
         t_io = self.mpi.now()
         blob = yield from self._level.read(self, self.mpi, record)
         io_seconds = self.mpi.now() - t_io
@@ -182,6 +187,7 @@ class Fti:
                 self, self._nominal_bytes)
             if nominal_io > io_seconds:
                 yield from self.mpi.sleep(nominal_io - io_seconds)
+        self.mpi.phase_exit(anchor)
         self.protected.deserialize_into(blob)
         yield from self.mpi.compute(bytes_moved=2.0 * len(blob) * factor)
         self._status = 0

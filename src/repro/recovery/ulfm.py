@@ -91,12 +91,22 @@ class UlfmRecovery(RecoveryStrategy):
         """Steps 1-5 for a survivor; returns the repaired world comm."""
         t0 = mpi.now()
         world = mpi.world
+        mpi.phase_enter("ulfm.revoke")
         if not world.revoked:
             yield from mpi.comm_revoke(world)
+        mpi.phase_exit("ulfm.revoke")
+        mpi.phase_enter("ulfm.shrink")
         shrunk = yield from mpi.comm_shrink(world)
+        mpi.phase_exit("ulfm.shrink")
+        mpi.phase_enter("ulfm.spawn")
         yield from mpi.comm_spawn(shrunk)
+        mpi.phase_exit("ulfm.spawn")
+        mpi.phase_enter("ulfm.merge")
         merged = yield from mpi.intercomm_merge(shrunk)
+        mpi.phase_exit("ulfm.merge")
+        mpi.phase_enter("ulfm.agree")
         agreed = yield from mpi.comm_agree(merged, 1)
+        mpi.phase_exit("ulfm.agree")
         if not agreed:
             raise MPIError("ULFM agreement failed after repair")
         mpi.set_world(merged)
@@ -129,8 +139,12 @@ class UlfmRecovery(RecoveryStrategy):
     def replacement_join(self, mpi):
         """Steps 4-5 for a freshly spawned replacement process."""
         t0 = mpi.now()
+        mpi.phase_enter("ulfm.merge")
         merged = yield from mpi.intercomm_merge(None)
+        mpi.phase_exit("ulfm.merge")
+        mpi.phase_enter("ulfm.agree")
         agreed = yield from mpi.comm_agree(merged, 1)
+        mpi.phase_exit("ulfm.agree")
         if not agreed:
             raise MPIError("ULFM agreement failed after respawn")
         mpi.set_world(merged)

@@ -21,20 +21,21 @@ Quick tour::
 
     registry("app").names()            # ('amg', ..., 'toy')
 
-The seven built-in registries live in their natural modules (importing
+The eight built-in registries live in their natural modules (importing
 a registry never drags in unrelated subsystems):
 
-=========== ============================== ===========================
-kind         module                         registry object
-=========== ============================== ===========================
-app          :mod:`repro.apps`              ``APP_REGISTRY``
-design       :mod:`repro.core.designs`      ``DESIGNS``
-scenario     :mod:`repro.faults.scenarios`  ``SCENARIOS``
-store        :mod:`repro.core.store`        ``STORES``
-renderer     :mod:`repro.core.report`       ``RENDERERS``
-model        :mod:`repro.modeling.costs`    ``MODELS``
-lint-rule    :mod:`repro.analysis.rules`    ``LINT_RULES``
-=========== ============================== ===========================
+=========== ================================= ===========================
+kind         module                            registry object
+=========== ================================= ===========================
+app          :mod:`repro.apps`                 ``APP_REGISTRY``
+design       :mod:`repro.core.designs`         ``DESIGNS``
+scenario     :mod:`repro.faults.scenarios`     ``SCENARIOS``
+store        :mod:`repro.core.store`           ``STORES``
+renderer     :mod:`repro.core.report`          ``RENDERERS``
+model        :mod:`repro.modeling.costs`       ``MODELS``
+lint-rule    :mod:`repro.analysis.rules`       ``LINT_RULES``
+strategy     :mod:`repro.explore.strategies`   ``STRATEGIES``
+=========== ================================= ===========================
 
 Registrations are per-process. Parallel campaign workers are fresh
 ``spawn`` interpreters, so plugin modules must be importable by name and
@@ -59,6 +60,7 @@ _BUILTIN_MODULES = {
     "renderer": "repro.core.report",
     "model": "repro.modeling.costs",
     "lint-rule": "repro.analysis.rules",
+    "strategy": "repro.explore.strategies",
 }
 
 #: kind -> Registry, populated as Registry instances are constructed

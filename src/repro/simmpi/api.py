@@ -86,10 +86,31 @@ class MpiApi:
         advances no clock and carries no result), so it is elided
         entirely instead of paying a scheduler round trip.
         """
+        hook = self._runtime.phase_hook
+        if hook is not None:
+            hook.iteration(self.rank, i, self.now())
         plan = self._runtime.fault_plan
         if plan is None or not getattr(plan, "events", ()):
             return
         yield Op(OpKind.ITER_MARK, iteration=i)
+
+    # -- phase-anchor instrumentation (repro.explore) -------------------------
+    def phase_enter(self, anchor: str) -> None:
+        """Note entry into a named phase window (checkpoint write, a ULFM
+        repair step, ...) on the plan's phase hook, if any.
+
+        Plain calls, not ops: anchors advance no clock and must cost
+        nothing when no timeline probe or progress guard is attached.
+        """
+        hook = self._runtime.phase_hook
+        if hook is not None:
+            hook.enter(self.rank, anchor, self.now())
+
+    def phase_exit(self, anchor: str) -> None:
+        """Note exit from a named phase window (see :meth:`phase_enter`)."""
+        hook = self._runtime.phase_hook
+        if hook is not None:
+            hook.exit(self.rank, anchor, self.now())
 
     # -- point to point -------------------------------------------------------
     def send(self, dest: int, payload: Any, tag: int = 0,

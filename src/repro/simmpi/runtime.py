@@ -188,6 +188,13 @@ class Runtime:
         self.failure_log = FailureLog(self.detector, nprocs)
         self.overhead = overhead or OverheadModel()
         self.fault_plan = fault_plan
+        #: exact-time injection hook: TimedFaultPlan exposes due_event
+        #: (cached here so ordinary iteration-indexed plans cost nothing
+        #: in the scheduler hot path)
+        self._timed_due = getattr(fault_plan, "due_event", None)
+        #: phase-anchor instrumentation sink (repro.explore.timeline);
+        #: rides on the plan — the only object threaded from the harness
+        self.phase_hook = getattr(fault_plan, "phase_hook", None)
         #: Reinit hooks in here: called instead of aborting the job
         self.on_global_failure = on_global_failure
         self.world = Communicator(range(nprocs), "world",
@@ -405,6 +412,23 @@ class Runtime:
             if self.watchdog_steps > self.watchdog_budget:
                 raise WatchdogError(self.watchdog_budget)
         state = self._ranks[rank]
+        if self._timed_due is not None and state.status is not RankStatus.DEAD:
+            event = self._timed_due(rank, self.clock.now(rank))
+            if event is not None:
+                # deliver *before* resuming the coroutine: the kill lands
+                # between yields — mid-repair, mid-checkpoint — exactly
+                # where an anchored schedule aimed it, instead of being
+                # deferred to the victim's next iteration mark. The clock
+                # is forward-only: a rank whose last op overshot the
+                # event time dies at its current clock (signal-between-
+                # instructions semantics)
+                if event.time > self.clock.now(rank):
+                    self.clock.advance_to(rank, event.time)
+                if event.kind == "node":
+                    self.kill_node(self.cluster.node_of(rank))
+                else:
+                    self.kill(rank)
+                return
         inbox, state.inbox = state.inbox, None
         try:
             if type(inbox) is _Throw:

@@ -1,0 +1,120 @@
+"""Schedule grammar: parse, canonical round-trip, lowering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.explore.schedule import AnchoredFault, FaultSchedule
+from repro.explore.timeline import PhaseTimeline, PhaseWindow
+
+
+def _timeline():
+    return PhaseTimeline(windows=(
+        PhaseWindow("ckpt.L1.write", 0, 2.0, 2.5, (0, 1, 2, 3)),
+        PhaseWindow("ckpt.L1.write", 1, 4.0, 4.5, (0, 1, 2, 3)),
+        PhaseWindow("ulfm.shrink", 0, 5.0, 5.4, (0, 1, 2)),
+        PhaseWindow("reinit.rollback", 0, 5.0, 5.8, (-1,)),
+    ))
+
+
+class TestAtomGrammar:
+    def test_bare_anchor_defaults(self):
+        event = AnchoredFault.parse_atom("ckpt.L1.write")
+        assert event.anchor == "ckpt.L1.write"
+        assert event.occurrence == 0
+        assert event.offset == 0.0
+        assert event.rank is None and event.node is None
+
+    def test_full_atom(self):
+        event = AnchoredFault.parse_atom("ckpt.L2.write~3+1.25@r7")
+        assert event.occurrence == 3
+        assert event.offset == 1.25
+        assert event.rank == 7
+
+    def test_node_victim(self):
+        event = AnchoredFault.parse_atom("ulfm.shrink@n2")
+        assert event.node == 2 and event.rank is None
+        assert event.kind == "node"
+
+    @pytest.mark.parametrize("bad", [
+        "", "~1", "+0.5", "anchor@x3", "anchor@r-1", "anchor~-1",
+        "anchor+-2", "anchor@r1@n2", "an chor",
+    ])
+    def test_bad_atoms_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            AnchoredFault.parse_atom(bad)
+
+    def test_rank_and_node_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            AnchoredFault(anchor="a", rank=1, node=2)
+
+
+class TestScheduleSpec:
+    def test_roundtrip_is_canonical(self):
+        spec = "ckpt.L1.write~1+0.5@r3;ulfm.shrink;reinit.rollback@n2"
+        schedule = FaultSchedule.parse(spec)
+        assert schedule.to_spec() == spec
+        assert FaultSchedule.parse(schedule.to_spec()) == schedule
+
+    def test_defaults_omitted_in_canonical_form(self):
+        schedule = FaultSchedule(events=(
+            AnchoredFault(anchor="ckpt.L1.write", occurrence=0,
+                          offset=0.0),))
+        assert schedule.to_spec() == "ckpt.L1.write"
+
+    def test_spec_is_colon_free(self):
+        # parse_scenario_spec splits whole specs on ':' — the schedule
+        # grammar must never produce one
+        spec = FaultSchedule.parse(
+            "ckpt.L4.write~2+10.125@n31;ulfm.agree+0.001@r63").to_spec()
+        assert ":" not in spec
+
+    def test_empty_schedule_rejected(self):
+        for bad in ("", " ; ; "):
+            with pytest.raises(ConfigurationError):
+                FaultSchedule.parse(bad)
+
+    def test_dict_roundtrip(self):
+        schedule = FaultSchedule.parse("ckpt.L1.write~1+0.5@r3")
+        assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+
+class TestLowering:
+    def test_offset_from_window_start(self):
+        event = AnchoredFault.parse_atom("ckpt.L1.write~1+0.25@r3")
+        timed = event.lower(_timeline(), nprocs=8, nnodes=4)
+        assert timed.time == pytest.approx(4.25)
+        assert timed.rank == 3 and timed.kind == "process"
+
+    def test_default_victim_is_first_participant(self):
+        timed = AnchoredFault.parse_atom("ulfm.shrink").lower(
+            _timeline(), nprocs=8, nnodes=4)
+        assert timed.rank == 0
+
+    def test_runtime_span_default_victim_is_rank_zero(self):
+        # runtime-level spans record rank -1; lowering must still pick
+        # a real victim
+        timed = AnchoredFault.parse_atom("reinit.rollback+0.1").lower(
+            _timeline(), nprocs=8, nnodes=4)
+        assert timed.rank == 0
+        assert timed.time == pytest.approx(5.1)
+
+    def test_node_victim_maps_to_block_placement(self):
+        timed = AnchoredFault.parse_atom("ckpt.L1.write@n1").lower(
+            _timeline(), nprocs=8, nnodes=4)
+        # 8 ranks on 4 nodes -> 2 per node; node 1 starts at rank 2
+        assert timed.kind == "node" and timed.rank == 2
+
+    def test_unknown_anchor_lists_catalog(self):
+        with pytest.raises(ConfigurationError, match="ckpt.L1.write~0"):
+            AnchoredFault.parse_atom("ckpt.L9.write").lower(
+                _timeline(), nprocs=8, nnodes=4)
+
+    def test_out_of_range_victims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnchoredFault.parse_atom("ulfm.shrink@r64").lower(
+                _timeline(), nprocs=8, nnodes=4)
+        with pytest.raises(ConfigurationError):
+            AnchoredFault.parse_atom("ulfm.shrink@n9").lower(
+                _timeline(), nprocs=8, nnodes=4)

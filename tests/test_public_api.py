@@ -35,7 +35,10 @@ API_EXPORTS = [
     "CampaignAborted",
     "CampaignFinished",
     "CampaignStarted",
+    "ExploreFinished",
+    "ExploreStarted",
     "RunEvent",
+    "ScheduleProbed",
     "Session",
     "UnitCompleted",
     "UnitFailed",
