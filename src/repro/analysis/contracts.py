@@ -58,11 +58,18 @@ ENV_ALLOWLIST: frozenset[str] = frozenset({
     "MATCH_SIM_WATCHDOG",   # simulator step budget (WATCHDOG_ENV)
     "MATCH_CHAOS",          # chaos-injection spec (CHAOS_ENV)
     "REPRO_NO_NATIVE",      # force the numpy kernel fallback
+    # telemetry defaults (repro.obs.env): sanctioned because they only
+    # steer *observation* of a run — snapshot/trace output paths and the
+    # metrics kill switch — never the run itself, so they cannot enter
+    # the run key or perturb results.
+    "MATCH_OBS",            # metrics snapshot path / "off" (OBS_ENV)
+    "MATCH_TRACE",          # default trace output path (TRACE_ENV)
 })
 
 #: Names of module-level constants that hold allowlisted variables;
 #: ``os.environ.get(WATCHDOG_ENV)`` is as sanctioned as the literal.
-ENV_CONSTANT_NAMES: frozenset[str] = frozenset({"WATCHDOG_ENV", "CHAOS_ENV"})
+ENV_CONSTANT_NAMES: frozenset[str] = frozenset({
+    "WATCHDOG_ENV", "CHAOS_ENV", "OBS_ENV", "TRACE_ENV"})
 
 # -- DET-WALLCLOCK -----------------------------------------------------------
 #: Subtrees where wall-clock reads are banned outright: the simulator,
@@ -72,6 +79,14 @@ ENV_CONSTANT_NAMES: frozenset[str] = frozenset({"WATCHDOG_ENV", "CHAOS_ENV"})
 #: and service layers legitimately use monotonic clocks for timeouts
 #: and latency stats; they are out of scope by construction.)
 WALLCLOCK_DIRS: tuple[str, ...] = ("simmpi", "fti", "faults")
+#: The deliberate *exception* subtrees, recorded so the boundary is a
+#: decision and not an accident: all telemetry wall-clock reads live in
+#: ``repro.obs`` (trace timestamps, latency histograms, progress ETA).
+#: Nothing under WALLCLOCK_DIRS may import a clock — it reports *virtual*
+#: sim time and lets repro.obs anchor it to the wall. Moving a clock
+#: read out of ``obs`` into a banned subtree fails DET-WALLCLOCK; this
+#: constant documents where it is supposed to go instead.
+WALLCLOCK_SANCTIONED_DIRS: tuple[str, ...] = ("obs",)
 #: Files on the run-key path held to the same standard wherever they live.
 WALLCLOCK_FILES: tuple[str, ...] = ("configs.py",)
 #: The banned calls (dotted-name suffix match, both import spellings).

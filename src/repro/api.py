@@ -107,7 +107,8 @@ class Campaign:
                    interval=None, reps=None, jobs=1, store=None,
                    resume=False, shard=None, plugins=(),
                    on_error="abort", retries=0, timeout=None,
-                   sim_watchdog=None, explicit_configs=None)
+                   sim_watchdog=None, trace=False, profile=None,
+                   explicit_configs=None)
 
     def __init__(self, **state):
         unknown = set(state) - set(self._FIELDS)
@@ -287,6 +288,24 @@ class Campaign:
             raise ConfigurationError("sim_watchdog must be >= 1")
         return self._with(sim_watchdog=max_steps)
 
+    # -- observability ------------------------------------------------------
+    def trace(self, enabled: bool = True) -> "Campaign":
+        """Collect a hierarchical trace while executing: campaign →
+        unit → sim-phase spans (checkpoint writes/reads, recovery
+        steps), exported as Chrome trace-event JSON via
+        :meth:`Session.trace` / :meth:`Session.write_trace` (or
+        ``match-bench campaign --trace``). Observation only — results
+        and run keys are bit-identical with tracing on or off. See
+        docs/OBSERVABILITY.md."""
+        return self._with(trace=bool(enabled))
+
+    def profile(self, directory) -> "Campaign":
+        """Capture a cProfile per run unit into ``directory``
+        (workers dump their own files); aggregate with ``match-bench
+        profile DIR``. Heavyweight — for diagnosing hot paths, not for
+        routine sweeps. ``None`` disables."""
+        return self._with(profile=str(directory) if directory else None)
+
     # -- enumeration --------------------------------------------------------
     def configs(self) -> list:
         """The matrix cells in stable order (validated on every call)."""
@@ -398,11 +417,18 @@ class Session:
                 resume=state["resume"], shard=state["shard"],
                 plugins=state["plugins"], on_error=state["on_error"],
                 retries=state["retries"], timeout=timeout,
-                sim_watchdog=state["sim_watchdog"])
+                sim_watchdog=state["sim_watchdog"],
+                trace_phases=state["trace"],
+                profile_dir=state["profile"])
         self.engine = engine
         self.results = None
         self._active = None
         self._failure = None
+        self._tracer = None
+        if state["trace"]:
+            from .obs.trace import Tracer
+
+            self._tracer = Tracer()
 
     # -- execution ----------------------------------------------------------
     def stream(self):
@@ -428,6 +454,8 @@ class Session:
             except Exception as exc:
                 self._failure = exc
                 raise
+            if self._tracer is not None:
+                self._tracer.observe(event)
             if isinstance(event, CampaignFinished):
                 self.results = event.results
             yield event
@@ -444,6 +472,26 @@ class Session:
         for _ in self.stream():
             pass
         return self
+
+    # -- observability ------------------------------------------------------
+    def trace(self) -> dict:
+        """The collected trace as a Chrome trace-event JSON object
+        (``{"traceEvents": [...]}``, Perfetto-viewable). Requires the
+        campaign to have been built with :meth:`Campaign.trace` and the
+        stream to have run."""
+        if self._tracer is None:
+            raise ConfigurationError(
+                "tracing is off — build the campaign with .trace() "
+                "(or run: match-bench campaign --trace out.json)")
+        return self._tracer.to_chrome()
+
+    def write_trace(self, path) -> str:
+        """Validate and write the collected trace to ``path``."""
+        if self._tracer is None:
+            raise ConfigurationError(
+                "tracing is off — build the campaign with .trace() "
+                "(or run: match-bench campaign --trace out.json)")
+        return self._tracer.write(path)
 
     # -- engine bookkeeping -------------------------------------------------
     @property

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 import warnings
 
 from .core.configs import (
@@ -217,6 +218,30 @@ def _parse_timeout(value):
             "--timeout takes seconds or 'auto' (got %r)" % (value,))
 
 
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 3600:
+        return "%dh%02dm" % (seconds // 3600, (seconds % 3600) // 60)
+    if seconds >= 60:
+        return "%dm%02ds" % (seconds // 60, seconds % 60)
+    return "%.1fs" % seconds
+
+
+def _progress_clock(started: float, completed: int, total: int) -> str:
+    """`` [elapsed 12.3s, ETA 1m04s]`` for a --progress line.
+
+    The ETA extrapolates mean time-per-unit over the completed count —
+    resumed (skipped) units count too, which deliberately *shortens*
+    the estimate: they cost nothing and the remaining work shrinks.
+    """
+    elapsed = time.perf_counter() - started
+    text = " [elapsed %s" % _format_seconds(elapsed)
+    remaining = total - completed
+    if completed > 0 and remaining > 0:
+        eta = elapsed / completed * remaining
+        text += ", ETA %s" % _format_seconds(eta)
+    return text + "]"
+
+
 def _cmd_campaign(args) -> int:
     from .api import (
         UnitCompleted,
@@ -227,12 +252,24 @@ def _cmd_campaign(args) -> int:
     )
     from .core.report import format_campaign_matrix
 
+    from .obs import env as obs_env
+    from .obs.metrics import REGISTRY as obs_registry
+
     campaign = (_matrix_campaign(args).reps(args.runs).jobs(args.jobs)
                 .store(args.store).resume(args.resume).shard(args.shard)
                 .on_error(args.on_error).retries(args.retries)
                 .timeout(_parse_timeout(args.timeout)))
     if args.sim_watchdog is not None:
         campaign = campaign.sim_watchdog(args.sim_watchdog)
+    # telemetry: CLI flags win over the MATCH_TRACE/MATCH_OBS defaults
+    trace_path = args.trace or obs_env.trace_path_from_env()
+    metrics_path = args.metrics_out or obs_env.metrics_snapshot_path()
+    if obs_env.metrics_disabled_by_env():
+        obs_registry.set_enabled(False)
+    if trace_path:
+        campaign = campaign.trace()
+    if args.profile:
+        campaign = campaign.profile(args.profile)
     check_campaign(campaign.configs(), args.runs)
     if args.estimate:
         total = 0.0
@@ -246,14 +283,17 @@ def _cmd_campaign(args) -> int:
         print("  predicted virtual cost of the sweep: %.2f sim-seconds"
               % total)
     session = campaign.session()
+    started = time.perf_counter()
     for event in session.stream():
         if not args.progress:
             continue
         if isinstance(event, (UnitCompleted, UnitSkipped)):
             tag = "skip" if isinstance(event, UnitSkipped) else "done"
-            print("[%d/%d] %s %s rep %d"
+            print("[%d/%d] %s %s rep %d%s"
                   % (event.completed, event.total, tag,
-                     event.unit.config.label(), event.unit.rep))
+                     event.unit.config.label(), event.unit.rep,
+                     _progress_clock(started, event.completed,
+                                     event.total)))
         elif isinstance(event, UnitRetrying):
             print("[%d/%d] retry %s rep %d (attempt %d failed: %s; "
                   "backing off %.1fs)"
@@ -274,12 +314,39 @@ def _cmd_campaign(args) -> int:
     print("engine: executed %d run(s), skipped %d already-stored "
           "run(s), %d failure(s)"
           % (session.executed, session.skipped, session.failed))
+    # telemetry artifacts land even when the sweep had contained
+    # failures — that is exactly when a trace is most wanted
+    if trace_path:
+        print("trace: %d event(s) written to %s (open in Perfetto / "
+              "chrome://tracing)"
+              % (len(session.trace()["traceEvents"]),
+                 session.write_trace(trace_path)))
+    if metrics_path:
+        obs_env.write_metrics_snapshot(metrics_path,
+                                       obs_registry.snapshot())
+        print("metrics: registry snapshot written to %s" % metrics_path)
+    if args.profile:
+        print("profile: per-unit dumps in %s (rank with: match-bench "
+              "profile %s)" % (args.profile, args.profile))
     if session.failed:
         print("failed runs (recorded in the store; a --resume after a "
               "fix re-runs them):", file=sys.stderr)
         for key, record in sorted(session.failures().items()):
             print("  %s: %s" % (key, record.summary()), file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .obs.profiling import (
+        aggregate_profiles,
+        format_hotspots,
+        hotspot_rows,
+    )
+
+    stats, n_dumps = aggregate_profiles(args.dir)
+    print(format_hotspots(
+        hotspot_rows(stats, top=args.top, sort=args.sort), n_dumps))
     return 0
 
 
@@ -413,8 +480,8 @@ def _cmd_serve(args) -> int:
     server = AdvisorServer(service, host=args.host, port=args.port)
     print("advisor service (calibration %s) listening on "
           "http://%s:%d — endpoints: /advise /advise/batch /predict "
-          "/healthz /metrics" % (service.calibration, args.host,
-                                 args.port),
+          "/healthz /metrics /metrics.json" % (service.calibration,
+                                               args.host, args.port),
           file=sys.stderr)
     server.run()
     return 0
@@ -581,7 +648,33 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="STEPS",
                         help="per-run simulator livelock guard: abort a "
                              "run past this many scheduler steps")
+    camp_p.add_argument("--trace", default=None, metavar="OUT.json",
+                        help="collect campaign→unit→phase spans and "
+                             "write Chrome trace-event JSON there "
+                             "(Perfetto-viewable; $MATCH_TRACE sets a "
+                             "default path)")
+    camp_p.add_argument("--profile", default=None, metavar="DIR",
+                        help="cProfile every run unit into DIR "
+                             "(aggregate with: match-bench profile DIR)")
+    camp_p.add_argument("--metrics-out", default=None, metavar="OUT.json",
+                        help="dump the campaign's metrics-registry "
+                             "snapshot there at the end ($MATCH_OBS sets "
+                             "a default path; MATCH_OBS=off disables "
+                             "metrics entirely)")
     camp_p.set_defaults(func=_cmd_campaign)
+
+    prof_p = sub.add_parser("profile",
+                            help="aggregate per-unit cProfile dumps "
+                                 "from a --profile campaign into a "
+                                 "ranked hotspot table")
+    prof_p.add_argument("dir", help="the --profile directory")
+    prof_p.add_argument("--top", type=int, default=20,
+                        help="rows to show (default 20)")
+    prof_p.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "internal"),
+                        help="ranking: cumulative (incl. callees, "
+                             "default) or internal (own time)")
+    prof_p.set_defaults(func=_cmd_profile)
 
     exp_p = sub.add_parser("explore",
                            help="adversarial fault-timing search: find "

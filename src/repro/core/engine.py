@@ -47,8 +47,9 @@ import itertools
 import multiprocessing
 import os
 import signal
+import sys
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from multiprocessing import connection as mp_connection
@@ -76,6 +77,7 @@ from .events import (
     UnitStarted,
 )
 from .store import open_store
+from ..obs.metrics import REGISTRY as OBS_REGISTRY
 from ..errors import (
     WATCHDOG_ENV,
     ConfigurationError,
@@ -96,6 +98,17 @@ DISPATCH_TICK = 0.1
 DRAIN_GRACE = 30.0
 
 ON_ERROR_POLICIES = ("abort", "continue", "retry")
+
+#: campaign-level instruments (metric catalog: docs/OBSERVABILITY.md).
+#: Worker processes accumulate into their own fresh registry and ship
+#: the deltas back through the result pipe (see ``_proc_worker``), so
+#: these totals are campaign-wide even under the spawn pool.
+_UNITS_TOTAL = OBS_REGISTRY.counter(
+    "match_campaign_units_total",
+    "Campaign units by outcome (completed/failed/skipped/retried)")
+_QUEUE_DEPTH = OBS_REGISTRY.gauge(
+    "match_campaign_queue_depth",
+    "Units waiting for a worker slot (parallel dispatch only)")
 
 
 def parse_on_error(policy):
@@ -210,7 +223,39 @@ def execute_unit(unit: RunUnit) -> RunResult:
     design = DESIGNS[config.design](cluster)
     app = config.make_app()
     plan = make_fault_plan(config, app, unit.rep)
+    # phase capture rides the plan's hook slot; consulting sys.modules
+    # (not importing) keeps the untraced path at one dict lookup
+    trace_mod = sys.modules.get("repro.obs.trace")
+    if trace_mod is not None:
+        trace_mod.attach_phase_hook(plan)
     return design.run_job(app, config.fti, plan, label=config.label())
+
+
+def _observed_execute(unit: RunUnit, trace: bool, profile_dir, attempt: int):
+    """``execute_unit`` plus telemetry capture.
+
+    Returns ``(result, obs)`` where ``obs`` may carry ``phases`` (wire
+    rows of the run's phase spans, virtual time). Both telemetry paths
+    are strictly observational: the simulation result is bit-identical
+    with them on, off, or profiled (the determinism pins enforce this).
+    """
+    if profile_dir:
+        from ..obs.profiling import maybe_profile
+
+        profiled = maybe_profile(profile_dir, unit.key, attempt)
+    else:
+        profiled = nullcontext()
+    obs: dict = {}
+    with profiled:
+        if trace:
+            from ..obs import trace as obs_trace
+
+            with obs_trace.capture_phases() as recorder:
+                result = execute_unit(unit)
+            obs["phases"] = obs_trace.spans_to_wire(recorder)
+        else:
+            result = execute_unit(unit)
+    return result, obs
 
 
 def _proc_worker(payload: dict, conn) -> None:
@@ -241,10 +286,21 @@ def _proc_worker(payload: dict, conn) -> None:
         chaos = _load_chaos()
         if chaos is not None:
             chaos.fire(unit.describe())
-        outcome = run_result_to_dict(execute_unit(unit))
+        result, obs = _observed_execute(
+            unit, payload.get("trace", False), payload.get("profile_dir"),
+            payload.get("attempt", 1))
+        outcome = run_result_to_dict(result)
         if chaos is not None:
             outcome = chaos.corrupt(unit.describe(), outcome)
-        conn.send(("ok", outcome))
+        # this process dies after one unit (maxtasksperchild=1), so its
+        # fresh registry's snapshot *is* the per-attempt metric delta;
+        # shipping it on the result envelope is what keeps worker-side
+        # counts (checkpoint writes/reads, plugin metrics) alive past
+        # the spawn-pool boundary
+        deltas = OBS_REGISTRY.snapshot()
+        if deltas:
+            obs["metrics"] = deltas
+        conn.send(("ok", {"result": outcome, "obs": obs}))
     except Exception as exc:
         try:
             conn.send(("error", describe_error(exc).to_dict()))
@@ -252,6 +308,31 @@ def _proc_worker(payload: dict, conn) -> None:
             pass  # parent already gone; EOF detection covers us
     finally:
         conn.close()
+
+
+def _split_envelope(data):
+    """Worker wire payload -> ``(result_dict, obs_dict)``.
+
+    Our workers always send the ``{"result", "obs"}`` envelope; anything
+    else (a chaos-mangled or foreign payload) flows through whole so the
+    existing corrupt-result handling judges it.
+    """
+    if isinstance(data, dict) and "result" in data and "obs" in data:
+        return data["result"], data["obs"]
+    return data, {}
+
+
+def _absorb_obs(obs):
+    """Fold a worker attempt's telemetry deltas into this process.
+
+    Returns the attempt's phase-span rows (for the UnitCompleted event).
+    """
+    if not obs:
+        return ()
+    metrics = obs.get("metrics")
+    if metrics:
+        OBS_REGISTRY.merge(metrics)
+    return tuple(tuple(row) for row in obs.get("phases", ()))
 
 
 def _load_chaos():
@@ -298,7 +379,8 @@ class CampaignEngine:
     def __init__(self, jobs: int = 1, store_path=None, resume: bool = False,
                  shard=None, plugins=(), on_error="abort", retries: int = 0,
                  timeout=None, sim_watchdog=None,
-                 backoff_base: float = 0.5, backoff_cap: float = 30.0):
+                 backoff_base: float = 0.5, backoff_cap: float = 30.0,
+                 trace_phases: bool = False, profile_dir=None):
         if jobs < 1:
             raise ConfigurationError("--jobs must be >= 1")
         if resume and store_path is None:
@@ -349,6 +431,8 @@ class CampaignEngine:
                         "shard must be a 'K/N' string or a (K, N) pair")
                 shard = "%s/%s" % (k, n)
             self.shard = parse_shard(shard)
+        self.trace_phases = bool(trace_phases)
+        self.profile_dir = str(profile_dir) if profile_dir else None
         self.executed = 0
         self.skipped = 0
         self.failed = 0
@@ -498,6 +582,7 @@ class CampaignEngine:
             if unit.key in done:
                 results[unit.key] = done[unit.key]
                 completed += 1
+                _UNITS_TOTAL.inc(outcome="skipped")
                 yield UnitSkipped(unit=unit, result=done[unit.key],
                                   completed=completed, total=total)
         serial = ((self.jobs == 1 or len(pending) <= 1)
@@ -512,6 +597,14 @@ class CampaignEngine:
             for event in driver:
                 if isinstance(event, (UnitCompleted, UnitSkipped)):
                     completed = event.completed
+                # one counting site for both drivers (and the shutdown
+                # drain): every unit event flows through this loop
+                if isinstance(event, UnitCompleted):
+                    _UNITS_TOTAL.inc(outcome="completed")
+                elif isinstance(event, UnitFailed):
+                    _UNITS_TOTAL.inc(outcome="failed")
+                elif isinstance(event, UnitRetrying):
+                    _UNITS_TOTAL.inc(outcome="retried")
                 yield event
         yield CampaignFinished(results=results, executed=self.executed,
                                skipped=self.skipped, failed=self.failed,
@@ -525,7 +618,9 @@ class CampaignEngine:
             while True:
                 try:
                     with self._watchdog_env():
-                        result = execute_unit(unit)
+                        result, obs = _observed_execute(
+                            unit, self.trace_phases, self.profile_dir,
+                            attempt)
                 except KeyboardInterrupt:
                     # graceful shutdown: everything completed so far is
                     # already flushed (the store fsyncs per record), so
@@ -556,22 +651,28 @@ class CampaignEngine:
                 results[unit.key] = result
                 completed += 1
                 yield UnitCompleted(unit=unit, result=result,
-                                    completed=completed, total=total)
+                                    completed=completed, total=total,
+                                    phases=tuple(obs.get("phases", ())))
                 break
 
     # -- parallel dispatch loop ---------------------------------------------
-    def _payload(self, unit: RunUnit) -> dict:
+    def _payload(self, unit: RunUnit, attempt: int = 1) -> dict:
         payload = {"key": unit.key, "rep": unit.rep,
                    "config": config_to_dict(unit.config),
                    "plugins": list(self.plugins)}
         if self.sim_watchdog is not None:
             payload["sim_watchdog"] = self.sim_watchdog
+        if self.trace_phases:
+            payload["trace"] = True
+        if self.profile_dir is not None:
+            payload["profile_dir"] = self.profile_dir
+            payload["attempt"] = attempt
         return payload
 
     def _launch(self, ctx, unit: RunUnit, attempt: int) -> _InFlight:
         recv_conn, send_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(target=_proc_worker,
-                              args=(self._payload(unit), send_conn))
+                              args=(self._payload(unit, attempt), send_conn))
         process.daemon = True
         process.start()
         send_conn.close()
@@ -633,6 +734,7 @@ class CampaignEngine:
                 while retry_heap and retry_heap[0][0] <= now:
                     _, _, unit, attempt = heappop(retry_heap)
                     queue.append((unit, attempt))
+                _QUEUE_DEPTH.set(len(queue) + len(retry_heap))
                 while len(in_flight) < nworkers and queue:
                     unit, attempt = queue.pop()
                     in_flight.append(self._launch(ctx, unit, attempt))
@@ -677,7 +779,9 @@ class CampaignEngine:
                     in_flight.remove(flight)
                     status, data = flight.outcome
                     if status == "ok":
-                        result = try_run_result_from_dict(data)
+                        result_dict, obs = _split_envelope(data)
+                        phases = _absorb_obs(obs)
+                        result = try_run_result_from_dict(result_dict)
                         if result is None:
                             status, data = "error", describe_error(
                                 CorruptResultError(
@@ -685,13 +789,14 @@ class CampaignEngine:
                                     "result payload for %s"
                                     % flight.unit.describe()))
                         else:
-                            self._record(flight.unit, data)
+                            self._record(flight.unit, result_dict)
                             results[flight.unit.key] = result
                             completed += 1
                             yield UnitCompleted(unit=flight.unit,
                                                 result=result,
                                                 completed=completed,
-                                                total=total)
+                                                total=total,
+                                                phases=phases)
                             continue
                     record = data
                     delay = self._retry_delay(record, flight.attempt)
@@ -727,6 +832,7 @@ class CampaignEngine:
                     reason=self._interrupt_reason or "interrupted")
                 raise KeyboardInterrupt
         finally:
+            _QUEUE_DEPTH.set(0)
             for flight in in_flight:
                 flight.kill()
         if abort_record is not None:
@@ -752,13 +858,16 @@ class CampaignEngine:
                 in_flight.remove(flight)
                 status, data = self._collect(flight)
                 if status == "ok":
-                    result = try_run_result_from_dict(data)
+                    result_dict, obs = _split_envelope(data)
+                    phases = _absorb_obs(obs)
+                    result = try_run_result_from_dict(result_dict)
                     if result is not None:
-                        self._record(flight.unit, data)
+                        self._record(flight.unit, result_dict)
                         results[flight.unit.key] = result
                         completed += 1
                         yield UnitCompleted(unit=flight.unit, result=result,
-                                            completed=completed, total=total)
+                                            completed=completed, total=total,
+                                            phases=phases)
                         continue
                 if self.on_error != "abort":
                     record = data if isinstance(data, ErrorRecord) \

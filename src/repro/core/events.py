@@ -68,12 +68,20 @@ class UnitStarted(RunEvent):
 
 @dataclass(frozen=True)
 class UnitCompleted(RunEvent):
-    """One run unit finished; ``result`` is its :class:`RunResult`."""
+    """One run unit finished; ``result`` is its :class:`RunResult`.
+
+    ``phases`` carries the run's phase spans — wire rows of
+    ``(anchor, rank, start, end, epoch)`` in *virtual* simulator time —
+    when the campaign runs with tracing enabled (``Campaign.trace()`` /
+    ``--trace``); empty otherwise. :class:`repro.obs.trace.Tracer`
+    consumes them to nest sim phases inside the unit's wall-time span.
+    """
 
     unit: object
     result: object
     completed: int
     total: int
+    phases: tuple = ()
 
 
 @dataclass(frozen=True)

@@ -40,7 +40,23 @@ import os
 import pathlib
 
 from ..errors import ConfigurationError
+from ..obs.metrics import REGISTRY as OBS_REGISTRY
 from ..registry import Registry
+
+#: store instruments (metric catalog: docs/OBSERVABILITY.md); shared by
+#: every backend so a campaign's append/resume traffic is visible
+#: regardless of where the records land
+_STORE_APPENDS = OBS_REGISTRY.counter(
+    "match_store_appends_total",
+    "Records appended to a result store, by kind (result/failure)")
+_STORE_LOADS = OBS_REGISTRY.counter(
+    "match_store_loads_total", "load_completed() passes over a store")
+_STORE_RECORDS_LOADED = OBS_REGISTRY.counter(
+    "match_store_records_loaded_total",
+    "Result records deserialized by load_completed()")
+_STORE_CORRUPT = OBS_REGISTRY.counter(
+    "match_store_corrupt_lines_total",
+    "Undecodable JSONL lines skipped while loading")
 
 
 def _check_store(name, cls):
@@ -77,6 +93,8 @@ class ResultStore:
                              "config": config_dict, "error": error_dict})
 
     def _append_record(self, record: dict) -> None:
+        _STORE_APPENDS.inc(
+            kind="failure" if "error" in record else "result")
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         self.path.parent.mkdir(parents=True, exist_ok=True)
         # a file killed mid-write ends in a truncated line with no
@@ -104,6 +122,10 @@ class ResultStore:
         must re-run on resume — without counting as corruption.
         """
         records, _ = self._load()
+        _STORE_LOADS.inc()
+        _STORE_RECORDS_LOADED.inc(len(records))
+        if self.corrupt_lines:
+            _STORE_CORRUPT.inc(self.corrupt_lines)
         return records
 
     def load_failures(self) -> dict:
@@ -165,16 +187,20 @@ class MemoryStore:
         # JSONL backend would return on load (no live object aliasing)
         record = {"key": key, "rep": int(rep), "config": config_dict,
                   "result": result_dict}
+        _STORE_APPENDS.inc(kind="result")
         self._records[key] = json.loads(json.dumps(record))
 
     def append_failure(self, key: str, config_dict: dict, rep: int,
                        error_dict: dict) -> None:
         record = {"key": key, "rep": int(rep), "config": config_dict,
                   "error": error_dict}
+        _STORE_APPENDS.inc(kind="failure")
         self._failures[key] = json.loads(json.dumps(record))
 
     def load_completed(self) -> dict:
         self.corrupt_lines = 0
+        _STORE_LOADS.inc()
+        _STORE_RECORDS_LOADED.inc(len(self._records))
         return dict(self._records)
 
     def load_failures(self) -> dict:

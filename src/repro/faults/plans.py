@@ -45,6 +45,10 @@ class FaultPlan:
     """A set of scheduled process kills, consulted at every ITER_MARK."""
 
     events: tuple = ()
+    #: optional phase-instrumentation sink (repro.explore probes /
+    #: repro.obs tracing) — same slot :class:`TimedFaultPlan` carries;
+    #: pure observation, excluded from equality and repr
+    phase_hook: object = field(default=None, repr=False, compare=False)
     #: events that already fired (kills are one-shot); pure execution
     #: state, excluded from equality so a partially consumed plan still
     #: equals a fresh plan scheduling the same events

@@ -28,8 +28,20 @@ from .levels import LEVELS
 from .metadata import CheckpointRegistry
 from .serializer import ProtectedSet, ScalarRef
 from ..errors import NoCheckpointError
+from ..obs.metrics import REGISTRY as OBS_REGISTRY
 from ..simmpi import ops
 from ..simmpi.communicator import Communicator  # noqa: F401  (re-exported type)
+
+#: telemetry counters (docs/OBSERVABILITY.md); pure observation — they
+#: never touch virtual time, so the DET-WALLCLOCK discipline of this
+#: subtree is intact. In spawn-pool workers these accumulate in the
+#: worker's registry and ride the result pipe back to the campaign.
+_CKPT_WRITES = OBS_REGISTRY.counter(
+    "match_fti_ckpt_writes_total",
+    "Completed collective checkpoint writes, by FTI level")
+_CKPT_READS = OBS_REGISTRY.counter(
+    "match_fti_ckpt_reads_total",
+    "Per-rank checkpoint restores (FTI_Recover), by FTI level")
 
 
 @dataclass
@@ -157,6 +169,7 @@ class Fti:
             seconds=self.COORD_ALPHA * math.log2(max(2, self.nprocs)))
         yield from self.mpi.allreduce(1, op=ops.SUM, nbytes=8)
         if record.complete:
+            _CKPT_WRITES.inc(level=str(self.config.level))
             for victim in self.registry.garbage_collect(self.config.keep_last):
                 self._level.delete(self, victim)
         self.stats.ckpt_count += 1
@@ -191,6 +204,7 @@ class Fti:
         self.protected.deserialize_into(blob)
         yield from self.mpi.compute(bytes_moved=2.0 * len(blob) * factor)
         self._status = 0
+        _CKPT_READS.inc(level=str(self.config.level))
         self.stats.recover_count += 1
         self.stats.bytes_read += int(len(blob) * factor)
         self.stats.recover_seconds += self.mpi.now() - t0

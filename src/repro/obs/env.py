@@ -1,0 +1,60 @@
+"""Environment toggles for telemetry (the only obs env reads).
+
+Two variables, both in the DET-ENV allowlist
+(``repro.analysis.contracts.ENV_ALLOWLIST``):
+
+* ``MATCH_OBS`` — metrics switch. ``0``/``off``/``false`` disables the
+  process registry outright (the zero-overhead path); any other
+  non-empty value is a *path* to dump the registry snapshot (JSON) to
+  at campaign end. CLI flags (``--metrics-out``) win over the variable.
+* ``MATCH_TRACE`` — default trace output path for ``match-bench
+  campaign`` when ``--trace`` is not given, so CI and wrappers can turn
+  tracing on without touching the command line.
+
+Neither variable enters the run key: telemetry observes runs, it never
+changes them — which is exactly why these are allowlisted while
+arbitrary env reads stay banned.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: the metrics toggle/snapshot-path variable (DET-ENV sanctioned)
+OBS_ENV = "MATCH_OBS"
+#: the default-trace-path variable (DET-ENV sanctioned)
+TRACE_ENV = "MATCH_TRACE"
+
+_OFF_VALUES = frozenset({"0", "off", "false", "no"})
+
+
+def metrics_disabled_by_env(environ=None):
+    """True when ``MATCH_OBS`` explicitly turns the registry off."""
+    environ = os.environ if environ is None else environ
+    value = environ.get(OBS_ENV, "")
+    return value.strip().lower() in _OFF_VALUES and bool(value.strip())
+
+
+def metrics_snapshot_path(environ=None):
+    """The snapshot dump path from ``MATCH_OBS``, if it names one."""
+    environ = os.environ if environ is None else environ
+    value = environ.get(OBS_ENV, "").strip()
+    if not value or value.lower() in _OFF_VALUES:
+        return None
+    return value
+
+
+def trace_path_from_env(environ=None):
+    """The default trace output path from ``MATCH_TRACE``, if set."""
+    environ = os.environ if environ is None else environ
+    value = environ.get(TRACE_ENV, "").strip()
+    return value or None
+
+
+def write_metrics_snapshot(path, snapshot):
+    """Dump a registry snapshot as JSON (the campaign-end artifact)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,107 @@
+"""Opt-in cProfile capture per RunUnit, with cross-worker aggregation.
+
+``--profile DIR`` (or ``Campaign.profile(DIR)``) wraps every
+``execute_unit`` call — serial loop and spawn-pool workers alike — in
+a :class:`cProfile.Profile` and dumps the stats to
+``DIR/<run_key>.a<attempt>.pstats``. Workers write their own files
+(pstats dumps are just pickles; the filesystem is the cheapest pipe
+for them), and ``match-bench profile DIR`` aggregates every dump with
+:meth:`pstats.Stats.add` into one ranked hotspot table.
+
+Profiling is heavyweight (~2x slowdown) and therefore never implied by
+tracing or metrics; it exists to answer "where does the campaign burn
+its cycles" when the trace shows a wide span.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from contextlib import contextmanager
+
+from ..errors import ConfigurationError
+
+
+@contextmanager
+def maybe_profile(directory, key, attempt=1):
+    """Profile the body into ``directory`` keyed by run key + attempt.
+
+    A falsy ``directory`` makes this a plain no-op context, so call
+    sites need no branching. The directory is created on first use.
+    """
+    if not directory:
+        yield None
+        return
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, "%s.a%d.pstats" % (key, attempt))
+        profile.dump_stats(path)
+
+
+def profile_paths(directory):
+    """The sorted pstats dumps under ``directory``."""
+    try:
+        names = os.listdir(directory)
+    except OSError as exc:
+        raise ConfigurationError(
+            "cannot read profile directory %r: %s" % (directory, exc))
+    return [os.path.join(directory, name) for name in sorted(names)
+            if name.endswith(".pstats")]
+
+
+def aggregate_profiles(directory):
+    """Merge every per-unit dump into one :class:`pstats.Stats`.
+
+    Returns ``(stats, n_dumps)``; raises if the directory holds none —
+    an empty hotspot table usually means the campaign ran without
+    ``--profile`` and silence would hide that.
+    """
+    paths = profile_paths(directory)
+    if not paths:
+        raise ConfigurationError(
+            "no .pstats dumps in %r — was the campaign run with "
+            "--profile?" % (directory,))
+    stats = pstats.Stats(paths[0])
+    for path in paths[1:]:
+        stats.add(path)
+    return stats, len(paths)
+
+
+def hotspot_rows(stats, top=20, sort="cumulative"):
+    """The ranked hotspot table as plain dicts.
+
+    ``sort`` is ``"cumulative"`` (time incl. callees — where the run
+    *lives*) or ``"internal"`` (own time — where the cycles *burn*).
+    """
+    if sort not in ("cumulative", "internal"):
+        raise ConfigurationError(
+            "sort must be 'cumulative' or 'internal' (got %r)" % (sort,))
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():
+        filename, line, name = func
+        where = name if filename == "~" else "%s:%d:%s" % (
+            os.path.basename(filename), line, name)
+        rows.append({"func": where, "calls": nc, "primitive": cc,
+                     "internal": tt, "cumulative": ct})
+    key = "cumulative" if sort == "cumulative" else "internal"
+    rows.sort(key=lambda r: (-r[key], r["func"]))
+    return rows[:top]
+
+
+def format_hotspots(rows, n_dumps):
+    """Render the hotspot rows as the CLI's ranked table."""
+    lines = ["aggregated %d profile dump(s); top %d by %s:"
+             % (n_dumps, len(rows), "time"),
+             "%10s %12s %12s  %s" % ("calls", "internal(s)",
+                                     "cumulative(s)", "function")]
+    for row in rows:
+        lines.append("%10d %12.4f %12.4f  %s"
+                     % (row["calls"], row["internal"], row["cumulative"],
+                        row["func"]))
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Prometheus text exposition (version 0.0.4) for registry snapshots.
+
+Renders :meth:`repro.obs.metrics.MetricsRegistry.snapshot` dicts into
+the plain-text scrape format. The output is a pure function of the
+snapshot — no timestamps, families and samples in sorted order — so
+two scrapes of an idle process are byte-identical (the `/metrics`
+stability contract the service smoke test pins).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: the Content-Type a conforming scrape endpoint must serve
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _fmt(value):
+    """Canonical sample-value formatting: integers bare, floats via repr."""
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value.is_integer() and abs(value) < 1e15:
+        return "%d" % int(value)
+    return repr(value)
+
+
+def _escape_help(text):
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(text):
+    return (text.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _label_str(labels, extra=()):
+    items = sorted(labels.items())
+    items.extend(extra)  # extras (le=...) render last, pre-formatted
+    if not items:
+        return ""
+    body = ",".join('%s="%s"' % (k, _escape_label(str(v)))
+                    for k, v in items)
+    return "{%s}" % body
+
+
+def render_prometheus(snapshot):
+    """Render a registry snapshot to exposition text.
+
+    ``snapshot`` is the dict from ``MetricsRegistry.snapshot()``; the
+    result always ends with a newline (empty snapshot -> empty string).
+    """
+    lines = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family.get("type", "untyped")
+        help_text = family.get("help", "")
+        if help_text:
+            lines.append("# HELP %s %s" % (name, _escape_help(help_text)))
+        lines.append("# TYPE %s %s" % (name, kind))
+        for row in family.get("samples", ()):
+            labels = row.get("labels", {})
+            value = row.get("value", 0)
+            if kind == "histogram":
+                cumulative = 0
+                bounds = list(family.get("buckets", ()))
+                counts = value.get("counts", [])
+                for i, bound in enumerate(bounds):
+                    cumulative += counts[i] if i < len(counts) else 0
+                    lines.append("%s_bucket%s %s" % (
+                        name,
+                        _label_str(labels, extra=(("le", _fmt(bound)),)),
+                        _fmt(cumulative)))
+                total = value.get("count", 0)
+                lines.append("%s_bucket%s %s" % (
+                    name, _label_str(labels, extra=(("le", "+Inf"),)),
+                    _fmt(total)))
+                lines.append("%s_sum%s %s" % (
+                    name, _label_str(labels), _fmt(value.get("sum", 0.0))))
+                lines.append("%s_count%s %s" % (
+                    name, _label_str(labels), _fmt(total)))
+            else:
+                lines.append("%s%s %s" % (name, _label_str(labels),
+                                          _fmt(value)))
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"

@@ -138,5 +138,30 @@ class AdvisorService:
                 "grid_cache": self.grids.stats(),
                 "endpoints": self.stats.snapshot()}
 
+    def prometheus(self) -> str:
+        """The process registry in Prometheus text exposition format.
+
+        Endpoint counters/latency stream in live via the
+        :mod:`repro.service.stats` shim; cache stats are point-in-time,
+        so their gauges are synced here at scrape time. Output is a
+        pure function of the metric state — two idle scrapes are
+        byte-identical.
+        """
+        from ..obs.metrics import REGISTRY
+        from ..obs.prom import render_prometheus
+
+        gauge = REGISTRY.gauge(
+            "match_service_cache_stat",
+            "Advisor cache statistics, by cache and stat name")
+        for cache_name, stats in (("query", self.queries.stats()),
+                                  ("grid", self.grids.stats())):
+            for stat_name in sorted(stats):
+                value = stats[stat_name]
+                if isinstance(value, bool) or not isinstance(
+                        value, (int, float)):
+                    continue  # e.g. the model-version string
+                gauge.set(float(value), cache=cache_name, stat=stat_name)
+        return render_prometheus(REGISTRY.snapshot())
+
 
 __all__ = ["AdvisorService"]

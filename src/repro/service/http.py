@@ -18,7 +18,8 @@ endpoint              method  body / query parameters
                               top-1 advice, parallel to the input
 ``/predict``          POST    ``{"configs": [config-dict, ...]}``
 ``/healthz``          GET     —
-``/metrics``          GET     —
+``/metrics``          GET     — (Prometheus text exposition)
+``/metrics.json``     GET     — (legacy JSON stats snapshot)
 ====================  ======  =============================================
 
 Routing and payload handling live in :meth:`AdvisorServer.
@@ -38,6 +39,7 @@ import time
 from urllib.parse import parse_qsl, urlsplit
 
 from ..errors import ConfigurationError, describe_error
+from ..obs.prom import PROM_CONTENT_TYPE
 from .core import AdvisorService
 from .query import AdviceQuery
 
@@ -97,6 +99,16 @@ class AdvisorServer:
                     {"status": "ok",
                      "calibration": self.service.calibration})
             if path == "/metrics":
+                if method != "GET":
+                    return self._finish(stats, endpoint, started, 405,
+                                        {"error": "use GET"})
+                # Prometheus text exposition (str payload -> text/plain);
+                # the legacy JSON snapshot moved to /metrics.json.
+                # Deliberately NOT recorded in stats: a scrape must not
+                # perturb the registry it reads, so two idle scrapes
+                # stay byte-identical.
+                return 200, self.service.prometheus()
+            if path == "/metrics.json":
                 if method != "GET":
                     return self._finish(stats, endpoint, started, 405,
                                         {"error": "use GET"})
@@ -222,15 +234,22 @@ class AdvisorServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    def _write_response(self, writer, status: int, payload: dict):
-        body = json.dumps(payload).encode()
+    def _write_response(self, writer, status: int, payload):
+        # str payloads are pre-rendered text (the Prometheus scrape);
+        # everything else is a JSON document
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            ctype = PROM_CONTENT_TYPE.encode()
+        else:
+            body = json.dumps(payload).encode()
+            ctype = b"application/json"
         writer.write(
             b"HTTP/1.1 %d %s\r\n"
-            b"Content-Type: application/json\r\n"
+            b"Content-Type: %s\r\n"
             b"Content-Length: %d\r\n"
             b"\r\n" % (status,
                        _STATUS_TEXT.get(status, "Status").encode(),
-                       len(body)))
+                       ctype, len(body)))
         writer.write(body)
 
     async def start(self):

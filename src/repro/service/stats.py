@@ -1,10 +1,24 @@
-"""Per-endpoint request accounting for ``/metrics``.
+"""Per-endpoint request accounting — a shim over :mod:`repro.obs`.
 
-Counts and latency aggregates, plus approximate percentiles from a
-bounded window of recent samples (exact mean/min/max over the service
-lifetime; p50/p95 over the last ``window`` requests per endpoint —
-a serving dashboard wants recent tail latency, not all-time). No
-locking: the asyncio server records from a single event loop.
+Historically this module owned its own bespoke counters; it is now a
+thin mirror: every :meth:`EndpointStats.record` updates (1) the local
+window state that backs the exact legacy ``/metrics.json`` shape —
+lifetime counts, mean/min/max, nearest-rank p50/p95 over the last
+``window`` samples — and (2) the process-wide
+:data:`repro.obs.metrics.REGISTRY`, which is what ``/metrics`` serves
+in Prometheus text format:
+
+* ``match_service_requests_total{endpoint=...}``
+* ``match_service_errors_total{endpoint=...}``
+* ``match_service_items_total{endpoint=...}`` (batch fan-in)
+* ``match_service_request_seconds{endpoint=...}`` (histogram)
+
+The local fields keep per-instance zero-based semantics (tests build
+fresh ServiceStats); the registry keeps cumulative Prometheus
+semantics across every instance in the process. The registry's lock
+also makes ``record`` safe when a threaded server front-end drives it
+concurrently — the asyncio loop needs no locking, but the shim no
+longer assumes it is the only writer.
 """
 
 from __future__ import annotations
@@ -12,12 +26,25 @@ from __future__ import annotations
 from collections import deque
 
 from ..errors import ConfigurationError
+from ..obs.metrics import REGISTRY as OBS_REGISTRY
+
+_REQUESTS = OBS_REGISTRY.counter(
+    "match_service_requests_total", "Service requests, by endpoint")
+_ERRORS = OBS_REGISTRY.counter(
+    "match_service_errors_total", "Service error responses, by endpoint")
+_ITEMS = OBS_REGISTRY.counter(
+    "match_service_items_total",
+    "Queries served including batch fan-in, by endpoint")
+_LATENCY = OBS_REGISTRY.histogram(
+    "match_service_request_seconds",
+    "Request handling latency in seconds, by endpoint")
 
 
 class EndpointStats:
     """One endpoint's counters and latency window."""
 
-    def __init__(self, window: int = 1024):
+    def __init__(self, window: int = 1024, name: str = ""):
+        self.name = name
         self.requests = 0
         self.errors = 0
         self.items = 0
@@ -39,6 +66,13 @@ class EndpointStats:
         if self.max_seconds is None or seconds > self.max_seconds:
             self.max_seconds = seconds
         self._recent.append(seconds)
+        # mirror into the process registry (the /metrics side)
+        endpoint = self.name or "?"
+        _REQUESTS.inc(endpoint=endpoint)
+        if error:
+            _ERRORS.inc(endpoint=endpoint)
+        _ITEMS.inc(items, endpoint=endpoint)
+        _LATENCY.observe(seconds, endpoint=endpoint)
 
     def _percentile(self, ordered, fraction: float) -> float:
         # nearest-rank on the recent window
@@ -75,7 +109,8 @@ class ServiceStats:
     def endpoint(self, name: str) -> EndpointStats:
         stats = self._endpoints.get(name)
         if stats is None:
-            stats = self._endpoints[name] = EndpointStats(self.window)
+            stats = self._endpoints[name] = EndpointStats(self.window,
+                                                          name=name)
         return stats
 
     def record(self, name: str, seconds: float, *, error: bool = False,

@@ -2,6 +2,8 @@
 import os
 
 WATCHDOG_ENV = "MATCH_SIM_WATCHDOG"
+OBS_ENV = "MATCH_OBS"
+TRACE_ENV = "MATCH_TRACE"
 
 
 def sanctioned():
@@ -9,3 +11,12 @@ def sanctioned():
     b = os.environ.get("MATCH_CHAOS", "")
     c = os.getenv("REPRO_NO_NATIVE")
     return a, b, c
+
+
+def sanctioned_telemetry():
+    # the repro.obs.env idiom: literal and constant spellings both pass
+    a = os.environ.get("MATCH_OBS", "")
+    b = os.environ.get(OBS_ENV)
+    c = os.getenv("MATCH_TRACE")
+    d = os.getenv(TRACE_ENV, "")
+    return a, b, c, d

@@ -1,0 +1,92 @@
+"""The CLI telemetry surface: --trace/--metrics-out/--profile, the
+profile subcommand, progress ETA, and the MATCH_OBS/MATCH_TRACE
+environment defaults."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.trace import validate_trace
+
+CAMPAIGN = ["campaign", "--app", "minivite", "--design", "reinit-fti",
+            "--nprocs", "8", "--runs", "2"]
+
+
+def test_campaign_trace_flag_writes_valid_chrome_json(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    assert main(CAMPAIGN + ["--trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out and "Perfetto" in out
+    payload = json.loads(trace_path.read_text())
+    assert validate_trace(payload) == []
+
+
+def test_campaign_metrics_out_writes_snapshot(tmp_path, capsys):
+    metrics_path = tmp_path / "metrics.json"
+    assert main(CAMPAIGN + ["--metrics-out", str(metrics_path)]) == 0
+    snapshot = json.loads(metrics_path.read_text())
+    [sample] = [row for row in
+                snapshot["match_campaign_units_total"]["samples"]
+                if row["labels"] == {"outcome": "completed"}]
+    assert sample["value"] >= 2
+    assert "match_fti_ckpt_writes_total" in snapshot
+
+
+def test_campaign_profile_flag_and_profile_subcommand(tmp_path, capsys):
+    prof_dir = tmp_path / "prof"
+    assert main(CAMPAIGN + ["--profile", str(prof_dir)]) == 0
+    capsys.readouterr()
+    dumps = sorted(prof_dir.glob("*.pstats"))
+    assert len(dumps) == 2                       # one per run unit
+    assert main(["profile", str(prof_dir), "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "aggregated 2 profile dump(s)" in out
+    assert "cumulative(s)" in out
+    assert "run_job" in out                       # a real hotspot
+
+
+def test_profile_subcommand_rejects_empty_dir(tmp_path, capsys):
+    assert main(["profile", str(tmp_path)]) != 0
+    err = capsys.readouterr().err
+    assert "--profile" in err
+
+
+def test_progress_lines_carry_elapsed_and_eta(capsys):
+    assert main(CAMPAIGN + ["--progress"]) == 0
+    out = capsys.readouterr().out
+    lines = [l for l in out.splitlines() if l.startswith("[")]
+    assert len(lines) == 2
+    assert "[elapsed " in lines[0] and "ETA " in lines[0]
+    # the last unit has nothing left to estimate
+    assert "[elapsed " in lines[1] and "ETA" not in lines[1]
+
+
+def test_match_trace_env_sets_the_default_path(tmp_path, monkeypatch,
+                                               capsys):
+    trace_path = tmp_path / "env_trace.json"
+    monkeypatch.setenv("MATCH_TRACE", str(trace_path))
+    assert main(CAMPAIGN) == 0
+    payload = json.loads(trace_path.read_text())
+    assert validate_trace(payload) == []
+
+
+def test_match_obs_path_dumps_snapshot(tmp_path, monkeypatch):
+    metrics_path = tmp_path / "env_metrics.json"
+    monkeypatch.setenv("MATCH_OBS", str(metrics_path))
+    assert main(CAMPAIGN) == 0
+    assert "match_campaign_units_total" in json.loads(
+        metrics_path.read_text())
+
+
+def test_match_obs_off_disables_the_registry(monkeypatch, capsys):
+    from repro.obs.metrics import REGISTRY
+
+    monkeypatch.setenv("MATCH_OBS", "off")
+    try:
+        assert main(CAMPAIGN) == 0
+        assert REGISTRY.enabled is False
+    finally:
+        REGISTRY.set_enabled(True)
+    out = capsys.readouterr().out
+    assert "metrics:" not in out

@@ -1,0 +1,159 @@
+"""The metrics registry: instruments, snapshots, merge, disable."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    REGISTRY,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+# -- instruments -------------------------------------------------------------
+def test_counter_counts_per_label_set(registry):
+    counter = registry.counter("t_runs_total", "runs")
+    counter.inc(outcome="completed")
+    counter.inc(outcome="completed")
+    counter.inc(3, outcome="failed")
+    assert counter.value(outcome="completed") == 2
+    assert counter.value(outcome="failed") == 3
+    assert counter.value(outcome="never") == 0
+
+
+def test_counter_rejects_decrease(registry):
+    counter = registry.counter("t_total")
+    with pytest.raises(ConfigurationError):
+        counter.inc(-1)
+
+
+def test_gauge_set_inc_dec(registry):
+    gauge = registry.gauge("t_depth")
+    gauge.set(5)
+    gauge.inc(2)
+    gauge.dec()
+    assert gauge.value() == 6.0
+
+
+def test_histogram_buckets_cumulate(registry):
+    hist = registry.histogram("t_seconds", buckets=(0.1, 1.0))
+    for value in (0.05, 0.05, 0.5, 2.0):
+        hist.observe(value)
+    [row] = registry.snapshot()["t_seconds"]["samples"]
+    assert row["value"]["counts"] == [2, 1, 1]   # <=0.1, <=1.0, +inf
+    assert row["value"]["count"] == 4
+    assert row["value"]["sum"] == pytest.approx(2.6)
+
+
+def test_get_or_create_returns_same_object(registry):
+    assert registry.counter("t_x") is registry.counter("t_x")
+    with pytest.raises(ConfigurationError):
+        registry.gauge("t_x")          # kind mismatch is a config error
+
+
+def test_invalid_metric_names_rejected(registry):
+    for bad in ("", "9starts_with_digit", "has space", "has-dash"):
+        with pytest.raises(ConfigurationError):
+            registry.counter(bad)
+
+
+# -- the disable switch ------------------------------------------------------
+def test_disabled_registry_records_nothing(registry):
+    counter = registry.counter("t_total")
+    hist = registry.histogram("t_hist")
+    registry.set_enabled(False)
+    counter.inc()
+    hist.observe(0.5)
+    registry.gauge("t_g").set(1)
+    assert registry.snapshot() == {}
+    registry.set_enabled(True)
+    counter.inc()
+    assert counter.value() == 1
+
+
+# -- snapshot / merge (the worker-pipe format) --------------------------------
+def test_snapshot_only_includes_touched_families(registry):
+    registry.counter("t_untouched")
+    registry.counter("t_touched").inc()
+    snap = registry.snapshot()
+    assert set(snap) == {"t_touched"}
+    assert snap["t_touched"]["type"] == "counter"
+    assert snap["t_touched"]["samples"] == [{"labels": {}, "value": 1}]
+
+
+def test_merge_adds_counters_and_histograms(registry):
+    registry.counter("t_total").inc(2, kind="a")
+    registry.histogram("t_sec", buckets=(1.0,)).observe(0.5)
+    registry.gauge("t_g").set(3)
+    snap = registry.snapshot()
+
+    other = MetricsRegistry()
+    other.merge(snap)
+    other.merge(snap)             # twice: counters must double exactly
+    assert other.counter("t_total").value(kind="a") == 4
+    [row] = other.snapshot()["t_sec"]["samples"]
+    assert row["value"]["counts"] == [2, 0]
+    assert row["value"]["count"] == 2
+    assert other.gauge("t_g").value() == 3.0   # last write wins
+
+
+def test_merge_round_trips_through_json(registry):
+    import json
+
+    registry.counter("t_total").inc(7, outcome="completed")
+    wire = json.loads(json.dumps(registry.snapshot()))
+    other = MetricsRegistry()
+    other.merge(wire)
+    assert other.counter("t_total").value(outcome="completed") == 7
+
+
+def test_reset_zeroes_samples_but_keeps_instruments(registry):
+    counter = registry.counter("t_total")
+    counter.inc()
+    registry.reset()
+    assert registry.snapshot() == {}
+    counter.inc()                 # the object is still live
+    assert counter.value() == 1
+
+
+# -- concurrency -------------------------------------------------------------
+def test_concurrent_increments_are_exact(registry):
+    counter = registry.counter("t_total")
+    n_threads, per_thread = 8, 1000
+
+    def work():
+        for _ in range(per_thread):
+            counter.inc(worker="x")
+
+    threads = [threading.Thread(target=work) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value(worker="x") == n_threads * per_thread
+
+
+# -- the process registry ----------------------------------------------------
+def test_process_registry_serves_the_instrumented_modules():
+    # importing the engine/store/fti modules registers their families
+    import repro.core.engine    # noqa: F401
+    import repro.core.store     # noqa: F401
+    import repro.fti.api        # noqa: F401
+
+    for name in ("match_campaign_units_total",
+                 "match_campaign_queue_depth",
+                 "match_store_appends_total",
+                 "match_fti_ckpt_writes_total"):
+        assert REGISTRY.get(name) is not None, name
+
+
+def test_default_buckets_are_sorted_and_positive():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert all(b > 0 for b in DEFAULT_BUCKETS)

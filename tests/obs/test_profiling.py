@@ -1,0 +1,80 @@
+"""Profiling: per-unit dumps, aggregation, hotspot ranking."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.profiling import (
+    aggregate_profiles,
+    format_hotspots,
+    hotspot_rows,
+    maybe_profile,
+    profile_paths,
+)
+
+
+def burn(n=200):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+def test_maybe_profile_dumps_keyed_by_run_and_attempt(tmp_path):
+    with maybe_profile(str(tmp_path), "deadbeef01234567", attempt=2):
+        burn()
+    [path] = profile_paths(str(tmp_path))
+    assert path.endswith("deadbeef01234567.a2.pstats")
+
+
+def test_falsy_directory_is_a_no_op(tmp_path):
+    with maybe_profile(None, "key") as profile:
+        burn()
+    assert profile is None
+    with maybe_profile("", "key") as profile:
+        pass
+    assert profile is None
+
+
+def test_aggregate_merges_all_dumps(tmp_path):
+    for key in ("aaaa", "bbbb", "cccc"):
+        with maybe_profile(str(tmp_path), key):
+            burn()
+    stats, n_dumps = aggregate_profiles(str(tmp_path))
+    assert n_dumps == 3
+    rows = hotspot_rows(stats, top=10)
+    [row] = [r for r in rows if r["func"].endswith(":burn")]
+    assert row["calls"] == 3                 # one call per merged dump
+    assert row["cumulative"] >= row["internal"] >= 0
+
+
+def test_hotspot_sort_modes_and_bounds(tmp_path):
+    with maybe_profile(str(tmp_path), "aaaa"):
+        burn()
+    stats, _ = aggregate_profiles(str(tmp_path))
+    by_cum = hotspot_rows(stats, top=3, sort="cumulative")
+    assert len(by_cum) <= 3
+    values = [r["cumulative"] for r in by_cum]
+    assert values == sorted(values, reverse=True)
+    by_int = hotspot_rows(stats, top=3, sort="internal")
+    values = [r["internal"] for r in by_int]
+    assert values == sorted(values, reverse=True)
+    with pytest.raises(ConfigurationError):
+        hotspot_rows(stats, sort="bogus")
+
+
+def test_empty_directory_raises_not_silence(tmp_path):
+    with pytest.raises(ConfigurationError, match="--profile"):
+        aggregate_profiles(str(tmp_path))
+    with pytest.raises(ConfigurationError):
+        profile_paths(str(tmp_path / "missing"))
+
+
+def test_format_hotspots_renders_a_table(tmp_path):
+    with maybe_profile(str(tmp_path), "aaaa"):
+        burn()
+    stats, n = aggregate_profiles(str(tmp_path))
+    text = format_hotspots(hotspot_rows(stats, top=5), n)
+    lines = text.splitlines()
+    assert lines[0].startswith("aggregated 1 profile dump(s)")
+    assert "function" in lines[1]
+    assert any(":burn" in line for line in lines[2:])

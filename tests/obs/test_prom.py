@@ -1,0 +1,62 @@
+"""Prometheus text exposition: format, escaping, byte stability."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import PROM_CONTENT_TYPE, render_prometheus
+
+
+def build_registry():
+    registry = MetricsRegistry()
+    counter = registry.counter("t_requests_total", "Requests, by endpoint")
+    counter.inc(2, endpoint="/advise")
+    counter.inc(endpoint="/healthz")
+    registry.gauge("t_depth", "Queue depth").set(3)
+    hist = registry.histogram("t_seconds", "Latency", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return registry
+
+
+def test_render_structure():
+    text = render_prometheus(build_registry().snapshot())
+    lines = text.splitlines()
+    assert "# HELP t_requests_total Requests, by endpoint" in lines
+    assert "# TYPE t_requests_total counter" in lines
+    assert 't_requests_total{endpoint="/advise"} 2' in lines
+    assert 't_requests_total{endpoint="/healthz"} 1' in lines
+    assert "# TYPE t_depth gauge" in lines
+    assert "t_depth 3" in lines
+    assert text.endswith("\n")
+
+
+def test_histogram_renders_cumulative_buckets():
+    text = render_prometheus(build_registry().snapshot())
+    lines = text.splitlines()
+    assert 't_seconds_bucket{le="0.1"} 1' in lines
+    assert 't_seconds_bucket{le="1"} 2' in lines
+    assert 't_seconds_bucket{le="+Inf"} 3' in lines
+    assert "t_seconds_count 3" in lines
+    [sum_line] = [l for l in lines if l.startswith("t_seconds_sum")]
+    assert abs(float(sum_line.split()[-1]) - 5.55) < 1e-12
+
+
+def test_two_renders_of_the_same_state_are_byte_identical():
+    registry = build_registry()
+    assert (render_prometheus(registry.snapshot())
+            == render_prometheus(registry.snapshot()))
+
+
+def test_empty_snapshot_renders_empty():
+    assert render_prometheus({}) == ""
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter("t_total").inc(path='a"b\\c\nd')
+    text = render_prometheus(registry.snapshot())
+    assert 't_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+
+def test_content_type_names_the_exposition_version():
+    assert "version=0.0.4" in PROM_CONTENT_TYPE
+    assert PROM_CONTENT_TYPE.startswith("text/plain")

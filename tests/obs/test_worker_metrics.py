@@ -1,0 +1,65 @@
+"""Satellite contract: worker metric deltas survive the spawn pool.
+
+Workers run with ``maxtasksperchild=1`` in fresh spawn processes, so
+their registry state dies with them — unless the engine ships each
+attempt's snapshot back through the result pipe and folds it into the
+parent registry. These tests pin exact counts across that boundary.
+"""
+
+from repro.api import Campaign
+from repro.obs.metrics import REGISTRY
+
+
+def fti_writes():
+    counter = REGISTRY.counter("match_fti_ckpt_writes_total")
+    return counter.value(level="1")
+
+
+def units_completed():
+    counter = REGISTRY.counter("match_campaign_units_total")
+    return counter.value(outcome="completed")
+
+
+def run(jobs, reps=2):
+    session = (Campaign().apps("minivite").designs("reinit-fti")
+               .nprocs(8).nnodes(4).reps(reps).jobs(jobs).run())
+    assert session.failed == 0
+    return session
+
+
+def test_serial_and_parallel_account_identically():
+    # the same sweep must land the same checkpoint count in the parent
+    # registry whether it ran in-process or through the spawn pool
+    before = fti_writes()
+    run(jobs=1, reps=2)
+    serial_delta = fti_writes() - before
+
+    before = fti_writes()
+    run(jobs=2, reps=2)
+    parallel_delta = fti_writes() - before
+
+    assert serial_delta > 0
+    assert parallel_delta == serial_delta
+
+
+def test_parallel_unit_outcomes_counted_once_each():
+    before = units_completed()
+    run(jobs=2, reps=3)
+    assert units_completed() - before == 3
+
+
+def test_queue_depth_gauge_drains_to_zero():
+    run(jobs=2, reps=2)
+    gauge = REGISTRY.gauge("match_campaign_queue_depth")
+    assert gauge.value() == 0.0
+
+
+def test_store_metrics_flow_from_workers(tmp_path):
+    counter = REGISTRY.counter("match_store_appends_total")
+    before = counter.value(kind="result")
+    (Campaign().apps("minivite").designs("reinit-fti")
+     .nprocs(8).nnodes(4).reps(2).jobs(2)
+     .store(str(tmp_path / "results.jsonl")).run())
+    # appends happen in the parent (the engine owns the store), but the
+    # count rides the same registry the worker deltas merged into
+    assert counter.value(kind="result") - before == 2

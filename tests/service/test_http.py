@@ -112,12 +112,27 @@ def test_requests_are_recorded_in_metrics(server):
     server.handle_request(
         "GET", "/advise", {"app": "hpccg", "nprocs": "64",
                            "mtbf": "1h"}, b"")
-    status, payload = _get(server, "/metrics")
+    status, payload = _get(server, "/metrics.json")
     assert status == 200
     endpoints = payload["endpoints"]
     assert endpoints["/healthz"]["requests"] == 1
     assert endpoints["/advise"]["requests"] == 1
     assert payload["query_cache"]["size"] == 1
+    # the Prometheus twin serves the same counts as text exposition
+    status, text = _get(server, "/metrics")
+    assert status == 200
+    assert isinstance(text, str)
+    assert 'match_service_requests_total{endpoint="/healthz"}' in text
+    assert "# TYPE match_service_request_seconds histogram" in text
+
+
+def test_idle_metrics_scrapes_are_byte_stable(server):
+    _get(server, "/healthz")
+    status, first = _get(server, "/metrics")
+    assert status == 200
+    status, second = _get(server, "/metrics")
+    # the scrape itself is not recorded, so nothing moved in between
+    assert first == second
 
 
 # -- over a real socket -----------------------------------------------------

@@ -1,8 +1,19 @@
-"""ServiceStats: per-endpoint counters and latency aggregates."""
+"""ServiceStats: per-endpoint counters and latency aggregates.
+
+Since the module became a shim over :mod:`repro.obs.metrics`, these
+tests also pin the seam: local snapshots stay per-instance zero-based
+while the process registry mirrors every record cumulatively, and the
+registry lock keeps counts exact under concurrent writers.
+"""
+
+import http.client
+import json
+import threading
 
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import REGISTRY
 from repro.service.stats import ServiceStats
 
 
@@ -59,3 +70,88 @@ def test_endpoints_are_independent():
 def test_rejects_bad_window():
     with pytest.raises(ConfigurationError):
         ServiceStats(window=0)
+
+
+# -- the repro.obs shim seam -------------------------------------------------
+def test_empty_latency_window_omits_percentiles():
+    # an endpoint touched zero times through record() has no window;
+    # the snapshot must omit the percentile keys rather than invent 0.0
+    stats = ServiceStats()
+    snap = stats.endpoint("/advise").snapshot()
+    assert snap["requests"] == 0
+    assert snap["latency_mean_seconds"] == 0.0
+    assert snap["latency_min_seconds"] is None
+    assert "latency_p50_seconds" not in snap
+    assert "latency_p95_seconds" not in snap
+
+
+def test_window_eviction_is_bounded():
+    stats = ServiceStats(window=4)
+    for i in range(100):
+        stats.record("/advise", float(i))
+    endpoint = stats.endpoint("/advise")
+    assert len(endpoint._recent) == 4
+    assert list(endpoint._recent) == [96.0, 97.0, 98.0, 99.0]
+    snap = endpoint.snapshot()
+    assert snap["latency_p50_seconds"] == 98.0   # nearest-rank over 4
+    assert snap["requests"] == 100               # lifetime unaffected
+
+
+def test_record_mirrors_into_the_process_registry():
+    counter = REGISTRY.counter(
+        "match_service_requests_total", "Service requests, by endpoint")
+    before = counter.value(endpoint="/predict")
+    stats = ServiceStats()
+    stats.record("/predict", 0.001)
+    stats.record("/predict", 0.002, error=True, items=5)
+    assert counter.value(endpoint="/predict") == before + 2
+    # a fresh instance still snapshots zero-based locally
+    assert ServiceStats().snapshot() == {}
+
+
+def test_concurrent_records_from_threaded_server_are_exact():
+    # drive the real asyncio server from N client threads so record()
+    # runs concurrently with registry mirroring; every count must land
+    from repro.service.core import AdvisorService
+    from repro.service.http import AdvisorServer
+
+    service = AdvisorService()
+    server = AdvisorServer(service, host="127.0.0.1", port=0)
+    server.start_in_thread()
+    n_threads, per_thread = 8, 25
+    failures = []
+
+    def hammer():
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=30)
+        try:
+            for _ in range(per_thread):
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                body = response.read()
+                if response.status != 200:
+                    failures.append(body)
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=hammer)
+               for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures
+    snap = service.stats.snapshot()["/healthz"]
+    assert snap["requests"] == n_threads * per_thread
+    assert snap["errors"] == 0
+    # and the Prometheus side agrees with itself
+    conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                      timeout=30)
+    try:
+        conn.request("GET", "/metrics.json")
+        payload = json.loads(conn.getresponse().read())
+    finally:
+        conn.close()
+    healthz = payload["endpoints"]["/healthz"]
+    assert healthz["requests"] == n_threads * per_thread
+    assert healthz["latency_p95_seconds"] >= healthz["latency_p50_seconds"]
